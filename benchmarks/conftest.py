@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks use scaled-down graphs (a few hundred nodes) so that the whole
+suite completes in minutes on a laptop while preserving the comparative shape
+of the paper's figures (who wins, and roughly by how much).  EXPERIMENTS.md
+documents the mapping from every benchmark to the corresponding figure and
+how to run it at larger scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import generate_synthetic_graph
+from repro.datasets.terrorism import generate_terrorism_graph
+from repro.datasets.youtube import generate_youtube_graph
+from repro.graph.distance import build_distance_matrix
+from repro.query.generator import QueryGenerator
+
+
+@pytest.fixture(scope="session")
+def terrorism_graph():
+    """Scaled-down GTD-like collaboration network (Exp-1 substrate)."""
+    return generate_terrorism_graph(num_nodes=200, num_edges=450, seed=11)
+
+
+@pytest.fixture(scope="session")
+def terrorism_matrix(terrorism_graph):
+    return build_distance_matrix(terrorism_graph)
+
+
+@pytest.fixture(scope="session")
+def youtube_graph():
+    """Scaled-down YouTube-like video graph (Exp-2/3/4 substrate)."""
+    return generate_youtube_graph(num_nodes=300, num_edges=1100, seed=7)
+
+
+@pytest.fixture(scope="session")
+def youtube_matrix(youtube_graph):
+    return build_distance_matrix(youtube_graph)
+
+
+@pytest.fixture(scope="session")
+def synthetic_graph():
+    """Scaled-down synthetic graph (Exp-5 substrate)."""
+    return generate_synthetic_graph(num_nodes=300, num_edges=900, seed=51)
+
+
+@pytest.fixture(scope="session")
+def synthetic_matrix(synthetic_graph):
+    return build_distance_matrix(synthetic_graph)
+
+
+@pytest.fixture(scope="session")
+def terrorism_queries(terrorism_graph):
+    """Single-colour pattern queries of size (4,4), as in Fig. 9 (favouring SubIso)."""
+    generator = QueryGenerator(terrorism_graph, seed=11)
+    return generator.pattern_queries(3, num_nodes=4, num_edges=4, num_predicates=2, bound=2, max_colors=1)
+
+
+@pytest.fixture(scope="session")
+def youtube_queries(youtube_graph):
+    """Default-parameter queries (|Vp|=6, |Ep|=8, pred=3, b=5, c≤2) of Fig. 11."""
+    generator = QueryGenerator(youtube_graph, seed=41)
+    return generator.pattern_queries(3, num_nodes=6, num_edges=8, num_predicates=3, bound=5, max_colors=2)

@@ -1,0 +1,95 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md §4.
+
+1. Distance matrix vs LRU-cache search inside PQ evaluation (the ``flag``
+   parameter of JoinMatch/SplitMatch).
+2. Reversed-topological SCC processing in JoinMatch vs the naive global
+   fixpoint (same per-edge work, no ordering).
+3. Query normalization (dummy-node decomposition of multi-atom constraints)
+   on vs off.
+4. RQ evaluation: bidirectional frontier expansion vs plain forward BFS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching.join_match import join_match
+from repro.matching.naive import naive_match
+from repro.matching.reachability import evaluate_rq
+from repro.query.generator import QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def ablation_queries(youtube_graph):
+    generator = QueryGenerator(youtube_graph, seed=99)
+    return generator.pattern_queries(3, num_nodes=6, num_edges=8, num_predicates=2, bound=4, max_colors=2)
+
+
+@pytest.mark.benchmark(group="ablation-matrix-vs-cache")
+def test_ablation_joinmatch_with_matrix(benchmark, youtube_graph, youtube_matrix, ablation_queries):
+    benchmark(lambda: [join_match(q, youtube_graph, distance_matrix=youtube_matrix) for q in ablation_queries])
+
+
+@pytest.mark.benchmark(group="ablation-matrix-vs-cache")
+def test_ablation_joinmatch_with_cache(benchmark, youtube_graph, ablation_queries):
+    benchmark(lambda: [join_match(q, youtube_graph) for q in ablation_queries])
+
+
+@pytest.mark.benchmark(group="ablation-scc-vs-naive")
+def test_ablation_scc_ordered_joinmatch(benchmark, youtube_graph, youtube_matrix, ablation_queries):
+    results = benchmark(
+        lambda: [join_match(q, youtube_graph, distance_matrix=youtube_matrix) for q in ablation_queries]
+    )
+    assert len(results) == len(ablation_queries)
+
+
+@pytest.mark.benchmark(group="ablation-scc-vs-naive")
+def test_ablation_naive_fixpoint(benchmark, youtube_graph, youtube_matrix, ablation_queries):
+    results = benchmark(
+        lambda: [naive_match(q, youtube_graph, distance_matrix=youtube_matrix) for q in ablation_queries]
+    )
+    reference = [join_match(q, youtube_graph, distance_matrix=youtube_matrix) for q in ablation_queries]
+    assert all(result.same_matches(expected) for result, expected in zip(results, reference))
+
+
+@pytest.mark.benchmark(group="ablation-normalization")
+def test_ablation_normalization_on(benchmark, youtube_graph, youtube_matrix, ablation_queries):
+    benchmark(
+        lambda: [
+            join_match(q, youtube_graph, distance_matrix=youtube_matrix, normalize=True)
+            for q in ablation_queries
+        ]
+    )
+
+
+@pytest.mark.benchmark(group="ablation-normalization")
+def test_ablation_normalization_off(benchmark, youtube_graph, youtube_matrix, ablation_queries):
+    results = benchmark(
+        lambda: [
+            join_match(q, youtube_graph, distance_matrix=youtube_matrix, normalize=False)
+            for q in ablation_queries
+        ]
+    )
+    reference = [
+        join_match(q, youtube_graph, distance_matrix=youtube_matrix, normalize=True)
+        for q in ablation_queries
+    ]
+    assert all(result.same_matches(expected) for result, expected in zip(results, reference))
+
+
+@pytest.fixture(scope="module")
+def ablation_rqs(youtube_graph):
+    generator = QueryGenerator(youtube_graph, seed=77)
+    return [generator.reachability_query(num_predicates=3, bound=4, max_colors=2) for _ in range(4)]
+
+
+@pytest.mark.benchmark(group="ablation-rq-search")
+def test_ablation_rq_bidirectional(benchmark, youtube_graph, ablation_rqs):
+    benchmark(lambda: [evaluate_rq(q, youtube_graph, method="bidirectional") for q in ablation_rqs])
+
+
+@pytest.mark.benchmark(group="ablation-rq-search")
+def test_ablation_rq_forward_bfs(benchmark, youtube_graph, ablation_rqs):
+    results = benchmark(lambda: [evaluate_rq(q, youtube_graph, method="bfs") for q in ablation_rqs])
+    reference = [evaluate_rq(q, youtube_graph, method="bidirectional") for q in ablation_rqs]
+    assert all(result.pairs == expected.pairs for result, expected in zip(results, reference))

@@ -1,0 +1,75 @@
+"""Exp-2 benchmarks — Fig. 10(a): evaluation time with and without minPQs.
+
+Two series are timed on the YouTube-like graph: JoinMatchM on deliberately
+redundant queries as generated, and JoinMatchM on the same queries after
+``minimize_pattern_query``.  A third benchmark times the minimizer itself
+(the paper notes minimization is instantaneous relative to evaluation).
+
+Expected shape: the minimized series is at least as fast as the original one,
+with the gap growing with query size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.exp2_minimization import make_redundant_query
+from repro.matching.join_match import join_match
+from repro.query.generator import QueryGenerator
+from repro.query.minimization import minimize_pattern_query
+
+
+@pytest.fixture(scope="module")
+def redundant_queries(youtube_graph):
+    generator = QueryGenerator(youtube_graph, seed=23)
+    return [
+        make_redundant_query(generator, num_nodes=8, num_edges=12, bound=3, max_colors=2)
+        for _ in range(3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def minimized_queries(redundant_queries):
+    return [minimize_pattern_query(query) for query in redundant_queries]
+
+
+@pytest.mark.benchmark(group="exp2-fig10a-minimization")
+def test_exp2_original_queries(benchmark, youtube_graph, youtube_matrix, redundant_queries):
+    def run():
+        return [
+            join_match(query, youtube_graph, distance_matrix=youtube_matrix)
+            for query in redundant_queries
+        ]
+
+    benchmark(run)
+    benchmark.extra_info["figure"] = "10(a)"
+    benchmark.extra_info["avg_query_size"] = sum(q.size for q in redundant_queries) / len(redundant_queries)
+
+
+@pytest.mark.benchmark(group="exp2-fig10a-minimization")
+def test_exp2_minimized_queries(benchmark, youtube_graph, youtube_matrix, redundant_queries, minimized_queries):
+    def run():
+        return [
+            join_match(query, youtube_graph, distance_matrix=youtube_matrix)
+            for query in minimized_queries
+        ]
+
+    results = benchmark(run)
+    benchmark.extra_info["figure"] = "10(a)"
+    benchmark.extra_info["avg_query_size"] = sum(q.size for q in minimized_queries) / len(minimized_queries)
+    # Minimization must never grow a query.
+    assert all(
+        minimized.size <= original.size
+        for minimized, original in zip(minimized_queries, redundant_queries)
+    )
+    assert len(results) == len(minimized_queries)
+
+
+@pytest.mark.benchmark(group="exp2-fig10a-minimization")
+def test_exp2_minimizer_cost(benchmark, redundant_queries):
+    def run():
+        return [minimize_pattern_query(query) for query in redundant_queries]
+
+    minimized = benchmark(run)
+    benchmark.extra_info["figure"] = "10(a)"
+    assert len(minimized) == len(redundant_queries)

@@ -1,0 +1,99 @@
+"""Exp-3 benchmarks — Fig. 10(b): RQ evaluation strategies.
+
+For constraints with 1 and 3 distinct colours (``c1^b … ci^b`` with b = 5),
+three strategies are timed on the YouTube-like graph: the pre-computed
+distance matrix (DM), bidirectional search with the LRU cache (biBFS), and
+plain forward search (BFS).  A separate benchmark times building the distance
+matrix itself, the cost DM amortises across queries.
+
+Expected shape: DM < biBFS < BFS per query, with the gap widening for more
+colours; building the matrix dominates if only a handful of queries are asked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.distance import build_distance_matrix
+from repro.matching.reachability import evaluate_rq
+from repro.query.generator import QueryGenerator
+from repro.query.rq import ReachabilityQuery
+from repro.regex.fclass import FRegex, RegexAtom
+
+
+def _queries(graph, num_colors, count=3, bound=5, num_predicates=3, seed=31):
+    generator = QueryGenerator(graph, seed=seed)
+    colors = sorted(graph.colors)
+    queries = []
+    for index in range(count):
+        atoms = [
+            RegexAtom(colors[(index + offset) % len(colors)], bound)
+            for offset in range(num_colors)
+        ]
+        queries.append(
+            ReachabilityQuery(
+                source_predicate=generator.random_predicate(num_predicates),
+                target_predicate=generator.random_predicate(num_predicates),
+                regex=FRegex(atoms),
+            )
+        )
+    return queries
+
+
+@pytest.mark.parametrize("num_colors", [1, 3])
+@pytest.mark.benchmark(group="exp3-fig10b-rq")
+def test_exp3_distance_matrix(benchmark, youtube_graph, youtube_matrix, num_colors):
+    queries = _queries(youtube_graph, num_colors)
+
+    def run():
+        return [
+            evaluate_rq(query, youtube_graph, distance_matrix=youtube_matrix, method="matrix")
+            for query in queries
+        ]
+
+    results = benchmark(run)
+    benchmark.extra_info["figure"] = "10(b)"
+    benchmark.extra_info["num_colors"] = num_colors
+    assert all(result.method == "matrix" for result in results)
+
+
+@pytest.mark.parametrize("num_colors", [1, 3])
+@pytest.mark.benchmark(group="exp3-fig10b-rq")
+def test_exp3_bidirectional(benchmark, youtube_graph, youtube_matrix, num_colors):
+    queries = _queries(youtube_graph, num_colors)
+    reference = [
+        evaluate_rq(query, youtube_graph, distance_matrix=youtube_matrix, method="matrix")
+        for query in queries
+    ]
+
+    def run():
+        return [
+            evaluate_rq(query, youtube_graph, method="bidirectional") for query in queries
+        ]
+
+    results = benchmark(run)
+    benchmark.extra_info["figure"] = "10(b)"
+    benchmark.extra_info["num_colors"] = num_colors
+    assert all(result.pairs == expected.pairs for result, expected in zip(results, reference))
+
+
+@pytest.mark.parametrize("num_colors", [1, 3])
+@pytest.mark.benchmark(group="exp3-fig10b-rq")
+def test_exp3_plain_bfs(benchmark, youtube_graph, num_colors):
+    queries = _queries(youtube_graph, num_colors)
+
+    def run():
+        return [evaluate_rq(query, youtube_graph, method="bfs") for query in queries]
+
+    results = benchmark(run)
+    benchmark.extra_info["figure"] = "10(b)"
+    benchmark.extra_info["num_colors"] = num_colors
+    assert len(results) == len(queries)
+
+
+@pytest.mark.benchmark(group="exp3-fig10b-rq-index")
+def test_exp3_matrix_build_cost(benchmark, youtube_graph):
+    """The M-index cost that the DM strategy amortises over many queries."""
+    matrix = benchmark(build_distance_matrix, youtube_graph)
+    benchmark.extra_info["figure"] = "10(b)"
+    assert matrix.memory_entries() > 0

@@ -1,0 +1,81 @@
+"""Exp-4 benchmarks — Fig. 11(a)–(d): PQ evaluation on the YouTube-like graph.
+
+Each figure varies one query parameter around the defaults (|Vp|=6, |Ep|=8,
+|pred|=3, b=5) and plots the four algorithm variants plus the distance-matrix
+build time.  The benchmarks below time the four variants at a low and a high
+value of each parameter (the endpoints of the paper's x-axes, scaled down),
+which is enough to recover the trend of each curve.
+
+Expected shape: matrix variants faster than cache variants, JoinMatch faster
+than SplitMatch, and stronger sensitivity to |Ep| and |pred| than to |Vp|.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.distance import build_distance_matrix
+from repro.matching.join_match import join_match
+from repro.matching.split_match import split_match
+from repro.query.generator import QueryGenerator
+
+#: (figure, parameter, low value, high value)
+SWEEPS = [
+    ("11(a)", "num_nodes", 4, 10),
+    ("11(b)", "num_edges", 4, 10),
+    ("11(c)", "num_predicates", 1, 4),
+    ("11(d)", "bound", 1, 7),
+]
+
+ALGORITHMS = {
+    "JoinMatchM": lambda query, graph, matrix: join_match(query, graph, distance_matrix=matrix),
+    "JoinMatchC": lambda query, graph, matrix: join_match(query, graph),
+    "SplitMatchM": lambda query, graph, matrix: split_match(query, graph, distance_matrix=matrix),
+    "SplitMatchC": lambda query, graph, matrix: split_match(query, graph),
+}
+
+DEFAULTS = {"num_nodes": 6, "num_edges": 8, "num_predicates": 3, "bound": 5}
+
+
+def _build_queries(graph, parameter, value, count=2, seed=41):
+    generator = QueryGenerator(graph, seed=seed)
+    settings = dict(DEFAULTS)
+    settings[parameter] = value
+    settings["num_edges"] = max(settings["num_edges"], settings["num_nodes"] - 1)
+    return [
+        generator.pattern_query(
+            settings["num_nodes"],
+            settings["num_edges"],
+            settings["num_predicates"],
+            settings["bound"],
+            max_colors=2,
+        )
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("figure,parameter,low,high", SWEEPS)
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize("level", ["low", "high"])
+@pytest.mark.benchmark(group="exp4-fig11-pq-youtube")
+def test_exp4_pq_sweep(benchmark, youtube_graph, youtube_matrix, figure, parameter, low, high, algorithm, level):
+    value = low if level == "low" else high
+    queries = _build_queries(youtube_graph, parameter, value)
+    runner = ALGORITHMS[algorithm]
+
+    def run():
+        return [runner(query, youtube_graph, youtube_matrix) for query in queries]
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["figure"] = figure
+    benchmark.extra_info[parameter] = value
+    benchmark.extra_info["algorithm"] = algorithm
+    assert len(results) == len(queries)
+
+
+@pytest.mark.benchmark(group="exp4-fig11-m-index")
+def test_exp4_matrix_index_cost(benchmark, youtube_graph):
+    """The M-index series of Fig. 11: one-off distance-matrix construction."""
+    matrix = benchmark.pedantic(build_distance_matrix, args=(youtube_graph,), rounds=2, iterations=1)
+    benchmark.extra_info["figure"] = "11(a)-(d)"
+    assert matrix.memory_entries() > 0

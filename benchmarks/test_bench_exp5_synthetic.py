@@ -1,0 +1,177 @@
+"""Exp-5 benchmarks — Fig. 12(a)–(f): scalability on synthetic graphs.
+
+* Fig. 12(a)/(b): PQ evaluation time while the data graph grows in nodes /
+  edges (all four algorithm variants).
+* Fig. 12(c)/(d)/(e): PQ evaluation time while the query grows in nodes,
+  edges or predicates (JoinMatchM / SplitMatchC shown — the fastest matrix
+  variant and the fully index-free variant).
+* Fig. 12(f): SubIso vs SplitMatchC on small graphs, with the number of
+  matches found attached as ``extra_info``.
+
+Expected shape: smooth growth with graph size, stronger sensitivity to |Ep|
+and |pred| than |Vp|, and SubIso orders of magnitude slower than SplitMatchC
+while finding no more matches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import generate_synthetic_graph
+from repro.graph.distance import build_distance_matrix
+from repro.matching.join_match import join_match
+from repro.matching.split_match import split_match
+from repro.matching.subgraph_iso import subgraph_isomorphism_match
+from repro.query.generator import QueryGenerator
+
+QUERY_DEFAULTS = dict(num_nodes=4, num_edges=5, num_predicates=2, bound=3, max_colors=2)
+
+
+def _graph_and_queries(num_nodes, num_edges, seed=51, query_overrides=None, count=2):
+    graph = generate_synthetic_graph(num_nodes, num_edges, seed=seed)
+    generator = QueryGenerator(graph, seed=seed)
+    settings = dict(QUERY_DEFAULTS)
+    if query_overrides:
+        settings.update(query_overrides)
+    settings["num_edges"] = max(settings["num_edges"], settings["num_nodes"] - 1)
+    queries = [
+        generator.pattern_query(
+            settings["num_nodes"],
+            settings["num_edges"],
+            settings["num_predicates"],
+            settings["bound"],
+            settings["max_colors"],
+        )
+        for _ in range(count)
+    ]
+    return graph, queries
+
+
+# --------------------------------------------------------------------------
+# Fig. 12(a)/(b): growing data graphs
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("num_nodes", [150, 300])
+@pytest.mark.parametrize("variant", ["JoinMatchM", "JoinMatchC", "SplitMatchM", "SplitMatchC"])
+@pytest.mark.benchmark(group="exp5-fig12a-vary-V")
+def test_exp5_vary_graph_nodes(benchmark, num_nodes, variant):
+    graph, queries = _graph_and_queries(num_nodes, 600)
+    matrix = build_distance_matrix(graph) if variant.endswith("M") else None
+    algorithm = join_match if variant.startswith("Join") else split_match
+
+    def run():
+        return [algorithm(query, graph, distance_matrix=matrix) for query in queries]
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["figure"] = "12(a)"
+    benchmark.extra_info["graph_nodes"] = num_nodes
+
+
+@pytest.mark.parametrize("num_edges", [450, 900])
+@pytest.mark.parametrize("variant", ["JoinMatchM", "JoinMatchC", "SplitMatchM", "SplitMatchC"])
+@pytest.mark.benchmark(group="exp5-fig12b-vary-E")
+def test_exp5_vary_graph_edges(benchmark, num_edges, variant):
+    graph, queries = _graph_and_queries(300, num_edges)
+    matrix = build_distance_matrix(graph) if variant.endswith("M") else None
+    algorithm = join_match if variant.startswith("Join") else split_match
+
+    def run():
+        return [algorithm(query, graph, distance_matrix=matrix) for query in queries]
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["figure"] = "12(b)"
+    benchmark.extra_info["graph_edges"] = num_edges
+
+
+# --------------------------------------------------------------------------
+# Fig. 12(c)/(d)/(e): growing queries
+# --------------------------------------------------------------------------
+
+QUERY_SWEEPS = [
+    ("12(c)", "num_nodes", 4, 8),
+    ("12(d)", "num_edges", 5, 10),
+    ("12(e)", "num_predicates", 2, 4),
+]
+
+
+@pytest.mark.parametrize("figure,parameter,low,high", QUERY_SWEEPS)
+@pytest.mark.parametrize("level", ["low", "high"])
+@pytest.mark.parametrize("variant", ["JoinMatchM", "SplitMatchC"])
+@pytest.mark.benchmark(group="exp5-fig12cde-vary-query")
+def test_exp5_vary_query_parameter(
+    benchmark, synthetic_graph, synthetic_matrix, figure, parameter, low, high, level, variant
+):
+    value = low if level == "low" else high
+    generator = QueryGenerator(synthetic_graph, seed=53)
+    settings = dict(QUERY_DEFAULTS)
+    settings[parameter] = value
+    settings["num_edges"] = max(settings["num_edges"], settings["num_nodes"] - 1)
+    queries = [
+        generator.pattern_query(
+            settings["num_nodes"],
+            settings["num_edges"],
+            settings["num_predicates"],
+            settings["bound"],
+            settings["max_colors"],
+        )
+        for _ in range(2)
+    ]
+    matrix = synthetic_matrix if variant.endswith("M") else None
+    algorithm = join_match if variant.startswith("Join") else split_match
+
+    def run():
+        return [algorithm(query, synthetic_graph, distance_matrix=matrix) for query in queries]
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["figure"] = figure
+    benchmark.extra_info[parameter] = value
+    benchmark.extra_info["algorithm"] = variant
+
+
+# --------------------------------------------------------------------------
+# Fig. 12(f): SubIso vs SplitMatchC on small graphs
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("graph_size", [(50, 100), (150, 300)])
+@pytest.mark.benchmark(group="exp5-fig12f-subiso")
+def test_exp5_splitmatch_vs_subiso_splitmatch(benchmark, graph_size):
+    num_nodes, num_edges = graph_size
+    graph, queries = _graph_and_queries(
+        num_nodes, num_edges, seed=54,
+        query_overrides=dict(num_nodes=6, num_edges=9, max_colors=1, bound=5),
+    )
+
+    def run():
+        return [split_match(query, graph) for query in queries]
+
+    results = benchmark(run)
+    benchmark.extra_info["figure"] = "12(f)"
+    benchmark.extra_info["graph"] = f"({num_nodes},{num_edges})"
+    benchmark.extra_info["matches"] = sum(result.node_pair_count() for result in results)
+
+
+@pytest.mark.parametrize("graph_size", [(50, 100), (150, 300)])
+@pytest.mark.benchmark(group="exp5-fig12f-subiso")
+def test_exp5_splitmatch_vs_subiso_subiso(benchmark, graph_size):
+    num_nodes, num_edges = graph_size
+    graph, queries = _graph_and_queries(
+        num_nodes, num_edges, seed=54,
+        query_overrides=dict(num_nodes=6, num_edges=9, max_colors=1, bound=5),
+    )
+
+    def run():
+        return [
+            subgraph_isomorphism_match(query, graph, max_states=500_000) for query in queries
+        ]
+
+    results = benchmark(run)
+    split_results = [split_match(query, graph) for query in queries]
+    iso_matches = sum(
+        sum(len(nodes) for nodes in result.node_matches().values()) for result in results
+    )
+    split_matches = sum(result.node_pair_count() for result in split_results)
+    benchmark.extra_info["figure"] = "12(f)"
+    benchmark.extra_info["graph"] = f"({num_nodes},{num_edges})"
+    benchmark.extra_info["matches"] = iso_matches
+    # The simulation-based semantics never reports fewer matches than SubIso.
+    assert split_matches >= iso_matches

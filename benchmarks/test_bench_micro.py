@@ -1,0 +1,96 @@
+"""Micro-benchmarks for the core building blocks.
+
+Not tied to a specific paper figure; these track the cost of the primitives
+the figure-level numbers are built from (regex operations, predicate
+implication, distance-matrix construction, LRU cache traffic, containment and
+minimization of queries).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.distance import build_distance_matrix
+from repro.matching.cache import LruCache
+from repro.matching.paths import PathMatcher
+from repro.query.containment import pq_contained_in
+from repro.query.generator import QueryGenerator
+from repro.query.minimization import minimize_pattern_query
+from repro.query.predicates import Predicate
+from repro.regex.containment import language_contains
+from repro.regex.parser import parse_fregex
+
+
+@pytest.mark.benchmark(group="micro-regex")
+def test_micro_parse_fregex(benchmark):
+    benchmark(lambda: parse_fregex("fa^2.fn^+.sa^3._^2.fc"))
+
+
+@pytest.mark.benchmark(group="micro-regex")
+def test_micro_regex_matching(benchmark):
+    expr = parse_fregex("fa^3.fn^+.sa^2")
+    word = ["fa", "fa", "fn", "fn", "fn", "sa", "sa"]
+    benchmark(lambda: expr.matches(word))
+
+
+@pytest.mark.benchmark(group="micro-regex")
+def test_micro_language_containment(benchmark):
+    smaller = parse_fregex("fa^2.fn^2.sa")
+    larger = parse_fregex("fa^4._^3.sa^+")
+    benchmark(lambda: language_contains(smaller, larger))
+
+
+@pytest.mark.benchmark(group="micro-predicates")
+def test_micro_predicate_matching(benchmark):
+    predicate = Predicate.parse("cat = 'Music' & age > 300 & view >= 1000 & com < 500")
+    attributes = {"cat": "Music", "age": 500, "view": 5000, "com": 100}
+    benchmark(lambda: predicate.matches(attributes))
+
+
+@pytest.mark.benchmark(group="micro-predicates")
+def test_micro_predicate_implication(benchmark):
+    stronger = Predicate.parse("age > 300 & age < 800 & cat = 'Music'")
+    weaker = Predicate.parse("age > 100 & cat = 'Music'")
+    benchmark(lambda: stronger.implies(weaker))
+
+
+@pytest.mark.benchmark(group="micro-graph")
+def test_micro_distance_matrix_build(benchmark, synthetic_graph):
+    benchmark.pedantic(build_distance_matrix, args=(synthetic_graph,), rounds=2, iterations=1)
+
+
+@pytest.mark.benchmark(group="micro-graph")
+def test_micro_path_matcher_frontier(benchmark, synthetic_graph, synthetic_matrix):
+    matcher = PathMatcher(synthetic_graph, distance_matrix=synthetic_matrix)
+    expr = parse_fregex("c0^2.c1^2")
+    nodes = list(synthetic_graph.nodes())[:20]
+    benchmark(lambda: [matcher.targets_from(node, expr) for node in nodes])
+
+
+@pytest.mark.benchmark(group="micro-cache")
+def test_micro_lru_cache_traffic(benchmark):
+    def exercise():
+        cache = LruCache(capacity=256)
+        for index in range(2000):
+            cache.put(index % 512, index)
+            cache.get((index * 7) % 512)
+        return cache
+
+    cache = benchmark(exercise)
+    assert len(cache) <= 256
+
+
+@pytest.mark.benchmark(group="micro-query-analysis")
+def test_micro_pq_containment(benchmark, synthetic_graph):
+    generator = QueryGenerator(synthetic_graph, seed=5)
+    first = generator.pattern_query(6, 8, num_predicates=2, bound=3)
+    second = generator.pattern_query(6, 8, num_predicates=2, bound=3)
+    benchmark(lambda: (pq_contained_in(first, second), pq_contained_in(second, first)))
+
+
+@pytest.mark.benchmark(group="micro-query-analysis")
+def test_micro_pq_minimization(benchmark, synthetic_graph):
+    generator = QueryGenerator(synthetic_graph, seed=6)
+    pattern = generator.pattern_query(8, 12, num_predicates=2, bound=3)
+    result = benchmark(lambda: minimize_pattern_query(pattern))
+    assert result.size <= pattern.size

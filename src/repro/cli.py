@@ -1,0 +1,146 @@
+"""Command-line interface.
+
+A small CLI for working with data graphs and queries without writing Python:
+
+* ``repro stats GRAPH.json`` — print size / degree / colour statistics;
+* ``repro rq GRAPH.json --source "job = 'biologist'" --target "job = 'doctor'" --regex "fa^2.fn"``
+  — evaluate a reachability query;
+* ``repro generate youtube OUT.json --nodes 1000 --edges 4000`` — write one of
+  the synthetic datasets to disk;
+* ``repro experiment exp3`` — run one of the paper's experiments and print its
+  table.
+
+Invoke as ``python -m repro.cli …`` (or wire an entry point in downstream
+packaging).  Exit code is 0 on success and 2 on argument errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.datasets.synthetic import generate_synthetic_graph
+from repro.datasets.terrorism import generate_terrorism_graph
+from repro.datasets.youtube import generate_youtube_graph
+from repro.graph.io import load_json, save_json
+from repro.graph.stats import compute_stats
+from repro.matching.reachability import evaluate_rq
+from repro.query.rq import ReachabilityQuery
+
+#: Experiment name -> callable returning one or more reports.
+_EXPERIMENTS = {
+    "exp1": "repro.experiments.exp1_effectiveness:run_effectiveness",
+    "exp2": "repro.experiments.exp2_minimization:run_minimization",
+    "exp3": "repro.experiments.exp3_rq:run_rq_efficiency",
+    "exp5f": "repro.experiments.exp5_synthetic:run_subiso_comparison",
+}
+
+_GENERATORS = {
+    "youtube": generate_youtube_graph,
+    "terrorism": generate_terrorism_graph,
+    "synthetic": generate_synthetic_graph,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regex-constrained graph reachability and pattern queries (Fan et al., ICDE 2011)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="print statistics of a graph JSON file")
+    stats.add_argument("graph", help="path to a graph written by repro.graph.io.save_json")
+
+    rq = commands.add_parser("rq", help="evaluate a reachability query on a graph JSON file")
+    rq.add_argument("graph", help="path to a graph JSON file")
+    rq.add_argument("--source", default="", help="source predicate, e.g. \"job = 'biologist'\"")
+    rq.add_argument("--target", default="", help="target predicate")
+    rq.add_argument("--regex", required=True, help="edge constraint, e.g. fa^2.fn")
+    rq.add_argument("--method", default="auto", choices=["auto", "matrix", "bidirectional", "bfs"])
+    rq.add_argument("--limit", type=int, default=20, help="print at most this many pairs")
+
+    generate = commands.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("dataset", choices=sorted(_GENERATORS))
+    generate.add_argument("output", help="output JSON path")
+    generate.add_argument("--nodes", type=int, default=500)
+    generate.add_argument("--edges", type=int, default=1500)
+    generate.add_argument("--seed", type=int, default=7)
+
+    experiment = commands.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    return parser
+
+
+def _resolve(spec: str):
+    module_name, _, attribute = spec.partition(":")
+    module = __import__(module_name, fromlist=[attribute])
+    return getattr(module, attribute)
+
+
+def _command_stats(args: argparse.Namespace, out) -> int:
+    graph = load_json(args.graph)
+    stats = compute_stats(graph)
+    for key, value in stats.as_row().items():
+        print(f"{key}: {value}", file=out)
+    for color, count in sorted(stats.color_counts.items()):
+        print(f"color {color}: {count} edges", file=out)
+    return 0
+
+
+def _command_rq(args: argparse.Namespace, out) -> int:
+    graph = load_json(args.graph)
+    query = ReachabilityQuery(args.source, args.target, args.regex)
+    distance_matrix = None
+    if args.method == "matrix":
+        from repro.graph.distance import build_distance_matrix
+
+        distance_matrix = build_distance_matrix(graph)
+    result = evaluate_rq(query, graph, distance_matrix=distance_matrix, method=args.method)
+    print(f"{result.size} matching pairs (method={result.method}, "
+          f"{result.elapsed_seconds:.4f}s)", file=out)
+    for index, (source, target) in enumerate(sorted(result.pairs, key=str)):
+        if index >= args.limit:
+            print(f"... ({result.size - args.limit} more)", file=out)
+            break
+        print(f"  {source} -> {target}", file=out)
+    return 0
+
+
+def _command_generate(args: argparse.Namespace, out) -> int:
+    generator = _GENERATORS[args.dataset]
+    graph = generator(num_nodes=args.nodes, num_edges=args.edges, seed=args.seed)
+    save_json(graph, args.output)
+    print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {args.output}", file=out)
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace, out) -> int:
+    runner = _resolve(_EXPERIMENTS[args.name])
+    report = runner()
+    reports = report if isinstance(report, list) else [report]
+    for item in reports:
+        print(item.to_table(), file=out)
+        print("", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handlers = {
+        "stats": _command_stats,
+        "rq": _command_rq,
+        "generate": _command_generate,
+        "experiment": _command_experiment,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

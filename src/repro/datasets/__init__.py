@@ -1,0 +1,30 @@
+"""Dataset builders.
+
+* :mod:`~repro.datasets.essembly` — the paper's running example (Fig. 1):
+  the Essembly "cloning debate" graph together with queries ``Q1`` and ``Q2``;
+* :mod:`~repro.datasets.youtube` — a synthetic stand-in for the crawled
+  YouTube video graph used in the experiments (same schema, colours and
+  default size);
+* :mod:`~repro.datasets.terrorism` — a synthetic stand-in for the Global
+  Terrorism Database collaboration network;
+* :mod:`~repro.datasets.synthetic` — the paper's 4-parameter synthetic graph
+  generator.
+
+The two real-life datasets of the paper are not redistributable offline, so
+the stand-ins reproduce their schema, edge-colour alphabet, size and skewed
+degree distribution (see DESIGN.md, "Substitution note").
+"""
+
+from repro.datasets.essembly import build_essembly_graph, essembly_query_q1, essembly_query_q2
+from repro.datasets.youtube import generate_youtube_graph
+from repro.datasets.terrorism import generate_terrorism_graph
+from repro.datasets.synthetic import generate_synthetic_graph
+
+__all__ = [
+    "build_essembly_graph",
+    "essembly_query_q1",
+    "essembly_query_q2",
+    "generate_youtube_graph",
+    "generate_terrorism_graph",
+    "generate_synthetic_graph",
+]

@@ -1,0 +1,108 @@
+"""The paper's running example: the Essembly "cloning debate" network (Fig. 1).
+
+The figure itself is not machine-readable, so the graph below is reconstructed
+from the normative worked examples:
+
+* Example 2.1 fixes the node attributes (doctors ``B1, B2``, biologists
+  ``C1–C3``, the query issuer ``D1`` and a physician ``H1``);
+* Example 2.2 fixes ``Q1(G) = {(C1,B1), (C1,B2), (C2,B1), (C2,B2)}`` for the
+  reachability query ``Q1`` with constraint ``fa^2 fn``;
+* Example 2.3 fixes the full answer table of the pattern query ``Q2``,
+  including the witness paths ``C3 -fa-> C1 -sa-> D1`` and
+  ``C1 -fa-> C2 -fa-> C1 -sa-> D1``.
+
+The edges chosen here reproduce those answers exactly (asserted by the test
+suite), which is what matters for using the example as a correctness oracle.
+"""
+
+from __future__ import annotations
+
+from repro.graph.data_graph import DataGraph
+from repro.query.pq import PatternQuery
+from repro.query.rq import ReachabilityQuery
+
+#: Edge colours of the Essembly network: friends/strangers × allies/nemeses.
+ESSEMBLY_COLORS = ("fa", "fn", "sa", "sn")
+
+
+def build_essembly_graph() -> DataGraph:
+    """Build the Fig. 1 data graph ``G`` of the cloning-research debate."""
+    graph = DataGraph(name="essembly")
+
+    graph.add_node("B1", job="doctor", dsp="cloning")
+    graph.add_node("B2", job="doctor", dsp="cloning")
+    graph.add_node("C1", job="biologist", sp="cloning")
+    graph.add_node("C2", job="biologist", sp="cloning")
+    graph.add_node("C3", job="biologist", sp="cloning")
+    graph.add_node("D1", uid="Alice001", sp="cloning")
+    graph.add_node("H1", job="physician")
+
+    graph.add_edges_from(
+        [
+            # friends-allies cycle among the biologists
+            ("C1", "C2", "fa"),
+            ("C2", "C1", "fa"),
+            ("C2", "C3", "fa"),
+            ("C3", "C1", "fa"),
+            # the biologist C3 is a friends-nemesis of both doctors
+            ("C3", "B1", "fn"),
+            ("C3", "B2", "fn"),
+            # the doctors are friends-nemeses of Alice (D1)
+            ("B1", "D1", "fn"),
+            ("B2", "D1", "fn"),
+            # Alice is a strangers-ally of C1 (reached from C3 via fa then sa)
+            ("C1", "D1", "sa"),
+            # the doctors are strangers-nemeses of the biologist C3
+            ("B1", "C3", "sn"),
+            ("B2", "C3", "sn"),
+            # the physician is loosely attached to the debate
+            ("D1", "H1", "sa"),
+            ("H1", "B1", "sn"),
+        ]
+    )
+    return graph
+
+
+def essembly_query_q1() -> ReachabilityQuery:
+    """The reachability query ``Q1`` of Fig. 1.
+
+    Find biologists supporting cloning that reach a doctor through at most two
+    friends-allies hops followed by one friends-nemeses edge (``fa^2 fn``).
+    """
+    return ReachabilityQuery(
+        source_predicate={"job": "biologist", "sp": "cloning"},
+        target_predicate={"job": "doctor"},
+        regex="fa^2.fn",
+        source="C",
+        target="B",
+    )
+
+
+def essembly_query_q2() -> PatternQuery:
+    """The pattern query ``Q2`` of Fig. 1 (issued by Alice, uid ``Alice001``)."""
+    pattern = PatternQuery(name="essembly-q2")
+    pattern.add_node("B", {"job": "doctor", "dsp": "cloning"})
+    pattern.add_node("C", {"job": "biologist", "sp": "cloning"})
+    pattern.add_node("D", {"uid": "Alice001"})
+
+    pattern.add_edge("B", "D", "fn")            # doctors are friends-nemeses of Alice
+    pattern.add_edge("C", "D", "fa^2.sa^2")     # biologists reach Alice via fa≤2 then sa≤2
+    pattern.add_edge("C", "B", "fn")            # biologists against the doctors
+    pattern.add_edge("B", "C", "sn")            # and vice versa
+    pattern.add_edge("C", "C", "fa^+")          # a friends-allies scientist group
+    return pattern
+
+
+#: The answer of Q1 on the Essembly graph, as printed in Fig. 2 / Example 2.2.
+EXPECTED_Q1_RESULT = frozenset(
+    {("C1", "B1"), ("C1", "B2"), ("C2", "B1"), ("C2", "B2")}
+)
+
+#: The answer of Q2 on the Essembly graph, as printed in Example 2.3.
+EXPECTED_Q2_RESULT = {
+    ("B", "C"): frozenset({("B1", "C3"), ("B2", "C3")}),
+    ("C", "C"): frozenset({("C3", "C3")}),
+    ("B", "D"): frozenset({("B1", "D1"), ("B2", "D1")}),
+    ("C", "D"): frozenset({("C3", "D1")}),
+    ("C", "B"): frozenset({("C3", "B1"), ("C3", "B2")}),
+}

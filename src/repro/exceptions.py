@@ -1,0 +1,32 @@
+"""Shared exception hierarchy for the repro library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch everything library-specific with a single ``except`` clause
+while still being able to distinguish parse errors from evaluation errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class RegexSyntaxError(ReproError, ValueError):
+    """Raised when a string cannot be parsed as an F-class regular expression."""
+
+
+class PredicateError(ReproError, ValueError):
+    """Raised for malformed node predicates (unknown operator, bad literal)."""
+
+
+class GraphError(ReproError, ValueError):
+    """Raised for structural problems in a data graph (missing nodes, bad edges)."""
+
+
+class QueryError(ReproError, ValueError):
+    """Raised for malformed reachability or pattern queries."""
+
+
+class EvaluationError(ReproError, RuntimeError):
+    """Raised when a query cannot be evaluated against a data graph."""

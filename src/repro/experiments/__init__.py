@@ -1,0 +1,25 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6).
+
+One module per experiment:
+
+* :mod:`~repro.experiments.exp1_effectiveness` — Fig. 9(b)/(c): effectiveness
+  (F-measure) and efficiency of PQ semantics vs ``Match`` and ``SubIso``;
+* :mod:`~repro.experiments.exp2_minimization` — Fig. 10(a): evaluation time
+  with and without ``minPQs``;
+* :mod:`~repro.experiments.exp3_rq` — Fig. 10(b): RQ evaluation strategies
+  (distance matrix vs bidirectional search vs plain BFS);
+* :mod:`~repro.experiments.exp4_pq` — Fig. 11(a)–(d): PQ evaluation on the
+  YouTube-like graph, varying |Vp|, |Ep|, |pred| and the bound b;
+* :mod:`~repro.experiments.exp5_synthetic` — Fig. 12(a)–(f): scalability on
+  synthetic graphs and the SubIso comparison.
+
+Every experiment function returns a list of row dictionaries (one per plotted
+point) so that results can be printed, asserted in tests and re-used by the
+pytest-benchmark targets.  Default sizes are scaled down from the paper's so
+the pure-Python implementation finishes in benchmark-friendly time; the paper
+sizes can be requested explicitly (see EXPERIMENTS.md).
+"""
+
+from repro.experiments.harness import ExperimentReport, format_table, time_call
+
+__all__ = ["ExperimentReport", "format_table", "time_call"]

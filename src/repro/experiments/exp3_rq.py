@@ -1,0 +1,91 @@
+"""Exp-3: efficiency of reachability-query evaluation (Fig. 10(b)).
+
+Reachability queries whose constraint is ``c1^b … ci^b`` for ``i`` from 1 to 4
+distinct colours are evaluated on the YouTube-like graph with three methods:
+
+* ``DM`` — the pre-computed distance matrix (matrix lookups, quadratic);
+* ``biBFS`` — bidirectional search with the LRU cache;
+* ``BFS`` — plain forward search (the baseline the paper plots for contrast).
+
+The paper's shape to reproduce: DM is fastest, biBFS beats BFS and the gap
+widens as the expression gets longer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datasets.youtube import generate_youtube_graph
+from repro.experiments.harness import ExperimentReport, average_seconds
+from repro.graph.data_graph import DataGraph
+from repro.graph.distance import build_distance_matrix
+from repro.matching.reachability import evaluate_rq
+from repro.query.generator import QueryGenerator
+from repro.query.rq import ReachabilityQuery
+from repro.regex.fclass import FRegex, RegexAtom
+
+#: Numbers of distinct colours plotted on the x-axis of Fig. 10(b).
+DEFAULT_NUM_COLORS: Sequence[int] = (1, 2, 3, 4)
+
+
+def run_rq_efficiency(
+    graph: Optional[DataGraph] = None,
+    num_colors_values: Sequence[int] = DEFAULT_NUM_COLORS,
+    queries_per_point: int = 5,
+    num_predicates: int = 3,
+    bound: int = 5,
+    seed: int = 31,
+    num_nodes: int = 1000,
+    num_edges: int = 4000,
+) -> ExperimentReport:
+    """Run Exp-3 and return one row per number of colours (Fig. 10(b))."""
+    if graph is None:
+        graph = generate_youtube_graph(num_nodes=num_nodes, num_edges=num_edges, seed=seed)
+    matrix = build_distance_matrix(graph)
+    generator = QueryGenerator(graph, seed=seed)
+    colors = sorted(graph.colors)
+    report = ExperimentReport(
+        name="exp3-rq",
+        description="Fig. 10(b): RQ evaluation time — distance matrix vs biBFS vs BFS",
+    )
+
+    for num_colors in num_colors_values:
+        dm_times, bibfs_times, bfs_times = [], [], []
+        sizes = []
+        for index in range(queries_per_point):
+            atoms = [
+                RegexAtom(colors[(index + offset) % len(colors)], bound)
+                for offset in range(num_colors)
+            ]
+            query = ReachabilityQuery(
+                source_predicate=generator.random_predicate(num_predicates),
+                target_predicate=generator.random_predicate(num_predicates),
+                regex=FRegex(atoms),
+            )
+            dm = evaluate_rq(query, graph, distance_matrix=matrix, method="matrix")
+            bibfs = evaluate_rq(query, graph, method="bidirectional")
+            bfs = evaluate_rq(query, graph, method="bfs")
+            dm_times.append(dm.elapsed_seconds)
+            bibfs_times.append(bibfs.elapsed_seconds)
+            bfs_times.append(bfs.elapsed_seconds)
+            sizes.append(dm.size)
+            if dm.pairs != bibfs.pairs or dm.pairs != bfs.pairs:
+                raise AssertionError(
+                    "RQ evaluation methods disagree; this indicates a bug in the library"
+                )
+        report.add_row(
+            num_colors=num_colors,
+            t_distance_matrix=average_seconds(dm_times),
+            t_bibfs=average_seconds(bibfs_times),
+            t_bfs=average_seconds(bfs_times),
+            avg_result_size=average_seconds(sizes),
+        )
+    return report
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_rq_efficiency().to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

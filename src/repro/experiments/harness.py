@@ -1,0 +1,80 @@
+"""Shared utilities of the experiment harness: timing, averaging, tables."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+
+
+def time_call(func: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``func`` once and return ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - started
+
+
+def average_seconds(samples: Iterable[float]) -> float:
+    """Arithmetic mean of timing samples (0.0 for an empty iterable)."""
+    values = list(samples)
+    return statistics.fmean(values) if values else 0.0
+
+
+@dataclass
+class ExperimentReport:
+    """A named collection of result rows (one row per plotted point)."""
+
+    name: str
+    description: str = ""
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> Dict[str, Any]:
+        self.rows.append(values)
+        return values
+
+    def column(self, key: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [row.get(key) for row in self.rows]
+
+    def to_table(self) -> str:
+        header = f"== {self.name} =="
+        if self.description:
+            header += f"\n{self.description}"
+        return f"{header}\n{format_table(self.rows)}"
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def format_table(rows: Sequence[Dict[str, Any]]) -> str:
+    """Render rows as a plain-text table (the shape the paper's figures plot)."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    widths = {
+        column: max(len(column), *(len(fmt(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines = [
+        "  ".join(column.ljust(widths[column]) for column in columns),
+        "  ".join("-" * widths[column] for column in columns),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(fmt(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)

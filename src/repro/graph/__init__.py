@@ -1,0 +1,39 @@
+"""Attributed, edge-typed directed graph substrate.
+
+The paper's data model (Section 2) is a directed graph ``G = (V, E, f_A, f_C)``
+where ``f_A`` assigns an attribute tuple to every node and ``f_C`` assigns an
+edge colour (type) from a finite alphabet to every edge.  This subpackage
+implements that model plus the supporting machinery the evaluation algorithms
+need:
+
+* :class:`~repro.graph.data_graph.DataGraph` — adjacency-list storage with a
+  per-colour edge index and reverse adjacency;
+* :mod:`~repro.graph.traversal` — BFS, bidirectional BFS, Tarjan SCC and
+  topological sort (implemented directly, no external graph library on the
+  evaluation path);
+* :mod:`~repro.graph.distance` — the colour-aware shortest-distance matrix
+  ``M[v1][v2][c]`` of Section 4;
+* :mod:`~repro.graph.io` — JSON / edge-list round-trip;
+* :mod:`~repro.graph.stats` — degree and colour statistics used by the
+  experiment harness.
+"""
+
+from repro.graph.data_graph import DataGraph, Edge
+from repro.graph.distance import DistanceMatrix, build_distance_matrix
+from repro.graph.traversal import (
+    bfs_distances,
+    bidirectional_distance,
+    strongly_connected_components,
+    topological_order,
+)
+
+__all__ = [
+    "DataGraph",
+    "Edge",
+    "DistanceMatrix",
+    "build_distance_matrix",
+    "bfs_distances",
+    "bidirectional_distance",
+    "strongly_connected_components",
+    "topological_order",
+]

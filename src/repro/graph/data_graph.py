@@ -1,0 +1,262 @@
+"""The core data-graph container.
+
+A :class:`DataGraph` stores
+
+* nodes identified by arbitrary hashable ids, each carrying an attribute
+  dictionary (the paper's ``f_A``), and
+* directed edges, each carrying a colour symbol (the paper's ``f_C``).
+
+Parallel edges with *different* colours between the same pair of nodes are
+allowed (they model multiple relationship types); a duplicate edge with the
+same colour is ignored.  Self loops are allowed.
+
+The container maintains forward and reverse adjacency indexed by colour, which
+is what the reachability and pattern-matching algorithms traverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.exceptions import GraphError
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed, coloured edge ``source --color--> target``."""
+
+    source: NodeId
+    target: NodeId
+    color: str
+
+    def __str__(self) -> str:
+        return f"{self.source} -{self.color}-> {self.target}"
+
+
+class DataGraph:
+    """Directed graph with attributed nodes and colour-typed edges.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable name (used by dataset generators and the
+        experiment harness when reporting results).
+    """
+
+    __slots__ = ("name", "_attrs", "_out", "_in", "_colors", "_num_edges")
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._attrs: Dict[NodeId, Dict[str, Any]] = {}
+        # _out[u][color] = set of successors via edges of that colour
+        self._out: Dict[NodeId, Dict[str, Set[NodeId]]] = {}
+        self._in: Dict[NodeId, Dict[str, Set[NodeId]]] = {}
+        self._colors: Set[str] = set()
+        self._num_edges = 0
+
+    # -- construction ----------------------------------------------------------
+
+    def add_node(self, node: NodeId, **attributes: Any) -> NodeId:
+        """Add a node (or update the attributes of an existing one)."""
+        if node not in self._attrs:
+            self._attrs[node] = {}
+            self._out[node] = {}
+            self._in[node] = {}
+        self._attrs[node].update(attributes)
+        return node
+
+    def add_edge(self, source: NodeId, target: NodeId, color: str) -> Edge:
+        """Add a directed edge of the given colour, creating nodes as needed."""
+        if not isinstance(color, str) or not color:
+            raise GraphError(f"edge colour must be a non-empty string, got {color!r}")
+        self.add_node(source)
+        self.add_node(target)
+        bucket = self._out[source].setdefault(color, set())
+        if target not in bucket:
+            bucket.add(target)
+            self._in[target].setdefault(color, set()).add(source)
+            self._colors.add(color)
+            self._num_edges += 1
+        return Edge(source, target, color)
+
+    def add_edges_from(self, edges: Iterable[Tuple[NodeId, NodeId, str]]) -> None:
+        """Bulk-add ``(source, target, color)`` triples."""
+        for source, target, color in edges:
+            self.add_edge(source, target, color)
+
+    def remove_edge(self, source: NodeId, target: NodeId, color: str) -> None:
+        """Remove one coloured edge; raises :class:`GraphError` if absent."""
+        try:
+            self._out[source][color].remove(target)
+            self._in[target][color].remove(source)
+        except KeyError as exc:
+            raise GraphError(f"edge {source}-{color}->{target} does not exist") from exc
+        self._num_edges -= 1
+        if not self._out[source][color]:
+            del self._out[source][color]
+        if not self._in[target][color]:
+            del self._in[target][color]
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove a node and all incident edges."""
+        if node not in self._attrs:
+            raise GraphError(f"node {node!r} does not exist")
+        for color, targets in list(self._out[node].items()):
+            for target in list(targets):
+                self.remove_edge(node, target, color)
+        for color, sources in list(self._in[node].items()):
+            for source in list(sources):
+                self.remove_edge(source, node, color)
+        del self._attrs[node]
+        del self._out[node]
+        del self._in[node]
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._attrs)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def colors(self) -> FrozenSet[str]:
+        """The edge-colour alphabet Σ of this graph."""
+        return frozenset(self._colors)
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over node ids."""
+        return iter(self._attrs)
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._attrs
+
+    def has_edge(self, source: NodeId, target: NodeId, color: Optional[str] = None) -> bool:
+        """True if an edge exists (of the given colour, or of any colour)."""
+        table = self._out.get(source)
+        if table is None:
+            return False
+        if color is not None:
+            return target in table.get(color, ())
+        return any(target in targets for targets in table.values())
+
+    def attributes(self, node: NodeId) -> Mapping[str, Any]:
+        """The attribute tuple ``f_A(node)``."""
+        try:
+            return self._attrs[node]
+        except KeyError as exc:
+            raise GraphError(f"node {node!r} does not exist") from exc
+
+    def get_attribute(self, node: NodeId, name: str, default: Any = None) -> Any:
+        return self.attributes(node).get(name, default)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges."""
+        for source, table in self._out.items():
+            for color, targets in table.items():
+                for target in targets:
+                    yield Edge(source, target, color)
+
+    def successors(self, node: NodeId, color: Optional[str] = None) -> Set[NodeId]:
+        """Out-neighbours of ``node`` (restricted to one colour if given)."""
+        table = self._out.get(node)
+        if table is None:
+            raise GraphError(f"node {node!r} does not exist")
+        if color is not None:
+            return set(table.get(color, ()))
+        result: Set[NodeId] = set()
+        for targets in table.values():
+            result |= targets
+        return result
+
+    def predecessors(self, node: NodeId, color: Optional[str] = None) -> Set[NodeId]:
+        """In-neighbours of ``node`` (restricted to one colour if given)."""
+        table = self._in.get(node)
+        if table is None:
+            raise GraphError(f"node {node!r} does not exist")
+        if color is not None:
+            return set(table.get(color, ()))
+        result: Set[NodeId] = set()
+        for sources in table.values():
+            result |= sources
+        return result
+
+    def out_edges(self, node: NodeId) -> Iterator[Edge]:
+        """Iterate over edges leaving ``node``."""
+        table = self._out.get(node)
+        if table is None:
+            raise GraphError(f"node {node!r} does not exist")
+        for color, targets in table.items():
+            for target in targets:
+                yield Edge(node, target, color)
+
+    def out_degree(self, node: NodeId) -> int:
+        return sum(len(t) for t in self._out.get(node, {}).values())
+
+    def in_degree(self, node: NodeId) -> int:
+        return sum(len(s) for s in self._in.get(node, {}).values())
+
+    def successor_colors(self, node: NodeId) -> Set[str]:
+        """Colours appearing on edges leaving ``node``."""
+        return {c for c, targets in self._out.get(node, {}).items() if targets}
+
+    def predecessor_colors(self, node: NodeId) -> Set[str]:
+        """Colours appearing on edges entering ``node``."""
+        return {c for c, sources in self._in.get(node, {}).items() if sources}
+
+    # -- convenience -----------------------------------------------------------
+
+    def nodes_matching(self, predicate) -> List[NodeId]:
+        """All nodes whose attributes satisfy ``predicate`` (a callable or a
+        :class:`~repro.query.predicates.Predicate`)."""
+        check = predicate.matches if hasattr(predicate, "matches") else predicate
+        return [node for node, attrs in self._attrs.items() if check(attrs)]
+
+    def subgraph(self, nodes: Iterable[NodeId]) -> "DataGraph":
+        """The induced subgraph over ``nodes`` (attributes are shallow-copied)."""
+        keep = set(nodes)
+        result = DataGraph(name=f"{self.name}-sub")
+        for node in keep:
+            result.add_node(node, **dict(self.attributes(node)))
+        for edge in self.edges():
+            if edge.source in keep and edge.target in keep:
+                result.add_edge(edge.source, edge.target, edge.color)
+        return result
+
+    def copy(self) -> "DataGraph":
+        """A deep-enough copy (attribute dicts are copied, values shared)."""
+        result = DataGraph(name=self.name)
+        for node, attrs in self._attrs.items():
+            result.add_node(node, **dict(attrs))
+        for edge in self.edges():
+            result.add_edge(edge.source, edge.target, edge.color)
+        return result
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._attrs
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, colors={sorted(self._colors)})"
+        )

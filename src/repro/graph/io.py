@@ -1,0 +1,85 @@
+"""Serialisation helpers for data graphs.
+
+Two formats are supported:
+
+* **JSON** — a single document with ``nodes`` (id + attributes) and ``edges``
+  (source, target, colour); lossless for JSON-representable attribute values.
+* **Edge list** — a plain-text format with one ``source target colour`` triple
+  per line; node attributes are not stored.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import GraphError
+from repro.graph.data_graph import DataGraph
+
+PathLike = Union[str, Path]
+
+
+def to_json_dict(graph: DataGraph) -> dict:
+    """Convert a graph into a JSON-serialisable dictionary."""
+    return {
+        "name": graph.name,
+        "nodes": [
+            {"id": node, "attributes": dict(graph.attributes(node))}
+            for node in graph.nodes()
+        ],
+        "edges": [
+            {"source": edge.source, "target": edge.target, "color": edge.color}
+            for edge in graph.edges()
+        ],
+    }
+
+
+def from_json_dict(document: dict) -> DataGraph:
+    """Rebuild a graph from :func:`to_json_dict` output."""
+    try:
+        graph = DataGraph(name=document.get("name", "graph"))
+        for node in document["nodes"]:
+            graph.add_node(node["id"], **node.get("attributes", {}))
+        for edge in document["edges"]:
+            graph.add_edge(edge["source"], edge["target"], edge["color"])
+    except (KeyError, TypeError) as exc:
+        raise GraphError(f"malformed graph document: {exc}") from exc
+    return graph
+
+
+def save_json(graph: DataGraph, path: PathLike) -> None:
+    """Write a graph to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_json_dict(graph), handle, indent=2, default=str)
+
+
+def load_json(path: PathLike) -> DataGraph:
+    """Read a graph previously written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return from_json_dict(json.load(handle))
+
+
+def save_edge_list(graph: DataGraph, path: PathLike) -> None:
+    """Write ``source target colour`` triples, one per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for edge in graph.edges():
+            handle.write(f"{edge.source}\t{edge.target}\t{edge.color}\n")
+
+
+def load_edge_list(path: PathLike, name: str = "graph") -> DataGraph:
+    """Read a graph from an edge-list file (no node attributes)."""
+    graph = DataGraph(name=name)
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t") if "\t" in line else line.split()
+            if len(parts) != 3:
+                raise GraphError(
+                    f"line {line_number}: expected 'source target colour', got {line!r}"
+                )
+            source, target, color = parts
+            graph.add_edge(source, target, color)
+    return graph

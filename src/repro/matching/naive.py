@@ -1,0 +1,101 @@
+"""Reference fixpoint evaluator for pattern queries.
+
+This evaluator implements the PQ semantics of Section 2 as directly as
+possible: start from the predicate-based candidate sets and repeatedly remove
+any candidate that violates the regex-constrained successor condition of some
+outgoing pattern edge, until nothing changes.  It makes no attempt at being
+fast — its job is to be *obviously correct* so that the optimised JoinMatch
+and SplitMatch implementations can be validated against it (unit tests and
+hypothesis-based property tests do exactly that).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Hashable, Optional, Set
+
+from repro.graph.data_graph import DataGraph
+from repro.graph.distance import DistanceMatrix
+from repro.matching.paths import PathMatcher
+from repro.matching.result import PatternMatchResult
+from repro.query.pq import PatternQuery
+
+NodeId = Hashable
+
+
+def initial_candidates(pattern: PatternQuery, graph: DataGraph) -> Dict[str, Set[NodeId]]:
+    """Predicate-based candidate sets ``mat(u)`` for every pattern node."""
+    candidates: Dict[str, Set[NodeId]] = {}
+    for node in pattern.nodes():
+        predicate = pattern.predicate(node)
+        candidates[node] = {
+            data_node
+            for data_node in graph.nodes()
+            if predicate.matches(graph.attributes(data_node))
+        }
+    return candidates
+
+
+def collect_result(
+    pattern: PatternQuery,
+    candidates: Dict[str, Set[NodeId]],
+    matcher: PathMatcher,
+    algorithm: str,
+    elapsed_seconds: float,
+) -> PatternMatchResult:
+    """Assemble the per-edge match sets from final candidate sets.
+
+    Returns the empty result if any pattern node (or edge) ends up with no
+    matches, per the all-or-nothing semantics of PQ answers.
+    """
+    if any(not nodes for nodes in candidates.values()):
+        return PatternMatchResult.empty(algorithm)
+    edge_matches = {}
+    for edge in pattern.edges():
+        pairs = set()
+        target_set = candidates[edge.target]
+        for source_node in candidates[edge.source]:
+            reached = matcher.targets_from(source_node, edge.regex) & target_set
+            for target_node in reached:
+                pairs.add((source_node, target_node))
+        if not pairs:
+            return PatternMatchResult.empty(algorithm)
+        edge_matches[(edge.source, edge.target)] = pairs
+    return PatternMatchResult(
+        edge_matches=edge_matches,
+        node_matches={node: set(nodes) for node, nodes in candidates.items()},
+        algorithm=algorithm,
+        elapsed_seconds=elapsed_seconds,
+    )
+
+
+def naive_match(
+    pattern: PatternQuery,
+    graph: DataGraph,
+    distance_matrix: Optional[DistanceMatrix] = None,
+    matcher: Optional[PathMatcher] = None,
+) -> PatternMatchResult:
+    """Evaluate a pattern query with the direct fixpoint (reference semantics)."""
+    started = time.perf_counter()
+    if matcher is None:
+        matcher = PathMatcher(graph, distance_matrix=distance_matrix)
+    candidates = initial_candidates(pattern, graph)
+    if any(not nodes for nodes in candidates.values()):
+        return PatternMatchResult.empty("naive")
+
+    changed = True
+    while changed:
+        changed = False
+        for edge in pattern.edges():
+            source_set = candidates[edge.source]
+            target_set = candidates[edge.target]
+            survivors = matcher.backward_reachable(target_set, edge.regex)
+            removable = source_set - survivors
+            if removable:
+                source_set -= removable
+                changed = True
+                if not source_set:
+                    return PatternMatchResult.empty("naive")
+
+    elapsed = time.perf_counter() - started
+    return collect_result(pattern, candidates, matcher, "naive", elapsed)

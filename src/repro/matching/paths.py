@@ -1,0 +1,254 @@
+"""Regex-constrained path matching shared by all evaluation algorithms.
+
+Both the RQ evaluators and the PQ algorithms ultimately need to answer one
+question: *does a non-empty path from v1 to v2 exist whose colour string is in
+L(f)?*  :class:`PathMatcher` answers it (and the related "all targets from a
+source" / "all sources of a target" questions) under two regimes:
+
+* **matrix mode** — a pre-computed :class:`~repro.graph.distance.DistanceMatrix`
+  answers per-colour distance lookups in O(1); multi-atom expressions walk the
+  matrix rows atom by atom;
+* **search mode** — no matrix is kept; per-atom frontiers are expanded with
+  (bounded) BFS and memoised in an :class:`~repro.matching.cache.LruCache`,
+  mirroring the paper's runtime strategy for graphs too large for a matrix.
+
+Distances returned for a node to *itself* are the length of its shortest
+non-empty cycle (paths in the paper are required to be non-empty, so the
+trivial zero-length path never counts).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Optional, Set
+
+from repro.graph.data_graph import DataGraph
+from repro.graph.distance import DistanceMatrix
+from repro.matching.cache import LruCache
+from repro.regex.fclass import WILDCARD, FRegex, RegexAtom
+
+NodeId = Hashable
+
+
+class PathMatcher:
+    """Answers regex-constrained reachability questions over one data graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph.
+    distance_matrix:
+        Optional pre-computed per-colour distance matrix.  When provided the
+        matcher runs in matrix mode.
+    cache_capacity:
+        Capacity of the LRU caches used in search mode (ignored in matrix
+        mode).  ``None`` makes the caches unbounded.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        distance_matrix: Optional[DistanceMatrix] = None,
+        cache_capacity: Optional[int] = 50000,
+    ):
+        self.graph = graph
+        self.matrix = distance_matrix
+        self._forward_cache = LruCache(cache_capacity)
+        self._backward_cache = LruCache(cache_capacity)
+
+    @property
+    def uses_matrix(self) -> bool:
+        return self.matrix is not None
+
+    # -- per-atom distance maps ------------------------------------------------
+
+    def _positive_distances(
+        self,
+        start: NodeId,
+        color: Optional[str],
+        max_depth: Optional[int],
+        reverse: bool,
+    ) -> Dict[NodeId, int]:
+        """Shortest *positive* distances from (or to) ``start`` via one colour.
+
+        The entry for ``start`` itself, when present, is the length of the
+        shortest non-empty cycle through it.  Results of BFS runs are memoised
+        per (start, colour, direction); a cached run is reused whenever it was
+        computed with a depth bound at least as large as the requested one.
+        """
+        cache = self._backward_cache if reverse else self._forward_cache
+        key = (start, color)
+        cached = cache.get(key)
+        if cached is not None:
+            cached_depth, distances = cached
+            if cached_depth is None or (max_depth is not None and max_depth <= cached_depth):
+                return distances
+
+        neighbours = self.graph.predecessors if reverse else self.graph.successors
+        seen: Dict[NodeId, int] = {start: 0}
+        cycle_length: Optional[int] = None
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            depth = seen[current]
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for nxt in neighbours(current, color):
+                if nxt == start:
+                    if cycle_length is None:
+                        cycle_length = depth + 1
+                    continue
+                if nxt not in seen:
+                    seen[nxt] = depth + 1
+                    queue.append(nxt)
+
+        distances = {node: dist for node, dist in seen.items() if node != start}
+        if cycle_length is not None:
+            distances[start] = cycle_length
+        cache.put(key, (max_depth, distances))
+        return distances
+
+    def _matrix_row(self, source: NodeId, color: Optional[str]) -> Dict[NodeId, int]:
+        key = WILDCARD if color is None else color
+        return self.matrix._row(source, key)
+
+    def atom_targets(self, source: NodeId, item: RegexAtom) -> Set[NodeId]:
+        """Nodes reachable from ``source`` by a non-empty block matching one atom."""
+        color = None if item.is_wildcard else item.color
+        bound = item.max_count
+        if self.matrix is not None:
+            row = self._matrix_row(source, color)
+        else:
+            row = self._positive_distances(source, color, bound, reverse=False)
+        return {
+            target
+            for target, dist in row.items()
+            if dist >= 1 and (bound is None or dist <= bound)
+        }
+
+    def atom_sources(self, target: NodeId, item: RegexAtom) -> Set[NodeId]:
+        """Nodes that reach ``target`` by a non-empty block matching one atom."""
+        color = None if item.is_wildcard else item.color
+        bound = item.max_count
+        if self.matrix is not None:
+            key = WILDCARD if color is None else color
+            result: Set[NodeId] = set()
+            for node in self.graph.nodes():
+                dist = self.matrix._row(node, key).get(target)
+                if dist is not None and dist >= 1 and (bound is None or dist <= bound):
+                    result.add(node)
+            return result
+        row = self._positive_distances(target, color, bound, reverse=True)
+        return {
+            source
+            for source, dist in row.items()
+            if dist >= 1 and (bound is None or dist <= bound)
+        }
+
+    # -- set-level frontiers ---------------------------------------------------
+
+    def set_targets(self, sources: Set[NodeId], item: RegexAtom) -> Set[NodeId]:
+        """Nodes reachable from *any* node of ``sources`` by one atom block."""
+        result: Set[NodeId] = set()
+        for node in sources:
+            result |= self.atom_targets(node, item)
+        return result
+
+    def set_sources(self, targets: Set[NodeId], item: RegexAtom) -> Set[NodeId]:
+        """Nodes that reach *any* node of ``targets`` by one atom block.
+
+        In matrix mode this is a single sweep over the graph nodes (checking
+        each forward row against the target set), which avoids the lack of a
+        reverse index in the distance matrix; in search mode it is the union
+        of cached backward BFS runs.
+        """
+        if not targets:
+            return set()
+        if self.matrix is None:
+            result: Set[NodeId] = set()
+            for node in targets:
+                result |= self.atom_sources(node, item)
+            return result
+        color = None if item.is_wildcard else item.color
+        bound = item.max_count
+        key = WILDCARD if color is None else color
+        result = set()
+        for node in self.graph.nodes():
+            row = self.matrix._row(node, key)
+            if len(row) <= len(targets):
+                hits = (
+                    dist for target, dist in row.items() if target in targets
+                )
+            else:
+                hits = (
+                    row[target] for target in targets if target in row
+                )
+            for dist in hits:
+                if dist >= 1 and (bound is None or dist <= bound):
+                    result.add(node)
+                    break
+        return result
+
+    def backward_reachable(self, targets: Set[NodeId], regex: FRegex) -> Set[NodeId]:
+        """All nodes with a path into ``targets`` matching the full expression."""
+        frontier = set(targets)
+        for item in reversed(regex.atoms):
+            frontier = self.set_sources(frontier, item)
+            if not frontier:
+                break
+        return frontier
+
+    # -- full expressions ------------------------------------------------------
+
+    def targets_from(self, source: NodeId, regex: FRegex) -> Set[NodeId]:
+        """All nodes ``v2`` such that ``(source, v2)`` matches ``regex``."""
+        frontier: Set[NodeId] = {source}
+        for item in regex.atoms:
+            next_frontier: Set[NodeId] = set()
+            for node in frontier:
+                next_frontier |= self.atom_targets(node, item)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frontier
+
+    def sources_to(self, target: NodeId, regex: FRegex) -> Set[NodeId]:
+        """All nodes ``v1`` such that ``(v1, target)`` matches ``regex``."""
+        frontier: Set[NodeId] = {target}
+        for item in reversed(regex.atoms):
+            next_frontier: Set[NodeId] = set()
+            for node in frontier:
+                next_frontier |= self.atom_sources(node, item)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frontier
+
+    def pair_matches(self, source: NodeId, target: NodeId, regex: FRegex) -> bool:
+        """True when a non-empty path from ``source`` to ``target`` matches ``regex``."""
+        atoms = regex.atoms
+        if len(atoms) == 1:
+            return target in self.atom_targets(source, atoms[0])
+        if self.matrix is not None:
+            # Matrix rows are O(1) to fetch, so a forward sweep is cheapest.
+            return target in self.targets_from(source, regex)
+        # Search mode: meet in the middle to keep the frontiers small, in the
+        # spirit of the paper's bidirectional evaluation.
+        middle = len(atoms) // 2
+        forward = self.targets_from(source, FRegex(atoms[:middle]))
+        if not forward:
+            return False
+        backward = self.sources_to(target, FRegex(atoms[middle:]))
+        return bool(forward & backward)
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit-rate statistics of the two LRU caches (search mode only)."""
+        return {
+            "forward_hit_rate": self._forward_cache.hit_rate,
+            "backward_hit_rate": self._backward_cache.hit_rate,
+            "forward_entries": float(len(self._forward_cache)),
+            "backward_entries": float(len(self._backward_cache)),
+        }

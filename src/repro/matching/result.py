@@ -1,0 +1,85 @@
+"""Result containers for pattern-query evaluation.
+
+The answer to a PQ is the maximum set ``{(e, S_e)}`` assigning to every
+pattern edge the set of data-node pairs matching it (Section 2).  This module
+wraps that structure together with the induced node-level relation and a few
+convenience accessors used by the experiment harness and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+
+NodeId = Hashable
+EdgeKey = Tuple[str, str]
+NodePair = Tuple[NodeId, NodeId]
+
+
+@dataclass
+class PatternMatchResult:
+    """The result ``Qp(G)`` of evaluating a pattern query on a data graph.
+
+    Attributes
+    ----------
+    edge_matches:
+        ``{(u1, u2): {(v1, v2), …}}`` — per-pattern-edge match sets.  When the
+        result is empty (some edge has no matches) this dictionary is empty.
+    node_matches:
+        ``{u: {v, …}}`` — the induced relation from pattern nodes to data
+        nodes (the final ``mat()`` sets).  Empty when the result is empty.
+    algorithm:
+        Name of the algorithm that produced the result.
+    elapsed_seconds:
+        Wall-clock evaluation time (filled in by the evaluation entry points).
+    """
+
+    edge_matches: Dict[EdgeKey, Set[NodePair]] = field(default_factory=dict)
+    node_matches: Dict[str, Set[NodeId]] = field(default_factory=dict)
+    algorithm: str = ""
+    elapsed_seconds: float = 0.0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the query has no match (``Qp(G) = ∅``)."""
+        return not self.edge_matches
+
+    @property
+    def size(self) -> int:
+        """The paper's result size ``Σ_e |S_e|``."""
+        return sum(len(pairs) for pairs in self.edge_matches.values())
+
+    def matches_of(self, node: str) -> Set[NodeId]:
+        """Data nodes matching one pattern node (empty set if none)."""
+        return set(self.node_matches.get(node, set()))
+
+    def pairs_of(self, source: str, target: str) -> Set[NodePair]:
+        """Match pairs of one pattern edge (empty set if none)."""
+        return set(self.edge_matches.get((source, target), set()))
+
+    def node_pair_count(self) -> int:
+        """Number of distinct (pattern node, data node) match pairs.
+
+        This is the ``#matches`` quantity used by the F-measure comparison in
+        Exp-1 of the paper.
+        """
+        return sum(len(nodes) for nodes in self.node_matches.values())
+
+    def as_frozen(self) -> Dict[EdgeKey, FrozenSet[NodePair]]:
+        """An immutable snapshot of the per-edge match sets (handy in tests)."""
+        return {edge: frozenset(pairs) for edge, pairs in self.edge_matches.items()}
+
+    def same_matches(self, other: "PatternMatchResult") -> bool:
+        """True when two results contain exactly the same match sets."""
+        return self.as_frozen() == other.as_frozen()
+
+    @classmethod
+    def empty(cls, algorithm: str = "") -> "PatternMatchResult":
+        """The empty result."""
+        return cls(edge_matches={}, node_matches={}, algorithm=algorithm)
+
+    def __repr__(self) -> str:
+        return (
+            f"PatternMatchResult(algorithm={self.algorithm!r}, edges={len(self.edge_matches)}, "
+            f"size={self.size})"
+        )

@@ -1,0 +1,84 @@
+"""Classical graph simulation (Henzinger, Henzinger & Kopke style).
+
+Graph simulation is the notion the paper's pattern-query semantics extends:
+a pattern node may match many data nodes, and every pattern edge must be
+mirrored by a data edge from every match of its source to some match of its
+target.  Here the "mirrored by" test is colour-aware: a data edge satisfies a
+pattern edge when its colour is admitted by (some atom of) the pattern edge's
+regular expression and the expression allows a single-edge block.
+
+The function below is both a self-contained baseline (edge-to-edge matching,
+no bounds) and the building block the containment/minimization machinery
+mirrors on the query-to-query level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Set
+
+from repro.graph.data_graph import DataGraph
+from repro.query.pq import PatternQuery
+from repro.regex.fclass import FRegex
+
+NodeId = Hashable
+
+
+def _edge_color_admitted(regex: FRegex, color: str) -> bool:
+    """True when one data edge of ``color`` can satisfy the pattern edge."""
+    first = regex.atoms[0]
+    if regex.num_atoms > 1:
+        # A multi-atom expression needs a path of at least num_atoms edges, so
+        # a single edge can never satisfy it.
+        return False
+    return first.admits_color(color)
+
+
+def graph_simulation(pattern: PatternQuery, graph: DataGraph) -> Dict[str, Set[NodeId]]:
+    """Maximum colour-aware graph simulation of ``pattern`` in ``graph``.
+
+    Returns the mapping ``{pattern node: set of data nodes}``; the mapping is
+    empty (``{}``) when some pattern node cannot be simulated at all, matching
+    the all-or-nothing semantics used throughout the paper.
+
+    The computation is the standard fixpoint: start from the predicate-based
+    candidate sets and repeatedly remove any candidate that misses a successor
+    for some outgoing pattern edge.
+    """
+    sim: Dict[str, Set[NodeId]] = {}
+    for node in pattern.nodes():
+        predicate = pattern.predicate(node)
+        sim[node] = {
+            candidate
+            for candidate in graph.nodes()
+            if predicate.matches(graph.attributes(candidate))
+        }
+        if not sim[node]:
+            return {}
+
+    changed = True
+    while changed:
+        changed = False
+        for edge in pattern.edges():
+            source_candidates = sim[edge.source]
+            target_candidates = sim[edge.target]
+            removable = set()
+            for candidate in source_candidates:
+                if not _has_successor(graph, candidate, target_candidates, edge.regex):
+                    removable.add(candidate)
+            if removable:
+                source_candidates -= removable
+                changed = True
+                if not source_candidates:
+                    return {}
+    return sim
+
+
+def _has_successor(
+    graph: DataGraph, candidate: NodeId, targets: Set[NodeId], regex: FRegex
+) -> bool:
+    for color in graph.successor_colors(candidate):
+        if not _edge_color_admitted(regex, color):
+            continue
+        if graph.successors(candidate, color) & targets:
+            return True
+    return False

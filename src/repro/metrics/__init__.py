@@ -1,0 +1,5 @@
+"""Evaluation metrics (F-measure of Exp-1)."""
+
+from repro.metrics.fmeasure import FMeasure, compute_f_measure
+
+__all__ = ["FMeasure", "compute_f_measure"]

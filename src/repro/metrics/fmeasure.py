@@ -1,0 +1,82 @@
+"""Precision / recall / F-measure over match pairs (Exp-1 of the paper).
+
+The effectiveness experiment compares algorithms by the set of distinct
+``(query node, data node)`` match pairs they report against a set of *true*
+matches (the matches satisfying the full node and edge constraints — i.e. the
+PQ semantics).  The quantities are:
+
+* ``precision = |found ∩ true| / |found|``
+* ``recall    = |found ∩ true| / |true|``
+* ``F-measure = 2 · precision · recall / (precision + recall)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Set, Tuple
+
+NodeMatch = Tuple[str, Hashable]
+
+
+@dataclass(frozen=True)
+class FMeasure:
+    """Precision, recall and F-measure of one algorithm's output."""
+
+    precision: float
+    recall: float
+    f_measure: float
+    num_found: int
+    num_true: int
+    num_true_found: int
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "f_measure": round(self.f_measure, 4),
+            "found": self.num_found,
+            "true": self.num_true,
+            "true_found": self.num_true_found,
+        }
+
+
+def _as_pairs(matches) -> Set[NodeMatch]:
+    """Accept either a set of pairs or a ``{query node: {data nodes}}`` mapping."""
+    if isinstance(matches, dict):
+        return {
+            (query_node, data_node)
+            for query_node, data_nodes in matches.items()
+            for data_node in data_nodes
+        }
+    return set(matches)
+
+
+def compute_f_measure(found, true) -> FMeasure:
+    """Compute the F-measure of ``found`` matches against ``true`` matches.
+
+    Both arguments may be given as sets of ``(query node, data node)`` pairs or
+    as ``{query node: set of data nodes}`` mappings.  When nothing is found,
+    precision is defined as 1.0 if nothing was expected and 0.0 otherwise
+    (matching the convention used in the paper's discussion of SubIso).
+    """
+    found_pairs = _as_pairs(found)
+    true_pairs = _as_pairs(true)
+    true_found = found_pairs & true_pairs
+
+    if found_pairs:
+        precision = len(true_found) / len(found_pairs)
+    else:
+        precision = 1.0 if not true_pairs else 0.0
+    recall = len(true_found) / len(true_pairs) if true_pairs else 1.0
+    if precision + recall > 0:
+        f_measure = 2 * precision * recall / (precision + recall)
+    else:
+        f_measure = 0.0
+    return FMeasure(
+        precision=precision,
+        recall=recall,
+        f_measure=f_measure,
+        num_found=len(found_pairs),
+        num_true=len(true_pairs),
+        num_true_found=len(true_found),
+    )

@@ -1,0 +1,36 @@
+"""Query model: node predicates, reachability queries and pattern queries.
+
+* :mod:`~repro.query.predicates` — conjunctive node predicates ``A op a`` and
+  the implication test ``u ⊢ w`` used by containment;
+* :mod:`~repro.query.rq` — reachability queries (RQs);
+* :mod:`~repro.query.pq` — graph pattern queries (PQs);
+* :mod:`~repro.query.containment` — containment / equivalence (Section 3.1);
+* :mod:`~repro.query.minimization` — the ``minPQs`` algorithm (Section 3.2);
+* :mod:`~repro.query.generator` — the paper's parameterised query generator.
+"""
+
+from repro.query.predicates import AtomicCondition, Predicate
+from repro.query.rq import ReachabilityQuery
+from repro.query.pq import PatternEdge, PatternQuery
+from repro.query.containment import (
+    pq_contained_in,
+    pq_equivalent,
+    rq_contained_in,
+    rq_equivalent,
+)
+from repro.query.minimization import minimize_pattern_query
+from repro.query.generator import QueryGenerator
+
+__all__ = [
+    "AtomicCondition",
+    "Predicate",
+    "ReachabilityQuery",
+    "PatternEdge",
+    "PatternQuery",
+    "rq_contained_in",
+    "rq_equivalent",
+    "pq_contained_in",
+    "pq_equivalent",
+    "minimize_pattern_query",
+    "QueryGenerator",
+]

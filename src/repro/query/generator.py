@@ -1,0 +1,171 @@
+"""Parameterised random query generator (Section 6, "Query generator").
+
+The paper's generator produces meaningful pattern queries controlled by five
+parameters: the number of pattern nodes ``|Vp|``, the number of pattern edges
+``|Ep|``, the number of predicates per node ``|pred|``, and two regex
+parameters — the per-colour bound ``b`` and the maximum number of colours per
+edge ``c`` — so that every edge is constrained by an expression of the form
+``c1^b c2^b … ck^b`` with ``1 ≤ k ≤ c``.
+
+To make the generated predicates satisfiable by actual data nodes, the
+generator samples attribute values from the data graph it is given (matching
+how the paper generates queries against YouTube / GTD / synthetic graphs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import QueryError
+from repro.graph.data_graph import DataGraph
+from repro.query.pq import PatternQuery
+from repro.query.predicates import AtomicCondition, Predicate
+from repro.query.rq import ReachabilityQuery
+from repro.regex.fclass import FRegex, RegexAtom
+
+
+class QueryGenerator:
+    """Generates random RQs and PQs whose predicates are satisfiable on a graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph queries will be evaluated on; attribute values and edge
+        colours are sampled from it.
+    seed:
+        Seed of the private random generator (generation is deterministic for
+        a given seed and graph).
+    """
+
+    def __init__(self, graph: DataGraph, seed: Optional[int] = 0):
+        self.graph = graph
+        self._random = random.Random(seed)
+        self._colors: List[str] = sorted(graph.colors)
+        if not self._colors:
+            raise QueryError("cannot generate queries for a graph without edges")
+        self._attribute_values = self._collect_attribute_values(graph)
+        if not self._attribute_values:
+            raise QueryError("cannot generate queries for a graph without node attributes")
+
+    @staticmethod
+    def _collect_attribute_values(graph: DataGraph) -> Dict[str, List[Any]]:
+        values: Dict[str, set] = {}
+        for node in graph.nodes():
+            for attribute, value in graph.attributes(node).items():
+                values.setdefault(attribute, set()).add(value)
+        return {
+            attribute: sorted(candidates, key=repr)
+            for attribute, candidates in values.items()
+        }
+
+    # -- building blocks -------------------------------------------------------
+
+    def random_predicate(self, num_conditions: int) -> Predicate:
+        """A satisfiable conjunction of ``num_conditions`` atomic conditions.
+
+        Conditions are sampled from the values present in the graph: equality
+        on categorical attributes, and equality or one-sided comparisons on
+        numeric attributes (so that some node always satisfies the result).
+        """
+        attributes = list(self._attribute_values)
+        self._random.shuffle(attributes)
+        chosen = attributes[: max(0, num_conditions)]
+        conditions = []
+        for attribute in chosen:
+            values = self._attribute_values[attribute]
+            value = self._random.choice(values)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                op = self._random.choice(["=", "<=", ">=", ">", "<"])
+                if op in (">", ">="):
+                    value = self._random.choice(values[: max(1, len(values) // 2)])
+                elif op in ("<", "<="):
+                    value = self._random.choice(values[len(values) // 2:])
+            else:
+                op = "="
+            conditions.append(AtomicCondition(attribute, op, value))
+        return Predicate(conditions)
+
+    def random_regex(self, bound: int, max_colors: int) -> FRegex:
+        """An expression ``c1^b … ck^b`` with ``1 ≤ k ≤ max_colors``."""
+        k = self._random.randint(1, max(1, max_colors))
+        atoms = [
+            RegexAtom(self._random.choice(self._colors), bound) for _ in range(k)
+        ]
+        return FRegex(atoms)
+
+    # -- whole queries ----------------------------------------------------------
+
+    def reachability_query(
+        self, num_predicates: int = 3, bound: int = 5, max_colors: int = 2
+    ) -> ReachabilityQuery:
+        """A random RQ (a two-node, one-edge pattern)."""
+        return ReachabilityQuery(
+            source_predicate=self.random_predicate(num_predicates),
+            target_predicate=self.random_predicate(num_predicates),
+            regex=self.random_regex(bound, max_colors),
+        )
+
+    def pattern_query(
+        self,
+        num_nodes: int,
+        num_edges: int,
+        num_predicates: int = 3,
+        bound: int = 5,
+        max_colors: int = 2,
+        name: str = "generated",
+    ) -> PatternQuery:
+        """A random connected PQ with the requested size parameters.
+
+        The pattern is built from a random spanning tree (guaranteeing
+        connectivity) plus extra random edges up to ``num_edges``; if
+        ``num_edges`` is smaller than ``num_nodes - 1`` it is raised to that
+        minimum, mirroring the paper's use of connected patterns.
+        """
+        if num_nodes < 1:
+            raise QueryError("a pattern query needs at least one node")
+        pattern = PatternQuery(name=name)
+        node_names = [f"u{i}" for i in range(num_nodes)]
+        for node in node_names:
+            pattern.add_node(node, self.random_predicate(num_predicates))
+
+        edges_needed = max(num_edges, num_nodes - 1)
+        # Random spanning tree: connect node i to a random earlier node.
+        for index in range(1, num_nodes):
+            parent = node_names[self._random.randrange(index)]
+            child = node_names[index]
+            source, target = (parent, child) if self._random.random() < 0.7 else (child, parent)
+            pattern.add_edge(source, target, self.random_regex(bound, max_colors))
+
+        attempts = 0
+        max_attempts = 50 * edges_needed + 100
+        while pattern.num_edges < edges_needed and attempts < max_attempts:
+            attempts += 1
+            source = self._random.choice(node_names)
+            target = self._random.choice(node_names)
+            if source == target or pattern.has_edge(source, target):
+                continue
+            pattern.add_edge(source, target, self.random_regex(bound, max_colors))
+        return pattern
+
+    def pattern_queries(
+        self,
+        count: int,
+        num_nodes: int,
+        num_edges: int,
+        num_predicates: int = 3,
+        bound: int = 5,
+        max_colors: int = 2,
+    ) -> List[PatternQuery]:
+        """A batch of random pattern queries (the paper averages over 20)."""
+        return [
+            self.pattern_query(
+                num_nodes,
+                num_edges,
+                num_predicates,
+                bound,
+                max_colors,
+                name=f"generated-{index}",
+            )
+            for index in range(count)
+        ]

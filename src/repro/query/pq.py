@@ -1,0 +1,276 @@
+"""Graph pattern queries (PQs).
+
+A PQ is a directed graph whose nodes carry predicates and whose edges carry
+F-class regular expressions; every edge, together with its endpoints'
+predicates, is a reachability query (Section 2).  Matching semantics (an
+extension of graph simulation) is implemented in
+:mod:`repro.matching.join_match` and :mod:`repro.matching.split_match`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import QueryError
+from repro.query.predicates import Predicate
+from repro.query.rq import PredicateLike, ReachabilityQuery, RegexLike, coerce_predicate, coerce_regex
+from repro.regex.fclass import FRegex
+from repro.graph.traversal import strongly_connected_components
+
+
+@dataclass(frozen=True)
+class PatternEdge:
+    """A pattern edge ``source -[regex]-> target``."""
+
+    source: str
+    target: str
+    regex: FRegex
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        return (self.source, self.target)
+
+    def __str__(self) -> str:
+        return f"{self.source} -[{self.regex}]-> {self.target}"
+
+
+class PatternQuery:
+    """A graph pattern query ``Qp = (Vp, Ep, f_v, f_e)``.
+
+    Nodes are identified by strings; at most one edge may connect an ordered
+    pair of nodes (the paper's final queries are simple graphs; the multigraph
+    intermediate of ``minPQs`` is handled internally by the minimizer).
+    """
+
+    __slots__ = ("name", "_predicates", "_out", "_in")
+
+    def __init__(self, name: str = "pattern"):
+        self.name = name
+        self._predicates: Dict[str, Predicate] = {}
+        self._out: Dict[str, Dict[str, FRegex]] = {}
+        self._in: Dict[str, Dict[str, FRegex]] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add_node(self, node: str, predicate: PredicateLike = None) -> str:
+        """Add a pattern node with a search condition (default: always true)."""
+        if node in self._predicates and predicate is None:
+            return node
+        self._predicates[node] = coerce_predicate(predicate)
+        self._out.setdefault(node, {})
+        self._in.setdefault(node, {})
+        return node
+
+    def add_edge(self, source: str, target: str, regex: RegexLike = "_") -> PatternEdge:
+        """Add a pattern edge; endpoints are created (with true predicates) if new."""
+        if source not in self._predicates:
+            self.add_node(source)
+        if target not in self._predicates:
+            self.add_node(target)
+        compiled = coerce_regex(regex)
+        if target in self._out[source]:
+            raise QueryError(
+                f"edge ({source!r}, {target!r}) already exists; pattern queries are simple graphs"
+            )
+        self._out[source][target] = compiled
+        self._in[target][source] = compiled
+        return PatternEdge(source, target, compiled)
+
+    def remove_edge(self, source: str, target: str) -> None:
+        """Remove a pattern edge."""
+        try:
+            del self._out[source][target]
+            del self._in[target][source]
+        except KeyError as exc:
+            raise QueryError(f"edge ({source!r}, {target!r}) does not exist") from exc
+
+    def remove_node(self, node: str) -> None:
+        """Remove a node and all incident edges."""
+        if node not in self._predicates:
+            raise QueryError(f"node {node!r} does not exist")
+        for target in list(self._out[node]):
+            self.remove_edge(node, target)
+        for source in list(self._in[node]):
+            self.remove_edge(source, node)
+        del self._predicates[node]
+        del self._out[node]
+        del self._in[node]
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._predicates)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(targets) for targets in self._out.values())
+
+    @property
+    def size(self) -> int:
+        """The paper's query size ``|Q| = |Vp| + |Ep|``."""
+        return self.num_nodes + self.num_edges
+
+    def nodes(self) -> Iterator[str]:
+        return iter(self._predicates)
+
+    def has_node(self, node: str) -> bool:
+        return node in self._predicates
+
+    def has_edge(self, source: str, target: str) -> bool:
+        return target in self._out.get(source, {})
+
+    def predicate(self, node: str) -> Predicate:
+        try:
+            return self._predicates[node]
+        except KeyError as exc:
+            raise QueryError(f"node {node!r} does not exist") from exc
+
+    def set_predicate(self, node: str, predicate: PredicateLike) -> None:
+        if node not in self._predicates:
+            raise QueryError(f"node {node!r} does not exist")
+        self._predicates[node] = coerce_predicate(predicate)
+
+    def regex(self, source: str, target: str) -> FRegex:
+        try:
+            return self._out[source][target]
+        except KeyError as exc:
+            raise QueryError(f"edge ({source!r}, {target!r}) does not exist") from exc
+
+    def edges(self) -> Iterator[PatternEdge]:
+        for source, targets in self._out.items():
+            for target, regex in targets.items():
+                yield PatternEdge(source, target, regex)
+
+    def out_edges(self, node: str) -> Iterator[PatternEdge]:
+        for target, regex in self._out.get(node, {}).items():
+            yield PatternEdge(node, target, regex)
+
+    def in_edges(self, node: str) -> Iterator[PatternEdge]:
+        for source, regex in self._in.get(node, {}).items():
+            yield PatternEdge(source, node, regex)
+
+    def successors(self, node: str) -> Set[str]:
+        return set(self._out.get(node, {}))
+
+    def predecessors(self, node: str) -> Set[str]:
+        return set(self._in.get(node, {}))
+
+    def rq_for_edge(self, source: str, target: str) -> ReachabilityQuery:
+        """The reachability query embedded in one pattern edge."""
+        return ReachabilityQuery(
+            source_predicate=self.predicate(source),
+            target_predicate=self.predicate(target),
+            regex=self.regex(source, target),
+            source=source,
+            target=target,
+        )
+
+    @property
+    def colors(self) -> frozenset:
+        """All concrete colours mentioned by edge constraints."""
+        result: Set[str] = set()
+        for edge in self.edges():
+            result |= set(edge.regex.colors)
+        return frozenset(result)
+
+    # -- structure -------------------------------------------------------------
+
+    def strongly_connected_components(self) -> List[List[str]]:
+        """SCCs of the pattern graph in reverse topological order."""
+        return strongly_connected_components(list(self.nodes()), self.successors)
+
+    def is_dag(self) -> bool:
+        """True when the pattern graph contains no directed cycle."""
+        return all(len(component) == 1 for component in self.strongly_connected_components()) and not any(
+            self.has_edge(node, node) for node in self.nodes()
+        )
+
+    def is_connected(self) -> bool:
+        """True when the underlying undirected graph is connected (or empty)."""
+        nodes = list(self.nodes())
+        if not nodes:
+            return True
+        seen = {nodes[0]}
+        stack = [nodes[0]]
+        while stack:
+            current = stack.pop()
+            for neighbour in self.successors(current) | self.predecessors(current):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        return len(seen) == len(nodes)
+
+    # -- conversions -----------------------------------------------------------
+
+    @classmethod
+    def from_rq(cls, query: ReachabilityQuery, name: str = "pattern") -> "PatternQuery":
+        """Wrap a reachability query as a two-node pattern query."""
+        pattern = cls(name=name)
+        pattern.add_node(query.source, query.source_predicate)
+        pattern.add_node(query.target, query.target_predicate)
+        pattern.add_edge(query.source, query.target, query.regex)
+        return pattern
+
+    def normalized(self) -> "PatternQuery":
+        """Decompose every multi-atom edge constraint via dummy nodes.
+
+        This is the ``Normalize`` step of JoinMatch / SplitMatch (Section 5):
+        each edge labelled ``a1 a2 … ah`` is replaced by a path of ``h`` edges
+        through fresh always-true nodes, so that every edge carries a single
+        atom and the distance matrix can be consulted directly.
+        """
+        result = PatternQuery(name=f"{self.name}-normalized")
+        for node in self.nodes():
+            result.add_node(node, self.predicate(node))
+        counter = 0
+        for edge in self.edges():
+            parts = edge.regex.decompose()
+            if len(parts) == 1:
+                result.add_edge(edge.source, edge.target, edge.regex)
+                continue
+            previous = edge.source
+            for index, part in enumerate(parts):
+                last = index == len(parts) - 1
+                if last:
+                    nxt = edge.target
+                else:
+                    nxt = f"__dummy_{counter}"
+                    counter += 1
+                    result.add_node(nxt, Predicate.true())
+                result.add_edge(previous, nxt, part)
+                previous = nxt
+        return result
+
+    def copy(self, name: Optional[str] = None) -> "PatternQuery":
+        """An independent copy of this pattern query."""
+        result = PatternQuery(name=name or self.name)
+        for node in self.nodes():
+            result.add_node(node, self.predicate(node))
+        for edge in self.edges():
+            result.add_edge(edge.source, edge.target, edge.regex)
+        return result
+
+    # -- dunder protocol -------------------------------------------------------
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._predicates
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"PatternQuery(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )
+
+    def describe(self) -> str:
+        """A multi-line human-readable description of the pattern."""
+        lines = [f"PatternQuery {self.name!r}:"]
+        for node in self.nodes():
+            lines.append(f"  node {node}: {self.predicate(node)}")
+        for edge in self.edges():
+            lines.append(f"  edge {edge}")
+        return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Reachability queries (RQs).
+
+An RQ ``Qr = (u1, u2, f_u1, f_u2, f_e)`` asks for all node pairs ``(v1, v2)``
+of a data graph such that ``v1`` satisfies ``f_u1``, ``v2`` satisfies
+``f_u2``, and there is a *non-empty* path from ``v1`` to ``v2`` whose edge
+colour string belongs to ``L(f_e)`` (Section 2).
+
+Evaluation lives in :mod:`repro.matching.reachability`; this module only
+defines the query object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.exceptions import QueryError
+from repro.query.predicates import Predicate
+from repro.regex.fclass import FRegex
+from repro.regex.parser import parse_fregex
+
+PredicateLike = Union[Predicate, str, dict, None]
+RegexLike = Union[FRegex, str]
+
+
+def coerce_predicate(value: PredicateLike) -> Predicate:
+    """Accept a :class:`Predicate`, a parseable string, an equality dict or None."""
+    if value is None:
+        return Predicate.true()
+    if isinstance(value, Predicate):
+        return value
+    if isinstance(value, str):
+        return Predicate.parse(value)
+    if isinstance(value, dict):
+        return Predicate.from_dict(value)
+    raise QueryError(f"cannot interpret {value!r} as a node predicate")
+
+
+def coerce_regex(value: RegexLike) -> FRegex:
+    """Accept an :class:`FRegex` or a parseable string."""
+    if isinstance(value, FRegex):
+        return value
+    if isinstance(value, str):
+        return parse_fregex(value)
+    raise QueryError(f"cannot interpret {value!r} as an F-class regular expression")
+
+
+@dataclass(frozen=True)
+class ReachabilityQuery:
+    """A reachability query ``(source, target, f_source, f_target, regex)``.
+
+    Parameters
+    ----------
+    source_predicate, target_predicate:
+        Search conditions on the two endpoints (:class:`Predicate`, textual
+        form, equality dict, or ``None`` for the always-true predicate).
+    regex:
+        The F-class edge constraint (:class:`FRegex` or textual form).
+    source, target:
+        Optional names for the two query nodes (defaults ``"u1"``/``"u2"``);
+        only used for display and when an RQ is embedded into a pattern query.
+    """
+
+    source_predicate: Predicate
+    target_predicate: Predicate
+    regex: FRegex
+    source: str = "u1"
+    target: str = "u2"
+
+    def __init__(
+        self,
+        source_predicate: PredicateLike = None,
+        target_predicate: PredicateLike = None,
+        regex: RegexLike = "_",
+        source: str = "u1",
+        target: str = "u2",
+    ):
+        object.__setattr__(self, "source_predicate", coerce_predicate(source_predicate))
+        object.__setattr__(self, "target_predicate", coerce_predicate(target_predicate))
+        object.__setattr__(self, "regex", coerce_regex(regex))
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "target", target)
+
+    @property
+    def size(self) -> int:
+        """Query size: predicate atoms plus regex atoms (used in complexity bounds)."""
+        return (
+            self.source_predicate.size
+            + self.target_predicate.size
+            + self.regex.num_atoms
+        )
+
+    @property
+    def colors(self) -> frozenset:
+        """Concrete colours mentioned by the edge constraint."""
+        return self.regex.colors
+
+    def is_single_color(self) -> bool:
+        """True when the edge constraint consists of a single atom."""
+        return self.regex.num_atoms == 1
+
+    def decompose(self) -> Tuple["ReachabilityQuery", ...]:
+        """Split a multi-atom RQ into a chain of single-atom RQs.
+
+        Following Section 4, the query with regex ``a1 a2 … ah`` becomes ``h``
+        queries chained through dummy (always-true) nodes ``d1 … d(h-1)``.
+        """
+        parts = self.regex.decompose()
+        if len(parts) == 1:
+            return (self,)
+        queries = []
+        previous_name = self.source
+        previous_pred = self.source_predicate
+        for index, part in enumerate(parts):
+            last = index == len(parts) - 1
+            next_name = self.target if last else f"{self.source}~dummy{index}"
+            next_pred = self.target_predicate if last else Predicate.true()
+            queries.append(
+                ReachabilityQuery(
+                    source_predicate=previous_pred,
+                    target_predicate=next_pred,
+                    regex=part,
+                    source=previous_name,
+                    target=next_name,
+                )
+            )
+            previous_name = next_name
+            previous_pred = next_pred
+        return tuple(queries)
+
+    def __str__(self) -> str:
+        return (
+            f"RQ({self.source}[{self.source_predicate}] "
+            f"-[{self.regex}]-> {self.target}[{self.target_predicate}])"
+        )

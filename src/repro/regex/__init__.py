@@ -1,0 +1,43 @@
+"""F-class regular expressions.
+
+The paper restricts edge constraints to the subclass ``F`` of regular
+expressions::
+
+    F ::= c | c^k | c^+ | F F
+
+where ``c`` is an edge colour or the wildcard ``_``, ``c^k`` denotes *between
+one and k* occurrences of ``c`` (the paper defines it as ``c ∪ c² ∪ … ∪ c^k``)
+and ``c^+`` denotes one or more occurrences.
+
+This subpackage provides
+
+* :class:`~repro.regex.fclass.RegexAtom` and
+  :class:`~repro.regex.fclass.FRegex` — the expression data model;
+* :func:`~repro.regex.parser.parse_fregex` — a small parser for the textual
+  syntax used throughout the library (``"fa^2.fn"``, ``"ic^2 dc^+ ic^2"``);
+* :mod:`~repro.regex.containment` — the linear-time syntactic containment
+  check of Proposition 3.3 plus an exact automaton-product check used to
+  validate it;
+* :mod:`~repro.regex.nfa` — a tiny NFA engine used only for cross-checking.
+"""
+
+from repro.regex.fclass import WILDCARD, FRegex, RegexAtom, atom, concat, plus
+from repro.regex.parser import parse_fregex
+from repro.regex.containment import (
+    language_contains,
+    language_equal,
+    syntactic_contains,
+)
+
+__all__ = [
+    "WILDCARD",
+    "FRegex",
+    "RegexAtom",
+    "atom",
+    "plus",
+    "concat",
+    "parse_fregex",
+    "language_contains",
+    "language_equal",
+    "syntactic_contains",
+]

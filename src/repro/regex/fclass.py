@@ -1,0 +1,249 @@
+"""Data model for the restricted regular-expression class ``F``.
+
+An :class:`FRegex` is a non-empty concatenation of :class:`RegexAtom` objects.
+Each atom constrains a *block* of consecutive edges on a path:
+
+* ``RegexAtom("fa")`` — exactly one ``fa`` edge (``c``);
+* ``RegexAtom("fa", 3)`` — between one and three ``fa`` edges (``c^3``);
+* ``RegexAtom("fa", None)`` — one or more ``fa`` edges (``c^+``);
+* ``RegexAtom("_", 2)`` — between one and two edges of *any* colour.
+
+The semantics follow Section 2 of the paper: ``c^k = c ∪ c² ∪ … ∪ c^k`` (so a
+block is always non-empty) and ``_`` stands for an arbitrary colour of the
+data-graph alphabet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.exceptions import RegexSyntaxError
+
+#: The wildcard colour symbol, standing for any colour in the alphabet.
+WILDCARD = "_"
+
+
+@dataclass(frozen=True, order=True)
+class RegexAtom:
+    """A single component ``c``, ``c^k`` or ``c^+`` of an F-class expression.
+
+    Parameters
+    ----------
+    color:
+        Edge colour this atom matches, or :data:`WILDCARD` for any colour.
+    max_count:
+        Upper bound on the block length.  ``1`` corresponds to a plain colour
+        ``c``, an integer ``k >= 1`` to ``c^k`` and ``None`` to ``c^+``
+        (unbounded).  The lower bound is always one.
+    """
+
+    color: str
+    max_count: Optional[int] = 1
+
+    def __post_init__(self) -> None:
+        if not self.color:
+            raise RegexSyntaxError("atom colour must be a non-empty string")
+        if self.max_count is not None and self.max_count < 1:
+            raise RegexSyntaxError(
+                f"atom bound must be >= 1, got {self.max_count!r}"
+            )
+
+    @property
+    def is_wildcard(self) -> bool:
+        """True when this atom matches any colour."""
+        return self.color == WILDCARD
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True for ``c^+`` atoms."""
+        return self.max_count is None
+
+    def admits_color(self, color: str) -> bool:
+        """Return True if an edge of ``color`` may belong to this block."""
+        return self.is_wildcard or self.color == color
+
+    def admits_length(self, length: int) -> bool:
+        """Return True if a block of ``length`` edges is allowed."""
+        if length < 1:
+            return False
+        return self.max_count is None or length <= self.max_count
+
+    def length_range(self) -> Tuple[int, Optional[int]]:
+        """Return the ``(min, max)`` number of edges this atom can cover."""
+        return 1, self.max_count
+
+    def __str__(self) -> str:
+        if self.max_count is None:
+            return f"{self.color}^+"
+        if self.max_count == 1:
+            return self.color
+        return f"{self.color}^{self.max_count}"
+
+
+def atom(color: str, k: int = 1) -> RegexAtom:
+    """Build a bounded atom ``color^k`` (``k`` defaults to a single edge)."""
+    return RegexAtom(color, k)
+
+
+def plus(color: str) -> RegexAtom:
+    """Build an unbounded atom ``color^+``."""
+    return RegexAtom(color, None)
+
+
+class FRegex:
+    """A non-empty concatenation of :class:`RegexAtom` objects.
+
+    Instances are immutable and hashable; two expressions compare equal when
+    their atom sequences are identical (syntactic equality — use
+    :func:`repro.regex.containment.language_equal` for language equality).
+    """
+
+    __slots__ = ("_atoms", "_hash")
+
+    def __init__(self, atoms: Iterable[RegexAtom]):
+        atoms = tuple(atoms)
+        if not atoms:
+            raise RegexSyntaxError("an F-class expression must have at least one atom")
+        for item in atoms:
+            if not isinstance(item, RegexAtom):
+                raise RegexSyntaxError(f"expected RegexAtom, got {type(item).__name__}")
+        object.__setattr__(self, "_atoms", atoms)
+        object.__setattr__(self, "_hash", hash(atoms))
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str) -> "FRegex":
+        """Parse ``text`` with :func:`repro.regex.parser.parse_fregex`."""
+        from repro.regex.parser import parse_fregex
+
+        return parse_fregex(text)
+
+    @classmethod
+    def single(cls, color: str, k: Optional[int] = 1) -> "FRegex":
+        """Build a one-atom expression ``color^k`` (``k=None`` for ``+``)."""
+        return cls([RegexAtom(color, k)])
+
+    def concat(self, other: "FRegex") -> "FRegex":
+        """Return the concatenation ``self other``."""
+        return FRegex(self._atoms + other._atoms)
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def atoms(self) -> Tuple[RegexAtom, ...]:
+        """The atom sequence of this expression."""
+        return self._atoms
+
+    @property
+    def num_atoms(self) -> int:
+        """The length ``|F|`` of the expression as defined in the paper."""
+        return len(self._atoms)
+
+    @property
+    def colors(self) -> frozenset:
+        """Set of concrete colours mentioned (excluding the wildcard)."""
+        return frozenset(a.color for a in self._atoms if not a.is_wildcard)
+
+    @property
+    def has_wildcard(self) -> bool:
+        """True if any atom is a wildcard."""
+        return any(a.is_wildcard for a in self._atoms)
+
+    @property
+    def min_length(self) -> int:
+        """Shortest path length (number of edges) in the language."""
+        return len(self._atoms)
+
+    @property
+    def max_length(self) -> Optional[int]:
+        """Longest path length in the language, or None if unbounded."""
+        total = 0
+        for item in self._atoms:
+            if item.max_count is None:
+                return None
+            total += item.max_count
+        return total
+
+    def decompose(self) -> Tuple["FRegex", ...]:
+        """Split into single-atom expressions, as used by the matrix method.
+
+        The paper (Section 4, "RQ with multiple colors") rewrites a query with
+        regex ``f = a1 a2 … ah`` into ``h`` single-colour queries chained by
+        dummy nodes; this returns the per-atom expressions in order.
+        """
+        return tuple(FRegex([a]) for a in self._atoms)
+
+    # -- matching --------------------------------------------------------------
+
+    def matches(self, colors: Sequence[str]) -> bool:
+        """Return True if the colour string ``colors`` belongs to ``L(self)``.
+
+        Uses a small dynamic program over (position, atom index); the input is
+        a path's edge-colour sequence, so lengths are modest in practice.
+        """
+        word = list(colors)
+        n_word = len(word)
+        n_atoms = len(self._atoms)
+        if n_word < n_atoms:
+            return False
+        max_len = self.max_length
+        if max_len is not None and n_word > max_len:
+            return False
+
+        # reachable[j] = set of word positions consumed after matching j atoms
+        reachable = {0}
+        for j, item in enumerate(self._atoms):
+            nxt = set()
+            remaining_atoms = n_atoms - j - 1
+            for start in reachable:
+                # Extend the block greedily while colours agree.
+                end = start
+                while end < n_word and item.admits_color(word[end]):
+                    end += 1
+                    block_len = end - start
+                    if not item.admits_length(block_len):
+                        break
+                    # Leave at least one edge for each remaining atom.
+                    if n_word - end >= remaining_atoms:
+                        nxt.add(end)
+            reachable = nxt
+            if not reachable:
+                return False
+        return n_word in reachable
+
+    # -- dunder protocol -------------------------------------------------------
+
+    def __iter__(self) -> Iterator[RegexAtom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __getitem__(self, index: int) -> RegexAtom:
+        return self._atoms[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FRegex):
+            return NotImplemented
+        return self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return ".".join(str(a) for a in self._atoms)
+
+    def __repr__(self) -> str:
+        return f"FRegex({str(self)!r})"
+
+
+def concat(*expressions: FRegex) -> FRegex:
+    """Concatenate several F-class expressions into one."""
+    if not expressions:
+        raise RegexSyntaxError("concat() requires at least one expression")
+    atoms: list = []
+    for expr in expressions:
+        atoms.extend(expr.atoms)
+    return FRegex(atoms)

@@ -1,0 +1,274 @@
+"""General regular expressions over edge colours (extension module).
+
+The paper deliberately restricts edge constraints to the subclass ``F`` to
+keep containment and evaluation in low polynomial time, and names support for
+*general* regular expressions as future work (Section 7).  This module
+provides that extension for users who need unions and Kleene closure and are
+willing to pay the extra cost:
+
+* :class:`GeneralRegex` — parsed from a conventional syntax with union ``|``,
+  grouping ``( )``, Kleene star ``*``, plus ``+``, optional ``?`` and bounded
+  repetition ``{k}`` over colour symbols (and the wildcard ``_``);
+* compilation to the same :class:`~repro.regex.nfa.Nfa` machinery used to
+  cross-check the F-class engine;
+* conversion of F-class expressions into general ones
+  (:meth:`GeneralRegex.from_fregex`), so both kinds of constraint can be mixed
+  by callers.
+
+Evaluation of reachability queries with general expressions lives in
+:mod:`repro.matching.general_rq` (a product construction over graph nodes and
+NFA states).  Containment of general expressions is *not* offered in
+polynomial time — that is exactly the trade-off the paper's restriction
+avoids (the problem is PSPACE-complete for general expressions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import RegexSyntaxError
+from repro.regex.fclass import WILDCARD, FRegex
+from repro.regex.nfa import Nfa
+
+
+class _Node:
+    """Base class of the tiny regex syntax tree."""
+
+    def add_to(self, nfa: Nfa, entries: List[int]) -> List[int]:
+        """Wire this node into ``nfa`` starting from ``entries``; return exits."""
+        raise NotImplementedError
+
+
+class _Symbol(_Node):
+    def __init__(self, color: str):
+        self.color = color
+
+    def add_to(self, nfa: Nfa, entries: List[int]) -> List[int]:
+        state = nfa.num_states
+        nfa.num_states += 1
+        for entry in entries:
+            nfa.add_transition(entry, self.color, state)
+        return [state]
+
+
+class _Concat(_Node):
+    def __init__(self, parts: Sequence[_Node]):
+        self.parts = list(parts)
+
+    def add_to(self, nfa: Nfa, entries: List[int]) -> List[int]:
+        current = list(entries)
+        for part in self.parts:
+            current = part.add_to(nfa, current)
+        return current
+
+
+class _Union(_Node):
+    def __init__(self, branches: Sequence[_Node]):
+        self.branches = list(branches)
+
+    def add_to(self, nfa: Nfa, entries: List[int]) -> List[int]:
+        exits: List[int] = []
+        for branch in self.branches:
+            exits.extend(branch.add_to(nfa, entries))
+        return exits
+
+
+class _Repeat(_Node):
+    """``child*``, ``child+`` or ``child?`` (``minimum`` 0 or 1, unbounded flag)."""
+
+    def __init__(self, child: _Node, minimum: int, unbounded: bool):
+        self.child = child
+        self.minimum = minimum
+        self.unbounded = unbounded
+
+    def add_to(self, nfa: Nfa, entries: List[int]) -> List[int]:
+        exits = list(entries) if self.minimum == 0 else []
+        current = list(entries)
+        # One mandatory (or first optional) pass through the child.
+        current = self.child.add_to(nfa, current)
+        exits.extend(current)
+        if self.unbounded:
+            # Loop the child's exits back through another copy of the child;
+            # because the child's structure is duplicated per entry set, a
+            # single extra copy whose exits feed themselves suffices: we emulate
+            # the loop by adding transitions from the copy's exits back into it.
+            loop_exits = self.child.add_to(nfa, current)
+            exits.extend(loop_exits)
+            # Connect loop exits back to the loop entry symbols by merging the
+            # transition rows: every transition leaving `current` is copied to
+            # leave `loop_exits` as well, making the copy re-enterable.
+            for exit_state in loop_exits:
+                for entry_state in current:
+                    for symbol, targets in nfa.transitions.get(entry_state, {}).items():
+                        for target in targets:
+                            nfa.add_transition(exit_state, symbol, target)
+        return exits
+
+
+class GeneralRegex:
+    """A general regular expression over edge colours.
+
+    Use :meth:`parse` to build one from text, :meth:`from_fregex` to convert a
+    restricted F-class expression, :meth:`matches` to test a colour string and
+    :meth:`to_nfa` to obtain the compiled automaton.
+    """
+
+    def __init__(self, root: _Node, text: str):
+        self._root = root
+        self._text = text
+        self._nfa: Optional[Nfa] = None
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "GeneralRegex":
+        """Parse ``text`` (union ``|``, ``()``, ``*``, ``+``, ``?``, ``{k}``)."""
+        parser = _Parser(text)
+        root = parser.parse()
+        return cls(root, text.strip())
+
+    @classmethod
+    def from_fregex(cls, expr: FRegex) -> "GeneralRegex":
+        """Convert an F-class expression into an equivalent general one."""
+        parts: List[_Node] = []
+        for item in expr.atoms:
+            symbol = _Symbol(item.color)
+            if item.max_count is None:
+                parts.append(_Repeat(symbol, minimum=1, unbounded=True))
+            elif item.max_count == 1:
+                parts.append(symbol)
+            else:
+                # c^k of the paper = between 1 and k occurrences.
+                branches = [
+                    _Concat([_Symbol(item.color)] * count)
+                    for count in range(1, item.max_count + 1)
+                ]
+                parts.append(_Union(branches))
+        return cls(_Concat(parts), str(expr))
+
+    # -- compilation and matching ----------------------------------------------
+
+    def to_nfa(self) -> Nfa:
+        """Compile (and cache) the NFA for this expression."""
+        if self._nfa is None:
+            nfa = Nfa(num_states=1, start=0, accepting=set())
+            exits = self._root.add_to(nfa, [0])
+            nfa.accepting = set(exits)
+            self._nfa = nfa
+        return self._nfa
+
+    def matches(self, colors: Sequence[str]) -> bool:
+        """True when the colour string belongs to the language.
+
+        Note that, unlike F-class expressions, a general expression may accept
+        the empty string (e.g. ``a*``); reachability evaluation still requires
+        a non-empty path, which :mod:`repro.matching.general_rq` enforces.
+        """
+        return self.to_nfa().accepts(list(colors))
+
+    @property
+    def accepts_empty(self) -> bool:
+        """True when the empty colour string is in the language."""
+        return self.matches([])
+
+    def __str__(self) -> str:
+        return self._text
+
+    def __repr__(self) -> str:
+        return f"GeneralRegex({self._text!r})"
+
+
+class _Parser:
+    """Recursive-descent parser for the general syntax."""
+
+    def __init__(self, text: str):
+        if not isinstance(text, str) or not text.strip():
+            raise RegexSyntaxError("empty general regular expression")
+        self.text = text
+        self.pos = 0
+
+    # grammar: union := concat ('|' concat)*
+    #          concat := repeat+
+    #          repeat := primary ('*' | '+' | '?' | '{k}')*
+    #          primary := symbol | '(' union ')'
+
+    def parse(self) -> _Node:
+        node = self._union()
+        self._skip_spaces()
+        if self.pos != len(self.text):
+            raise RegexSyntaxError(
+                f"unexpected character {self.text[self.pos]!r} at position {self.pos}"
+            )
+        return node
+
+    def _skip_spaces(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t.":
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip_spaces()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _union(self) -> _Node:
+        branches = [self._concat()]
+        while self._peek() == "|":
+            self.pos += 1
+            branches.append(self._concat())
+        return branches[0] if len(branches) == 1 else _Union(branches)
+
+    def _concat(self) -> _Node:
+        parts = []
+        while True:
+            char = self._peek()
+            if not char or char in "|)":
+                break
+            parts.append(self._repeat())
+        if not parts:
+            raise RegexSyntaxError("empty alternative in general regular expression")
+        return parts[0] if len(parts) == 1 else _Concat(parts)
+
+    def _repeat(self) -> _Node:
+        node = self._primary()
+        while True:
+            char = self._peek()
+            if char == "*":
+                self.pos += 1
+                node = _Repeat(node, minimum=0, unbounded=True)
+            elif char == "+":
+                self.pos += 1
+                node = _Repeat(node, minimum=1, unbounded=True)
+            elif char == "?":
+                self.pos += 1
+                node = _Repeat(node, minimum=0, unbounded=False)
+            elif char == "{":
+                close = self.text.find("}", self.pos)
+                if close < 0:
+                    raise RegexSyntaxError("unterminated '{' repetition")
+                count_text = self.text[self.pos + 1: close].strip()
+                if not count_text.isdigit() or int(count_text) < 1:
+                    raise RegexSyntaxError(f"invalid repetition count {count_text!r}")
+                self.pos = close + 1
+                node = _Concat([node] * int(count_text))
+            else:
+                return node
+
+    def _primary(self) -> _Node:
+        char = self._peek()
+        if char == "(":
+            self.pos += 1
+            node = self._union()
+            if self._peek() != ")":
+                raise RegexSyntaxError("missing closing parenthesis")
+            self.pos += 1
+            return node
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise RegexSyntaxError(
+                f"expected a colour symbol at position {self.pos} in {self.text!r}"
+            )
+        symbol = self.text[start:self.pos]
+        return _Symbol(WILDCARD if symbol == "_" else symbol)

@@ -1,0 +1,97 @@
+"""Parser for the textual form of F-class regular expressions.
+
+The grammar accepted here mirrors the notation used in the paper and in the
+rest of this library::
+
+    expression := atom (separator atom)*
+    atom       := color suffix?
+    color      := identifier | "_"
+    suffix     := "^" number | "^+" | "+" | "{" number "}" | "^<=" number | "<=" number
+    separator  := whitespace | "." | ","
+
+Examples
+--------
+>>> parse_fregex("fa^2.fn").num_atoms
+2
+>>> str(parse_fregex("ic^2 dc^+ ic^2"))
+'ic^2.dc^+.ic^2'
+>>> str(parse_fregex("fr+"))
+'fr^+'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.exceptions import RegexSyntaxError
+from repro.regex.fclass import FRegex, RegexAtom
+
+_ATOM_PATTERN = re.compile(
+    r"""
+    (?P<color>[A-Za-z][A-Za-z0-9_-]*|_)        # colour name or wildcard
+    (?:
+        \^\s*(?:<=\s*)?(?P<caret_num>\d+)      # ^k  or ^<=k
+        | \^\s*\+                              # ^+
+        | \{\s*(?P<brace_num>\d+)\s*\}         # {k}
+        | <=\s*(?P<le_num>\d+)                 # <=k
+        | (?P<bare_plus>\+)                    # c+
+    )?
+    """,
+    re.VERBOSE,
+)
+
+_SEPARATOR = re.compile(r"[\s.,]+")
+
+
+def parse_fregex(text: str) -> FRegex:
+    """Parse ``text`` into an :class:`~repro.regex.fclass.FRegex`.
+
+    Raises
+    ------
+    RegexSyntaxError
+        If ``text`` is empty or contains tokens outside the F grammar.
+    """
+    if not isinstance(text, str):
+        raise RegexSyntaxError(f"expected a string, got {type(text).__name__}")
+    stripped = text.strip()
+    if not stripped:
+        raise RegexSyntaxError("empty regular expression")
+
+    atoms: List[RegexAtom] = []
+    pos = 0
+    length = len(stripped)
+    while pos < length:
+        sep = _SEPARATOR.match(stripped, pos)
+        if sep:
+            pos = sep.end()
+            if pos >= length:
+                break
+        match = _ATOM_PATTERN.match(stripped, pos)
+        if not match or match.end() == pos:
+            raise RegexSyntaxError(
+                f"cannot parse F-class expression at position {pos}: {stripped!r}"
+            )
+        color = match.group("color")
+        caret_num = match.group("caret_num")
+        brace_num = match.group("brace_num")
+        le_num = match.group("le_num")
+        raw = match.group(0)
+        if "^+" in raw.replace(" ", "") or match.group("bare_plus"):
+            max_count: object = None
+        elif caret_num is not None:
+            max_count = int(caret_num)
+        elif brace_num is not None:
+            max_count = int(brace_num)
+        elif le_num is not None:
+            max_count = int(le_num)
+        else:
+            max_count = 1
+        if isinstance(max_count, int) and max_count < 1:
+            raise RegexSyntaxError(f"bound must be >= 1 in {raw!r}")
+        atoms.append(RegexAtom(color, max_count))  # type: ignore[arg-type]
+        pos = match.end()
+
+    if not atoms:
+        raise RegexSyntaxError(f"no atoms found in {text!r}")
+    return FRegex(atoms)

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.essembly import (
+    build_essembly_graph,
+    essembly_query_q1,
+    essembly_query_q2,
+)
+from repro.datasets.synthetic import generate_synthetic_graph
+from repro.graph.distance import build_distance_matrix
+
+
+@pytest.fixture(scope="session")
+def essembly_graph():
+    """The paper's Fig. 1 data graph."""
+    return build_essembly_graph()
+
+
+@pytest.fixture(scope="session")
+def essembly_matrix(essembly_graph):
+    """Distance matrix of the Essembly graph."""
+    return build_distance_matrix(essembly_graph)
+
+
+@pytest.fixture(scope="session")
+def q1(essembly_graph):
+    """The paper's reachability query Q1."""
+    return essembly_query_q1()
+
+
+@pytest.fixture(scope="session")
+def q2(essembly_graph):
+    """The paper's pattern query Q2."""
+    return essembly_query_q2()
+
+
+@pytest.fixture(scope="session")
+def small_synthetic_graph():
+    """A small synthetic graph shared by evaluation tests."""
+    return generate_synthetic_graph(
+        num_nodes=60, num_edges=180, num_attributes=2, attribute_cardinality=4, seed=5
+    )
+
+
+@pytest.fixture(scope="session")
+def small_synthetic_matrix(small_synthetic_graph):
+    return build_distance_matrix(small_synthetic_graph)

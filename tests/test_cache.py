@@ -1,0 +1,74 @@
+"""Unit tests for the LRU cache."""
+
+import pytest
+
+from repro.matching.cache import LruCache
+
+
+class TestLruCache:
+    def test_put_get(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", "default") == "default"
+
+    def test_eviction_order(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)       # evicts "a"
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)       # evicts "b", not "a"
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_updates_existing(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("a", 10)
+        assert cache.get("a") == 10
+        assert len(cache) == 1
+
+    def test_unbounded(self):
+        cache = LruCache(capacity=None)
+        for index in range(1000):
+            cache.put(index, index)
+        assert len(cache) == 1000
+        assert cache.evictions == 0
+
+    def test_hit_rate(self):
+        cache = LruCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_clear(self):
+        cache = LruCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.hit_rate == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LruCache(capacity=0)
+
+    def test_iteration_and_repr(self):
+        cache = LruCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert list(cache) == ["a", "b"]
+        assert "LruCache" in repr(cache)

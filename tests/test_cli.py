@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.essembly import build_essembly_graph
+from repro.graph.io import load_json, save_json
+
+
+@pytest.fixture
+def essembly_json(tmp_path):
+    path = tmp_path / "essembly.json"
+    save_json(build_essembly_graph(), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_rq_requires_regex(self, essembly_json):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rq", essembly_json])
+
+
+class TestStatsCommand:
+    def test_prints_counts(self, essembly_json):
+        out = io.StringIO()
+        assert main(["stats", essembly_json], out=out) == 0
+        text = out.getvalue()
+        assert "|V|: 7" in text
+        assert "color fa" in text
+
+
+class TestRqCommand:
+    def test_evaluates_paper_q1(self, essembly_json):
+        out = io.StringIO()
+        code = main(
+            [
+                "rq",
+                essembly_json,
+                "--source", "job = 'biologist' & sp = 'cloning'",
+                "--target", "job = 'doctor'",
+                "--regex", "fa^2.fn",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "4 matching pairs" in text
+        assert "C1 -> B1" in text
+
+    def test_limit_truncates_output(self, essembly_json):
+        out = io.StringIO()
+        main(
+            ["rq", essembly_json, "--regex", "_^3", "--limit", "2"],
+            out=out,
+        )
+        assert "more)" in out.getvalue()
+
+    def test_matrix_method(self, essembly_json):
+        out = io.StringIO()
+        code = main(
+            ["rq", essembly_json, "--regex", "fn", "--method", "matrix"], out=out
+        )
+        assert code == 0
+        assert "method=matrix" in out.getvalue()
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("dataset", ["youtube", "terrorism", "synthetic"])
+    def test_generates_and_roundtrips(self, dataset, tmp_path):
+        output = tmp_path / f"{dataset}.json"
+        out = io.StringIO()
+        code = main(
+            ["generate", dataset, str(output), "--nodes", "40", "--edges", "90", "--seed", "3"],
+            out=out,
+        )
+        assert code == 0
+        graph = load_json(output)
+        assert graph.num_nodes == 40
+        assert graph.num_edges > 0
+
+
+class TestExperimentCommand:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nonsense"])

@@ -1,0 +1,192 @@
+"""Unit tests for RQ/PQ containment and equivalence (Section 3.1)."""
+
+import pytest
+
+from repro.query.containment import (
+    pq_contained_in,
+    pq_equivalent,
+    revised_similarity,
+    rq_contained_in,
+    rq_equivalent,
+    simulation_equivalent_nodes,
+)
+from repro.query.pq import PatternQuery
+from repro.query.rq import ReachabilityQuery
+
+
+class TestRqContainment:
+    def test_containment_requires_all_three_conditions(self):
+        narrow = ReachabilityQuery("job = 'doctor' & age > 40", "job = 'biologist'", "fa^2")
+        wide = ReachabilityQuery("job = 'doctor'", "job = 'biologist'", "fa^3")
+        assert rq_contained_in(narrow, wide)
+        assert not rq_contained_in(wide, narrow)
+
+    def test_regex_violation_blocks_containment(self):
+        first = ReachabilityQuery("a = 1", "b = 1", "fa^3")
+        second = ReachabilityQuery("a = 1", "b = 1", "fa^2")
+        assert not rq_contained_in(first, second)
+        assert rq_contained_in(second, first)
+
+    def test_predicate_violation_blocks_containment(self):
+        first = ReachabilityQuery("a = 1", "b = 1", "fa")
+        second = ReachabilityQuery("a = 2", "b = 1", "fa")
+        assert not rq_contained_in(first, second)
+
+    def test_equivalence(self):
+        first = ReachabilityQuery("a = 1", "b = 1", "fa^2.fa^3")
+        second = ReachabilityQuery("a = 1", "b = 1", "fa^3.fa^2")
+        assert rq_equivalent(first, second)
+        assert not rq_equivalent(first, ReachabilityQuery("a = 1", "b = 1", "fa^5"))
+
+    def test_rq_containment_is_reflexive_and_transitive(self):
+        a = ReachabilityQuery("x = 1 & y = 2", "z = 3", "fa")
+        b = ReachabilityQuery("x = 1", "z = 3", "fa^2")
+        c = ReachabilityQuery(None, "z = 3", "fa^4")
+        assert rq_contained_in(a, a)
+        assert rq_contained_in(a, b) and rq_contained_in(b, c)
+        assert rq_contained_in(a, c)
+
+
+def _fig3_queries():
+    """The three queries of Fig. 3 with h1 = fa, h2 = fa^2, h3 = fa^3."""
+    pred_b = {"job": "doctor"}
+    pred_c = {"job": "biologist"}
+    q1 = PatternQuery("Q1")
+    q1.add_node("B1", pred_b)
+    for index, regex in enumerate(["fa", "fa^2", "fa^3"], start=1):
+        q1.add_node(f"C{index}", pred_c)
+        q1.add_edge("B1", f"C{index}", regex)
+    q2 = PatternQuery("Q2")
+    q2.add_node("B2", pred_b)
+    q2.add_node("C4", pred_c)
+    q2.add_edge("B2", "C4", "fa")
+    q3 = PatternQuery("Q3")
+    q3.add_node("B3", pred_b)
+    q3.add_node("C5", pred_c)
+    q3.add_node("C6", pred_c)
+    q3.add_edge("B3", "C5", "fa")
+    q3.add_edge("B3", "C6", "fa^3")
+    return q1, q2, q3
+
+
+class TestPqContainmentPaperExamples:
+    def test_example_3_1(self):
+        """The containments stated in Example 3.1 hold."""
+        q1, q2, q3 = _fig3_queries()
+        assert pq_contained_in(q2, q1)
+        assert pq_contained_in(q2, q3)
+        assert pq_contained_in(q3, q1)
+        assert pq_contained_in(q1, q3)
+
+    def test_equivalence_q1_q3(self):
+        q1, _, q3 = _fig3_queries()
+        assert pq_equivalent(q1, q3)
+
+    def test_q1_not_contained_in_q2(self):
+        q1, q2, _ = _fig3_queries()
+        assert not pq_contained_in(q1, q2)
+        assert not pq_equivalent(q1, q2)
+
+    def test_revised_similarity_of_example_3_2(self):
+        """The relation of Example 3.2 (from Q1's nodes to Q2's nodes) exists."""
+        q1, q2, _ = _fig3_queries()
+        relation = revised_similarity(q1, q2)
+        assert ("B1", "B2") in relation
+        for index in range(1, 4):
+            assert (f"C{index}", "C4") in relation
+
+
+class TestPqContainmentGeneral:
+    def test_predicate_strengthening(self):
+        narrow = PatternQuery()
+        narrow.add_node("A", "kind = 'x' & age > 10")
+        narrow.add_node("B", {"kind": "y"})
+        narrow.add_edge("A", "B", "r")
+        wide = PatternQuery()
+        wide.add_node("A", {"kind": "x"})
+        wide.add_node("B", {"kind": "y"})
+        wide.add_edge("A", "B", "r^2")
+        assert pq_contained_in(narrow, wide)
+        assert not pq_contained_in(wide, narrow)
+
+    def test_edge_language_drives_containment(self):
+        narrow = PatternQuery()
+        narrow.add_node("A", {"k": 1})
+        narrow.add_node("B", {"k": 2})
+        narrow.add_edge("A", "B", "r")
+        wide = PatternQuery()
+        wide.add_node("A", {"k": 1})
+        wide.add_node("B", {"k": 2})
+        wide.add_edge("A", "B", "r^2")
+        assert pq_contained_in(narrow, wide)
+        assert not pq_contained_in(wide, narrow)
+
+    def test_unmappable_extra_edge_blocks_containment(self):
+        """Containment needs *every* edge of the contained query to map to an
+        edge of the container with per-graph answer inclusion (Section 3.1);
+        an edge with no counterpart therefore blocks containment in both
+        directions."""
+        small = PatternQuery()
+        small.add_node("A", {"k": 1})
+        small.add_node("B", {"k": 2})
+        small.add_edge("A", "B", "r")
+        large = small.copy()
+        large.add_node("C", {"k": 3})
+        large.add_edge("B", "C", "s")
+        assert not pq_contained_in(large, small)
+        assert not pq_contained_in(small, large)
+
+    def test_reversed_edge_blocks_containment(self):
+        forward = PatternQuery()
+        forward.add_node("A", {"k": 1})
+        forward.add_node("B", {"k": 2})
+        forward.add_edge("A", "B", "r")
+        backward = PatternQuery()
+        backward.add_node("A", {"k": 1})
+        backward.add_node("B", {"k": 2})
+        backward.add_edge("B", "A", "r")
+        assert not pq_contained_in(forward, backward)
+        assert not pq_contained_in(backward, forward)
+
+    def test_containment_reflexive(self, q2):
+        assert pq_contained_in(q2, q2)
+        assert pq_equivalent(q2, q2)
+
+    def test_wildcard_widens_language(self):
+        strict = PatternQuery()
+        strict.add_node("A", {"k": 1})
+        strict.add_node("B", {"k": 2})
+        strict.add_edge("A", "B", "r^2")
+        loose = PatternQuery()
+        loose.add_node("A", {"k": 1})
+        loose.add_node("B", {"k": 2})
+        loose.add_edge("A", "B", "_^2")
+        assert pq_contained_in(strict, loose)
+        assert not pq_contained_in(loose, strict)
+
+
+class TestSimulationEquivalentNodes:
+    def test_duplicate_nodes_grouped(self):
+        pattern = PatternQuery()
+        pattern.add_node("A", {"k": 1})
+        pattern.add_node("B1", {"k": 2})
+        pattern.add_node("B2", {"k": 2})
+        pattern.add_edge("A", "B1", "r")
+        pattern.add_edge("A", "B2", "r")
+        classes = simulation_equivalent_nodes(pattern)
+        grouped = {frozenset(members) for members in classes.values()}
+        assert frozenset({"B1", "B2"}) in grouped
+        assert frozenset({"A"}) in grouped
+
+    def test_different_constraints_not_grouped(self):
+        pattern = PatternQuery()
+        pattern.add_node("A", {"k": 1})
+        pattern.add_node("B1", {"k": 2})
+        pattern.add_node("B2", {"k": 2})
+        pattern.add_node("C", {"k": 3})
+        pattern.add_edge("A", "B1", "r")
+        pattern.add_edge("A", "B2", "r")
+        pattern.add_edge("B1", "C", "s")  # B1 is more constrained than B2
+        classes = simulation_equivalent_nodes(pattern)
+        grouped = {frozenset(members) for members in classes.values()}
+        assert frozenset({"B1", "B2"}) not in grouped

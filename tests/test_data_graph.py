@@ -1,0 +1,158 @@
+"""Unit tests for the DataGraph container."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.data_graph import DataGraph, Edge
+
+
+@pytest.fixture
+def triangle():
+    graph = DataGraph(name="triangle")
+    graph.add_node("a", kind="start")
+    graph.add_node("b", kind="middle")
+    graph.add_node("c", kind="end")
+    graph.add_edge("a", "b", "red")
+    graph.add_edge("b", "c", "red")
+    graph.add_edge("c", "a", "blue")
+    return graph
+
+
+class TestConstruction:
+    def test_add_node_with_attributes(self):
+        graph = DataGraph()
+        graph.add_node("x", color="green", weight=3)
+        assert graph.has_node("x")
+        assert graph.attributes("x") == {"color": "green", "weight": 3}
+
+    def test_add_node_updates_attributes(self):
+        graph = DataGraph()
+        graph.add_node("x", a=1)
+        graph.add_node("x", b=2)
+        assert graph.attributes("x") == {"a": 1, "b": 2}
+
+    def test_add_edge_creates_nodes(self):
+        graph = DataGraph()
+        edge = graph.add_edge("u", "v", "t")
+        assert edge == Edge("u", "v", "t")
+        assert graph.has_node("u") and graph.has_node("v")
+        assert graph.num_edges == 1
+
+    def test_duplicate_edge_ignored(self):
+        graph = DataGraph()
+        graph.add_edge("u", "v", "t")
+        graph.add_edge("u", "v", "t")
+        assert graph.num_edges == 1
+
+    def test_parallel_edges_different_colors(self):
+        graph = DataGraph()
+        graph.add_edge("u", "v", "t1")
+        graph.add_edge("u", "v", "t2")
+        assert graph.num_edges == 2
+        assert graph.colors == {"t1", "t2"}
+
+    def test_self_loop(self):
+        graph = DataGraph()
+        graph.add_edge("u", "u", "t")
+        assert graph.has_edge("u", "u", "t")
+
+    def test_invalid_color_rejected(self):
+        graph = DataGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge("u", "v", "")
+        with pytest.raises(GraphError):
+            graph.add_edge("u", "v", 3)  # type: ignore[arg-type]
+
+    def test_add_edges_from(self, triangle):
+        assert triangle.num_edges == 3
+        assert triangle.num_nodes == 3
+
+
+class TestAccessors:
+    def test_successors_and_predecessors(self, triangle):
+        assert triangle.successors("a") == {"b"}
+        assert triangle.successors("a", "red") == {"b"}
+        assert triangle.successors("a", "blue") == set()
+        assert triangle.predecessors("a") == {"c"}
+        assert triangle.predecessors("a", "blue") == {"c"}
+
+    def test_missing_node_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.successors("zzz")
+        with pytest.raises(GraphError):
+            triangle.predecessors("zzz")
+        with pytest.raises(GraphError):
+            triangle.attributes("zzz")
+        with pytest.raises(GraphError):
+            list(triangle.out_edges("zzz"))
+
+    def test_degrees(self, triangle):
+        assert triangle.out_degree("a") == 1
+        assert triangle.in_degree("a") == 1
+        assert triangle.out_degree("missing") == 0
+
+    def test_edges_iteration(self, triangle):
+        edges = set(triangle.edges())
+        assert Edge("a", "b", "red") in edges
+        assert len(edges) == 3
+
+    def test_colors(self, triangle):
+        assert triangle.colors == {"red", "blue"}
+        assert triangle.successor_colors("a") == {"red"}
+        assert triangle.predecessor_colors("a") == {"blue"}
+
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge("a", "b")
+        assert triangle.has_edge("a", "b", "red")
+        assert not triangle.has_edge("a", "b", "blue")
+        assert not triangle.has_edge("b", "a")
+        assert not triangle.has_edge("zzz", "b")
+
+    def test_get_attribute_default(self, triangle):
+        assert triangle.get_attribute("a", "kind") == "start"
+        assert triangle.get_attribute("a", "missing", 42) == 42
+
+    def test_contains_and_len(self, triangle):
+        assert "a" in triangle
+        assert "zzz" not in triangle
+        assert len(triangle) == 3
+
+    def test_nodes_matching(self, triangle):
+        from repro.query.predicates import Predicate
+
+        assert triangle.nodes_matching(Predicate.from_dict({"kind": "start"})) == ["a"]
+        assert set(triangle.nodes_matching(lambda attrs: "kind" in attrs)) == {"a", "b", "c"}
+
+
+class TestMutation:
+    def test_remove_edge(self, triangle):
+        triangle_copy = triangle.copy()
+        triangle_copy.remove_edge("a", "b", "red")
+        assert not triangle_copy.has_edge("a", "b")
+        assert triangle_copy.num_edges == 2
+        with pytest.raises(GraphError):
+            triangle_copy.remove_edge("a", "b", "red")
+
+    def test_remove_node(self, triangle):
+        triangle_copy = triangle.copy()
+        triangle_copy.remove_node("b")
+        assert not triangle_copy.has_node("b")
+        assert triangle_copy.num_edges == 1  # only c -blue-> a remains
+        with pytest.raises(GraphError):
+            triangle_copy.remove_node("b")
+
+    def test_copy_is_independent(self, triangle):
+        duplicate = triangle.copy()
+        duplicate.add_edge("a", "c", "green")
+        assert not triangle.has_edge("a", "c")
+        assert duplicate.attributes("a") == triangle.attributes("a")
+
+    def test_subgraph(self, triangle):
+        sub = triangle.subgraph({"a", "b"})
+        assert sub.num_nodes == 2
+        assert sub.has_edge("a", "b", "red")
+        assert not sub.has_edge("b", "c")
+
+    def test_repr(self, triangle):
+        text = repr(triangle)
+        assert "nodes=3" in text and "edges=3" in text

@@ -1,0 +1,118 @@
+"""Unit tests for the dataset builders."""
+
+import pytest
+
+from repro.datasets.essembly import (
+    ESSEMBLY_COLORS,
+    EXPECTED_Q1_RESULT,
+    EXPECTED_Q2_RESULT,
+    build_essembly_graph,
+    essembly_query_q1,
+    essembly_query_q2,
+)
+from repro.datasets.synthetic import generate_synthetic_graph
+from repro.datasets.terrorism import NAMED_ORGANISATIONS, TERRORISM_COLORS, generate_terrorism_graph
+from repro.datasets.youtube import YOUTUBE_COLORS, generate_youtube_graph
+from repro.exceptions import GraphError
+
+
+class TestEssembly:
+    def test_schema(self):
+        graph = build_essembly_graph()
+        assert graph.num_nodes == 7
+        assert graph.colors <= set(ESSEMBLY_COLORS)
+        assert graph.attributes("B1")["job"] == "doctor"
+        assert graph.attributes("C1")["sp"] == "cloning"
+        assert graph.attributes("D1")["uid"] == "Alice001"
+
+    def test_queries_well_formed(self):
+        q1 = essembly_query_q1()
+        assert str(q1.regex) == "fa^2.fn"
+        q2 = essembly_query_q2()
+        assert q2.num_nodes == 3 and q2.num_edges == 5
+        assert not q2.is_dag()  # it has a self loop on C
+
+    def test_expected_results_are_consistent_constants(self):
+        assert len(EXPECTED_Q1_RESULT) == 4
+        assert sum(len(pairs) for pairs in EXPECTED_Q2_RESULT.values()) == 8
+
+
+class TestYoutube:
+    def test_size_and_schema(self):
+        graph = generate_youtube_graph(num_nodes=300, num_edges=900, seed=1)
+        assert graph.num_nodes == 300
+        assert 850 <= graph.num_edges <= 900
+        assert graph.colors <= set(YOUTUBE_COLORS)
+        sample = graph.attributes(next(iter(graph.nodes())))
+        assert {"uid", "cat", "len", "com", "age", "view"} <= set(sample)
+
+    def test_determinism(self):
+        first = generate_youtube_graph(num_nodes=120, num_edges=360, seed=9)
+        second = generate_youtube_graph(num_nodes=120, num_edges=360, seed=9)
+        assert set(first.edges()) == set(second.edges())
+        third = generate_youtube_graph(num_nodes=120, num_edges=360, seed=10)
+        assert set(first.edges()) != set(third.edges())
+
+    def test_default_size_matches_paper(self):
+        from repro.datasets.youtube import DEFAULT_NUM_EDGES, DEFAULT_NUM_NODES
+
+        assert DEFAULT_NUM_NODES == 8350
+        assert DEFAULT_NUM_EDGES == 30391
+
+    def test_tiny_graph(self):
+        graph = generate_youtube_graph(num_nodes=1, num_edges=5, seed=0)
+        assert graph.num_nodes == 1 and graph.num_edges == 0
+
+
+class TestTerrorism:
+    def test_size_and_schema(self):
+        graph = generate_terrorism_graph(num_nodes=200, num_edges=400, seed=2)
+        assert graph.num_nodes == 200
+        assert 350 <= graph.num_edges <= 400
+        assert graph.colors <= set(TERRORISM_COLORS)
+        names = {graph.attributes(node)["gn"] for node in graph.nodes()}
+        assert set(NAMED_ORGANISATIONS) <= names
+
+    def test_edge_colors_reflect_countries(self):
+        graph = generate_terrorism_graph(num_nodes=150, num_edges=300, seed=3)
+        for edge in graph.edges():
+            same_country = (
+                graph.attributes(edge.source)["country"]
+                == graph.attributes(edge.target)["country"]
+            )
+            assert edge.color == ("dc" if same_country else "ic")
+
+    def test_default_size_matches_paper(self):
+        from repro.datasets.terrorism import DEFAULT_NUM_EDGES, DEFAULT_NUM_NODES
+
+        assert DEFAULT_NUM_NODES == 818
+        assert DEFAULT_NUM_EDGES == 1600
+
+
+class TestSynthetic:
+    def test_size_and_parameters(self):
+        graph = generate_synthetic_graph(100, 300, num_attributes=4, attribute_cardinality=7, seed=5)
+        assert graph.num_nodes == 100
+        assert 280 <= graph.num_edges <= 300
+        sample = graph.attributes(next(iter(graph.nodes())))
+        assert set(sample) == {"a0", "a1", "a2", "a3"}
+        assert all(0 <= value < 7 for value in sample.values())
+
+    def test_custom_colors(self):
+        graph = generate_synthetic_graph(30, 60, colors=("x", "y"), seed=5)
+        assert graph.colors <= {"x", "y"}
+
+    def test_determinism(self):
+        first = generate_synthetic_graph(40, 100, seed=6)
+        second = generate_synthetic_graph(40, 100, seed=6)
+        assert set(first.edges()) == set(second.edges())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            generate_synthetic_graph(-1, 10)
+        with pytest.raises(GraphError):
+            generate_synthetic_graph(10, 10, colors=())
+
+    def test_empty_graph(self):
+        graph = generate_synthetic_graph(0, 0)
+        assert graph.num_nodes == 0

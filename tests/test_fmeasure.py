@@ -1,0 +1,71 @@
+"""Unit tests for the F-measure metric."""
+
+import pytest
+
+from repro.metrics.fmeasure import compute_f_measure
+
+
+class TestFMeasure:
+    def test_perfect_match(self):
+        truth = {("A", 1), ("A", 2), ("B", 3)}
+        result = compute_f_measure(truth, truth)
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.f_measure == 1.0
+
+    def test_partial_overlap(self):
+        found = {("A", 1), ("A", 2)}
+        truth = {("A", 1), ("B", 3)}
+        result = compute_f_measure(found, truth)
+        assert result.precision == pytest.approx(0.5)
+        assert result.recall == pytest.approx(0.5)
+        assert result.f_measure == pytest.approx(0.5)
+        assert result.num_true_found == 1
+
+    def test_nothing_found(self):
+        result = compute_f_measure(set(), {("A", 1)})
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+        assert result.f_measure == 0.0
+
+    def test_nothing_expected(self):
+        result = compute_f_measure(set(), set())
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+
+    def test_found_but_nothing_true(self):
+        result = compute_f_measure({("A", 1)}, set())
+        assert result.precision == 0.0
+        assert result.recall == 1.0
+
+    def test_mapping_inputs(self):
+        found = {"A": {1, 2}, "B": {3}}
+        truth = {"A": {1}, "B": {3}}
+        result = compute_f_measure(found, truth)
+        assert result.num_found == 3
+        assert result.num_true == 2
+        assert result.recall == 1.0
+        assert result.precision == pytest.approx(2 / 3)
+
+    def test_as_row(self):
+        row = compute_f_measure({("A", 1)}, {("A", 1)}).as_row()
+        assert row["f_measure"] == 1.0
+        assert row["found"] == 1
+
+    def test_example_from_paper_exp1(self):
+        """SubIso at (3,3): 33 true matches found out of 245 true, precision 1."""
+        truth = {("u", index) for index in range(245)}
+        found = {("u", index) for index in range(33)}
+        result = compute_f_measure(found, truth)
+        assert result.precision == 1.0
+        assert result.recall == pytest.approx(33 / 245)
+        expected_f = 2 * 1.0 * (33 / 245) / (1.0 + 33 / 245)
+        assert result.f_measure == pytest.approx(expected_f)
+
+    def test_match_example_from_paper_exp1(self):
+        """Match at (3,3): 374 found, 245 true, all true found."""
+        truth = {("u", index) for index in range(245)}
+        found = {("u", index) for index in range(374)}
+        result = compute_f_measure(found, truth)
+        assert result.recall == 1.0
+        assert result.precision == pytest.approx(245 / 374)

@@ -1,0 +1,90 @@
+"""Unit tests for graph serialisation."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.data_graph import DataGraph
+from repro.graph.io import (
+    from_json_dict,
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+    to_json_dict,
+)
+
+
+@pytest.fixture
+def sample_graph():
+    graph = DataGraph(name="sample")
+    graph.add_node("a", job="doctor", age=41)
+    graph.add_node("b", job="biologist")
+    graph.add_edge("a", "b", "fn")
+    graph.add_edge("b", "a", "fa")
+    return graph
+
+
+class TestJson:
+    def test_roundtrip_in_memory(self, sample_graph):
+        restored = from_json_dict(to_json_dict(sample_graph))
+        assert restored.name == "sample"
+        assert restored.num_nodes == 2
+        assert restored.num_edges == 2
+        assert restored.attributes("a") == {"job": "doctor", "age": 41}
+        assert restored.has_edge("a", "b", "fn")
+
+    def test_roundtrip_on_disk(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_json(sample_graph, path)
+        restored = load_json(path)
+        assert restored.num_edges == sample_graph.num_edges
+        assert restored.attributes("b") == {"job": "biologist"}
+
+    def test_malformed_document(self):
+        with pytest.raises(GraphError):
+            from_json_dict({"nodes": [{"no_id": 1}], "edges": []})
+        with pytest.raises(GraphError):
+            from_json_dict({"edges": []})
+
+
+class TestEdgeList:
+    def test_roundtrip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        save_edge_list(sample_graph, path)
+        restored = load_edge_list(path, name="restored")
+        assert restored.num_edges == 2
+        assert restored.has_edge("a", "b", "fn")
+        # Node attributes are not preserved by the edge-list format.
+        assert restored.attributes("a") == {}
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n\na b red\nb c blue\n")
+        graph = load_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+
+class TestStats:
+    def test_compute_stats(self, sample_graph):
+        from repro.graph.stats import compute_stats
+
+        stats = compute_stats(sample_graph)
+        assert stats.num_nodes == 2
+        assert stats.num_edges == 2
+        assert stats.color_counts == {"fn": 1, "fa": 1}
+        assert stats.max_out_degree == 1
+        row = stats.as_row()
+        assert row["|V|"] == 2 and row["|E|"] == 2
+
+    def test_empty_graph_stats(self):
+        from repro.graph.stats import compute_stats
+
+        stats = compute_stats(DataGraph(name="empty"))
+        assert stats.num_nodes == 0
+        assert stats.average_out_degree == 0.0

@@ -1,0 +1,120 @@
+"""Tests for incremental pattern-query maintenance."""
+
+import random
+
+import pytest
+
+from repro.datasets.essembly import EXPECTED_Q2_RESULT, build_essembly_graph, essembly_query_q2
+from repro.datasets.synthetic import generate_synthetic_graph
+from repro.exceptions import GraphError
+from repro.matching.incremental import IncrementalPatternMatcher
+from repro.matching.join_match import join_match
+from repro.query.generator import QueryGenerator
+from repro.query.pq import PatternQuery
+
+
+@pytest.fixture
+def essembly():
+    return build_essembly_graph()
+
+
+class TestBasicMaintenance:
+    def test_initial_result_matches_batch(self, essembly):
+        matcher = IncrementalPatternMatcher(essembly_query_q2(), essembly)
+        assert matcher.result.as_frozen() == EXPECTED_Q2_RESULT
+        assert matcher.matches_of("C") == {"C3"}
+
+    def test_insertion_adds_matches(self, essembly):
+        query = essembly_query_q2()
+        matcher = IncrementalPatternMatcher(query, essembly)
+        # Give C1 the friends-nemeses edge to a doctor that it was missing;
+        # C1 then satisfies every constraint of pattern node C.
+        matcher.add_edge("C1", "B1", "fn")
+        assert "C1" in matcher.matches_of("C")
+        expected = join_match(query, essembly)
+        assert matcher.result.same_matches(expected)
+
+    def test_deletion_removes_matches(self, essembly):
+        query = essembly_query_q2()
+        matcher = IncrementalPatternMatcher(query, essembly)
+        # Removing C3's only fn edges to the doctors empties the whole answer
+        # (pattern node C loses all matches).
+        matcher.remove_edge("C3", "B1", "fn")
+        result = matcher.remove_edge("C3", "B2", "fn")
+        assert result.is_empty
+        expected = join_match(query, essembly)
+        assert expected.is_empty
+
+    def test_irrelevant_color_update_is_skipped(self, essembly):
+        pattern = PatternQuery()
+        pattern.add_node("C", {"job": "biologist"})
+        pattern.add_node("B", {"job": "doctor"})
+        pattern.add_edge("C", "B", "fn")
+        matcher = IncrementalPatternMatcher(pattern, essembly)
+        before = matcher.full_recomputations
+        matcher.add_edge("C1", "B1", "sa")   # sa is never mentioned by the query
+        matcher.remove_edge("C1", "B1", "sa")
+        assert matcher.full_recomputations == before
+        assert matcher.skipped_updates == 2
+        assert matcher.result.same_matches(join_match(pattern, essembly))
+
+    def test_wildcard_query_treats_all_colors_as_relevant(self, essembly):
+        pattern = PatternQuery()
+        pattern.add_node("C", {"job": "biologist"})
+        pattern.add_node("B", {"job": "doctor"})
+        pattern.add_edge("C", "B", "_^2")
+        matcher = IncrementalPatternMatcher(pattern, essembly)
+        before = matcher.full_recomputations
+        matcher.add_edge("C1", "B2", "sa")
+        assert matcher.full_recomputations == before + 1
+
+    def test_duplicate_insertion_is_skipped(self, essembly):
+        query = essembly_query_q2()
+        matcher = IncrementalPatternMatcher(query, essembly)
+        before = matcher.full_recomputations
+        matcher.add_edge("C3", "B1", "fn")   # already present
+        assert matcher.full_recomputations == before
+        assert matcher.result.as_frozen() == EXPECTED_Q2_RESULT
+
+    def test_removing_missing_edge_raises(self, essembly):
+        matcher = IncrementalPatternMatcher(essembly_query_q2(), essembly)
+        with pytest.raises(GraphError):
+            matcher.remove_edge("C3", "B1", "sa")
+
+    def test_statistics_and_repr(self, essembly):
+        matcher = IncrementalPatternMatcher(essembly_query_q2(), essembly)
+        stats = matcher.statistics()
+        assert stats["full_recomputations"] == 1
+        assert "IncrementalPatternMatcher" in repr(matcher)
+
+    def test_recompute_matches_current_state(self, essembly):
+        matcher = IncrementalPatternMatcher(essembly_query_q2(), essembly)
+        matcher.add_edge("C1", "B1", "fn")
+        forced = matcher.recompute()
+        assert forced.same_matches(join_match(essembly_query_q2(), essembly))
+
+
+class TestRandomUpdateSequences:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_incremental_equals_from_scratch(self, seed):
+        rng = random.Random(seed)
+        graph = generate_synthetic_graph(
+            num_nodes=25, num_edges=70, num_attributes=2, attribute_cardinality=3, seed=seed
+        )
+        generator = QueryGenerator(graph, seed=seed)
+        pattern = generator.pattern_query(3, 4, num_predicates=1, bound=2, max_colors=2)
+        matcher = IncrementalPatternMatcher(pattern, graph)
+        nodes = list(graph.nodes())
+        colors = sorted(graph.colors)
+
+        for step in range(12):
+            if rng.random() < 0.5 and graph.num_edges > 0:
+                edge = rng.choice(list(graph.edges()))
+                matcher.remove_edge(edge.source, edge.target, edge.color)
+            else:
+                source, target = rng.choice(nodes), rng.choice(nodes)
+                if source == target:
+                    continue
+                matcher.add_edge(source, target, rng.choice(colors))
+            expected = join_match(pattern, graph)
+            assert matcher.result.same_matches(expected), (seed, step)

@@ -1,0 +1,117 @@
+"""Property-based tests: PQ semantics invariants on random graphs and queries.
+
+The central invariants:
+
+* JoinMatch, SplitMatch and the reference naive evaluator agree exactly,
+  with and without a distance matrix;
+* the answer satisfies the definition of Section 2 — every reported node match
+  has, for every outgoing pattern edge, a regex-constrained path to some
+  reported match of the edge's target (i.e. the relation is a valid "revised
+  simulation"), and every reported edge pair is witnessed by a matching path;
+* the answer is maximal: no candidate outside the reported match set of a
+  node can be added while keeping the relation valid (checked indirectly by
+  comparing with the naive fixpoint, which starts from all candidates and
+  removes only provably-invalid ones).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.data_graph import DataGraph
+from repro.graph.distance import build_distance_matrix
+from repro.matching.join_match import join_match
+from repro.matching.naive import naive_match
+from repro.matching.paths import PathMatcher
+from repro.matching.split_match import split_match
+from repro.query.pq import PatternQuery
+from repro.regex.fclass import FRegex, RegexAtom
+
+COLORS = ["r", "s"]
+KINDS = ["p", "q"]
+
+
+@st.composite
+def graphs(draw):
+    """Small random data graphs with a 'kind' attribute and two edge colours."""
+    num_nodes = draw(st.integers(min_value=3, max_value=8))
+    graph = DataGraph()
+    for index in range(num_nodes):
+        graph.add_node(index, kind=draw(st.sampled_from(KINDS)))
+    num_edges = draw(st.integers(min_value=2, max_value=16))
+    for _ in range(num_edges):
+        source = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        target = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        color = draw(st.sampled_from(COLORS))
+        graph.add_edge(source, target, color)
+    return graph
+
+
+@st.composite
+def patterns(draw):
+    """Small random pattern queries (2–4 nodes, possibly cyclic)."""
+    num_nodes = draw(st.integers(min_value=2, max_value=4))
+    pattern = PatternQuery()
+    names = [f"u{i}" for i in range(num_nodes)]
+    for name in names:
+        kind = draw(st.one_of(st.none(), st.sampled_from(KINDS)))
+        pattern.add_node(name, {"kind": kind} if kind else None)
+    num_edges = draw(st.integers(min_value=1, max_value=5))
+    for _ in range(num_edges):
+        source = draw(st.sampled_from(names))
+        target = draw(st.sampled_from(names))
+        if source == target or pattern.has_edge(source, target):
+            continue
+        atoms = draw(
+            st.lists(
+                st.builds(
+                    RegexAtom,
+                    color=st.sampled_from(COLORS + ["_"]),
+                    max_count=st.one_of(st.none(), st.integers(min_value=1, max_value=2)),
+                ),
+                min_size=1,
+                max_size=2,
+            )
+        )
+        pattern.add_edge(source, target, FRegex(atoms))
+    if pattern.num_edges == 0:
+        pattern.add_edge(names[0], names[1], FRegex([RegexAtom(COLORS[0], 1)]))
+    return pattern
+
+
+@given(graph=graphs(), pattern=patterns())
+@settings(max_examples=60, deadline=None)
+def test_all_algorithms_and_modes_agree(graph, pattern):
+    matrix = build_distance_matrix(graph)
+    reference = naive_match(pattern, graph, distance_matrix=matrix)
+    for algorithm in (join_match, split_match):
+        for dm in (matrix, None):
+            assert algorithm(pattern, graph, distance_matrix=dm).same_matches(reference)
+
+
+@given(graph=graphs(), pattern=patterns())
+@settings(max_examples=60, deadline=None)
+def test_result_is_a_valid_revised_simulation(graph, pattern):
+    matrix = build_distance_matrix(graph)
+    matcher = PathMatcher(graph, distance_matrix=matrix)
+    result = join_match(pattern, graph, distance_matrix=matrix, matcher=matcher)
+    if result.is_empty:
+        return
+    for edge in pattern.edges():
+        source_matches = result.matches_of(edge.source)
+        target_matches = result.matches_of(edge.target)
+        assert source_matches and target_matches
+        for data_node in source_matches:
+            reached = matcher.targets_from(data_node, edge.regex)
+            assert reached & target_matches, (edge, data_node)
+        # Every reported pair must be witnessed by a matching path.
+        for source_node, target_node in result.pairs_of(edge.source, edge.target):
+            assert matcher.pair_matches(source_node, target_node, edge.regex)
+
+
+@given(graph=graphs(), pattern=patterns())
+@settings(max_examples=40, deadline=None)
+def test_node_predicates_respected(graph, pattern):
+    result = join_match(pattern, graph)
+    for node in pattern.nodes():
+        predicate = pattern.predicate(node)
+        for data_node in result.matches_of(node):
+            assert predicate.matches(graph.attributes(data_node))

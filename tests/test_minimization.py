@@ -1,0 +1,117 @@
+"""Unit tests for pattern-query minimization (minPQs, Section 3.2)."""
+
+import pytest
+
+from repro.datasets.essembly import build_essembly_graph
+from repro.graph.distance import build_distance_matrix
+from repro.matching.join_match import join_match
+from repro.query.containment import pq_equivalent
+from repro.query.generator import QueryGenerator
+from repro.query.minimization import minimize_pattern_query
+from repro.query.pq import PatternQuery
+
+
+def _fig3_q1():
+    """Fig. 3's Q1: one doctor node with three parallel biologist children."""
+    pattern = PatternQuery("Q1")
+    pattern.add_node("B1", {"job": "doctor"})
+    for index, regex in enumerate(["fa", "fa^2", "fa^3"], start=1):
+        pattern.add_node(f"C{index}", {"job": "biologist"})
+        pattern.add_edge("B1", f"C{index}", regex)
+    return pattern
+
+
+class TestPaperExamples:
+    def test_fig3_minimum_size(self):
+        """Fig. 3/4: the minimum equivalent query of Q1 has 3 nodes and 2 edges."""
+        original = _fig3_q1()
+        minimized = minimize_pattern_query(original)
+        assert minimized.size == 5
+        assert pq_equivalent(minimized, original)
+        # The surviving constraints are the extremes of the chain: fa and fa^3.
+        languages = sorted(str(edge.regex) for edge in minimized.edges())
+        assert languages == ["fa", "fa^3"]
+
+    def test_duplicate_equivalent_nodes_collapse(self):
+        """Step 1-2 of minPQs: simulation-equivalent node copies are merged."""
+        pattern = PatternQuery()
+        pattern.add_node("R", {"k": "root"})
+        pattern.add_node("B1", {"k": "b"})
+        pattern.add_node("B2", {"k": "b"})
+        pattern.add_node("D", {"k": "d"})
+        pattern.add_edge("R", "B1", "r")
+        pattern.add_edge("R", "B2", "r")
+        pattern.add_edge("B1", "D", "s")
+        pattern.add_edge("B2", "D", "s")
+        minimized = minimize_pattern_query(pattern)
+        assert minimized.size < pattern.size
+        assert minimized.num_nodes == 3
+        assert pq_equivalent(minimized, pattern)
+
+    def test_fig5_style_query(self):
+        """A query with both duplicate nodes and a redundant parallel chain."""
+        pattern = PatternQuery()
+        pattern.add_node("R", {"k": "r"})
+        pattern.add_node("B1", {"k": "b"})
+        pattern.add_node("B2", {"k": "b"})
+        for index, regex in enumerate(["fa", "fa^2", "fa^3"], start=1):
+            pattern.add_node(f"C{index}", {"k": "c"})
+            pattern.add_edge("B1", f"C{index}", regex)
+        pattern.add_node("C4", {"k": "c"})
+        pattern.add_node("C5", {"k": "c"})
+        pattern.add_edge("B2", "C4", "fa")
+        pattern.add_edge("B2", "C5", "fa^3")
+        pattern.add_edge("R", "B1", "h")
+        pattern.add_edge("R", "B2", "h")
+        minimized = minimize_pattern_query(pattern)
+        assert pq_equivalent(minimized, pattern)
+        assert minimized.size < pattern.size
+
+
+class TestMinimizationInvariants:
+    def test_never_larger_and_always_equivalent(self):
+        graph = build_essembly_graph()
+        generator = QueryGenerator(graph, seed=3)
+        for index in range(6):
+            pattern = generator.pattern_query(
+                num_nodes=3 + index % 3, num_edges=3 + index % 4, num_predicates=1, bound=2
+            )
+            minimized = minimize_pattern_query(pattern)
+            assert minimized.size <= pattern.size
+            assert pq_equivalent(minimized, pattern)
+
+    def test_minimization_preserves_answers(self, q2):
+        graph = build_essembly_graph()
+        matrix = build_distance_matrix(graph)
+        minimized = minimize_pattern_query(q2)
+        original_result = join_match(q2, graph, distance_matrix=matrix)
+        minimized_result = join_match(minimized, graph, distance_matrix=matrix)
+        # Node-level matches must coincide for the nodes the queries share.
+        for node in minimized.nodes():
+            base = node.split("#")[0]
+            assert minimized_result.matches_of(node) == original_result.matches_of(base)
+
+    def test_idempotent(self):
+        original = _fig3_q1()
+        once = minimize_pattern_query(original)
+        twice = minimize_pattern_query(once)
+        assert twice.size == once.size
+
+    def test_already_minimal_query_untouched(self, q2):
+        minimized = minimize_pattern_query(q2)
+        assert minimized.size == q2.size
+        assert pq_equivalent(minimized, q2)
+
+    def test_empty_query(self):
+        empty = PatternQuery("empty")
+        assert minimize_pattern_query(empty).num_nodes == 0
+
+    def test_single_node_query(self):
+        single = PatternQuery()
+        single.add_node("A", {"k": 1})
+        minimized = minimize_pattern_query(single)
+        assert minimized.num_nodes == 1
+
+    def test_verify_flag(self):
+        original = _fig3_q1()
+        assert minimize_pattern_query(original, verify=False).size <= original.size

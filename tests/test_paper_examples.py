@@ -1,0 +1,144 @@
+"""End-to-end tests encoding the paper's worked examples.
+
+Each test cites the example it reproduces; these are the strongest correctness
+oracles available for the reproduction (they pin concrete inputs and outputs
+printed in the paper).
+"""
+
+import pytest
+
+from repro.datasets.essembly import (
+    EXPECTED_Q1_RESULT,
+    EXPECTED_Q2_RESULT,
+    build_essembly_graph,
+    essembly_query_q1,
+    essembly_query_q2,
+)
+from repro.graph.distance import build_distance_matrix
+from repro.matching.join_match import join_match
+from repro.matching.paths import PathMatcher
+from repro.matching.reachability import evaluate_rq
+from repro.matching.split_match import split_match
+from repro.query.rq import ReachabilityQuery
+from repro.regex.parser import parse_fregex
+
+
+class TestExample22:
+    """Example 2.2: the answer of the reachability query Q1 on G."""
+
+    def test_q1_answer(self, essembly_graph, essembly_matrix, q1):
+        result = evaluate_rq(q1, essembly_graph, distance_matrix=essembly_matrix)
+        assert result.pairs == EXPECTED_Q1_RESULT
+
+    def test_witness_path_c2_to_b1(self, essembly_graph, essembly_matrix):
+        """(C2, B1) matches via the path C2 -fa-> C3 -fn-> B1."""
+        matcher = PathMatcher(essembly_graph, distance_matrix=essembly_matrix)
+        assert matcher.pair_matches("C2", "B1", parse_fregex("fa^2.fn"))
+
+    def test_c3_does_not_match(self, essembly_graph, essembly_matrix):
+        matcher = PathMatcher(essembly_graph, distance_matrix=essembly_matrix)
+        assert not matcher.pair_matches("C3", "B1", parse_fregex("fa^2.fn"))
+
+
+class TestExample23:
+    """Example 2.3: the answer table of the pattern query Q2 on G."""
+
+    def test_q2_answer_table(self, essembly_graph, essembly_matrix, q2):
+        result = join_match(q2, essembly_graph, distance_matrix=essembly_matrix)
+        assert result.as_frozen() == EXPECTED_Q2_RESULT
+
+    def test_c_to_d_edge_maps_to_path(self, essembly_graph, essembly_matrix):
+        """The edge (C, D) maps to the path C3 -fa-> C1 -sa-> D1."""
+        matcher = PathMatcher(essembly_graph, distance_matrix=essembly_matrix)
+        assert matcher.pair_matches("C3", "D1", parse_fregex("fa^2.sa^2"))
+
+    def test_c1_d1_path_exists_but_is_not_a_match(self, essembly_graph, essembly_matrix, q2):
+        """(C1, D1) satisfies the edge regex (via C1 -fa-> C2 -fa-> C1 -sa-> D1)
+        yet is not in the answer, because C1 violates the other edges of Q2."""
+        matcher = PathMatcher(essembly_graph, distance_matrix=essembly_matrix)
+        assert matcher.pair_matches("C1", "D1", parse_fregex("fa^2.sa^2"))
+        result = join_match(q2, essembly_graph, distance_matrix=essembly_matrix)
+        assert ("C1", "D1") not in result.pairs_of("C", "D")
+
+    def test_c1_b1_not_a_match_of_edge_c_b(self, essembly_graph, essembly_matrix, q2):
+        """(C1, B1) is not a match of (C, B): no fn path from C1 to B1."""
+        matcher = PathMatcher(essembly_graph, distance_matrix=essembly_matrix)
+        assert not matcher.pair_matches("C1", "B1", parse_fregex("fn"))
+        result = join_match(q2, essembly_graph, distance_matrix=essembly_matrix)
+        assert ("C1", "B1") not in result.pairs_of("C", "B")
+
+
+class TestExample41:
+    """Example 4.1: decomposing Q1 into single-colour sub-queries."""
+
+    def test_decomposition_results_compose(self, essembly_graph, essembly_matrix, q1):
+        parts = q1.decompose()
+        assert len(parts) == 2
+        assert str(parts[0].regex) == "fa^2"
+        assert str(parts[1].regex) == "fn"
+
+        second = evaluate_rq(parts[1], essembly_graph, distance_matrix=essembly_matrix)
+        # Q1,2(G) = {(C3, B1), (C3, B2)} as stated in the example.
+        expected_second = {("C3", "B1"), ("C3", "B2")}
+        biologist_pairs = {
+            pair for pair in second.pairs
+            if essembly_graph.get_attribute(pair[0], "job") == "biologist"
+        }
+        assert biologist_pairs == expected_second
+
+        first = evaluate_rq(parts[0], essembly_graph, distance_matrix=essembly_matrix)
+        # Q1,1(G) restricted to sources matching C and targets that matched the
+        # dummy node in Q1,2 contains (C1, C3) and (C2, C3).
+        assert {("C1", "C3"), ("C2", "C3")} <= first.pairs
+
+        # Composing the two partial results yields Q1(G).
+        composed = {
+            (source, target)
+            for source, middle in first.pairs
+            for middle2, target in second.pairs
+            if middle == middle2
+            and essembly_graph.get_attribute(source, "job") == "biologist"
+            and essembly_graph.get_attribute(target, "job") == "doctor"
+        }
+        assert composed == EXPECTED_Q1_RESULT
+
+
+class TestExample51And52:
+    """Examples 5.1 / 5.2: the final match sets computed by JoinMatch/SplitMatch."""
+
+    def test_final_match_sets(self, essembly_graph, essembly_matrix, q2):
+        for algorithm in (join_match, split_match):
+            result = algorithm(q2, essembly_graph, distance_matrix=essembly_matrix)
+            assert result.matches_of("B") == {"B1", "B2"}
+            assert result.matches_of("C") == {"C3"}
+            assert result.matches_of("D") == {"D1"}
+
+    def test_initial_candidates(self, essembly_graph, q2):
+        """The initial mat() sets of Example 5.1."""
+        from repro.matching.naive import initial_candidates
+
+        candidates = initial_candidates(q2, essembly_graph)
+        assert candidates["B"] == {"B1", "B2"}
+        assert candidates["C"] == {"C1", "C2", "C3"}
+        assert candidates["D"] == {"D1"}
+
+
+class TestRemarkRqSpecialCase:
+    """Section 2 remark: RQs are PQs with two nodes and a single edge."""
+
+    def test_rq_equals_single_edge_pq(self, essembly_graph, essembly_matrix):
+        from repro.query.pq import PatternQuery
+
+        rq = ReachabilityQuery(
+            {"job": "biologist", "sp": "cloning"}, {"job": "doctor"}, "fa^2.fn",
+            source="C", target="B",
+        )
+        rq_result = evaluate_rq(rq, essembly_graph, distance_matrix=essembly_matrix)
+        pq_result = join_match(
+            PatternQuery.from_rq(rq), essembly_graph, distance_matrix=essembly_matrix
+        )
+        # The PQ answer is the subset of the RQ answer restricted to source
+        # nodes that have *some* match (simulation semantics); for this query
+        # the two coincide on the pair level.
+        assert pq_result.pairs_of("C", "B") <= rq_result.pairs
+        assert pq_result.pairs_of("C", "B") == EXPECTED_Q1_RESULT

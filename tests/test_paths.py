@@ -1,0 +1,120 @@
+"""Unit tests for the shared PathMatcher (matrix mode vs search mode)."""
+
+import pytest
+
+from repro.datasets.synthetic import generate_synthetic_graph
+from repro.graph.data_graph import DataGraph
+from repro.graph.distance import build_distance_matrix
+from repro.matching.paths import PathMatcher
+from repro.regex.parser import parse_fregex
+
+
+@pytest.fixture
+def small_graph():
+    graph = DataGraph()
+    graph.add_edge("a", "b", "red")
+    graph.add_edge("b", "c", "red")
+    graph.add_edge("c", "d", "blue")
+    graph.add_edge("d", "b", "blue")
+    graph.add_edge("b", "b", "green")  # self loop
+    return graph
+
+
+@pytest.fixture(params=["matrix", "search"])
+def matcher(request, small_graph):
+    if request.param == "matrix":
+        return PathMatcher(small_graph, distance_matrix=build_distance_matrix(small_graph))
+    return PathMatcher(small_graph)
+
+
+class TestAtomFrontiers:
+    def test_atom_targets_bounded(self, matcher):
+        expr = parse_fregex("red^2")
+        assert matcher.atom_targets("a", expr.atoms[0]) == {"b", "c"}
+        expr1 = parse_fregex("red")
+        assert matcher.atom_targets("a", expr1.atoms[0]) == {"b"}
+
+    def test_atom_targets_wildcard(self, matcher):
+        expr = parse_fregex("_^2")
+        assert matcher.atom_targets("a", expr.atoms[0]) == {"b", "c"}
+
+    def test_atom_sources(self, matcher):
+        expr = parse_fregex("red^2")
+        assert matcher.atom_sources("c", expr.atoms[0]) == {"a", "b"}
+
+    def test_self_loop_included(self, matcher):
+        expr = parse_fregex("green")
+        assert "b" in matcher.atom_targets("b", expr.atoms[0])
+        assert "b" in matcher.atom_sources("b", expr.atoms[0])
+
+    def test_cycle_back_to_start(self, matcher):
+        # b -red-> c -blue-> d -blue-> b is a wildcard cycle of length 3.
+        expr = parse_fregex("_^3")
+        assert "b" in matcher.atom_targets("b", expr.atoms[0])
+        expr2 = parse_fregex("_^2")
+        assert "b" not in matcher.atom_targets("b", expr2.atoms[0]) or matcher.graph.has_edge("b", "b")
+
+
+class TestFullExpressions:
+    def test_targets_from(self, matcher):
+        assert matcher.targets_from("a", parse_fregex("red.blue")) == set()
+        assert matcher.targets_from("a", parse_fregex("red^2.blue")) == {"d"}
+        assert matcher.targets_from("a", parse_fregex("red^2.blue^2")) == {"d", "b"}
+
+    def test_sources_to(self, matcher):
+        assert matcher.sources_to("d", parse_fregex("red^2.blue")) == {"a", "b"}
+
+    def test_pair_matches(self, matcher):
+        assert matcher.pair_matches("a", "d", parse_fregex("red^2.blue"))
+        assert not matcher.pair_matches("a", "d", parse_fregex("red.blue"))
+        assert matcher.pair_matches("a", "b", parse_fregex("red"))
+        assert not matcher.pair_matches("a", "b", parse_fregex("blue"))
+
+    def test_pair_matches_cycle(self, matcher):
+        # The path b -> c -> d -> b matches red.blue^2 back to the start node.
+        assert matcher.pair_matches("b", "b", parse_fregex("red.blue^2"))
+        assert matcher.pair_matches("b", "b", parse_fregex("green"))
+
+    def test_backward_reachable(self, matcher):
+        result = matcher.backward_reachable({"d"}, parse_fregex("red^2.blue"))
+        assert result == {"a", "b"}
+        assert matcher.backward_reachable(set(), parse_fregex("red")) == set()
+
+    def test_set_targets(self, matcher):
+        expr = parse_fregex("red")
+        assert matcher.set_targets({"a", "b"}, expr.atoms[0]) == {"b", "c"}
+
+
+class TestModeAgreement:
+    """Matrix mode and search mode must give identical answers."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_pair_matches_agree_on_random_graphs(self, seed):
+        graph = generate_synthetic_graph(25, 80, seed=seed)
+        matrix_matcher = PathMatcher(graph, distance_matrix=build_distance_matrix(graph))
+        search_matcher = PathMatcher(graph)
+        colors = sorted(graph.colors)
+        expressions = [
+            parse_fregex(colors[0]),
+            parse_fregex(f"{colors[0]}^3"),
+            parse_fregex(f"{colors[0]}^+"),
+            parse_fregex(f"{colors[0]}^2.{colors[1 % len(colors)]}^2"),
+            parse_fregex("_^2"),
+            parse_fregex(f"_^2.{colors[0]}"),
+        ]
+        nodes = list(graph.nodes())[:12]
+        for expr in expressions:
+            for source in nodes:
+                assert matrix_matcher.targets_from(source, expr) == search_matcher.targets_from(
+                    source, expr
+                ), (expr, source)
+                for target in nodes[:6]:
+                    assert matrix_matcher.pair_matches(source, target, expr) == \
+                        search_matcher.pair_matches(source, target, expr), (expr, source, target)
+
+    def test_cache_stats_exposed(self, small_graph):
+        matcher = PathMatcher(small_graph)
+        matcher.targets_from("a", parse_fregex("red^2"))
+        matcher.targets_from("a", parse_fregex("red^2"))
+        stats = matcher.cache_stats
+        assert stats["forward_entries"] >= 1

@@ -1,0 +1,158 @@
+"""Unit tests for the PQ evaluation algorithms (JoinMatch, SplitMatch, naive).
+
+The paper's worked example (Fig. 1 / Example 2.3) is the primary oracle; all
+algorithms and both modes (distance matrix vs cached search) must produce the
+exact answer table printed in the paper, and they must agree with each other
+on randomly generated graphs and queries.
+"""
+
+import pytest
+
+from repro.datasets.essembly import EXPECTED_Q2_RESULT
+from repro.datasets.synthetic import generate_synthetic_graph
+from repro.graph.data_graph import DataGraph
+from repro.graph.distance import build_distance_matrix
+from repro.matching.join_match import join_match
+from repro.matching.naive import naive_match
+from repro.matching.result import PatternMatchResult
+from repro.matching.split_match import split_match
+from repro.query.generator import QueryGenerator
+from repro.query.pq import PatternQuery
+
+ALGORITHMS = [join_match, split_match, naive_match]
+
+
+class TestEssemblyExample:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matrix_mode_reproduces_paper_table(self, algorithm, essembly_graph, essembly_matrix, q2):
+        result = algorithm(q2, essembly_graph, distance_matrix=essembly_matrix)
+        assert result.as_frozen() == EXPECTED_Q2_RESULT
+        assert result.matches_of("C") == {"C3"}
+        assert result.matches_of("B") == {"B1", "B2"}
+        assert result.matches_of("D") == {"D1"}
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_search_mode_reproduces_paper_table(self, algorithm, essembly_graph, q2):
+        result = algorithm(q2, essembly_graph)
+        assert result.as_frozen() == EXPECTED_Q2_RESULT
+
+    def test_result_size_matches_paper(self, essembly_graph, essembly_matrix, q2):
+        result = join_match(q2, essembly_graph, distance_matrix=essembly_matrix)
+        # The paper's table has 2+1+2+1+2 = 8 edge-match pairs in total.
+        assert result.size == 8
+        assert not result.is_empty
+        assert result.node_pair_count() == 4  # C3, B1, B2, D1
+
+
+class TestEmptyAndDegenerateResults:
+    def test_unsatisfied_predicate_gives_empty(self, essembly_graph):
+        pattern = PatternQuery()
+        pattern.add_node("X", {"job": "astronaut"})
+        pattern.add_node("Y", {"job": "doctor"})
+        pattern.add_edge("X", "Y", "fa")
+        for algorithm in ALGORITHMS:
+            result = algorithm(pattern, essembly_graph)
+            assert result.is_empty
+            assert result.size == 0
+
+    def test_unsatisfied_edge_gives_empty(self, essembly_graph):
+        pattern = PatternQuery()
+        pattern.add_node("X", {"job": "doctor"})
+        pattern.add_node("Y", {"job": "biologist"})
+        pattern.add_edge("X", "Y", "fa^3")  # doctors have no fa out-edges at all
+        for algorithm in ALGORITHMS:
+            assert algorithm(pattern, essembly_graph).is_empty
+
+    def test_single_edge_pattern_matches_rq(self, essembly_graph, essembly_matrix, q1):
+        from repro.datasets.essembly import EXPECTED_Q1_RESULT
+        from repro.query.pq import PatternQuery as PQ
+
+        pattern = PQ.from_rq(q1)
+        result = join_match(pattern, essembly_graph, distance_matrix=essembly_matrix)
+        assert result.pairs_of("C", "B") == set(EXPECTED_Q1_RESULT)
+
+
+class TestCyclicPatterns:
+    @pytest.fixture
+    def cyclic_graph(self):
+        graph = DataGraph()
+        for name, kind in [("x1", "x"), ("x2", "x"), ("y1", "y"), ("y2", "y"), ("z1", "z")]:
+            graph.add_node(name, kind=kind)
+        graph.add_edge("x1", "y1", "r")
+        graph.add_edge("y1", "x1", "s")
+        graph.add_edge("x2", "y2", "r")
+        graph.add_edge("y2", "z1", "s")
+        return graph
+
+    def test_mutual_dependency(self, cyclic_graph):
+        pattern = PatternQuery()
+        pattern.add_node("X", {"kind": "x"})
+        pattern.add_node("Y", {"kind": "y"})
+        pattern.add_edge("X", "Y", "r")
+        pattern.add_edge("Y", "X", "s")
+        matrix = build_distance_matrix(cyclic_graph)
+        for algorithm in ALGORITHMS:
+            for dm in (matrix, None):
+                result = algorithm(pattern, cyclic_graph, distance_matrix=dm)
+                assert result.matches_of("X") == {"x1"}
+                assert result.matches_of("Y") == {"y1"}
+
+    def test_self_loop_pattern(self, essembly_graph, essembly_matrix):
+        pattern = PatternQuery()
+        pattern.add_node("C", {"job": "biologist"})
+        pattern.add_edge("C", "C", "fa^+")
+        for algorithm in ALGORITHMS:
+            result = algorithm(pattern, essembly_graph, distance_matrix=essembly_matrix)
+            # All three biologists lie on the fa cycle C1 -> C2 -> C3 -> C1.
+            assert result.matches_of("C") == {"C1", "C2", "C3"}
+
+
+class TestAlgorithmAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_agreement_on_random_inputs(self, seed):
+        graph = generate_synthetic_graph(
+            num_nodes=35, num_edges=110, num_attributes=2, attribute_cardinality=3, seed=seed
+        )
+        matrix = build_distance_matrix(graph)
+        generator = QueryGenerator(graph, seed=seed)
+        for index in range(3):
+            pattern = generator.pattern_query(
+                num_nodes=3 + index, num_edges=3 + index, num_predicates=1, bound=2, max_colors=2
+            )
+            reference = naive_match(pattern, graph, distance_matrix=matrix)
+            for algorithm in (join_match, split_match):
+                for dm in (matrix, None):
+                    result = algorithm(pattern, graph, distance_matrix=dm)
+                    assert result.same_matches(reference), (
+                        seed, index, algorithm.__name__, dm is not None
+                    )
+
+    def test_normalization_does_not_change_answers(self, essembly_graph, essembly_matrix, q2):
+        normalized_on = join_match(q2, essembly_graph, distance_matrix=essembly_matrix, normalize=True)
+        normalized_off = join_match(q2, essembly_graph, distance_matrix=essembly_matrix, normalize=False)
+        assert normalized_on.same_matches(normalized_off)
+        split_on = split_match(q2, essembly_graph, distance_matrix=essembly_matrix, normalize=True)
+        split_off = split_match(q2, essembly_graph, distance_matrix=essembly_matrix, normalize=False)
+        assert split_on.same_matches(split_off)
+
+    def test_algorithm_labels(self, essembly_graph, essembly_matrix, q2):
+        assert join_match(q2, essembly_graph, distance_matrix=essembly_matrix).algorithm == "JoinMatchM"
+        assert join_match(q2, essembly_graph).algorithm == "JoinMatchC"
+        assert split_match(q2, essembly_graph, distance_matrix=essembly_matrix).algorithm == "SplitMatchM"
+        assert split_match(q2, essembly_graph).algorithm == "SplitMatchC"
+
+
+class TestResultContainer:
+    def test_empty_result_helpers(self):
+        empty = PatternMatchResult.empty("x")
+        assert empty.is_empty
+        assert empty.size == 0
+        assert empty.matches_of("A") == set()
+        assert empty.pairs_of("A", "B") == set()
+        assert "x" in repr(empty)
+
+    def test_same_matches(self, essembly_graph, essembly_matrix, q2):
+        first = join_match(q2, essembly_graph, distance_matrix=essembly_matrix)
+        second = split_match(q2, essembly_graph)
+        assert first.same_matches(second)
+        assert not first.same_matches(PatternMatchResult.empty())

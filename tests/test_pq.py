@@ -1,0 +1,158 @@
+"""Unit tests for pattern-query objects."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.pq import PatternQuery
+from repro.query.predicates import Predicate
+from repro.query.rq import ReachabilityQuery
+from repro.regex.parser import parse_fregex
+
+
+@pytest.fixture
+def diamond():
+    pattern = PatternQuery(name="diamond")
+    pattern.add_node("A", {"kind": "a"})
+    pattern.add_node("B", {"kind": "b"})
+    pattern.add_node("C", {"kind": "c"})
+    pattern.add_node("D", {"kind": "d"})
+    pattern.add_edge("A", "B", "red^2")
+    pattern.add_edge("A", "C", "blue")
+    pattern.add_edge("B", "D", "red.blue")
+    pattern.add_edge("C", "D", "green^+")
+    return pattern
+
+
+class TestConstruction:
+    def test_counts_and_size(self, diamond):
+        assert diamond.num_nodes == 4
+        assert diamond.num_edges == 4
+        assert diamond.size == 8
+        assert len(diamond) == 4
+
+    def test_add_edge_creates_nodes(self):
+        pattern = PatternQuery()
+        pattern.add_edge("X", "Y", "c")
+        assert pattern.has_node("X") and pattern.has_node("Y")
+        assert pattern.predicate("X").is_true()
+
+    def test_duplicate_edge_rejected(self, diamond):
+        with pytest.raises(QueryError):
+            diamond.add_edge("A", "B", "red")
+
+    def test_predicate_coercion(self):
+        pattern = PatternQuery()
+        pattern.add_node("X", "age > 3")
+        assert pattern.predicate("X").matches({"age": 4})
+        pattern.set_predicate("X", {"age": 10})
+        assert pattern.predicate("X") == Predicate.from_dict({"age": 10})
+
+    def test_missing_node_or_edge_errors(self, diamond):
+        with pytest.raises(QueryError):
+            diamond.predicate("zzz")
+        with pytest.raises(QueryError):
+            diamond.regex("A", "D")
+        with pytest.raises(QueryError):
+            diamond.remove_edge("A", "D")
+        with pytest.raises(QueryError):
+            diamond.remove_node("zzz")
+        with pytest.raises(QueryError):
+            diamond.set_predicate("zzz", None)
+
+    def test_remove_node_removes_edges(self, diamond):
+        pattern = diamond.copy()
+        pattern.remove_node("D")
+        assert pattern.num_edges == 2
+        assert not pattern.has_edge("B", "D")
+
+    def test_contains_and_repr(self, diamond):
+        assert "A" in diamond
+        assert "zzz" not in diamond
+        assert "nodes=4" in repr(diamond)
+        assert "edge A" in diamond.describe()
+
+
+class TestAccessors:
+    def test_edges_and_regex(self, diamond):
+        assert diamond.regex("A", "B") == parse_fregex("red^2")
+        assert {edge.pair for edge in diamond.edges()} == {
+            ("A", "B"), ("A", "C"), ("B", "D"), ("C", "D"),
+        }
+        assert {edge.target for edge in diamond.out_edges("A")} == {"B", "C"}
+        assert {edge.source for edge in diamond.in_edges("D")} == {"B", "C"}
+        assert diamond.successors("A") == {"B", "C"}
+        assert diamond.predecessors("D") == {"B", "C"}
+
+    def test_colors(self, diamond):
+        assert diamond.colors == {"red", "blue", "green"}
+
+    def test_rq_for_edge(self, diamond):
+        rq = diamond.rq_for_edge("A", "B")
+        assert isinstance(rq, ReachabilityQuery)
+        assert rq.source == "A" and rq.target == "B"
+        assert rq.regex == parse_fregex("red^2")
+        assert rq.source_predicate == diamond.predicate("A")
+
+    def test_from_rq(self):
+        rq = ReachabilityQuery("a = 1", "b = 2", "red^2", source="S", target="T")
+        pattern = PatternQuery.from_rq(rq)
+        assert pattern.num_nodes == 2 and pattern.num_edges == 1
+        assert pattern.regex("S", "T") == parse_fregex("red^2")
+
+
+class TestStructure:
+    def test_dag_detection(self, diamond):
+        assert diamond.is_dag()
+        cyclic = diamond.copy()
+        cyclic.add_edge("D", "A", "red")
+        assert not cyclic.is_dag()
+
+    def test_self_loop_is_not_dag(self):
+        pattern = PatternQuery()
+        pattern.add_edge("A", "A", "red")
+        assert not pattern.is_dag()
+
+    def test_scc_order(self, diamond):
+        components = diamond.strongly_connected_components()
+        assert all(len(component) == 1 for component in components)
+        order = [component[0] for component in components]
+        assert order.index("D") < order.index("A")
+
+    def test_connectivity(self, diamond):
+        assert diamond.is_connected()
+        pattern = diamond.copy()
+        pattern.add_node("LONELY")
+        assert not pattern.is_connected()
+        assert PatternQuery().is_connected()
+
+    def test_copy_independent(self, diamond):
+        duplicate = diamond.copy()
+        duplicate.add_edge("D", "A", "red")
+        assert not diamond.has_edge("D", "A")
+
+
+class TestNormalization:
+    def test_single_atom_edges_untouched(self):
+        pattern = PatternQuery()
+        pattern.add_node("A", {"k": 1})
+        pattern.add_node("B", {"k": 2})
+        pattern.add_edge("A", "B", "red^3")
+        normalized = pattern.normalized()
+        assert normalized.num_nodes == 2
+        assert normalized.num_edges == 1
+
+    def test_multi_atom_edge_decomposed(self, diamond):
+        normalized = diamond.normalized()
+        # "B -> D" with red.blue becomes two edges through one dummy node.
+        assert normalized.num_nodes == diamond.num_nodes + 1
+        assert normalized.num_edges == diamond.num_edges + 1
+        dummies = [node for node in normalized.nodes() if node.startswith("__dummy")]
+        assert len(dummies) == 1
+        assert normalized.predicate(dummies[0]).is_true()
+        # Every edge now carries a single atom.
+        assert all(edge.regex.num_atoms == 1 for edge in normalized.edges())
+
+    def test_original_predicates_preserved(self, diamond):
+        normalized = diamond.normalized()
+        for node in diamond.nodes():
+            assert normalized.predicate(node) == diamond.predicate(node)

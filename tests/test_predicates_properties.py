@@ -1,0 +1,60 @@
+"""Property-based tests for predicate implication and satisfaction."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query.predicates import AtomicCondition, Predicate
+
+ATTRIBUTES = ["x", "y"]
+OPERATORS = ["<", "<=", "=", "!=", ">", ">="]
+
+condition_strategy = st.builds(
+    AtomicCondition,
+    attribute=st.sampled_from(ATTRIBUTES),
+    op=st.sampled_from(OPERATORS),
+    value=st.integers(min_value=0, max_value=6),
+)
+
+predicate_strategy = st.builds(
+    Predicate, st.lists(condition_strategy, min_size=0, max_size=3)
+)
+
+attrs_strategy = st.fixed_dictionaries(
+    {"x": st.integers(min_value=-1, max_value=7), "y": st.integers(min_value=-1, max_value=7)}
+)
+
+
+@given(stronger=predicate_strategy, weaker=predicate_strategy, attrs=attrs_strategy)
+@settings(max_examples=300, deadline=None)
+def test_implication_is_sound(stronger, weaker, attrs):
+    """If `stronger` implies `weaker`, every satisfying node also satisfies `weaker`."""
+    if stronger.implies(weaker) and stronger.matches(attrs):
+        assert weaker.matches(attrs)
+
+
+@given(pred=predicate_strategy, attrs=attrs_strategy)
+@settings(max_examples=200, deadline=None)
+def test_satisfied_predicates_are_satisfiable(pred, attrs):
+    """A predicate with a satisfying assignment must report satisfiable."""
+    if pred.matches(attrs):
+        assert pred.is_satisfiable()
+
+
+@given(pred=predicate_strategy)
+@settings(max_examples=200, deadline=None)
+def test_implication_is_reflexive(pred):
+    assert pred.implies(pred)
+
+
+@given(first=predicate_strategy, second=predicate_strategy, attrs=attrs_strategy)
+@settings(max_examples=200, deadline=None)
+def test_conjoin_matches_intersection(first, second, attrs):
+    both = first.conjoin(second)
+    assert both.matches(attrs) == (first.matches(attrs) and second.matches(attrs))
+
+
+@given(first=predicate_strategy, second=predicate_strategy)
+@settings(max_examples=200, deadline=None)
+def test_conjunction_implies_conjuncts(first, second):
+    both = first.conjoin(second)
+    assert both.implies(first)
+    assert both.implies(second)

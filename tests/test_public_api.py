@@ -1,0 +1,61 @@
+"""Smoke tests for the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_subpackages_importable(self):
+        for module in [
+            "repro.graph",
+            "repro.regex",
+            "repro.query",
+            "repro.matching",
+            "repro.datasets",
+            "repro.metrics",
+            "repro.experiments",
+        ]:
+            importlib.import_module(module)
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.RegexSyntaxError, repro.ReproError)
+        assert issubclass(repro.GraphError, repro.ReproError)
+        assert issubclass(repro.QueryError, repro.ReproError)
+        assert issubclass(repro.EvaluationError, repro.ReproError)
+        assert issubclass(repro.PredicateError, repro.ReproError)
+
+    def test_end_to_end_mini_workflow(self):
+        graph = repro.DataGraph()
+        graph.add_node("ann", role="professor")
+        graph.add_node("bob", role="student")
+        graph.add_edge("ann", "bob", "advises")
+
+        pattern = repro.PatternQuery()
+        pattern.add_node("P", {"role": "professor"})
+        pattern.add_node("S", {"role": "student"})
+        pattern.add_edge("P", "S", "advises")
+
+        result = repro.join_match(pattern, graph)
+        assert result.matches_of("P") == {"ann"}
+        assert result.matches_of("S") == {"bob"}
+
+    def test_examples_are_importable_scripts(self):
+        """The example scripts must at least parse (they are run manually)."""
+        import pathlib
+
+        examples_dir = pathlib.Path(__file__).resolve().parent.parent / "examples"
+        scripts = sorted(examples_dir.glob("*.py"))
+        assert len(scripts) >= 4
+        for script in scripts:
+            source = script.read_text(encoding="utf-8")
+            compile(source, str(script), "exec")

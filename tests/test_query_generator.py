@@ -1,0 +1,102 @@
+"""Unit tests for the parameterised query generator."""
+
+import pytest
+
+from repro.datasets.synthetic import generate_synthetic_graph
+from repro.exceptions import QueryError
+from repro.graph.data_graph import DataGraph
+from repro.query.generator import QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_synthetic_graph(50, 150, num_attributes=3, attribute_cardinality=5, seed=1)
+
+
+class TestGeneratorConstruction:
+    def test_requires_edges(self):
+        empty = DataGraph()
+        empty.add_node("a", x=1)
+        with pytest.raises(QueryError):
+            QueryGenerator(empty)
+
+    def test_requires_attributes(self):
+        graph = DataGraph()
+        graph.add_edge("a", "b", "c")
+        with pytest.raises(QueryError):
+            QueryGenerator(graph)
+
+
+class TestPredicates:
+    def test_requested_arity(self, graph):
+        generator = QueryGenerator(graph, seed=0)
+        for count in (0, 1, 2, 3):
+            predicate = generator.random_predicate(count)
+            assert predicate.size == count
+
+    def test_predicates_are_satisfiable_by_some_node(self, graph):
+        generator = QueryGenerator(graph, seed=0)
+        for _ in range(10):
+            predicate = generator.random_predicate(2)
+            assert predicate.is_satisfiable()
+            assert any(
+                predicate.matches(graph.attributes(node)) for node in graph.nodes()
+            ), predicate
+
+
+class TestRegexes:
+    def test_shape(self, graph):
+        generator = QueryGenerator(graph, seed=0)
+        for _ in range(10):
+            regex = generator.random_regex(bound=5, max_colors=3)
+            assert 1 <= regex.num_atoms <= 3
+            assert all(atom.max_count == 5 for atom in regex)
+            assert regex.colors <= graph.colors
+
+
+class TestPatternQueries:
+    def test_size_parameters(self, graph):
+        generator = QueryGenerator(graph, seed=0)
+        pattern = generator.pattern_query(num_nodes=6, num_edges=9, num_predicates=2, bound=3)
+        assert pattern.num_nodes == 6
+        assert pattern.num_edges >= 5          # at least a spanning tree
+        assert pattern.num_edges <= 9 + 1
+        assert pattern.is_connected()
+        for node in pattern.nodes():
+            assert pattern.predicate(node).size == 2
+
+    def test_minimum_edges_for_connectivity(self, graph):
+        generator = QueryGenerator(graph, seed=0)
+        pattern = generator.pattern_query(num_nodes=5, num_edges=1)
+        assert pattern.num_edges >= 4
+        assert pattern.is_connected()
+
+    def test_single_node(self, graph):
+        generator = QueryGenerator(graph, seed=0)
+        pattern = generator.pattern_query(num_nodes=1, num_edges=0)
+        assert pattern.num_nodes == 1
+
+    def test_invalid_size(self, graph):
+        generator = QueryGenerator(graph, seed=0)
+        with pytest.raises(QueryError):
+            generator.pattern_query(num_nodes=0, num_edges=0)
+
+    def test_determinism(self, graph):
+        first = QueryGenerator(graph, seed=7).pattern_query(5, 7)
+        second = QueryGenerator(graph, seed=7).pattern_query(5, 7)
+        assert first.describe().replace(first.name, "") == second.describe().replace(second.name, "")
+
+    def test_batch(self, graph):
+        generator = QueryGenerator(graph, seed=0)
+        batch = generator.pattern_queries(4, num_nodes=4, num_edges=5)
+        assert len(batch) == 4
+        assert len({pattern.name for pattern in batch}) == 4
+
+
+class TestReachabilityQueries:
+    def test_shape(self, graph):
+        generator = QueryGenerator(graph, seed=0)
+        query = generator.reachability_query(num_predicates=2, bound=4, max_colors=2)
+        assert query.source_predicate.size == 2
+        assert query.target_predicate.size == 2
+        assert 1 <= query.regex.num_atoms <= 2

@@ -1,0 +1,94 @@
+"""Unit tests for F-class language containment and equality."""
+
+import pytest
+
+from repro.regex.containment import language_contains, language_equal, syntactic_contains
+from repro.regex.parser import parse_fregex
+
+
+def contains(a: str, b: str) -> bool:
+    return language_contains(parse_fregex(a), parse_fregex(b))
+
+
+class TestContainmentBasics:
+    def test_reflexive(self):
+        for text in ["fa", "fa^3", "fa^+", "fa^2.fn", "_^2.sa^+"]:
+            assert contains(text, text)
+
+    def test_bound_widening(self):
+        assert contains("fa", "fa^3")
+        assert contains("fa^2", "fa^3")
+        assert not contains("fa^3", "fa^2")
+
+    def test_plus_is_top_bound(self):
+        assert contains("fa^5", "fa^+")
+        assert not contains("fa^+", "fa^5")
+        assert contains("fa^+", "fa^+")
+
+    def test_wildcard_absorbs_colors(self):
+        assert contains("fa", "_")
+        assert contains("fa^2", "_^2")
+        assert not contains("_", "fa")
+        assert not contains("_^2", "fa^2")
+
+    def test_different_colors(self):
+        assert not contains("fa", "fn")
+        assert not contains("fa.fn", "fn.fa")
+
+    def test_different_lengths(self):
+        assert not contains("fa", "fa.fa")
+        assert not contains("fa.fa", "fa")
+
+    def test_concatenation_componentwise(self):
+        assert contains("fa^2.fn", "fa^3.fn^2")
+        assert not contains("fa^3.fn^2", "fa^2.fn")
+        assert contains("fa^2.fn", "_^2._^2")
+
+    def test_same_color_run_sums(self):
+        # Bounds within a same-colour run are interchangeable (paper case (a)).
+        assert contains("fa^2.fa^1", "fa^1.fa^2")
+        assert contains("fa^1.fa^2", "fa^2.fa^1")
+        assert not contains("fa^2.fa^2", "fa^1.fa^2")
+
+    def test_example_from_paper_minimization(self):
+        # h1 = fa, h2 = fa^2, h3 = fa^3 form a chain under containment.
+        assert contains("fa", "fa^2")
+        assert contains("fa^2", "fa^3")
+        assert contains("fa", "fa^3")
+
+
+class TestSyntacticScan:
+    def test_syntactic_is_sound(self):
+        cases = [
+            ("fa", "fa^3"),
+            ("fa^2.fn", "fa^2.fn"),
+            ("fa^2.fn", "_^2._"),
+            ("fa^2.fa^1", "fa^1.fa^2"),
+        ]
+        for smaller, larger in cases:
+            small, large = parse_fregex(smaller), parse_fregex(larger)
+            if syntactic_contains(small, large):
+                assert language_contains(small, large)
+
+    def test_syntactic_rejects_length_mismatch(self):
+        assert not syntactic_contains(parse_fregex("fa"), parse_fregex("fa.fa"))
+
+    def test_syntactic_rejects_color_mismatch(self):
+        assert not syntactic_contains(parse_fregex("fa"), parse_fregex("fn"))
+
+
+class TestEquality:
+    def test_equal_same_expression(self):
+        assert language_equal(parse_fregex("fa^2.fn"), parse_fregex("fa^2.fn"))
+
+    def test_equal_rearranged_bounds(self):
+        assert language_equal(parse_fregex("fa^2.fa^3"), parse_fregex("fa^3.fa^2"))
+
+    def test_not_equal_strict_containment(self):
+        assert not language_equal(parse_fregex("fa"), parse_fregex("fa^2"))
+
+    def test_explicit_alphabet(self):
+        # With an explicit singleton alphabet the wildcard means just that colour,
+        # but containment of the wildcard in a concrete colour is still judged
+        # over an open alphabet (the library's documented semantics).
+        assert language_contains(parse_fregex("fa"), parse_fregex("_"), alphabet={"fa"})

@@ -1,0 +1,168 @@
+"""Unit tests for the F-class regular-expression data model."""
+
+import pytest
+
+from repro.exceptions import RegexSyntaxError
+from repro.regex.fclass import WILDCARD, FRegex, RegexAtom, atom, concat, plus
+
+
+class TestRegexAtom:
+    def test_plain_color(self):
+        a = RegexAtom("fa")
+        assert a.color == "fa"
+        assert a.max_count == 1
+        assert not a.is_wildcard
+        assert not a.is_unbounded
+        assert str(a) == "fa"
+
+    def test_bounded_atom(self):
+        a = RegexAtom("fa", 3)
+        assert a.admits_length(1)
+        assert a.admits_length(3)
+        assert not a.admits_length(4)
+        assert not a.admits_length(0)
+        assert str(a) == "fa^3"
+
+    def test_unbounded_atom(self):
+        a = plus("sa")
+        assert a.is_unbounded
+        assert a.admits_length(100)
+        assert not a.admits_length(0)
+        assert str(a) == "sa^+"
+
+    def test_wildcard(self):
+        a = RegexAtom(WILDCARD, 2)
+        assert a.is_wildcard
+        assert a.admits_color("anything")
+        assert a.admits_color("fa")
+
+    def test_color_admission(self):
+        a = RegexAtom("fa", 2)
+        assert a.admits_color("fa")
+        assert not a.admits_color("fn")
+
+    def test_invalid_bound(self):
+        with pytest.raises(RegexSyntaxError):
+            RegexAtom("fa", 0)
+        with pytest.raises(RegexSyntaxError):
+            RegexAtom("fa", -1)
+
+    def test_empty_color(self):
+        with pytest.raises(RegexSyntaxError):
+            RegexAtom("", 1)
+
+    def test_length_range(self):
+        assert RegexAtom("fa", 4).length_range() == (1, 4)
+        assert plus("fa").length_range() == (1, None)
+
+    def test_atom_helper(self):
+        assert atom("fa") == RegexAtom("fa", 1)
+        assert atom("fa", 7) == RegexAtom("fa", 7)
+
+
+class TestFRegex:
+    def test_construction_and_accessors(self):
+        expr = FRegex([atom("fa", 2), atom("fn")])
+        assert expr.num_atoms == 2
+        assert len(expr) == 2
+        assert expr[0] == atom("fa", 2)
+        assert expr.colors == {"fa", "fn"}
+        assert not expr.has_wildcard
+        assert str(expr) == "fa^2.fn"
+
+    def test_empty_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            FRegex([])
+
+    def test_non_atom_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            FRegex(["fa"])  # type: ignore[list-item]
+
+    def test_lengths(self):
+        expr = FRegex([atom("fa", 2), atom("fn", 3)])
+        assert expr.min_length == 2
+        assert expr.max_length == 5
+        unbounded = FRegex([atom("fa", 2), plus("fn")])
+        assert unbounded.max_length is None
+
+    def test_equality_and_hash(self):
+        a = FRegex([atom("fa", 2), atom("fn")])
+        b = FRegex([atom("fa", 2), atom("fn")])
+        c = FRegex([atom("fa", 3), atom("fn")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "fa^2.fn"
+
+    def test_single_and_concat(self):
+        single = FRegex.single("fa", 2)
+        assert single.num_atoms == 1
+        both = single.concat(FRegex.single("fn"))
+        assert str(both) == "fa^2.fn"
+        joined = concat(single, FRegex.single("fn"), FRegex.single("sa", None))
+        assert str(joined) == "fa^2.fn.sa^+"
+
+    def test_concat_requires_argument(self):
+        with pytest.raises(RegexSyntaxError):
+            concat()
+
+    def test_decompose(self):
+        expr = FRegex([atom("fa", 2), atom("fn"), plus("sa")])
+        parts = expr.decompose()
+        assert len(parts) == 3
+        assert all(part.num_atoms == 1 for part in parts)
+        assert [str(part) for part in parts] == ["fa^2", "fn", "sa^+"]
+
+    def test_iteration(self):
+        expr = FRegex([atom("fa"), atom("fn")])
+        assert [a.color for a in expr] == ["fa", "fn"]
+
+    def test_repr_roundtrip(self):
+        expr = FRegex([atom("fa", 2)])
+        assert "fa^2" in repr(expr)
+
+
+class TestFRegexMatching:
+    def test_single_atom_exact(self):
+        assert FRegex.single("fa").matches(["fa"])
+        assert not FRegex.single("fa").matches(["fn"])
+        assert not FRegex.single("fa").matches([])
+        assert not FRegex.single("fa").matches(["fa", "fa"])
+
+    def test_bounded_atom(self):
+        expr = FRegex.single("fa", 3)
+        assert expr.matches(["fa"])
+        assert expr.matches(["fa", "fa", "fa"])
+        assert not expr.matches(["fa"] * 4)
+
+    def test_unbounded_atom(self):
+        expr = FRegex.single("fa", None)
+        assert expr.matches(["fa"] * 10)
+        assert not expr.matches(["fa"] * 3 + ["fn"])
+
+    def test_concatenation(self):
+        expr = FRegex([atom("fa", 2), atom("fn")])
+        assert expr.matches(["fa", "fn"])
+        assert expr.matches(["fa", "fa", "fn"])
+        assert not expr.matches(["fa", "fa", "fa", "fn"])
+        assert not expr.matches(["fn", "fa"])
+        assert not expr.matches(["fa", "fa"])
+
+    def test_wildcard_matching(self):
+        expr = FRegex([RegexAtom(WILDCARD, 2), atom("fn")])
+        assert expr.matches(["sa", "fn"])
+        assert expr.matches(["sa", "fa", "fn"])
+        assert not expr.matches(["sa", "fa", "sa", "fn"])
+
+    def test_same_color_adjacent_atoms(self):
+        expr = FRegex([atom("fa", 2), atom("fa", 2)])
+        assert expr.matches(["fa", "fa"])
+        assert expr.matches(["fa"] * 4)
+        assert not expr.matches(["fa"])
+        assert not expr.matches(["fa"] * 5)
+
+    def test_plus_followed_by_same_color(self):
+        expr = FRegex([plus("fa"), atom("fa")])
+        assert expr.matches(["fa", "fa"])
+        assert expr.matches(["fa"] * 7)
+        assert not expr.matches(["fa"])

@@ -1,0 +1,70 @@
+"""Unit tests for the NFA cross-check engine."""
+
+from repro.regex.fclass import FRegex, RegexAtom
+from repro.regex.nfa import build_nfa, nfa_language_contains
+from repro.regex.parser import parse_fregex
+
+
+class TestNfaAcceptance:
+    def test_single_atom(self):
+        nfa = build_nfa(parse_fregex("fa^2"))
+        assert nfa.accepts(["fa"])
+        assert nfa.accepts(["fa", "fa"])
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["fa", "fa", "fa"])
+        assert not nfa.accepts(["fn"])
+
+    def test_plus_atom(self):
+        nfa = build_nfa(parse_fregex("fa^+"))
+        assert nfa.accepts(["fa"] * 12)
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["fa", "fn"])
+
+    def test_concatenation(self):
+        nfa = build_nfa(parse_fregex("fa^2.fn"))
+        assert nfa.accepts(["fa", "fn"])
+        assert nfa.accepts(["fa", "fa", "fn"])
+        assert not nfa.accepts(["fa", "fa"])
+        assert not nfa.accepts(["fn"])
+
+    def test_wildcard(self):
+        nfa = build_nfa(parse_fregex("_^2.fn"))
+        assert nfa.accepts(["xyz", "fn"])
+        assert nfa.accepts(["a", "b", "fn"])
+        assert not nfa.accepts(["a", "b", "c", "fn"])
+
+    def test_agreement_with_fregex_matches(self):
+        expressions = ["fa", "fa^3", "fa^+", "fa^2.fn", "_^2.sa^+", "fa.fa^2"]
+        words = [
+            [],
+            ["fa"],
+            ["fa", "fa"],
+            ["fa", "fn"],
+            ["fa", "fa", "fn"],
+            ["sa", "sa", "sa"],
+            ["x", "y", "sa"],
+            ["fa", "fa", "fa", "fa"],
+        ]
+        for text in expressions:
+            expr = parse_fregex(text)
+            nfa = build_nfa(expr)
+            for word in words:
+                assert nfa.accepts(word) == expr.matches(word), (text, word)
+
+
+class TestNfaContainment:
+    def test_matches_syntactic_intuition(self):
+        assert nfa_language_contains(parse_fregex("fa^2"), parse_fregex("fa^4"))
+        assert not nfa_language_contains(parse_fregex("fa^4"), parse_fregex("fa^2"))
+
+    def test_wildcard_open_alphabet(self):
+        # "_" over an open alphabet is not contained in any concrete colour.
+        assert not nfa_language_contains(parse_fregex("_"), parse_fregex("fa"))
+        assert nfa_language_contains(parse_fregex("fa"), parse_fregex("_"))
+
+    def test_cross_shape_containment(self):
+        # fa^1 fa^2 and fa^2 fa^1 define the same language (lengths 2..3).
+        first = FRegex([RegexAtom("fa", 1), RegexAtom("fa", 2)])
+        second = FRegex([RegexAtom("fa", 2), RegexAtom("fa", 1)])
+        assert nfa_language_contains(first, second)
+        assert nfa_language_contains(second, first)

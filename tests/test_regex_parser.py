@@ -1,0 +1,78 @@
+"""Unit tests for the F-class expression parser."""
+
+import pytest
+
+from repro.exceptions import RegexSyntaxError
+from repro.regex.fclass import FRegex, RegexAtom
+from repro.regex.parser import parse_fregex
+
+
+class TestParseSingleAtoms:
+    def test_plain_color(self):
+        assert parse_fregex("fa") == FRegex([RegexAtom("fa", 1)])
+
+    def test_caret_bound(self):
+        assert parse_fregex("fa^2") == FRegex([RegexAtom("fa", 2)])
+
+    def test_caret_plus(self):
+        assert parse_fregex("fa^+") == FRegex([RegexAtom("fa", None)])
+
+    def test_bare_plus(self):
+        assert parse_fregex("fa+") == FRegex([RegexAtom("fa", None)])
+
+    def test_brace_bound(self):
+        assert parse_fregex("fa{3}") == FRegex([RegexAtom("fa", 3)])
+
+    def test_le_bound(self):
+        assert parse_fregex("fa<=4") == FRegex([RegexAtom("fa", 4)])
+
+    def test_caret_le_bound(self):
+        assert parse_fregex("fa^<=4") == FRegex([RegexAtom("fa", 4)])
+
+    def test_wildcard(self):
+        assert parse_fregex("_^2") == FRegex([RegexAtom("_", 2)])
+        assert parse_fregex("_") == FRegex([RegexAtom("_", 1)])
+
+
+class TestParseConcatenation:
+    @pytest.mark.parametrize(
+        "text",
+        ["fa^2.fn", "fa^2 fn", "fa^2,fn", "fa^2 . fn", "  fa^2\tfn  "],
+    )
+    def test_separators(self, text):
+        assert parse_fregex(text) == FRegex([RegexAtom("fa", 2), RegexAtom("fn", 1)])
+
+    def test_long_expression(self):
+        expr = parse_fregex("ic^2 dc^+ ic^2")
+        assert [str(a) for a in expr] == ["ic^2", "dc^+", "ic^2"]
+
+    def test_mixed_forms(self):
+        expr = parse_fregex("a{2}.b^+.c<=3._")
+        assert [a.max_count for a in expr] == [2, None, 3, 1]
+
+    def test_colors_with_dashes_and_digits(self):
+        expr = parse_fregex("type-1^2.type2")
+        assert expr.colors == {"type-1", "type2"}
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text", ["", "   ", "^2", "fa^0", "fa^-1", "fa^2 ^3", "(fa|fn)"])
+    def test_rejects_invalid(self, text):
+        with pytest.raises(RegexSyntaxError):
+            parse_fregex(text)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_fregex(123)  # type: ignore[arg-type]
+
+    def test_from_string_classmethod(self):
+        assert FRegex.from_string("fa^2.fn") == parse_fregex("fa^2.fn")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text", ["fa", "fa^2", "fa^+", "fa^2.fn", "ic^2.dc^+.ic^2", "_^3.fa"]
+    )
+    def test_str_parse_roundtrip(self, text):
+        expr = parse_fregex(text)
+        assert parse_fregex(str(expr)) == expr

@@ -1,0 +1,78 @@
+"""Property-based tests (hypothesis) for the F-class regex engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.containment import language_contains, syntactic_contains
+from repro.regex.fclass import WILDCARD, FRegex, RegexAtom, concat
+from repro.regex.nfa import build_nfa, nfa_language_contains
+
+COLORS = ["a", "b", "c"]
+
+atom_strategy = st.builds(
+    RegexAtom,
+    color=st.sampled_from(COLORS + [WILDCARD]),
+    max_count=st.one_of(st.none(), st.integers(min_value=1, max_value=3)),
+)
+
+fregex_strategy = st.builds(FRegex, st.lists(atom_strategy, min_size=1, max_size=4))
+
+word_strategy = st.lists(st.sampled_from(COLORS), min_size=0, max_size=8)
+
+
+@given(expr=fregex_strategy, word=word_strategy)
+@settings(max_examples=150, deadline=None)
+def test_matches_agrees_with_nfa(expr, word):
+    """The DP matcher and the NFA must accept exactly the same words."""
+    assert expr.matches(word) == build_nfa(expr).accepts(word)
+
+
+@given(expr=fregex_strategy, word=word_strategy)
+@settings(max_examples=100, deadline=None)
+def test_word_length_bounds(expr, word):
+    """No accepted word may be shorter than min_length or longer than max_length."""
+    if expr.matches(word):
+        assert len(word) >= expr.min_length
+        if expr.max_length is not None:
+            assert len(word) <= expr.max_length
+
+
+@given(smaller=fregex_strategy, larger=fregex_strategy)
+@settings(max_examples=150, deadline=None)
+def test_syntactic_containment_is_sound(smaller, larger):
+    """A positive answer from the linear scan implies true language containment."""
+    if syntactic_contains(smaller, larger):
+        assert nfa_language_contains(smaller, larger)
+
+
+@given(smaller=fregex_strategy, larger=fregex_strategy, word=word_strategy)
+@settings(max_examples=150, deadline=None)
+def test_containment_transfers_membership(smaller, larger, word):
+    """If L(smaller) ⊆ L(larger), every word of smaller is a word of larger."""
+    if language_contains(smaller, larger) and smaller.matches(word):
+        assert larger.matches(word)
+
+
+@given(expr=fregex_strategy)
+@settings(max_examples=100, deadline=None)
+def test_containment_reflexive(expr):
+    assert language_contains(expr, expr)
+    assert syntactic_contains(expr, expr)
+
+
+@given(first=fregex_strategy, second=fregex_strategy, word=word_strategy)
+@settings(max_examples=100, deadline=None)
+def test_concat_membership_decomposes(first, second, word):
+    """A word of `first second` splits into a prefix of first and suffix of second."""
+    joined = concat(first, second)
+    if joined.matches(word):
+        assert any(
+            first.matches(word[:split]) and second.matches(word[split:])
+            for split in range(1, len(word))
+        )
+
+
+@given(expr=fregex_strategy)
+@settings(max_examples=60, deadline=None)
+def test_decompose_concat_roundtrip(expr):
+    """Decomposing into atoms and re-concatenating is the identity."""
+    assert concat(*expr.decompose()) == expr

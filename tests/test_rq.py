@@ -1,0 +1,147 @@
+"""Unit tests for reachability-query objects and RQ evaluation."""
+
+import pytest
+
+from repro.datasets.synthetic import generate_synthetic_graph
+from repro.exceptions import EvaluationError, QueryError
+from repro.graph.data_graph import DataGraph
+from repro.graph.distance import build_distance_matrix
+from repro.matching.reachability import evaluate_rq
+from repro.query.predicates import Predicate
+from repro.query.rq import ReachabilityQuery
+from repro.regex.parser import parse_fregex
+
+
+class TestReachabilityQueryObject:
+    def test_coercion_from_strings_and_dicts(self):
+        query = ReachabilityQuery(
+            source_predicate="job = 'doctor'",
+            target_predicate={"job": "biologist"},
+            regex="fa^2.fn",
+        )
+        assert query.source_predicate.matches({"job": "doctor"})
+        assert query.target_predicate.matches({"job": "biologist"})
+        assert query.regex == parse_fregex("fa^2.fn")
+        assert query.colors == {"fa", "fn"}
+        assert not query.is_single_color()
+
+    def test_none_predicate_is_true(self):
+        query = ReachabilityQuery(regex="fa")
+        assert query.source_predicate.is_true()
+        assert query.is_single_color()
+
+    def test_invalid_predicate_rejected(self):
+        with pytest.raises(QueryError):
+            ReachabilityQuery(source_predicate=42, regex="fa")
+
+    def test_invalid_regex_rejected(self):
+        with pytest.raises(QueryError):
+            ReachabilityQuery(regex=42)
+
+    def test_size(self):
+        query = ReachabilityQuery("a = 1", "b = 2 & c = 3", "fa^2.fn")
+        assert query.size == 1 + 2 + 2
+
+    def test_decompose_single(self):
+        query = ReachabilityQuery(regex="fa^2")
+        assert query.decompose() == (query,)
+
+    def test_decompose_multi(self):
+        query = ReachabilityQuery("a = 1", "b = 2", "fa^2.fn.sa^+", source="u", target="v")
+        parts = query.decompose()
+        assert len(parts) == 3
+        assert parts[0].source == "u"
+        assert parts[-1].target == "v"
+        # Dummy endpoints carry the always-true predicate.
+        assert parts[0].target_predicate.is_true()
+        assert parts[1].source_predicate.is_true()
+        # The chain's endpoints keep the original predicates.
+        assert parts[0].source_predicate == Predicate.parse("a = 1")
+        assert parts[-1].target_predicate == Predicate.parse("b = 2")
+        assert [str(part.regex) for part in parts] == ["fa^2", "fn", "sa^+"]
+
+    def test_str(self):
+        query = ReachabilityQuery("a = 1", "b = 2", "fa")
+        assert "fa" in str(query)
+
+
+class TestEvaluateRq:
+    @pytest.fixture
+    def graph(self):
+        graph = DataGraph()
+        graph.add_node("p1", role="prof")
+        graph.add_node("p2", role="prof")
+        graph.add_node("s1", role="student")
+        graph.add_node("s2", role="student")
+        graph.add_node("s3", role="student")
+        graph.add_edge("p1", "s1", "advises")
+        graph.add_edge("s1", "s2", "advises")
+        graph.add_edge("p2", "s3", "mentors")
+        graph.add_edge("s3", "p1", "cites")
+        return graph
+
+    def test_single_color_matrix(self, graph):
+        matrix = build_distance_matrix(graph)
+        query = ReachabilityQuery({"role": "prof"}, {"role": "student"}, "advises^2")
+        result = evaluate_rq(query, graph, distance_matrix=matrix)
+        assert result.pairs == {("p1", "s1"), ("p1", "s2")}
+        assert result.method == "matrix"
+        assert result.size == 2
+        assert result.sources() == {"p1"}
+        assert result.targets() == {"s1", "s2"}
+        assert ("p1", "s1") in result
+
+    def test_all_methods_agree(self, graph):
+        matrix = build_distance_matrix(graph)
+        queries = [
+            ReachabilityQuery({"role": "prof"}, {"role": "student"}, "advises^2"),
+            ReachabilityQuery({"role": "prof"}, {"role": "student"}, "_^2"),
+            ReachabilityQuery({"role": "student"}, {"role": "prof"}, "cites"),
+            ReachabilityQuery({"role": "prof"}, {"role": "prof"}, "mentors.cites"),
+            ReachabilityQuery(None, None, "advises^+"),
+        ]
+        for query in queries:
+            reference = evaluate_rq(query, graph, distance_matrix=matrix, method="matrix")
+            for method in ("bidirectional", "bfs"):
+                result = evaluate_rq(query, graph, method=method)
+                assert result.pairs == reference.pairs, (query, method)
+
+    def test_empty_when_no_candidates(self, graph):
+        query = ReachabilityQuery({"role": "alien"}, {"role": "student"}, "advises")
+        assert evaluate_rq(query, graph).pairs == set()
+
+    def test_empty_when_no_path(self, graph):
+        query = ReachabilityQuery({"role": "student"}, {"role": "prof"}, "advises")
+        assert evaluate_rq(query, graph).pairs == set()
+
+    def test_non_empty_path_required(self):
+        # A node pair (v, v) only matches through a genuine cycle.
+        graph = DataGraph()
+        graph.add_node("x", kind="t")
+        graph.add_node("y", kind="t")
+        graph.add_edge("x", "y", "c")
+        graph.add_edge("y", "x", "c")
+        query = ReachabilityQuery({"kind": "t"}, {"kind": "t"}, "c^2")
+        result = evaluate_rq(query, graph)
+        assert ("x", "x") in result.pairs
+        assert ("y", "y") in result.pairs
+        single = ReachabilityQuery({"kind": "t"}, {"kind": "t"}, "c")
+        assert ("x", "x") not in evaluate_rq(single, graph).pairs
+
+    def test_method_validation(self, graph):
+        query = ReachabilityQuery(None, None, "advises")
+        with pytest.raises(EvaluationError):
+            evaluate_rq(query, graph, method="nonsense")
+        with pytest.raises(EvaluationError):
+            evaluate_rq(query, graph, method="matrix")  # no matrix supplied
+
+    def test_methods_agree_on_random_graph(self):
+        graph = generate_synthetic_graph(40, 140, seed=17)
+        matrix = build_distance_matrix(graph)
+        colors = sorted(graph.colors)
+        query = ReachabilityQuery(
+            "a0 >= 2", "a1 <= 2", f"{colors[0]}^2.{colors[1]}^3"
+        )
+        reference = evaluate_rq(query, graph, distance_matrix=matrix)
+        assert evaluate_rq(query, graph, method="bidirectional").pairs == reference.pairs
+        assert evaluate_rq(query, graph, method="bfs").pairs == reference.pairs

@@ -1,0 +1,158 @@
+"""Cross-cutting semantic properties linking the static analyses to evaluation.
+
+These tests tie together components that are individually tested elsewhere:
+
+* RQ containment (a syntactic judgement) must be *sound* with respect to
+  evaluation — whenever ``Q1 ⊑ Q2`` is claimed, the answer of ``Q1`` is a
+  subset of the answer of ``Q2`` on every graph we try;
+* minimization must preserve answers, not just abstract equivalence;
+* the PQ answer is monotone in the data-graph edge set (the property the
+  incremental maintainer exploits);
+* normalization (dummy-node decomposition) never changes answers.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.synthetic import generate_synthetic_graph
+from repro.graph.distance import build_distance_matrix
+from repro.matching.join_match import join_match
+from repro.matching.reachability import evaluate_rq
+from repro.query.containment import rq_contained_in
+from repro.query.generator import QueryGenerator
+from repro.query.minimization import minimize_pattern_query
+from repro.query.predicates import AtomicCondition, Predicate
+from repro.query.rq import ReachabilityQuery
+from repro.regex.fclass import FRegex, RegexAtom
+
+ATTRIBUTES = ["a0", "a1"]
+COLORS = ["c0", "c1", "c2", "c3"]
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return [
+        generate_synthetic_graph(
+            num_nodes=30, num_edges=90, num_attributes=2, attribute_cardinality=4, seed=seed
+        )
+        for seed in (1, 2)
+    ]
+
+
+condition_strategy = st.builds(
+    AtomicCondition,
+    attribute=st.sampled_from(ATTRIBUTES),
+    op=st.sampled_from(["=", "<=", ">=", "<", ">"]),
+    value=st.integers(min_value=0, max_value=3),
+)
+predicate_strategy = st.builds(Predicate, st.lists(condition_strategy, min_size=0, max_size=2))
+atom_strategy = st.builds(
+    RegexAtom,
+    color=st.sampled_from(COLORS + ["_"]),
+    max_count=st.one_of(st.none(), st.integers(min_value=1, max_value=3)),
+)
+regex_strategy = st.builds(FRegex, st.lists(atom_strategy, min_size=1, max_size=2))
+rq_strategy = st.builds(
+    ReachabilityQuery,
+    source_predicate=predicate_strategy,
+    target_predicate=predicate_strategy,
+    regex=regex_strategy,
+)
+
+
+@given(first=rq_strategy, second=rq_strategy)
+@settings(max_examples=40, deadline=None)
+def test_rq_containment_sound_wrt_evaluation(graphs, first, second):
+    """If the analysis says Q1 ⊑ Q2, then Q1(G) ⊆ Q2(G) on every tested graph."""
+    if not rq_contained_in(first, second):
+        return
+    for graph in graphs:
+        answer_first = evaluate_rq(first, graph).pairs
+        answer_second = evaluate_rq(second, graph).pairs
+        assert answer_first <= answer_second
+
+
+class TestMinimizationPreservesAnswers:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_minimized_query_gives_same_node_matches(self, seed):
+        graph = generate_synthetic_graph(
+            num_nodes=30, num_edges=90, num_attributes=2, attribute_cardinality=3, seed=seed
+        )
+        matrix = build_distance_matrix(graph)
+        generator = QueryGenerator(graph, seed=seed)
+        pattern = generator.pattern_query(4, 5, num_predicates=1, bound=2, max_colors=2)
+
+        # Duplicate one node to inject redundancy, as Exp-2 does.
+        original_nodes = list(pattern.nodes())
+        cloned = original_nodes[seed % len(original_nodes)]
+        clone_name = f"{cloned}_dup"
+        pattern.add_node(clone_name, pattern.predicate(cloned))
+        for edge in list(pattern.out_edges(cloned)):
+            pattern.add_edge(clone_name, edge.target, edge.regex)
+        for edge in list(pattern.in_edges(cloned)):
+            pattern.add_edge(edge.source, clone_name, edge.regex)
+
+        minimized = minimize_pattern_query(pattern)
+        assert minimized.size <= pattern.size
+
+        original_result = join_match(pattern, graph, distance_matrix=matrix)
+        minimized_result = join_match(minimized, graph, distance_matrix=matrix)
+        assert original_result.is_empty == minimized_result.is_empty
+        if original_result.is_empty:
+            return
+        for node in minimized.nodes():
+            base = node.split("#")[0]
+            assert minimized_result.matches_of(node) == original_result.matches_of(base)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_adding_edges_never_removes_matches(self, seed):
+        rng = random.Random(seed)
+        graph = generate_synthetic_graph(
+            num_nodes=25, num_edges=60, num_attributes=2, attribute_cardinality=3, seed=seed
+        )
+        generator = QueryGenerator(graph, seed=seed)
+        pattern = generator.pattern_query(3, 3, num_predicates=1, bound=2, max_colors=2)
+        before = join_match(pattern, graph)
+        nodes = list(graph.nodes())
+        for _ in range(10):
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            if source != target:
+                graph.add_edge(source, target, rng.choice(sorted(graph.colors)))
+        after = join_match(pattern, graph)
+        for node in pattern.nodes():
+            assert before.matches_of(node) <= after.matches_of(node)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_removing_edges_never_adds_matches(self, seed):
+        rng = random.Random(seed)
+        graph = generate_synthetic_graph(
+            num_nodes=25, num_edges=80, num_attributes=2, attribute_cardinality=3, seed=seed
+        )
+        generator = QueryGenerator(graph, seed=seed)
+        pattern = generator.pattern_query(3, 3, num_predicates=1, bound=2, max_colors=2)
+        before = join_match(pattern, graph)
+        edges = list(graph.edges())
+        rng.shuffle(edges)
+        for edge in edges[:10]:
+            graph.remove_edge(edge.source, edge.target, edge.color)
+        after = join_match(pattern, graph)
+        for node in pattern.nodes():
+            assert after.matches_of(node) <= before.matches_of(node)
+
+
+class TestNormalizationEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_normalized_pattern_same_answers_on_original_nodes(self, seed):
+        graph = generate_synthetic_graph(
+            num_nodes=30, num_edges=90, num_attributes=2, attribute_cardinality=3, seed=seed
+        )
+        matrix = build_distance_matrix(graph)
+        generator = QueryGenerator(graph, seed=seed)
+        pattern = generator.pattern_query(4, 5, num_predicates=1, bound=2, max_colors=3)
+        with_normalization = join_match(pattern, graph, distance_matrix=matrix, normalize=True)
+        without_normalization = join_match(pattern, graph, distance_matrix=matrix, normalize=False)
+        assert with_normalization.same_matches(without_normalization)

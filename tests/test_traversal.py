@@ -1,0 +1,127 @@
+"""Unit tests for graph traversal primitives."""
+
+import pytest
+
+from repro.graph.data_graph import DataGraph
+from repro.graph.traversal import (
+    bfs_distances,
+    bidirectional_distance,
+    strongly_connected_components,
+    topological_order,
+)
+
+
+@pytest.fixture
+def chain_with_colors():
+    graph = DataGraph()
+    graph.add_edge("a", "b", "red")
+    graph.add_edge("b", "c", "red")
+    graph.add_edge("c", "d", "blue")
+    graph.add_edge("d", "a", "blue")
+    graph.add_edge("a", "d", "green")
+    return graph
+
+
+class TestBfsDistances:
+    def test_any_color(self, chain_with_colors):
+        distances = bfs_distances(chain_with_colors, "a")
+        assert distances == {"a": 0, "b": 1, "c": 2, "d": 1}
+
+    def test_single_color(self, chain_with_colors):
+        distances = bfs_distances(chain_with_colors, "a", color="red")
+        assert distances == {"a": 0, "b": 1, "c": 2}
+
+    def test_reverse(self, chain_with_colors):
+        distances = bfs_distances(chain_with_colors, "a", reverse=True)
+        assert distances["d"] == 1
+        assert distances["c"] == 2
+
+    def test_max_depth(self, chain_with_colors):
+        distances = bfs_distances(chain_with_colors, "a", color="red", max_depth=1)
+        assert distances == {"a": 0, "b": 1}
+
+
+class TestBidirectionalDistance:
+    def test_simple_path(self, chain_with_colors):
+        assert bidirectional_distance(chain_with_colors, "a", "c", color="red") == 2
+        assert bidirectional_distance(chain_with_colors, "a", "c") == 2
+
+    def test_unreachable(self, chain_with_colors):
+        assert bidirectional_distance(chain_with_colors, "b", "a", color="red") is None
+
+    def test_color_pruning(self, chain_with_colors):
+        # No blue edge leaves "a", so the search can refuse immediately.
+        assert bidirectional_distance(chain_with_colors, "a", "c", color="blue") is None
+
+    def test_same_node(self, chain_with_colors):
+        assert bidirectional_distance(chain_with_colors, "a", "a") == 0
+
+    def test_missing_node(self, chain_with_colors):
+        assert bidirectional_distance(chain_with_colors, "a", "zzz") is None
+
+    def test_max_depth(self, chain_with_colors):
+        assert bidirectional_distance(chain_with_colors, "a", "c", color="red", max_depth=1) is None
+        assert bidirectional_distance(chain_with_colors, "a", "c", color="red", max_depth=2) == 2
+
+    def test_agrees_with_bfs_on_random_graph(self):
+        from repro.datasets.synthetic import generate_synthetic_graph
+
+        graph = generate_synthetic_graph(30, 90, seed=3)
+        nodes = list(graph.nodes())
+        for source in nodes[:5]:
+            reference = bfs_distances(graph, source)
+            for target in nodes[:10]:
+                expected = reference.get(target)
+                assert bidirectional_distance(graph, source, target) == expected
+
+
+class TestStronglyConnectedComponents:
+    def test_cycle_detected(self, chain_with_colors):
+        components = strongly_connected_components(
+            list(chain_with_colors.nodes()), chain_with_colors.successors
+        )
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [4]
+
+    def test_dag_gives_singletons_in_reverse_topological_order(self):
+        graph = DataGraph()
+        graph.add_edge("a", "b", "t")
+        graph.add_edge("b", "c", "t")
+        graph.add_edge("a", "c", "t")
+        components = strongly_connected_components(list(graph.nodes()), graph.successors)
+        order = [component[0] for component in components]
+        # Reverse topological: a sink appears before anything that reaches it.
+        assert order.index("c") < order.index("b") < order.index("a")
+
+    def test_two_cycles(self):
+        graph = DataGraph()
+        graph.add_edge("a", "b", "t")
+        graph.add_edge("b", "a", "t")
+        graph.add_edge("b", "c", "t")
+        graph.add_edge("c", "d", "t")
+        graph.add_edge("d", "c", "t")
+        components = strongly_connected_components(list(graph.nodes()), graph.successors)
+        component_sets = [frozenset(component) for component in components]
+        assert frozenset({"a", "b"}) in component_sets
+        assert frozenset({"c", "d"}) in component_sets
+        # {c, d} is downstream so it must be emitted first.
+        assert component_sets.index(frozenset({"c", "d"})) < component_sets.index(
+            frozenset({"a", "b"})
+        )
+
+
+class TestTopologicalOrder:
+    def test_simple_dag(self):
+        graph = DataGraph()
+        graph.add_edge("a", "b", "t")
+        graph.add_edge("b", "c", "t")
+        graph.add_edge("a", "c", "t")
+        order = topological_order(list(graph.nodes()), graph.successors)
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_raises(self):
+        graph = DataGraph()
+        graph.add_edge("a", "b", "t")
+        graph.add_edge("b", "a", "t")
+        with pytest.raises(ValueError):
+            topological_order(list(graph.nodes()), graph.successors)

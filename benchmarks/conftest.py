@@ -14,8 +14,28 @@ import pytest
 from repro.datasets.synthetic import generate_synthetic_graph
 from repro.datasets.terrorism import generate_terrorism_graph
 from repro.datasets.youtube import generate_youtube_graph
+from repro.graph.csr import compiled_snapshot
 from repro.graph.distance import build_distance_matrix
+from repro.matching.paths import PathMatcher
 from repro.query.generator import QueryGenerator
+
+
+@pytest.fixture()
+def engine_kwargs():
+    """Warm, symmetric engine state for dict-vs-CSR evaluate_rq comparisons.
+
+    Returns extra evaluate_rq keyword arguments: dict rows reuse one matcher
+    across calls, csr rows the pre-compiled shared snapshot engine — so both
+    engines are timed in steady state (the protocol run_rq_efficiency uses).
+    """
+
+    def make(graph, engine):
+        if engine == "dict":
+            return {"matcher": PathMatcher(graph)}
+        compiled_snapshot(graph)  # one-off compile outside the timed region
+        return {}
+
+    return make
 
 
 @pytest.fixture(scope="session")

@@ -8,6 +8,10 @@ matrix itself, the cost DM amortises across queries.
 
 Expected shape: DM < biBFS < BFS per query, with the gap widening for more
 colours; building the matrix dominates if only a handful of queries are asked.
+
+The two search strategies are additionally parametrised over the evaluation
+engine (``dict`` vs the compiled CSR engine), which tracks the dict-vs-CSR
+speedup per PR next to the paper's own comparison.
 """
 
 from __future__ import annotations
@@ -57,10 +61,12 @@ def test_exp3_distance_matrix(benchmark, youtube_graph, youtube_matrix, num_colo
     assert all(result.method == "matrix" for result in results)
 
 
+@pytest.mark.parametrize("engine", ["dict", "csr"])
 @pytest.mark.parametrize("num_colors", [1, 3])
 @pytest.mark.benchmark(group="exp3-fig10b-rq")
-def test_exp3_bidirectional(benchmark, youtube_graph, youtube_matrix, num_colors):
+def test_exp3_bidirectional(benchmark, youtube_graph, youtube_matrix, num_colors, engine, engine_kwargs):
     queries = _queries(youtube_graph, num_colors)
+    kwargs = engine_kwargs(youtube_graph, engine)
     reference = [
         evaluate_rq(query, youtube_graph, distance_matrix=youtube_matrix, method="matrix")
         for query in queries
@@ -68,26 +74,34 @@ def test_exp3_bidirectional(benchmark, youtube_graph, youtube_matrix, num_colors
 
     def run():
         return [
-            evaluate_rq(query, youtube_graph, method="bidirectional") for query in queries
+            evaluate_rq(query, youtube_graph, method="bidirectional", engine=engine, **kwargs)
+            for query in queries
         ]
 
     results = benchmark(run)
     benchmark.extra_info["figure"] = "10(b)"
     benchmark.extra_info["num_colors"] = num_colors
+    benchmark.extra_info["engine"] = engine
     assert all(result.pairs == expected.pairs for result, expected in zip(results, reference))
 
 
+@pytest.mark.parametrize("engine", ["dict", "csr"])
 @pytest.mark.parametrize("num_colors", [1, 3])
 @pytest.mark.benchmark(group="exp3-fig10b-rq")
-def test_exp3_plain_bfs(benchmark, youtube_graph, num_colors):
+def test_exp3_plain_bfs(benchmark, youtube_graph, num_colors, engine, engine_kwargs):
     queries = _queries(youtube_graph, num_colors)
+    kwargs = engine_kwargs(youtube_graph, engine)
 
     def run():
-        return [evaluate_rq(query, youtube_graph, method="bfs") for query in queries]
+        return [
+            evaluate_rq(query, youtube_graph, method="bfs", engine=engine, **kwargs)
+            for query in queries
+        ]
 
     results = benchmark(run)
     benchmark.extra_info["figure"] = "10(b)"
     benchmark.extra_info["num_colors"] = num_colors
+    benchmark.extra_info["engine"] = engine
     assert len(results) == len(queries)
 
 

@@ -27,6 +27,7 @@ from repro.exceptions import (
     RegexSyntaxError,
     ReproError,
 )
+from repro.graph.csr import CompiledGraph, compile_graph, compiled_snapshot
 from repro.graph.data_graph import DataGraph, Edge
 from repro.graph.distance import DistanceMatrix, build_distance_matrix
 from repro.regex.fclass import FRegex, RegexAtom, WILDCARD
@@ -51,6 +52,7 @@ from repro.matching.naive import naive_match
 from repro.matching.bounded_simulation import bounded_simulation_match
 from repro.matching.subgraph_iso import subgraph_isomorphism_match
 from repro.matching.paths import PathMatcher
+from repro.matching.csr_engine import CsrEngine
 from repro.matching.incremental import IncrementalPatternMatcher
 from repro.matching.general_rq import (
     GeneralReachabilityQuery,
@@ -59,7 +61,7 @@ from repro.matching.general_rq import (
 from repro.regex.general import GeneralRegex
 from repro.metrics.fmeasure import compute_f_measure
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     # exceptions
@@ -72,6 +74,9 @@ __all__ = [
     # graph substrate
     "DataGraph",
     "Edge",
+    "CompiledGraph",
+    "compile_graph",
+    "compiled_snapshot",
     "DistanceMatrix",
     "build_distance_matrix",
     # regular expressions
@@ -104,6 +109,7 @@ __all__ = [
     "bounded_simulation_match",
     "subgraph_isomorphism_match",
     "PathMatcher",
+    "CsrEngine",
     # extensions (the paper's future-work items)
     "IncrementalPatternMatcher",
     "GeneralRegex",

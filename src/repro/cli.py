@@ -10,15 +10,30 @@ A small CLI for working with data graphs and queries without writing Python:
 * ``repro experiment exp3`` — run one of the paper's experiments and print its
   table.
 
-Invoke as ``python -m repro.cli …`` (or wire an entry point in downstream
-packaging).  Exit code is 0 on success and 2 on argument errors.
+Engines
+-------
+Reachability queries run on one of two evaluation engines, selected with
+``--engine`` (on ``rq`` and ``experiment``):
+
+* ``dict`` — the original evaluation over the graph's adjacency dictionaries;
+* ``csr`` — the compiled engine: the graph is frozen into flat CSR integer
+  arrays (:mod:`repro.graph.csr`) and frontiers expand over those arrays
+  (:mod:`repro.matching.csr_engine`), typically an order of magnitude faster
+  for search-based methods;
+* ``auto`` (default) — ``csr`` for the search methods, ``dict`` otherwise
+  (the ``matrix`` method always runs on the dict engine).
+
+Both engines return identical result pairs; ``--engine`` only changes speed.
+
+Invoke as ``python -m repro.cli …``, or as the ``repro`` console script after
+``pip install -e .``.  Exit code is 0 on success and 2 on argument errors.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.datasets.synthetic import generate_synthetic_graph
 from repro.datasets.terrorism import generate_terrorism_graph
@@ -35,6 +50,9 @@ _EXPERIMENTS = {
     "exp3": "repro.experiments.exp3_rq:run_rq_efficiency",
     "exp5f": "repro.experiments.exp5_synthetic:run_subiso_comparison",
 }
+
+#: Experiments whose runner accepts an ``engines=`` keyword (dict-vs-CSR columns).
+_ENGINE_AWARE_EXPERIMENTS = frozenset({"exp3"})
 
 _GENERATORS = {
     "youtube": generate_youtube_graph,
@@ -60,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
     rq.add_argument("--target", default="", help="target predicate")
     rq.add_argument("--regex", required=True, help="edge constraint, e.g. fa^2.fn")
     rq.add_argument("--method", default="auto", choices=["auto", "matrix", "bidirectional", "bfs"])
+    rq.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", "dict", "csr"],
+        help="evaluation engine: adjacency dicts, compiled CSR arrays, or auto",
+    )
     rq.add_argument("--limit", type=int, default=20, help="print at most this many pairs")
 
     generate = commands.add_parser("generate", help="generate a synthetic dataset")
@@ -71,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = commands.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument(
+        "--engine",
+        default=None,
+        choices=["both", "dict", "csr"],
+        help="engine column(s) for experiments that compare engines (exp3; default both)",
+    )
 
     return parser
 
@@ -92,6 +122,13 @@ def _command_stats(args: argparse.Namespace, out) -> int:
 
 
 def _command_rq(args: argparse.Namespace, out) -> int:
+    if args.method == "matrix" and args.engine == "csr":
+        print(
+            "repro rq: error: the matrix method runs on the dict engine only "
+            "(drop --engine csr or pick a search method)",
+            file=sys.stderr,
+        )
+        return 2
     graph = load_json(args.graph)
     query = ReachabilityQuery(args.source, args.target, args.regex)
     distance_matrix = None
@@ -99,8 +136,10 @@ def _command_rq(args: argparse.Namespace, out) -> int:
         from repro.graph.distance import build_distance_matrix
 
         distance_matrix = build_distance_matrix(graph)
-    result = evaluate_rq(query, graph, distance_matrix=distance_matrix, method=args.method)
-    print(f"{result.size} matching pairs (method={result.method}, "
+    result = evaluate_rq(
+        query, graph, distance_matrix=distance_matrix, method=args.method, engine=args.engine
+    )
+    print(f"{result.size} matching pairs (method={result.method}, engine={result.engine}, "
           f"{result.elapsed_seconds:.4f}s)", file=out)
     for index, (source, target) in enumerate(sorted(result.pairs, key=str)):
         if index >= args.limit:
@@ -120,7 +159,18 @@ def _command_generate(args: argparse.Namespace, out) -> int:
 
 def _command_experiment(args: argparse.Namespace, out) -> int:
     runner = _resolve(_EXPERIMENTS[args.name])
-    report = runner()
+    kwargs = {}
+    if args.name in _ENGINE_AWARE_EXPERIMENTS:
+        engine = args.engine or "both"
+        kwargs["engines"] = ("dict", "csr") if engine == "both" else (engine,)
+    elif args.engine is not None:
+        print(
+            f"repro experiment: error: {args.name} does not compare engines; "
+            f"--engine only applies to {', '.join(sorted(_ENGINE_AWARE_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    report = runner(**kwargs)
     reports = report if isinstance(report, list) else [report]
     for item in reports:
         print(item.to_table(), file=out)

@@ -19,7 +19,6 @@ Generation is deterministic for a given seed.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.graph.data_graph import DataGraph
 

@@ -12,12 +12,12 @@ are measured against, which is exactly how the paper computes F-measure.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.datasets.terrorism import generate_terrorism_graph
 from repro.experiments.harness import ExperimentReport, average_seconds
 from repro.graph.data_graph import DataGraph
-from repro.graph.distance import DistanceMatrix, build_distance_matrix
+from repro.graph.distance import build_distance_matrix
 from repro.matching.bounded_simulation import bounded_simulation_match
 from repro.matching.join_match import join_match
 from repro.matching.split_match import split_match

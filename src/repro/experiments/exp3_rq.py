@@ -9,13 +9,29 @@ distinct colours are evaluated on the YouTube-like graph with three methods:
 
 The paper's shape to reproduce: DM is fastest, biBFS beats BFS and the gap
 widens as the expression gets longer.
+
+The two search methods additionally run on both evaluation **engines** (the
+original adjacency-dict engine and the compiled CSR engine of
+:mod:`repro.matching.csr_engine`), yielding ``t_bibfs``/``t_bfs`` (dict) and
+``t_bibfs_csr``/``t_bfs_csr`` columns so the dict-vs-CSR gap is tracked next
+to the paper's own comparison.  The comparison is steady-state and
+symmetric: the dict engine reuses one :class:`PathMatcher` (and its LRU
+caches) across all queries, the CSR engine reuses the shared snapshot
+engine, and the one-off graph compile happens before timing starts — so the
+columns measure per-query evaluation cost on warm caches for both engines.
+All methods and engines must agree on the result pairs; a mismatch aborts
+the experiment.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.exceptions import EvaluationError
+
 from repro.datasets.youtube import generate_youtube_graph
+from repro.graph.csr import compiled_snapshot
+from repro.matching.paths import PathMatcher
 from repro.experiments.harness import ExperimentReport, average_seconds
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import build_distance_matrix
@@ -28,6 +44,11 @@ from repro.regex.fclass import FRegex, RegexAtom
 DEFAULT_NUM_COLORS: Sequence[int] = (1, 2, 3, 4)
 
 
+#: Engines timed for the two search methods; "dict" fills the classic
+#: ``t_bibfs``/``t_bfs`` columns, "csr" adds ``t_bibfs_csr``/``t_bfs_csr``.
+DEFAULT_ENGINES: Sequence[str] = ("dict", "csr")
+
+
 def run_rq_efficiency(
     graph: Optional[DataGraph] = None,
     num_colors_values: Sequence[int] = DEFAULT_NUM_COLORS,
@@ -37,20 +58,31 @@ def run_rq_efficiency(
     seed: int = 31,
     num_nodes: int = 1000,
     num_edges: int = 4000,
+    engines: Sequence[str] = DEFAULT_ENGINES,
 ) -> ExperimentReport:
     """Run Exp-3 and return one row per number of colours (Fig. 10(b))."""
+    for engine in engines:
+        if engine not in ("dict", "csr"):
+            raise EvaluationError(f"unknown engine {engine!r}; expected 'dict' and/or 'csr'")
     if graph is None:
         graph = generate_youtube_graph(num_nodes=num_nodes, num_edges=num_edges, seed=seed)
     matrix = build_distance_matrix(graph)
     generator = QueryGenerator(graph, seed=seed)
     colors = sorted(graph.colors)
+    # Warm, symmetric engine state: one shared matcher for the dict engine,
+    # and the CSR snapshot compiled outside the timed region.
+    search_matcher = PathMatcher(graph)
+    if "csr" in engines:
+        compiled_snapshot(graph)
     report = ExperimentReport(
         name="exp3-rq",
-        description="Fig. 10(b): RQ evaluation time — distance matrix vs biBFS vs BFS",
+        description="Fig. 10(b): RQ evaluation time — distance matrix vs biBFS vs BFS "
+        "(search methods on both the dict and the compiled CSR engine)",
     )
 
     for num_colors in num_colors_values:
-        dm_times, bibfs_times, bfs_times = [], [], []
+        dm_times = []
+        search_times = {(m, e): [] for m in ("bidirectional", "bfs") for e in engines}
         sizes = []
         for index in range(queries_per_point):
             atoms = [
@@ -63,23 +95,32 @@ def run_rq_efficiency(
                 regex=FRegex(atoms),
             )
             dm = evaluate_rq(query, graph, distance_matrix=matrix, method="matrix")
-            bibfs = evaluate_rq(query, graph, method="bidirectional")
-            bfs = evaluate_rq(query, graph, method="bfs")
             dm_times.append(dm.elapsed_seconds)
-            bibfs_times.append(bibfs.elapsed_seconds)
-            bfs_times.append(bfs.elapsed_seconds)
             sizes.append(dm.size)
-            if dm.pairs != bibfs.pairs or dm.pairs != bfs.pairs:
-                raise AssertionError(
-                    "RQ evaluation methods disagree; this indicates a bug in the library"
-                )
-        report.add_row(
-            num_colors=num_colors,
-            t_distance_matrix=average_seconds(dm_times),
-            t_bibfs=average_seconds(bibfs_times),
-            t_bfs=average_seconds(bfs_times),
-            avg_result_size=average_seconds(sizes),
-        )
+            for (method, engine), samples in search_times.items():
+                if engine == "dict":
+                    result = evaluate_rq(
+                        query, graph, method=method, engine="dict", matcher=search_matcher
+                    )
+                else:
+                    result = evaluate_rq(query, graph, method=method, engine="csr")
+                samples.append(result.elapsed_seconds)
+                if result.pairs != dm.pairs:
+                    raise AssertionError(
+                        f"RQ evaluation disagrees (method={method}, engine={engine}); "
+                        "this indicates a bug in the library"
+                    )
+        row = {
+            "num_colors": num_colors,
+            "t_distance_matrix": average_seconds(dm_times),
+        }
+        for (method, engine), samples in search_times.items():
+            column = "t_bibfs" if method == "bidirectional" else "t_bfs"
+            if engine == "csr":
+                column += "_csr"
+            row[column] = average_seconds(samples)
+        row["avg_result_size"] = average_seconds(sizes)
+        report.add_row(**row)
     return report
 
 

@@ -20,7 +20,7 @@ SplitMatchC while finding far fewer matches.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.datasets.synthetic import generate_synthetic_graph
 from repro.experiments.harness import ExperimentReport, average_seconds

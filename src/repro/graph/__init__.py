@@ -8,6 +8,9 @@ need:
 
 * :class:`~repro.graph.data_graph.DataGraph` — adjacency-list storage with a
   per-colour edge index and reverse adjacency;
+* :mod:`~repro.graph.csr` — the compiled CSR snapshot
+  (:class:`~repro.graph.csr.CompiledGraph`) the flat-array query engine runs
+  on;
 * :mod:`~repro.graph.traversal` — BFS, bidirectional BFS, Tarjan SCC and
   topological sort (implemented directly, no external graph library on the
   evaluation path);
@@ -18,6 +21,7 @@ need:
   experiment harness.
 """
 
+from repro.graph.csr import CompiledGraph, compile_graph, compiled_snapshot
 from repro.graph.data_graph import DataGraph, Edge
 from repro.graph.distance import DistanceMatrix, build_distance_matrix
 from repro.graph.traversal import (
@@ -30,6 +34,9 @@ from repro.graph.traversal import (
 __all__ = [
     "DataGraph",
     "Edge",
+    "CompiledGraph",
+    "compile_graph",
+    "compiled_snapshot",
     "DistanceMatrix",
     "build_distance_matrix",
     "bfs_distances",

@@ -1,0 +1,353 @@
+"""Compiled CSR (compressed sparse row) snapshot of a :class:`DataGraph`.
+
+The dict-of-dict-of-set adjacency of :class:`~repro.graph.data_graph.DataGraph`
+is flexible but pays hashing and set-allocation costs on every hop.  This
+module freezes a graph into flat integer arrays so the hot evaluation loops
+(:mod:`repro.matching.csr_engine`) touch nothing but contiguous memory:
+
+* node ids are interned into dense indices ``0 … n-1`` (``node_index`` /
+  ``node_id`` translate both ways);
+* edge colours are interned into dense colour ids over the sorted alphabet;
+* for every colour there is a forward and a reverse CSR layer — an
+  ``offsets`` array of length ``n+1`` and a flat ``targets`` array holding the
+  sorted neighbour indices — plus a node-membership bitmap (``bytearray``)
+  marking the nodes incident to at least one edge of that colour;
+* one extra pair of layers stores the de-duplicated "any colour" (wildcard)
+  adjacency, so ``_``-atoms expand without unioning per-colour sets.
+
+A snapshot is immutable topology-wise but shares the *live* attribute
+dictionaries of its source graph, so predicate scans
+(:meth:`CompiledGraph.matching_indices`) always see current attribute values.
+:func:`compiled_snapshot` caches one snapshot per graph (weakly, keyed by the
+graph object) and recompiles automatically when the graph's topology
+``version`` moves on — this is what ``engine="auto"`` rides on.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, Hashable, Iterator, List, Mapping, Optional, Set, Tuple
+from weakref import WeakKeyDictionary, ref
+
+from repro.exceptions import GraphError
+from repro.graph.data_graph import DataGraph
+
+NodeId = Hashable
+
+#: Pseudo colour id selecting the "any colour" (wildcard) adjacency layer.
+ANY_COLOR = -1
+
+
+class CsrLayer:
+    """One adjacency layer: CSR offsets, flat neighbour array, membership bitmap."""
+
+    __slots__ = ("offsets", "targets", "mask", "_view")
+
+    def __init__(self, offsets: array, targets: array, mask: bytearray):
+        self.offsets = offsets
+        self.targets = targets
+        self.mask = mask
+        self._view = memoryview(targets)
+
+    def neighbors(self, index: int) -> memoryview:
+        """Neighbour indices of ``index`` as a zero-copy slice."""
+        return self._view[self.offsets[index]:self.offsets[index + 1]]
+
+    def degree(self, index: int) -> int:
+        return self.offsets[index + 1] - self.offsets[index]
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.targets)
+
+
+def _build_layer(num_nodes: int, buckets: Dict[int, List[int]], dedup: bool = False) -> CsrLayer:
+    """Pack per-node neighbour lists into a CSR layer (neighbours sorted)."""
+    zero = array("i", [0])
+    offsets = zero * (num_nodes + 1)
+    running = 0
+    for index in range(num_nodes):
+        offsets[index] = running
+        lst = buckets.get(index)
+        if lst:
+            running += len(set(lst)) if dedup else len(lst)
+    offsets[num_nodes] = running
+
+    targets = zero * running
+    mask = bytearray(num_nodes)
+    for index, lst in buckets.items():
+        neighbours = sorted(set(lst)) if dedup else sorted(lst)
+        if not neighbours:
+            continue
+        start = offsets[index]
+        targets[start:start + len(neighbours)] = array("i", neighbours)
+        mask[index] = 1
+    return CsrLayer(offsets, targets, mask)
+
+
+class CompiledGraph:
+    """An integer-indexed, frozen CSR view of a :class:`DataGraph`.
+
+    Instances are built with :func:`compile_graph` (always fresh) or
+    :func:`compiled_snapshot` (cached per graph).  The topology is a snapshot:
+    later mutations of the source graph are not reflected (but are *detected*
+    by :func:`compiled_snapshot` through the graph's ``version`` counter).
+    """
+
+    __slots__ = (
+        "name",
+        "source_version",
+        "source_attrs_version",
+        "_ids",
+        "_index",
+        "_attrs",
+        "_colors",
+        "_color_index",
+        "_fwd",
+        "_rev",
+        "_fwd_any",
+        "_rev_any",
+        "_num_edges",
+        "_engine",
+        "_scan_cache",
+        "_source",
+    )
+
+    def __init__(self, graph: DataGraph):
+        # Imported here (not at module level) to keep repro.graph importable
+        # without dragging in repro.matching — and to avoid the import cycle
+        # graph.csr -> matching.cache -> matching.csr_engine -> graph.csr.
+        from repro.matching.cache import LruCache
+
+        self.name = graph.name
+        self.source_version = graph.version
+        self.source_attrs_version = graph.attrs_version
+        ids: Tuple[NodeId, ...] = tuple(graph.nodes())
+        self._ids = ids
+        self._index: Dict[NodeId, int] = {node: i for i, node in enumerate(ids)}
+        self._attrs: Tuple[Mapping[str, Any], ...] = tuple(graph.attributes(node) for node in ids)
+        colors = tuple(sorted(graph.colors))
+        self._colors = colors
+        self._color_index: Dict[str, int] = {color: k for k, color in enumerate(colors)}
+
+        n = len(ids)
+        fwd_buckets: List[Dict[int, List[int]]] = [{} for _ in colors]
+        rev_buckets: List[Dict[int, List[int]]] = [{} for _ in colors]
+        any_fwd: Dict[int, List[int]] = {}
+        any_rev: Dict[int, List[int]] = {}
+        index = self._index
+        color_index = self._color_index
+        num_edges = 0
+        for edge in graph.edges():
+            u = index[edge.source]
+            v = index[edge.target]
+            k = color_index[edge.color]
+            fwd_buckets[k].setdefault(u, []).append(v)
+            rev_buckets[k].setdefault(v, []).append(u)
+            any_fwd.setdefault(u, []).append(v)
+            any_rev.setdefault(v, []).append(u)
+            num_edges += 1
+        self._fwd = tuple(_build_layer(n, bucket) for bucket in fwd_buckets)
+        self._rev = tuple(_build_layer(n, bucket) for bucket in rev_buckets)
+        self._fwd_any = _build_layer(n, any_fwd, dedup=True)
+        self._rev_any = _build_layer(n, any_rev, dedup=True)
+        self._num_edges = num_edges
+        self._engine = None
+        self._scan_cache = LruCache(4096)
+        # Weak handle on the source graph: lets matching_indices notice
+        # attribute updates (attrs_version) and flush the scan memo lazily,
+        # for snapshots built via compile_graph and compiled_snapshot alike.
+        self._source = ref(graph)
+
+    # -- id / colour interning --------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of coloured edges (parallel colours counted separately)."""
+        return self._num_edges
+
+    @property
+    def colors(self) -> Tuple[str, ...]:
+        """The sorted edge-colour alphabet."""
+        return self._colors
+
+    @property
+    def ids(self) -> Tuple[NodeId, ...]:
+        """Dense index -> original node id."""
+        return self._ids
+
+    def node_id(self, index: int) -> NodeId:
+        return self._ids[index]
+
+    def node_index(self, node: NodeId) -> int:
+        try:
+            return self._index[node]
+        except KeyError as exc:
+            raise GraphError(f"node {node!r} is not in the compiled graph") from exc
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._index
+
+    def color_id(self, color: Optional[str]) -> Optional[int]:
+        """Dense colour id, :data:`ANY_COLOR` for ``None``, ``None`` if unknown."""
+        if color is None:
+            return ANY_COLOR
+        return self._color_index.get(color)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._index
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, colors={list(self._colors)})"
+        )
+
+    # -- index-level adjacency (the engine's hot path) --------------------------
+
+    def layer(self, color_id: int, reverse: bool = False) -> CsrLayer:
+        """The CSR layer for one colour id (or :data:`ANY_COLOR`)."""
+        if color_id == ANY_COLOR:
+            return self._rev_any if reverse else self._fwd_any
+        return (self._rev if reverse else self._fwd)[color_id]
+
+    def neighbors(self, index: int, color_id: int = ANY_COLOR, reverse: bool = False) -> memoryview:
+        """Neighbour indices via one colour layer, as a zero-copy slice."""
+        return self.layer(color_id, reverse).neighbors(index)
+
+    # -- id-level views mirroring DataGraph (round-trip / tests) ----------------
+
+    def node_ids(self) -> Iterator[NodeId]:
+        return iter(self._ids)
+
+    def attributes(self, index: int) -> Mapping[str, Any]:
+        """Attribute mapping of the node at ``index`` (live view)."""
+        return self._attrs[index]
+
+    def successors(self, node: NodeId, color: Optional[str] = None) -> Set[NodeId]:
+        """Out-neighbours by node id, mirroring :meth:`DataGraph.successors`."""
+        return self._neighbor_ids(node, color, reverse=False)
+
+    def predecessors(self, node: NodeId, color: Optional[str] = None) -> Set[NodeId]:
+        """In-neighbours by node id, mirroring :meth:`DataGraph.predecessors`."""
+        return self._neighbor_ids(node, color, reverse=True)
+
+    def _neighbor_ids(self, node: NodeId, color: Optional[str], reverse: bool) -> Set[NodeId]:
+        index = self.node_index(node)
+        cid = self.color_id(color)
+        if cid is None:
+            return set()
+        ids = self._ids
+        return {ids[j] for j in self.layer(cid, reverse).neighbors(index)}
+
+    def out_degree(self, node: NodeId) -> int:
+        index = self.node_index(node)
+        return sum(layer.degree(index) for layer in self._fwd)
+
+    def in_degree(self, node: NodeId) -> int:
+        index = self.node_index(node)
+        return sum(layer.degree(index) for layer in self._rev)
+
+    def successor_colors(self, node: NodeId) -> Set[str]:
+        index = self.node_index(node)
+        return {c for k, c in enumerate(self._colors) if self._fwd[k].mask[index]}
+
+    def predecessor_colors(self, node: NodeId) -> Set[str]:
+        index = self.node_index(node)
+        return {c for k, c in enumerate(self._colors) if self._rev[k].mask[index]}
+
+    # -- compiled attribute-predicate scan --------------------------------------
+
+    def matching_indices(self, predicate: Any) -> Tuple[int, ...]:
+        """Indices of nodes whose attributes satisfy ``predicate``.
+
+        ``predicate`` may be a :class:`~repro.query.predicates.Predicate`
+        (compiled to a fast closure), any object with ``matches``, a plain
+        callable over attribute mappings, or ``None`` (all nodes).  Scans for
+        :class:`Predicate` objects are memoised per snapshot — structurally
+        equal predicates pay the full sweep once; attribute updates through
+        ``add_node`` bump the graph's ``attrs_version``, which flushes this
+        memo on the next scan (no CSR recompile).
+        """
+        attrs = self._attrs
+        if predicate is None:
+            return tuple(range(len(attrs)))
+        source = self._source()
+        if source is not None and source.attrs_version != self.source_attrs_version:
+            self.refresh_attribute_scans(source.attrs_version)
+        cacheable = hasattr(predicate, "compile")
+        if cacheable:
+            cached = self._scan_cache.get(predicate)
+            if cached is not None:
+                return cached
+        if hasattr(predicate, "is_true") and predicate.is_true():
+            result = tuple(range(len(attrs)))
+        else:
+            if cacheable:
+                check = predicate.compile()
+            elif hasattr(predicate, "matches"):
+                check = predicate.matches
+            else:
+                check = predicate
+            result = tuple(i for i in range(len(attrs)) if check(attrs[i]))
+        if cacheable:
+            self._scan_cache.put(predicate, result)
+        return result
+
+    def matching_ids(self, predicate: Any) -> List[NodeId]:
+        """Node ids whose attributes satisfy ``predicate`` (insertion order)."""
+        ids = self._ids
+        return [ids[i] for i in self.matching_indices(predicate)]
+
+    # -- engine handle -----------------------------------------------------------
+
+    def refresh_attribute_scans(self, attrs_version: int) -> None:
+        """Flush memoised predicate scans after an attribute-only update.
+
+        The attribute tuples reference the graph's live dictionaries, so the
+        data itself is already fresh — only the memo needs dropping.  Invoked
+        lazily by :meth:`matching_indices`; no CSR recompile happens.
+        """
+        self._scan_cache.clear()
+        self.source_attrs_version = attrs_version
+
+    def default_engine(self):
+        """The shared :class:`~repro.matching.csr_engine.CsrEngine` for this
+        snapshot (created lazily; its per-atom caches persist across queries)."""
+        if self._engine is None:
+            from repro.matching.csr_engine import CsrEngine
+
+            self._engine = CsrEngine(self)
+        return self._engine
+
+
+def compile_graph(graph: DataGraph) -> CompiledGraph:
+    """Freeze ``graph`` into a fresh :class:`CompiledGraph`."""
+    return CompiledGraph(graph)
+
+
+_SNAPSHOTS: "WeakKeyDictionary[DataGraph, CompiledGraph]" = WeakKeyDictionary()
+
+
+def compiled_snapshot(graph: DataGraph) -> CompiledGraph:
+    """The cached compiled snapshot of ``graph``, recompiled when stale.
+
+    One snapshot is kept per live graph object (weakly referenced, so graphs
+    are not pinned in memory).  The snapshot is reused while the graph's
+    topology :attr:`~repro.graph.data_graph.DataGraph.version` is unchanged;
+    attribute-only updates (``attrs_version``) just flush the snapshot's
+    predicate-scan memo instead of recompiling the CSR arrays.
+    """
+    cached = _SNAPSHOTS.get(graph)
+    if cached is not None and cached.source_version == graph.version:
+        return cached
+    snapshot = CompiledGraph(graph)
+    _SNAPSHOTS[graph] = snapshot
+    return snapshot

@@ -17,6 +17,7 @@ is what the reachability and pattern-matching algorithms traverse.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import (
     Any,
     Dict,
@@ -58,25 +59,50 @@ class DataGraph:
         experiment harness when reporting results).
     """
 
-    __slots__ = ("name", "_attrs", "_out", "_in", "_colors", "_num_edges")
+    __slots__ = (
+        "name",
+        "_attrs",
+        "_attr_views",
+        "_out",
+        "_in",
+        "_colors",
+        "_num_edges",
+        "_version",
+        "_attrs_version",
+        "__weakref__",
+    )
 
     def __init__(self, name: str = "graph"):
         self.name = name
         self._attrs: Dict[NodeId, Dict[str, Any]] = {}
+        # One long-lived read-only proxy per node, returned by attributes();
+        # it tracks the underlying dict, so it is created once, not per call.
+        self._attr_views: Dict[NodeId, Mapping[str, Any]] = {}
         # _out[u][color] = set of successors via edges of that colour
         self._out: Dict[NodeId, Dict[str, Set[NodeId]]] = {}
         self._in: Dict[NodeId, Dict[str, Set[NodeId]]] = {}
         self._colors: Set[str] = set()
         self._num_edges = 0
+        # Bumped on every topology change; lets compiled snapshots detect staleness.
+        self._version = 0
+        # Bumped on attribute updates to existing nodes; cheaper to react to
+        # than a topology change (snapshots only flush their scan memos).
+        self._attrs_version = 0
 
     # -- construction ----------------------------------------------------------
 
     def add_node(self, node: NodeId, **attributes: Any) -> NodeId:
         """Add a node (or update the attributes of an existing one)."""
         if node not in self._attrs:
-            self._attrs[node] = {}
+            attrs: Dict[str, Any] = {}
+            self._attrs[node] = attrs
+            self._attr_views[node] = MappingProxyType(attrs)
             self._out[node] = {}
             self._in[node] = {}
+            self._version += 1
+        elif attributes:
+            # Attribute changes invalidate memoised predicate scans only.
+            self._attrs_version += 1
         self._attrs[node].update(attributes)
         return node
 
@@ -92,6 +118,7 @@ class DataGraph:
             self._in[target].setdefault(color, set()).add(source)
             self._colors.add(color)
             self._num_edges += 1
+            self._version += 1
         return Edge(source, target, color)
 
     def add_edges_from(self, edges: Iterable[Tuple[NodeId, NodeId, str]]) -> None:
@@ -107,6 +134,7 @@ class DataGraph:
         except KeyError as exc:
             raise GraphError(f"edge {source}-{color}->{target} does not exist") from exc
         self._num_edges -= 1
+        self._version += 1
         if not self._out[source][color]:
             del self._out[source][color]
         if not self._in[target][color]:
@@ -123,14 +151,37 @@ class DataGraph:
             for source in list(sources):
                 self.remove_edge(source, node, color)
         del self._attrs[node]
+        del self._attr_views[node]
         del self._out[node]
         del self._in[node]
+        self._version += 1
 
     # -- inspection ------------------------------------------------------------
 
     @property
     def num_nodes(self) -> int:
         return len(self._attrs)
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every topology mutation.
+
+        Compiled snapshots (:mod:`repro.graph.csr`) record the version they
+        were built from and are recompiled transparently when it moves on.
+        """
+        return self._version
+
+    @property
+    def attrs_version(self) -> int:
+        """Monotonic counter bumped when :meth:`add_node` updates attributes
+        of an existing node.
+
+        Snapshots react by flushing their memoised predicate scans — no CSR
+        recompile, since the topology is untouched.  (Mappings returned by
+        :meth:`attributes` are read-only views, so this counter cannot be
+        bypassed.)
+        """
+        return self._attrs_version
 
     @property
     def num_edges(self) -> int:
@@ -158,9 +209,15 @@ class DataGraph:
         return any(target in targets for targets in table.values())
 
     def attributes(self, node: NodeId) -> Mapping[str, Any]:
-        """The attribute tuple ``f_A(node)``."""
+        """The attribute tuple ``f_A(node)`` (a read-only live view).
+
+        Update attributes through :meth:`add_node` — that keeps the
+        ``attrs_version`` counter honest, which the compiled snapshots rely
+        on to invalidate memoised predicate scans.  Mutating the returned
+        mapping raises ``TypeError``.
+        """
         try:
-            return self._attrs[node]
+            return self._attr_views[node]
         except KeyError as exc:
             raise GraphError(f"node {node!r} does not exist") from exc
 

@@ -16,7 +16,7 @@ answering lookups in O(1).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Optional
 
 from repro.graph.data_graph import DataGraph
 from repro.graph.traversal import bfs_distances

@@ -1,7 +1,10 @@
 """Query evaluation algorithms.
 
 * :mod:`~repro.matching.reachability` — RQ evaluation (matrix-based and
-  bidirectional search, Section 4);
+  bidirectional search, Section 4) over either engine;
+* :mod:`~repro.matching.csr_engine` — the compiled flat-array engine
+  (:class:`~repro.matching.csr_engine.CsrEngine`) evaluating RQs over CSR
+  snapshots;
 * :mod:`~repro.matching.join_match` — the ``JoinMatch`` PQ algorithm (Fig. 7);
 * :mod:`~repro.matching.split_match` — the ``SplitMatch`` PQ algorithm (Fig. 8);
 * :mod:`~repro.matching.naive` — a simple reference fixpoint evaluator used to
@@ -17,6 +20,7 @@
 """
 
 from repro.matching.cache import LruCache
+from repro.matching.csr_engine import CsrEngine
 from repro.matching.paths import PathMatcher
 from repro.matching.reachability import evaluate_rq
 from repro.matching.result import PatternMatchResult
@@ -29,6 +33,7 @@ from repro.matching.simulation import graph_simulation
 
 __all__ = [
     "LruCache",
+    "CsrEngine",
     "PathMatcher",
     "evaluate_rq",
     "PatternMatchResult",

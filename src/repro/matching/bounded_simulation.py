@@ -15,7 +15,7 @@ colours are dropped.
 from __future__ import annotations
 
 import time
-from typing import Dict, Hashable, Optional, Set
+from typing import Dict, Hashable, Optional
 
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix

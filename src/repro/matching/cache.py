@@ -10,6 +10,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Hashable, Iterator, Optional
 
+#: Default capacity of the per-query search caches (PathMatcher's BFS memos
+#: and CsrEngine's expansion memo).  Shared so the "default capacity" check
+#: in evaluate_rq and the engines' own defaults can never drift apart.
+DEFAULT_SEARCH_CACHE_CAPACITY = 50000
+
 
 class LruCache:
     """A bounded mapping that evicts the least recently used entry.

@@ -1,0 +1,255 @@
+"""RQ evaluation directly over compiled CSR arrays.
+
+:class:`CsrEngine` is the flat-array counterpart of the dict-based
+:class:`~repro.matching.paths.PathMatcher` + :mod:`~repro.matching.reachability`
+pipeline.  It operates entirely in the dense integer index space of a
+:class:`~repro.graph.csr.CompiledGraph`:
+
+* per-atom frontier expansion is a depth-bounded BFS over the colour's CSR
+  layer, with a ``bytearray`` visited bitmap and plain int lists — no node-id
+  hashing, no per-hop set allocation;
+* expansions are memoised per ``(start, colour, bound, direction)`` in an
+  :class:`~repro.matching.cache.LruCache` (the CSR analogue of the paper's
+  distance cache);
+* full queries are answered with the bidirectional meet-in-the-middle
+  strategy of Section 4 (always advancing the smaller frontier) or with a
+  plain forward sweep, both byte-identical to the dict engine's results;
+* general (non-F-class) expressions are evaluated with an NFA-product path:
+  a :class:`~repro.regex.nfa.LazyDfa` over the graph's colour alphabet is
+  walked in product with the CSR layers.
+
+Results are translated back to original node ids only at the very end, in
+:meth:`CsrEngine.evaluate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import EvaluationError
+from repro.graph.csr import CompiledGraph
+from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY, LruCache
+from repro.matching.frontiers import forward_sweep, meet_in_the_middle
+from repro.regex.fclass import FRegex, RegexAtom
+from repro.regex.nfa import LazyDfa, Nfa
+
+NodeId = Hashable
+IndexPair = Tuple[int, int]
+NodePair = Tuple[NodeId, NodeId]
+
+#: Query evaluation strategies the engine understands.
+METHODS = ("bidirectional", "bfs")
+
+
+class CsrEngine:
+    """Evaluates reachability queries over one :class:`CompiledGraph`.
+
+    Parameters
+    ----------
+    compiled:
+        The compiled CSR snapshot to evaluate against.
+    cache_capacity:
+        LRU capacity for memoised per-atom expansions (``None`` = unbounded).
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledGraph,
+        cache_capacity: Optional[int] = DEFAULT_SEARCH_CACHE_CAPACITY,
+    ):
+        self.compiled = compiled
+        self._cache = LruCache(cache_capacity)
+
+    # -- per-atom expansion (the hot loop) --------------------------------------
+
+    def _expand(self, start: int, color_id: int, bound: Optional[int], reverse: bool) -> Tuple[int, ...]:
+        """Indices at positive distance ``1 … bound`` from ``start`` via one colour.
+
+        ``start`` itself is included exactly when it lies on a non-empty cycle
+        of admissible length (paths are required to be non-empty).  Results
+        are memoised per ``(start, colour, bound, direction)``.
+        """
+        key = (start, color_id, bound, reverse)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        layer = self.compiled.layer(color_id, reverse)
+        if not layer.mask[start]:
+            self._cache.put(key, ())
+            return ()
+
+        visited = bytearray(self.compiled.num_nodes)
+        visited[start] = 1
+        frontier = [start]
+        reached: List[int] = []
+        saw_start = False
+        offsets = layer.offsets
+        neighbors = layer._view
+        depth = 0
+        while frontier and (bound is None or depth < bound):
+            depth += 1
+            advanced: List[int] = []
+            push = advanced.append
+            record = reached.append
+            for node in frontier:
+                for nxt in neighbors[offsets[node]:offsets[node + 1]]:
+                    if visited[nxt]:
+                        if nxt == start:
+                            saw_start = True
+                        continue
+                    visited[nxt] = 1
+                    push(nxt)
+                    record(nxt)
+            frontier = advanced
+        if saw_start:
+            reached.append(start)
+        result = tuple(reached)
+        self._cache.put(key, result)
+        return result
+
+    def atom_targets(self, index: int, item: RegexAtom) -> Tuple[int, ...]:
+        """Indices reachable from ``index`` by a non-empty block matching one atom."""
+        color_id = self.compiled.color_id(None if item.is_wildcard else item.color)
+        if color_id is None:
+            return ()
+        return self._expand(index, color_id, item.max_count, reverse=False)
+
+    def atom_sources(self, index: int, item: RegexAtom) -> Tuple[int, ...]:
+        """Indices that reach ``index`` by a non-empty block matching one atom."""
+        color_id = self.compiled.color_id(None if item.is_wildcard else item.color)
+        if color_id is None:
+            return ()
+        return self._expand(index, color_id, item.max_count, reverse=True)
+
+    # -- full expressions (index space) -----------------------------------------
+
+    def targets_from(self, index: int, regex: FRegex) -> Set[int]:
+        """All indices ``j`` such that ``(index, j)`` matches ``regex``."""
+        frontier: Set[int] = {index}
+        for item in regex.atoms:
+            advanced: Set[int] = set()
+            for node in frontier:
+                advanced.update(self.atom_targets(node, item))
+            frontier = advanced
+            if not frontier:
+                break
+        return frontier
+
+    def sources_to(self, index: int, regex: FRegex) -> Set[int]:
+        """All indices ``j`` such that ``(j, index)`` matches ``regex``."""
+        frontier: Set[int] = {index}
+        for item in reversed(regex.atoms):
+            advanced: Set[int] = set()
+            for node in frontier:
+                advanced.update(self.atom_sources(node, item))
+            frontier = advanced
+            if not frontier:
+                break
+        return frontier
+
+    def bidirectional_pairs(
+        self,
+        regex: FRegex,
+        source_indices: Sequence[int],
+        target_indices: Iterable[int],
+    ) -> Set[IndexPair]:
+        """Meet-in-the-middle evaluation (Section 4, "RQ with multiple colors").
+
+        The strategy lives in :func:`repro.matching.frontiers.meet_in_the_middle`
+        (shared with the dict engine); this engine contributes the flat-array
+        per-atom expansion.
+        """
+        return meet_in_the_middle(self, regex, source_indices, target_indices)
+
+    def forward_sweep_pairs(
+        self,
+        regex: FRegex,
+        source_indices: Sequence[int],
+        target_indices: Iterable[int],
+    ) -> Set[IndexPair]:
+        """Plain forward search from every candidate source (the BFS baseline)."""
+        return forward_sweep(self, regex, source_indices, target_indices)
+
+    # -- NFA product (general expressions) --------------------------------------
+
+    def nfa_product_pairs(
+        self,
+        nfa: Nfa,
+        source_indices: Sequence[int],
+        target_indices: Iterable[int],
+    ) -> Set[IndexPair]:
+        """Product construction over (graph index, automaton state).
+
+        Evaluates an arbitrary regular expression given as an
+        :class:`~repro.regex.nfa.Nfa`: from every candidate source the product
+        of the CSR layers and a lazily determinised view of the automaton is
+        searched breadth-first; a pair is reported when a candidate target is
+        visited in an accepting state after at least one edge (paths must be
+        non-empty, so an automaton accepting the empty word never yields
+        ``(v, v)`` by itself).
+        """
+        compiled = self.compiled
+        colors = compiled.colors
+        dfa = LazyDfa(nfa, colors)
+        targets = set(target_indices)
+        layers = [compiled.layer(k) for k in range(len(colors))]
+        pairs: Set[IndexPair] = set()
+
+        for source in source_indices:
+            seen = {(source, dfa.start)}
+            frontier = [(source, dfa.start)]
+            while frontier:
+                advanced: List[Tuple[int, int]] = []
+                for node, state in frontier:
+                    for color_index, layer in enumerate(layers):
+                        if not layer.mask[node]:
+                            continue
+                        next_state = dfa.step(state, color_index)
+                        if next_state == LazyDfa.DEAD:
+                            continue
+                        accepting = dfa.is_accepting(next_state)
+                        offsets = layer.offsets
+                        for nxt in layer._view[offsets[node]:offsets[node + 1]]:
+                            key = (nxt, next_state)
+                            if key in seen:
+                                continue
+                            seen.add(key)
+                            advanced.append(key)
+                            if accepting and nxt in targets:
+                                pairs.add((source, nxt))
+                frontier = advanced
+        return pairs
+
+    # -- query-level entry point -------------------------------------------------
+
+    def candidate_indices(self, query) -> Tuple[List[int], List[int]]:
+        """Compiled attribute-predicate scan for the two endpoint predicates."""
+        return (
+            self.compiled.matching_indices(query.source_predicate),
+            self.compiled.matching_indices(query.target_predicate),
+        )
+
+    def evaluate(self, query, method: str = "bidirectional") -> Set[NodePair]:
+        """Evaluate a :class:`~repro.query.rq.ReachabilityQuery`; id-space pairs."""
+        if method not in METHODS:
+            raise EvaluationError(
+                f"unknown CSR method {method!r}; expected one of {METHODS}"
+            )
+        source_indices, target_indices = self.candidate_indices(query)
+        if not source_indices or not target_indices:
+            return set()
+        if method == "bidirectional":
+            index_pairs = self.bidirectional_pairs(query.regex, source_indices, target_indices)
+        else:
+            index_pairs = self.forward_sweep_pairs(query.regex, source_indices, target_indices)
+        ids = self.compiled.ids
+        return {(ids[a], ids[b]) for a, b in index_pairs}
+
+    @property
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit-rate statistics of the expansion cache."""
+        return {
+            "hit_rate": self._cache.hit_rate,
+            "entries": float(len(self._cache)),
+        }

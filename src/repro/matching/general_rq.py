@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple, Union
+from typing import Hashable, List, Set, Tuple, Union
 
+from repro.exceptions import EvaluationError
+from repro.graph.csr import compiled_snapshot
 from repro.graph.data_graph import DataGraph
 from repro.query.predicates import Predicate
 from repro.query.rq import PredicateLike, coerce_predicate
@@ -108,9 +110,37 @@ def regex_reachable_from(
 def evaluate_general_rq(
     query: GeneralReachabilityQuery,
     graph: DataGraph,
+    engine: str = "auto",
 ) -> GeneralReachabilityResult:
-    """Evaluate a general-regex reachability query on a data graph."""
+    """Evaluate a general-regex reachability query on a data graph.
+
+    ``engine`` selects between the original per-edge product search over the
+    adjacency dicts (``"dict"``) and the compiled NFA-product path of
+    :meth:`repro.matching.csr_engine.CsrEngine.nfa_product_pairs` (``"csr"``,
+    the default resolution of ``"auto"``), which shares one lazily
+    determinised automaton across all candidate sources and walks CSR arrays.
+    Both return identical pair sets.
+    """
+    if engine not in ("auto", "dict", "csr"):
+        raise EvaluationError(f"unknown engine {engine!r}; expected 'auto', 'dict' or 'csr'")
     started = time.perf_counter()
+
+    if engine in ("auto", "csr"):
+        snapshot = compiled_snapshot(graph)
+        csr = snapshot.default_engine()
+        source_indices = snapshot.matching_indices(query.source_predicate)
+        target_indices = snapshot.matching_indices(query.target_predicate)
+        pairs: Set[NodePair] = set()
+        if source_indices and target_indices:
+            ids = snapshot.ids
+            index_pairs = csr.nfa_product_pairs(
+                query.regex.to_nfa(), source_indices, target_indices
+            )
+            pairs = {(ids[a], ids[b]) for a, b in index_pairs}
+        return GeneralReachabilityResult(
+            pairs=pairs, elapsed_seconds=time.perf_counter() - started
+        )
+
     sources = [
         node for node in graph.nodes()
         if query.source_predicate.matches(graph.attributes(node))
@@ -119,7 +149,7 @@ def evaluate_general_rq(
         node for node in graph.nodes()
         if query.target_predicate.matches(graph.attributes(node))
     }
-    pairs: Set[NodePair] = set()
+    pairs = set()
     if sources and targets:
         for source in sources:
             for target in regex_reachable_from(graph, source, query.regex) & targets:

@@ -26,7 +26,7 @@ not mention — touch far less state.
 from __future__ import annotations
 
 import time
-from typing import Dict, Hashable, Optional, Set, Tuple
+from typing import Dict, Hashable, Optional, Set
 
 from repro.graph.data_graph import DataGraph
 from repro.matching.naive import collect_result, initial_candidates

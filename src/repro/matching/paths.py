@@ -22,9 +22,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Hashable, Optional, Set
 
+from repro.graph.csr import compiled_snapshot
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
-from repro.matching.cache import LruCache
+from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY, LruCache
 from repro.regex.fclass import WILDCARD, FRegex, RegexAtom
 
 NodeId = Hashable
@@ -43,22 +44,58 @@ class PathMatcher:
     cache_capacity:
         Capacity of the LRU caches used in search mode (ignored in matrix
         mode).  ``None`` makes the caches unbounded.
+    engine:
+        ``"dict"`` (default) expands frontiers over the graph's adjacency
+        dicts; ``"csr"`` expands them over the compiled CSR snapshot of the
+        graph (:mod:`repro.graph.csr`), which is considerably faster;
+        ``"auto"`` picks CSR whenever no distance matrix is supplied.
+        Matrix mode always walks the distance matrix, so combining an
+        explicit ``"csr"`` with a matrix raises :class:`ValueError`.
+        Answers are identical on every engine.
     """
 
     def __init__(
         self,
         graph: DataGraph,
         distance_matrix: Optional[DistanceMatrix] = None,
-        cache_capacity: Optional[int] = 50000,
+        cache_capacity: Optional[int] = DEFAULT_SEARCH_CACHE_CAPACITY,
+        engine: str = "dict",
     ):
+        if engine not in ("auto", "dict", "csr"):
+            raise ValueError(f"unknown engine {engine!r}; expected 'auto', 'dict' or 'csr'")
+        if engine == "csr" and distance_matrix is not None:
+            # Mirror evaluate_rq: the matrix is a dict-engine index.
+            raise ValueError("engine='csr' cannot be combined with a distance matrix")
         self.graph = graph
         self.matrix = distance_matrix
+        self._cache_capacity = cache_capacity
         self._forward_cache = LruCache(cache_capacity)
         self._backward_cache = LruCache(cache_capacity)
+        self.engine = "csr" if engine in ("auto", "csr") and distance_matrix is None else "dict"
+        self._csr = None
 
     @property
     def uses_matrix(self) -> bool:
         return self.matrix is not None
+
+    @property
+    def _csr_engine(self):
+        """This matcher's private CSR engine over the graph's current snapshot.
+
+        The snapshot itself is shared (compiled once per graph), but the
+        expansion cache belongs to the matcher and honours ``cache_capacity``
+        — mirroring the dict-mode caches.  A fresh engine is built whenever
+        the graph has been recompiled since the last call; in steady state
+        the check is one integer comparison, keeping per-atom calls cheap.
+        """
+        from repro.matching.csr_engine import CsrEngine
+
+        engine = self._csr
+        if engine is not None and engine.compiled.source_version == self.graph.version:
+            return engine
+        engine = CsrEngine(compiled_snapshot(self.graph), self._cache_capacity)
+        self._csr = engine
+        return engine
 
     # -- per-atom distance maps ------------------------------------------------
 
@@ -114,6 +151,8 @@ class PathMatcher:
 
     def atom_targets(self, source: NodeId, item: RegexAtom) -> Set[NodeId]:
         """Nodes reachable from ``source`` by a non-empty block matching one atom."""
+        if self.engine == "csr":
+            return self._csr_frontier(source, item, reverse=False)
         color = None if item.is_wildcard else item.color
         bound = item.max_count
         if self.matrix is not None:
@@ -126,8 +165,19 @@ class PathMatcher:
             if dist >= 1 and (bound is None or dist <= bound)
         }
 
+    def _csr_frontier(self, node: NodeId, item: RegexAtom, reverse: bool) -> Set[NodeId]:
+        """One-atom frontier via the compiled engine, translated back to ids."""
+        engine = self._csr_engine
+        compiled = engine.compiled
+        index = compiled.node_index(node)
+        expand = engine.atom_sources if reverse else engine.atom_targets
+        ids = compiled.ids
+        return {ids[j] for j in expand(index, item)}
+
     def atom_sources(self, target: NodeId, item: RegexAtom) -> Set[NodeId]:
         """Nodes that reach ``target`` by a non-empty block matching one atom."""
+        if self.engine == "csr":
+            return self._csr_frontier(target, item, reverse=True)
         color = None if item.is_wildcard else item.color
         bound = item.max_count
         if self.matrix is not None:

@@ -12,6 +12,19 @@ Two strategies are provided, matching the paper:
 
 Both are reached through :func:`evaluate_rq`; the strategy is chosen by the
 ``method`` argument or implied by whether a distance matrix is supplied.
+
+Orthogonally to the strategy, the search-based methods can run on one of two
+**engines**:
+
+* ``"dict"`` — the original implementation over the graph's dict-of-set
+  adjacency (also the only engine for the ``"matrix"`` method);
+* ``"csr"`` — the compiled engine of :mod:`repro.matching.csr_engine`, which
+  freezes the graph into flat CSR arrays (:mod:`repro.graph.csr`) and expands
+  frontiers over integer indices;
+* ``"auto"`` (default) — the CSR engine for search methods (compiling once
+  per graph and caching the snapshot), the dict engine otherwise.
+
+Both engines return byte-identical ``pairs`` sets.
 """
 
 from __future__ import annotations
@@ -21,8 +34,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.exceptions import EvaluationError
+from repro.graph.csr import compiled_snapshot
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
+from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY
+from repro.matching.frontiers import forward_sweep, meet_in_the_middle
 from repro.matching.paths import PathMatcher
 from repro.query.rq import ReachabilityQuery
 
@@ -32,6 +48,12 @@ NodePair = Tuple[NodeId, NodeId]
 #: Recognised evaluation strategies.
 METHODS = ("auto", "matrix", "bidirectional", "bfs")
 
+#: Recognised evaluation engines.
+ENGINES = ("auto", "dict", "csr")
+
+#: Default LRU capacity for per-call search caches (shared with the engines).
+DEFAULT_CACHE_CAPACITY = DEFAULT_SEARCH_CACHE_CAPACITY
+
 
 @dataclass
 class ReachabilityResult:
@@ -40,6 +62,7 @@ class ReachabilityResult:
     pairs: Set[NodePair] = field(default_factory=set)
     method: str = ""
     elapsed_seconds: float = 0.0
+    engine: str = "dict"
 
     @property
     def size(self) -> int:
@@ -62,9 +85,16 @@ class ReachabilityResult:
 
 
 def _candidate_nodes(graph: DataGraph, query: ReachabilityQuery) -> Tuple[List[NodeId], List[NodeId]]:
-    """Nodes satisfying the source / target predicates."""
-    sources = [node for node in graph.nodes() if query.source_predicate.matches(graph.attributes(node))]
-    targets = [node for node in graph.nodes() if query.target_predicate.matches(graph.attributes(node))]
+    """Nodes satisfying the source / target predicates (dict-engine path).
+
+    The CSR path scans the snapshot's flat attribute table instead
+    (:meth:`~repro.graph.csr.CompiledGraph.matching_indices`); the ids are
+    identical either way (both follow insertion order).
+    """
+    source_check = query.source_predicate.compile()
+    target_check = query.target_predicate.compile()
+    sources = [node for node in graph.nodes() if source_check(graph.attributes(node))]
+    targets = [node for node in graph.nodes() if target_check(graph.attributes(node))]
     return sources, targets
 
 
@@ -74,7 +104,8 @@ def evaluate_rq(
     distance_matrix: Optional[DistanceMatrix] = None,
     method: str = "auto",
     matcher: Optional[PathMatcher] = None,
-    cache_capacity: Optional[int] = 50000,
+    cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
+    engine: str = "auto",
 ) -> ReachabilityResult:
     """Evaluate a reachability query on a data graph.
 
@@ -93,24 +124,70 @@ def evaluate_rq(
         baseline in Exp-3) or ``"auto"``.
     matcher:
         Optionally reuse an existing :class:`PathMatcher` (and hence its
-        caches) across many queries.
+        caches) across many queries.  Passing a matcher means evaluation is
+        driven through it as-is — the matcher's own ``engine`` setting
+        decides dict vs CSR expansion, and the result is labelled
+        accordingly.  (``engine="csr"`` here cannot be combined with a
+        matcher; configure the matcher instead.)
     cache_capacity:
-        LRU capacity for a newly created matcher in search mode.
+        LRU capacity for the per-call search caches.  A non-default value on
+        the CSR path sizes a private expansion cache for this call instead
+        of the snapshot's shared one, preserving the bounded per-call memory
+        contract.
+    engine:
+        ``"dict"`` (original adjacency-dict evaluation), ``"csr"`` (compiled
+        flat-array engine; search methods only) or ``"auto"`` — CSR for
+        search methods when no matcher is supplied, dict otherwise.  The
+        snapshot is compiled once per graph and cached until the topology
+        changes.
 
     Returns
     -------
     ReachabilityResult
         All node pairs ``(v1, v2)`` with ``v1 ≍ u1``, ``v2 ≍ u2`` and a
         non-empty path from ``v1`` to ``v2`` matching the edge constraint.
+        Both engines return identical pair sets.
     """
     if method not in METHODS:
         raise EvaluationError(f"unknown method {method!r}; expected one of {METHODS}")
+    if engine not in ENGINES:
+        raise EvaluationError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     if method == "matrix" and distance_matrix is None:
         raise EvaluationError("the matrix method requires a distance matrix")
     if method == "auto":
-        method = "matrix" if distance_matrix is not None else "bidirectional"
+        # An explicit CSR request resolves to a search method even when a
+        # matrix is at hand — the matrix is a dict-engine index.
+        if engine == "csr":
+            method = "bidirectional"
+        else:
+            method = "matrix" if distance_matrix is not None else "bidirectional"
+    if engine == "csr" and method == "matrix":
+        raise EvaluationError("the matrix method runs on the dict engine only")
+    if engine == "csr" and matcher is not None:
+        raise EvaluationError(
+            "engine='csr' cannot reuse a PathMatcher; drop the matcher "
+            "(the snapshot engine keeps its own caches) or use engine='dict'"
+        )
+    default_cache = cache_capacity == DEFAULT_CACHE_CAPACITY
+    use_csr = method in ("bidirectional", "bfs") and (
+        engine == "csr" or (engine == "auto" and matcher is None)
+    )
 
     started = time.perf_counter()
+    if use_csr:
+        snapshot = compiled_snapshot(graph)
+        if default_cache:
+            csr_engine = snapshot.default_engine()
+        else:
+            from repro.matching.csr_engine import CsrEngine
+
+            csr_engine = CsrEngine(snapshot, cache_capacity)
+        pairs = csr_engine.evaluate(query, method=method)
+        elapsed = time.perf_counter() - started
+        return ReachabilityResult(
+            pairs=pairs, method=method, elapsed_seconds=elapsed, engine="csr"
+        )
+
     if matcher is None:
         matcher = PathMatcher(
             graph,
@@ -122,84 +199,17 @@ def evaluate_rq(
     pairs: Set[NodePair] = set()
     if sources and targets:
         if method == "bidirectional":
-            pairs = _bidirectional(matcher, query, sources, set(targets))
+            pairs = meet_in_the_middle(matcher, query.regex, sources, targets)
         else:
-            pairs = _forward_sweep(matcher, query, sources, set(targets))
+            # With a distance matrix each expansion is a sequence of row
+            # walks (the paper's nested-loop matrix method); without one
+            # this is the plain forward BFS baseline of Exp-3.
+            pairs = forward_sweep(matcher, query.regex, sources, targets)
     elapsed = time.perf_counter() - started
-    return ReachabilityResult(pairs=pairs, method=method, elapsed_seconds=elapsed)
-
-
-def _forward_sweep(
-    matcher: PathMatcher,
-    query: ReachabilityQuery,
-    sources: List[NodeId],
-    targets: Set[NodeId],
-) -> Set[NodePair]:
-    """Expand every candidate source forward and intersect with the targets.
-
-    With a distance matrix each expansion is a sequence of row walks (the
-    paper's nested-loop matrix method); without one this is the plain forward
-    BFS baseline of Exp-3.
-    """
-    pairs: Set[NodePair] = set()
-    for source in sources:
-        reached = matcher.targets_from(source, query.regex)
-        for target in reached & targets:
-            pairs.add((source, target))
-    return pairs
-
-
-def _bidirectional(
-    matcher: PathMatcher,
-    query: ReachabilityQuery,
-    sources: List[NodeId],
-    targets: Set[NodeId],
-) -> Set[NodePair]:
-    """Bidirectional evaluation of the regex (Section 4, "RQ with multiple colors").
-
-    Two frontiers are maintained — nodes reachable from candidate sources
-    through the already-consumed prefix of the expression, and nodes reaching
-    candidate targets through the already-consumed suffix.  At every step the
-    smaller frontier is advanced by one atom; when all atoms are consumed the
-    two frontiers are joined at their meeting nodes.
-    """
-    atoms = query.regex.atoms
-    # frontier node -> set of originating candidate sources (resp. targets)
-    forward: Dict[NodeId, Set[NodeId]] = {node: {node} for node in sources}
-    backward: Dict[NodeId, Set[NodeId]] = {node: {node} for node in targets}
-    lo, hi = 0, len(atoms)
-
-    while lo < hi:
-        if len(forward) <= len(backward):
-            item = atoms[lo]
-            lo += 1
-            advanced: Dict[NodeId, Set[NodeId]] = {}
-            for node, origins in forward.items():
-                for nxt in matcher.atom_targets(node, item):
-                    advanced.setdefault(nxt, set()).update(origins)
-            forward = advanced
-            if not forward:
-                return set()
-        else:
-            item = atoms[hi - 1]
-            hi -= 1
-            advanced = {}
-            for node, origins in backward.items():
-                for prev in matcher.atom_sources(node, item):
-                    advanced.setdefault(prev, set()).update(origins)
-            backward = advanced
-            if not backward:
-                return set()
-
-    pairs: Set[NodePair] = set()
-    for node, origins in forward.items():
-        ends = backward.get(node)
-        if not ends:
-            continue
-        for source in origins:
-            for target in ends:
-                pairs.add((source, target))
-    return pairs
+    # A caller-supplied matcher may itself run in csr mode; label honestly.
+    return ReachabilityResult(
+        pairs=pairs, method=method, elapsed_seconds=elapsed, engine=matcher.engine
+    )
 
 
 def reachable_pairs_by_edge(

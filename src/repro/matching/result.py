@@ -9,7 +9,7 @@ convenience accessors used by the experiment harness and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Set, Tuple
 
 NodeId = Hashable
 EdgeKey = Tuple[str, str]

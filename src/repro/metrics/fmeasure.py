@@ -13,7 +13,7 @@ PQ semantics).  The quantities are:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Set, Tuple
+from typing import Dict, Hashable, Set, Tuple
 
 NodeMatch = Tuple[str, Hashable]
 

@@ -15,7 +15,7 @@ how the paper generates queries against YouTube / GTD / synthetic graphs).
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.exceptions import QueryError
 from repro.graph.data_graph import DataGraph

@@ -10,7 +10,7 @@ extension of graph simulation) is implemented in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import QueryError
 from repro.query.predicates import Predicate

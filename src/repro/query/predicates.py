@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.exceptions import PredicateError
 
@@ -219,7 +219,7 @@ class Predicate:
     nodes introduced when decomposing a multi-colour RQ).
     """
 
-    __slots__ = ("_conditions", "_hash")
+    __slots__ = ("_conditions", "_hash", "_compiled")
 
     def __init__(self, conditions: Iterable[AtomicCondition] = ()):
         items = tuple(conditions)
@@ -230,6 +230,7 @@ class Predicate:
                 )
         self._conditions = items
         self._hash = hash(items)
+        self._compiled: Optional[Callable[[Mapping[str, Any]], bool]] = None
 
     # -- constructors ----------------------------------------------------------
 
@@ -320,6 +321,40 @@ class Predicate:
     def matches(self, attributes: Mapping[str, Any]) -> bool:
         """Node satisfaction ``v ≍ u``: every condition holds on ``attributes``."""
         return all(condition.matches(attributes) for condition in self._conditions)
+
+    def compile(self) -> Callable[[Mapping[str, Any]], bool]:
+        """A fast closure equivalent to :meth:`matches`.
+
+        Used by the compiled candidate scans
+        (:meth:`repro.graph.csr.CompiledGraph.matching_indices`) to avoid the
+        per-condition attribute/method dispatch when sweeping every node of a
+        graph.  The closure is built once and cached on the predicate.
+        """
+        if self._compiled is None:
+            conditions = tuple(
+                (c.attribute, c.op, c.value) for c in self._conditions
+            )
+            if not conditions:
+                self._compiled = lambda attributes: True
+            elif len(conditions) == 1:
+                attribute, op, value = conditions[0]
+
+                def check_one(attributes: Mapping[str, Any]) -> bool:
+                    got = attributes.get(attribute, _MISSING)
+                    return got is not _MISSING and _compare(got, op, value)
+
+                self._compiled = check_one
+            else:
+
+                def check_all(attributes: Mapping[str, Any]) -> bool:
+                    for attribute, op, value in conditions:
+                        got = attributes.get(attribute, _MISSING)
+                        if got is _MISSING or not _compare(got, op, value):
+                            return False
+                    return True
+
+                self._compiled = check_all
+        return self._compiled
 
     def _intervals(self) -> Dict[str, _Interval]:
         table: Dict[str, _Interval] = {}

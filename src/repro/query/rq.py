@@ -11,8 +11,8 @@ defines the query object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Tuple, Union
 
 from repro.exceptions import QueryError
 from repro.query.predicates import Predicate

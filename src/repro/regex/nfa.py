@@ -99,6 +99,81 @@ def build_nfa(expr: FRegex) -> Nfa:
     return nfa
 
 
+class LazyDfa:
+    """Incrementally determinised integer-state view of an :class:`Nfa`.
+
+    The NFA-product evaluation over compiled graphs
+    (:meth:`repro.matching.csr_engine.CsrEngine.nfa_product_pairs`) walks
+    (graph node, automaton state) pairs.  Hashing ``frozenset`` state sets on
+    every edge is wasteful, so this class interns each reachable subset into a
+    dense integer id and memoises transitions per ``(state, symbol index)``
+    as they are first taken.  Symbols are addressed by their index in the
+    fixed ``alphabet`` sequence supplied at construction.
+    """
+
+    #: Transition target meaning "no NFA state survives this symbol".
+    DEAD = -1
+
+    #: The start state id (the singleton set of the NFA start state).
+    start = 0
+
+    __slots__ = ("alphabet", "_nfa", "_sets", "_ids", "_transitions", "_accepting")
+
+    def __init__(self, nfa: Nfa, alphabet: Sequence[str]):
+        self.alphabet = tuple(alphabet)
+        self._nfa = nfa
+        initial = frozenset({nfa.start})
+        self._sets: List[FrozenSet[int]] = [initial]
+        self._ids: Dict[FrozenSet[int], int] = {initial: 0}
+        self._transitions: List[List[Optional[int]]] = [[None] * len(self.alphabet)]
+        self._accepting: List[bool] = [bool(initial & nfa.accepting)]
+
+    @property
+    def num_states(self) -> int:
+        """Number of subset states materialised so far."""
+        return len(self._sets)
+
+    def is_accepting(self, state: int) -> bool:
+        return state >= 0 and self._accepting[state]
+
+    def step(self, state: int, symbol_index: int) -> int:
+        """Advance ``state`` on one symbol; returns :data:`DEAD` when empty.
+
+        Stepping the :data:`DEAD` state stays dead, so calls can be chained
+        without guarding in between.
+        """
+        if state < 0:
+            return self.DEAD
+        nxt = self._transitions[state][symbol_index]
+        if nxt is None:
+            target = frozenset(self._nfa.step(self._sets[state], self.alphabet[symbol_index]))
+            if not target:
+                nxt = self.DEAD
+            else:
+                nxt = self._ids.get(target)
+                if nxt is None:
+                    nxt = len(self._sets)
+                    self._ids[target] = nxt
+                    self._sets.append(target)
+                    self._transitions.append([None] * len(self.alphabet))
+                    self._accepting.append(bool(target & self._nfa.accepting))
+            self._transitions[state][symbol_index] = nxt
+        return nxt
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Membership test via the memoised transitions (for cross-checking)."""
+        symbol_index = {symbol: k for k, symbol in enumerate(self.alphabet)}
+        state = self.start
+        for color in word:
+            index = symbol_index.get(color)
+            if index is None:
+                return False
+            state = self.step(state, index)
+            if state == self.DEAD:
+                return False
+        return self.is_accepting(state)
+
+
 def _expand_alphabet(exprs: Iterable[FRegex]) -> List[str]:
     """Working alphabet: all concrete colours plus a fresh 'other' colour if
     any wildcard occurs (so wildcard semantics stay exact)."""

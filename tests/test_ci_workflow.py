@@ -1,0 +1,45 @@
+"""Dry-parse of the CI workflow: keeps .github/workflows/ci.yml loadable.
+
+A malformed workflow fails silently on GitHub (the run simply never starts),
+so the tier-1 suite validates the YAML structure and the commands it would
+run.  Skipped when PyYAML is unavailable.
+"""
+
+import pathlib
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = pathlib.Path(__file__).resolve().parent.parent / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    with WORKFLOW.open(encoding="utf-8") as handle:
+        return yaml.safe_load(handle)
+
+
+class TestCiWorkflow:
+    def test_parses_and_triggers_on_main(self, workflow):
+        # YAML 1.1 parses the bare key `on` as boolean True.
+        triggers = workflow.get("on", workflow.get(True))
+        assert triggers is not None
+        assert triggers["push"]["branches"] == ["main"]
+        assert triggers["pull_request"]["branches"] == ["main"]
+
+    def test_test_job_matrix_and_steps(self, workflow):
+        job = workflow["jobs"]["test"]
+        assert job["strategy"]["matrix"]["python-version"] == ["3.9", "3.10", "3.11", "3.12"]
+        commands = "\n".join(step.get("run", "") for step in job["steps"])
+        assert "pip install -e .[dev]" in commands
+        assert "ruff check" in commands
+        assert "pytest -x -q" in commands
+
+    def test_benchmark_job_emits_artifact(self, workflow):
+        job = workflow["jobs"]["benchmark-smoke"]
+        commands = "\n".join(step.get("run", "") for step in job["steps"])
+        assert "--benchmark-json=bench.json" in commands
+        assert "--benchmark-min-rounds=1" in commands
+        uploads = [step for step in job["steps"] if "upload-artifact" in step.get("uses", "")]
+        assert uploads and uploads[0]["with"]["path"] == "bench.json"

@@ -73,6 +73,29 @@ class TestRqCommand:
         assert code == 0
         assert "method=matrix" in out.getvalue()
 
+    def test_engine_flag_engines_agree(self, essembly_json):
+        outputs = {}
+        for engine in ("dict", "csr", "auto"):
+            out = io.StringIO()
+            code = main(
+                ["rq", essembly_json, "--regex", "fa^2.fn", "--engine", engine, "--limit", "100"],
+                out=out,
+            )
+            assert code == 0
+            text = out.getvalue()
+            assert f"engine={'csr' if engine == 'auto' else engine}" in text
+            outputs[engine] = [line for line in text.splitlines() if "->" in line]
+        assert outputs["dict"] == outputs["csr"] == outputs["auto"]
+
+    def test_matrix_method_rejects_csr_engine(self, essembly_json, capsys):
+        out = io.StringIO()
+        code = main(
+            ["rq", essembly_json, "--regex", "fn", "--method", "matrix", "--engine", "csr"],
+            out=out,
+        )
+        assert code == 2
+        assert "dict engine only" in capsys.readouterr().err
+
 
 class TestGenerateCommand:
     @pytest.mark.parametrize("dataset", ["youtube", "terrorism", "synthetic"])

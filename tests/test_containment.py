@@ -1,6 +1,5 @@
 """Unit tests for RQ/PQ containment and equivalence (Section 3.1)."""
 
-import pytest
 
 from repro.query.containment import (
     pq_contained_in,

@@ -1,0 +1,191 @@
+"""Unit tests for the compiled CSR graph snapshot (repro.graph.csr)."""
+
+import pytest
+
+from repro.datasets.youtube import generate_youtube_graph
+from repro.exceptions import GraphError
+from repro.graph.csr import ANY_COLOR, CompiledGraph, compile_graph, compiled_snapshot
+from repro.graph.data_graph import DataGraph
+from repro.query.predicates import Predicate
+
+
+@pytest.fixture()
+def small_graph():
+    graph = DataGraph(name="small")
+    graph.add_node("a", kind="x", rank=1)
+    graph.add_node("b", kind="y", rank=2)
+    graph.add_node("c", kind="x", rank=3)
+    graph.add_node("lonely", kind="z")
+    graph.add_edge("a", "b", "red")
+    graph.add_edge("a", "b", "blue")  # parallel edge, different colour
+    graph.add_edge("b", "c", "red")
+    graph.add_edge("c", "a", "blue")
+    graph.add_edge("c", "c", "red")  # self loop
+    return graph
+
+
+class TestRoundTrip:
+    def test_sizes_and_alphabet(self, small_graph):
+        compiled = compile_graph(small_graph)
+        assert compiled.num_nodes == small_graph.num_nodes
+        assert compiled.num_edges == small_graph.num_edges
+        assert compiled.colors == tuple(sorted(small_graph.colors))
+        assert len(compiled) == len(small_graph)
+        assert "lonely" in compiled and "ghost" not in compiled
+
+    def test_node_id_index_inverse(self, small_graph):
+        compiled = compile_graph(small_graph)
+        for node in small_graph.nodes():
+            assert compiled.node_id(compiled.node_index(node)) == node
+        assert list(compiled.node_ids()) == list(small_graph.nodes())
+        with pytest.raises(GraphError):
+            compiled.node_index("ghost")
+
+    def test_successors_predecessors_per_color(self, small_graph):
+        compiled = compile_graph(small_graph)
+        for node in small_graph.nodes():
+            for color in list(small_graph.colors) + [None]:
+                assert compiled.successors(node, color) == small_graph.successors(node, color)
+                assert compiled.predecessors(node, color) == small_graph.predecessors(node, color)
+
+    def test_unknown_color_is_empty(self, small_graph):
+        compiled = compile_graph(small_graph)
+        assert compiled.successors("a", "green") == set()
+        assert compiled.color_id("green") is None
+        assert compiled.color_id(None) == ANY_COLOR
+
+    def test_degrees(self, small_graph):
+        compiled = compile_graph(small_graph)
+        for node in small_graph.nodes():
+            assert compiled.out_degree(node) == small_graph.out_degree(node)
+            assert compiled.in_degree(node) == small_graph.in_degree(node)
+
+    def test_incident_colors(self, small_graph):
+        compiled = compile_graph(small_graph)
+        for node in small_graph.nodes():
+            assert compiled.successor_colors(node) == small_graph.successor_colors(node)
+            assert compiled.predecessor_colors(node) == small_graph.predecessor_colors(node)
+
+    def test_membership_bitmaps(self, small_graph):
+        compiled = compile_graph(small_graph)
+        for color in small_graph.colors:
+            layer = compiled.layer(compiled.color_id(color))
+            for node in small_graph.nodes():
+                expected = bool(small_graph.successors(node, color))
+                assert bool(layer.mask[compiled.node_index(node)]) == expected
+
+    def test_neighbors_are_sorted_indices(self, small_graph):
+        compiled = compile_graph(small_graph)
+        for index in range(compiled.num_nodes):
+            for cid in list(range(len(compiled.colors))) + [ANY_COLOR]:
+                neighbors = list(compiled.neighbors(index, cid))
+                assert neighbors == sorted(neighbors)
+                assert len(neighbors) == len(set(neighbors))
+
+    def test_youtube_round_trip(self):
+        graph = generate_youtube_graph(num_nodes=120, num_edges=420, seed=3)
+        compiled = compile_graph(graph)
+        assert compiled.num_edges == graph.num_edges
+        for node in graph.nodes():
+            assert compiled.successors(node) == graph.successors(node)
+            assert compiled.predecessors(node) == graph.predecessors(node)
+
+
+class TestPredicateScan:
+    def test_matching_matches_data_graph(self, small_graph):
+        compiled = compile_graph(small_graph)
+        predicate = Predicate.parse("kind = 'x' & rank > 1")
+        assert compiled.matching_ids(predicate) == small_graph.nodes_matching(predicate)
+
+    def test_true_predicate_matches_all(self, small_graph):
+        compiled = compile_graph(small_graph)
+        assert list(compiled.matching_indices(Predicate.true())) == list(range(compiled.num_nodes))
+        assert list(compiled.matching_indices(None)) == list(range(compiled.num_nodes))
+
+    def test_plain_callable_supported(self, small_graph):
+        compiled = compile_graph(small_graph)
+        ids = compiled.matching_ids(lambda attrs: attrs.get("kind") == "y")
+        assert ids == ["b"]
+
+    def test_compile_graph_snapshot_sees_attribute_updates(self, small_graph):
+        # The memo must flush on attr updates even for snapshots that were
+        # built directly (not through the compiled_snapshot cache).
+        compiled = compile_graph(small_graph)
+        predicate = Predicate.parse("rank = 77")
+        assert compiled.matching_ids(predicate) == []
+        small_graph.add_node("b", rank=77)
+        assert compiled.matching_ids(predicate) == ["b"]
+
+    def test_scan_is_memoised_per_structural_predicate(self, small_graph):
+        compiled = compile_graph(small_graph)
+        first = compiled.matching_indices(Predicate.parse("kind = 'x'"))
+        second = compiled.matching_indices(Predicate.parse("kind = 'x'"))
+        assert first is second  # structurally equal predicates share the memo
+
+    def test_compiled_predicate_closure_parity(self):
+        predicate = Predicate.parse("age > 10 & name != 'x'")
+        check = predicate.compile()
+        for attrs in ({"age": 11, "name": "y"}, {"age": 9, "name": "y"},
+                      {"age": 11, "name": "x"}, {"name": "y"}, {}):
+            assert check(attrs) == predicate.matches(attrs)
+        assert predicate.compile() is check  # cached
+
+
+class TestSnapshotCache:
+    def test_snapshot_reused_while_unchanged(self, small_graph):
+        assert compiled_snapshot(small_graph) is compiled_snapshot(small_graph)
+
+    def test_snapshot_recompiled_after_edge_mutation(self, small_graph):
+        before = compiled_snapshot(small_graph)
+        small_graph.add_edge("b", "a", "red")
+        after = compiled_snapshot(small_graph)
+        assert after is not before
+        assert after.successors("b", "red") == {"a", "c"}
+
+    def test_attribute_update_flushes_scan_memo_without_recompile(self, small_graph):
+        before = compiled_snapshot(small_graph)
+        predicate = Predicate.parse("rank = 42")
+        assert before.matching_ids(predicate) == []  # memoised miss
+        small_graph.add_node("a", rank=42)
+        after = compiled_snapshot(small_graph)
+        assert after is before  # attribute-only update: no CSR recompile
+        assert after.matching_ids(predicate) == ["a"]  # memo was flushed
+
+    def test_version_counter_moves_on_mutations(self):
+        graph = DataGraph()
+        v0 = graph.version
+        graph.add_node("a")
+        graph.add_node("b")
+        graph.add_edge("a", "b", "c")
+        assert graph.version > v0
+        v1 = graph.version
+        graph.add_edge("a", "b", "c")  # duplicate: no topology change
+        assert graph.version == v1
+        graph.remove_edge("a", "b", "c")
+        assert graph.version > v1
+
+    def test_attribute_views_are_read_only(self, small_graph):
+        # Mutating the live view would bypass attrs_version and let the
+        # scan memo serve stale candidates — so it must fail loudly.
+        view = small_graph.attributes("a")
+        with pytest.raises(TypeError):
+            view["kind"] = "hacked"
+        assert small_graph.get_attribute("a", "kind") == "x"
+
+    def test_attrs_version_separate_from_topology(self):
+        graph = DataGraph()
+        graph.add_node("a", k=1)
+        topology, attrs = graph.version, graph.attrs_version
+        graph.add_node("a", k=2)  # attribute-only update
+        assert graph.version == topology
+        assert graph.attrs_version > attrs
+
+    def test_compile_graph_always_fresh(self, small_graph):
+        assert compile_graph(small_graph) is not compile_graph(small_graph)
+        assert isinstance(compile_graph(small_graph), CompiledGraph)
+
+    def test_empty_graph(self):
+        compiled = compile_graph(DataGraph())
+        assert compiled.num_nodes == 0
+        assert compiled.num_edges == 0
+        assert compiled.colors == ()

@@ -9,7 +9,6 @@ all RQ methods agree, minimization never increases query size).
 
 import pytest
 
-from repro.datasets.synthetic import generate_synthetic_graph
 from repro.datasets.terrorism import generate_terrorism_graph
 from repro.datasets.youtube import generate_youtube_graph
 from repro.experiments.exp1_effectiveness import run_effectiveness

@@ -1,6 +1,5 @@
 """Unit tests for pattern-query minimization (minPQs, Section 3.2)."""
 
-import pytest
 
 from repro.datasets.essembly import build_essembly_graph
 from repro.graph.distance import build_distance_matrix

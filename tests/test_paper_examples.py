@@ -5,16 +5,8 @@ oracles available for the reproduction (they pin concrete inputs and outputs
 printed in the paper).
 """
 
-import pytest
 
-from repro.datasets.essembly import (
-    EXPECTED_Q1_RESULT,
-    EXPECTED_Q2_RESULT,
-    build_essembly_graph,
-    essembly_query_q1,
-    essembly_query_q2,
-)
-from repro.graph.distance import build_distance_matrix
+from repro.datasets.essembly import EXPECTED_Q1_RESULT, EXPECTED_Q2_RESULT
 from repro.matching.join_match import join_match
 from repro.matching.paths import PathMatcher
 from repro.matching.reachability import evaluate_rq

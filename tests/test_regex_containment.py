@@ -1,6 +1,5 @@
 """Unit tests for F-class language containment and equality."""
 
-import pytest
 
 from repro.regex.containment import language_contains, language_equal, syntactic_contains
 from repro.regex.parser import parse_fregex

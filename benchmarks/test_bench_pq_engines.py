@@ -1,0 +1,117 @@
+"""Warm-cache PQ micro-benchmarks: dict engine vs compiled CSR engine.
+
+The headline numbers of the CSR-backed PQ stack: JoinMatch, SplitMatch and
+the incremental maintainer are timed on the YouTube fixture with one reusable
+:class:`~repro.matching.paths.PathMatcher` per engine, warmed before timing —
+the steady state of a server answering the same pattern workload (and of the
+incremental maintainer's update stream).  Both engines are asserted to return
+identical match sets; the ``engine`` entry in ``extra_info`` lets the CI JSON
+artifact pair the rows up.
+
+The queries are pre-filtered to have non-empty answers so the fixpoint and
+the result-assembly sweep both do real work.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.matching.incremental import IncrementalPatternMatcher
+from repro.matching.join_match import join_match
+from repro.matching.paths import PathMatcher
+from repro.matching.split_match import split_match
+from repro.query.generator import QueryGenerator
+
+
+@pytest.fixture(scope="session")
+def pq_engine_queries(youtube_graph):
+    """Non-empty pattern queries over the YouTube fixture (|Vp|=5, |Ep|=6)."""
+    generator = QueryGenerator(youtube_graph, seed=41)
+    candidates = generator.pattern_queries(
+        12, num_nodes=5, num_edges=6, num_predicates=1, bound=5, max_colors=2
+    )
+    queries = [
+        query
+        for query in candidates
+        if not join_match(query, youtube_graph, engine="dict").is_empty
+    ][:3]
+    assert queries, "fixture graph/query parameters must yield non-empty answers"
+    return queries
+
+
+def _warm_matcher(graph, engine, queries, algorithm):
+    matcher = PathMatcher(graph, engine=engine)
+    for query in queries:
+        algorithm(query, graph, matcher=matcher)
+    return matcher
+
+
+@pytest.mark.parametrize("engine", ["dict", "csr"])
+@pytest.mark.benchmark(group="pq-engine-join")
+def test_bench_join_match_warm(benchmark, youtube_graph, pq_engine_queries, engine):
+    """Warm JoinMatch — the ISSUE's dict-vs-CSR headline PQ number."""
+    matcher = _warm_matcher(youtube_graph, engine, pq_engine_queries, join_match)
+    reference = [
+        join_match(query, youtube_graph, engine="dict").as_frozen()
+        for query in pq_engine_queries
+    ]
+
+    def run():
+        return [
+            join_match(query, youtube_graph, matcher=matcher)
+            for query in pq_engine_queries
+        ]
+
+    results = benchmark(run)
+    benchmark.extra_info["engine"] = engine
+    assert [result.as_frozen() for result in results] == reference
+
+
+@pytest.mark.parametrize("engine", ["dict", "csr"])
+@pytest.mark.benchmark(group="pq-engine-split")
+def test_bench_split_match_warm(benchmark, youtube_graph, pq_engine_queries, engine):
+    """Warm SplitMatch on both engines."""
+    matcher = _warm_matcher(youtube_graph, engine, pq_engine_queries, split_match)
+    reference = [
+        split_match(query, youtube_graph, engine="dict").as_frozen()
+        for query in pq_engine_queries
+    ]
+
+    def run():
+        return [
+            split_match(query, youtube_graph, matcher=matcher)
+            for query in pq_engine_queries
+        ]
+
+    results = benchmark(run)
+    benchmark.extra_info["engine"] = engine
+    assert [result.as_frozen() for result in results] == reference
+
+
+@pytest.mark.parametrize("engine", ["dict", "csr"])
+@pytest.mark.benchmark(group="pq-engine-incremental")
+def test_bench_incremental_updates_warm(benchmark, youtube_graph, pq_engine_queries, engine):
+    """A delete/re-insert stream through one warm incremental maintainer.
+
+    Every round removes and re-adds the same 8 edges, so the graph (and the
+    answer) is restored at the end of the round — rounds are independent,
+    while the maintainer's version-aware caches stay warm throughout.
+    """
+    graph = youtube_graph.copy()
+    maintainer = IncrementalPatternMatcher(pq_engine_queries[0], graph, engine=engine)
+    # Sort before sampling: edges() iterates hash-ordered sets, and a
+    # per-process workload would make the CI JSON trajectory incomparable.
+    edges = random.Random(3).sample(sorted(graph.edges(), key=str), 8)
+
+    def run():
+        for edge in edges:
+            maintainer.remove_edge(edge.source, edge.target, edge.color)
+            maintainer.add_edge(edge.source, edge.target, edge.color)
+        return maintainer.result
+
+    result = benchmark(run)
+    benchmark.extra_info["engine"] = engine
+    expected = join_match(pq_engine_queries[0], graph, engine="dict")
+    assert result.same_matches(expected)

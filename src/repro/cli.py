@@ -8,12 +8,12 @@ A small CLI for working with data graphs and queries without writing Python:
 * ``repro generate youtube OUT.json --nodes 1000 --edges 4000`` — write one of
   the synthetic datasets to disk;
 * ``repro experiment exp3`` — run one of the paper's experiments and print its
-  table.
+  table (``exp4`` runs all four PQ sweeps of Fig. 11).
 
 Engines
 -------
-Reachability queries run on one of two evaluation engines, selected with
-``--engine`` (on ``rq`` and ``experiment``):
+Queries run on one of two evaluation engines, selected with ``--engine``
+(on ``rq`` and ``experiment``):
 
 * ``dict`` — the original evaluation over the graph's adjacency dictionaries;
 * ``csr`` — the compiled engine: the graph is frozen into flat CSR integer
@@ -24,6 +24,11 @@ Reachability queries run on one of two evaluation engines, selected with
   (the ``matrix`` method always runs on the dict engine).
 
 Both engines return identical result pairs; ``--engine`` only changes speed.
+Pattern-query experiments (``exp1``, ``exp4``) and the RQ experiment
+(``exp3``) accept ``--engine both|dict|csr`` and emit one timing column per
+engine: CSR columns carry a ``_csr`` suffix, dict columns keep the classic
+names (``t_joinmatch_c``/``t_splitmatch_c`` for the PQ experiments,
+``t_bibfs``/``t_bfs`` for exp3).
 
 Invoke as ``python -m repro.cli …``, or as the ``repro`` console script after
 ``pip install -e .``.  Exit code is 0 on success and 2 on argument errors.
@@ -48,11 +53,12 @@ _EXPERIMENTS = {
     "exp1": "repro.experiments.exp1_effectiveness:run_effectiveness",
     "exp2": "repro.experiments.exp2_minimization:run_minimization",
     "exp3": "repro.experiments.exp3_rq:run_rq_efficiency",
+    "exp4": "repro.experiments.exp4_pq:run_all_sweeps",
     "exp5f": "repro.experiments.exp5_synthetic:run_subiso_comparison",
 }
 
 #: Experiments whose runner accepts an ``engines=`` keyword (dict-vs-CSR columns).
-_ENGINE_AWARE_EXPERIMENTS = frozenset({"exp3"})
+_ENGINE_AWARE_EXPERIMENTS = frozenset({"exp1", "exp3", "exp4"})
 
 _GENERATORS = {
     "youtube": generate_youtube_graph,
@@ -99,7 +105,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         default=None,
         choices=["both", "dict", "csr"],
-        help="engine column(s) for experiments that compare engines (exp3; default both)",
+        help="engine column(s) for experiments that compare engines "
+        "(exp1, exp3, exp4; default both)",
     )
 
     return parser

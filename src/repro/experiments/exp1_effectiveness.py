@@ -8,6 +8,12 @@ As in the paper, every query edge carries a single colour (to favour the
 edge-to-edge baselines), and the *true* matches are the PQ-semantics matches —
 the regex-aware simulation answers are the ground truth the other approaches
 are measured against, which is exactly how the paper computes F-measure.
+
+Beyond the paper, the JoinMatch/SplitMatch *search* variants are additionally
+timed on both evaluation engines (``t_joinmatch_c``/``t_splitmatch_c`` for
+the adjacency-dict engine, ``t_joinmatch_csr``/``t_splitmatch_csr`` for the
+compiled CSR engine), warm and symmetric — one reusable matcher per engine —
+with every engine's matches checked against the matrix-mode ground truth.
 """
 
 from __future__ import annotations
@@ -15,7 +21,14 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from repro.datasets.terrorism import generate_terrorism_graph
-from repro.experiments.harness import ExperimentReport, average_seconds
+from repro.experiments.harness import (
+    ExperimentReport,
+    average_seconds,
+    build_search_matchers,
+    engine_column,
+    time_pq_search_variants,
+    validate_engines,
+)
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import build_distance_matrix
 from repro.matching.bounded_simulation import bounded_simulation_match
@@ -28,6 +41,9 @@ from repro.query.generator import QueryGenerator
 #: Query sizes plotted on the x-axis of Fig. 9(b)/(c).
 DEFAULT_QUERY_SIZES: Tuple[Tuple[int, int], ...] = ((3, 3), (4, 4), (5, 5), (6, 6), (7, 7))
 
+#: Engines timing the search variants next to the paper's matrix columns.
+DEFAULT_ENGINES: Tuple[str, ...] = ("dict", "csr")
+
 
 def run_effectiveness(
     graph: Optional[DataGraph] = None,
@@ -38,21 +54,26 @@ def run_effectiveness(
     seed: int = 11,
     num_nodes: int = 400,
     num_edges: int = 900,
+    engines: Sequence[str] = DEFAULT_ENGINES,
 ) -> ExperimentReport:
     """Run Exp-1 and return one row per query size.
 
     Each row reports the F-measure of the PQ algorithms (1.0 by construction,
     they define the ground truth), of ``Match`` (bounded simulation) and of
     ``SubIso``, plus the average elapsed time of each algorithm — i.e. the
-    data behind both Fig. 9(b) and Fig. 9(c).
+    data behind both Fig. 9(b) and Fig. 9(c) — and dict-vs-CSR columns for
+    the search variants of the PQ algorithms (``engines`` picks which).
     """
+    validate_engines(engines)
     if graph is None:
         graph = generate_terrorism_graph(num_nodes=num_nodes, num_edges=num_edges, seed=seed)
     matrix = build_distance_matrix(graph)
     generator = QueryGenerator(graph, seed=seed)
+    search_matchers = build_search_matchers(graph, engines)
     report = ExperimentReport(
         name="exp1-effectiveness",
-        description="Fig. 9(b)/(c): F-measure and elapsed time vs SubIso and Match",
+        description="Fig. 9(b)/(c): F-measure and elapsed time vs SubIso and Match "
+        "(PQ search variants on the dict and/or compiled CSR engine)",
     )
 
     for num_query_nodes, num_query_edges in query_sizes:
@@ -66,13 +87,24 @@ def run_effectiveness(
         )
         join_f, match_f, iso_f = [], [], []
         join_t, split_t, match_t, iso_t = [], [], [], []
+        join_search = {engine: [] for engine in engines}
+        split_search = {engine: [] for engine in engines}
         for query in queries:
             truth = join_match(query, graph, distance_matrix=matrix)
-            join_f.append(1.0 if not truth.is_empty else 1.0)
+            # The PQ algorithms define the ground truth, so their F-measure
+            # is 1.0 by construction.
+            join_f.append(1.0)
             join_t.append(truth.elapsed_seconds)
 
             split_result = split_match(query, graph, distance_matrix=matrix)
             split_t.append(split_result.elapsed_seconds)
+
+            join_times, split_times = time_pq_search_variants(
+                query, graph, search_matchers, truth, split_result
+            )
+            for engine in engines:
+                join_search[engine].append(join_times[engine])
+                split_search[engine].append(split_times[engine])
 
             match_result = bounded_simulation_match(query, graph, distance_matrix=matrix)
             match_f.append(
@@ -86,16 +118,20 @@ def run_effectiveness(
             )
             iso_t.append(iso_result.elapsed_seconds)
 
-        report.add_row(
-            query_size=f"({num_query_nodes},{num_query_edges})",
-            f_joinmatch=average_seconds(join_f),
-            f_match=average_seconds(match_f),
-            f_subiso=average_seconds(iso_f),
-            t_joinmatch=average_seconds(join_t),
-            t_splitmatch=average_seconds(split_t),
-            t_match=average_seconds(match_t),
-            t_subiso=average_seconds(iso_t),
-        )
+        row = {
+            "query_size": f"({num_query_nodes},{num_query_edges})",
+            "f_joinmatch": average_seconds(join_f),
+            "f_match": average_seconds(match_f),
+            "f_subiso": average_seconds(iso_f),
+            "t_joinmatch": average_seconds(join_t),
+            "t_splitmatch": average_seconds(split_t),
+        }
+        for engine in engines:
+            row[engine_column("t_joinmatch", engine)] = average_seconds(join_search[engine])
+            row[engine_column("t_splitmatch", engine)] = average_seconds(split_search[engine])
+        row["t_match"] = average_seconds(match_t)
+        row["t_subiso"] = average_seconds(iso_t)
+        report.add_row(**row)
     return report
 
 

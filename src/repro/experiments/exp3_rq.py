@@ -27,12 +27,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.exceptions import EvaluationError
-
 from repro.datasets.youtube import generate_youtube_graph
 from repro.graph.csr import compiled_snapshot
 from repro.matching.paths import PathMatcher
-from repro.experiments.harness import ExperimentReport, average_seconds
+from repro.experiments.harness import ExperimentReport, average_seconds, validate_engines
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import build_distance_matrix
 from repro.matching.reachability import evaluate_rq
@@ -61,9 +59,7 @@ def run_rq_efficiency(
     engines: Sequence[str] = DEFAULT_ENGINES,
 ) -> ExperimentReport:
     """Run Exp-3 and return one row per number of colours (Fig. 10(b))."""
-    for engine in engines:
-        if engine not in ("dict", "csr"):
-            raise EvaluationError(f"unknown engine {engine!r}; expected 'dict' and/or 'csr'")
+    validate_engines(engines)
     if graph is None:
         graph = generate_youtube_graph(num_nodes=num_nodes, num_edges=num_edges, seed=seed)
     matrix = build_distance_matrix(graph)

@@ -21,6 +21,80 @@ def average_seconds(samples: Iterable[float]) -> float:
     return statistics.fmean(values) if values else 0.0
 
 
+def validate_engines(engines: Iterable[str]) -> None:
+    """Reject engine names other than ``dict``/``csr`` for report columns."""
+    from repro.exceptions import EvaluationError
+
+    for engine in engines:
+        if engine not in ("dict", "csr"):
+            raise EvaluationError(
+                f"unknown engine {engine!r}; expected 'dict' and/or 'csr'"
+            )
+
+
+def engine_column(prefix: str, engine: str) -> str:
+    """Report column for one timing series and engine.
+
+    One naming scheme shared by the PQ experiments (exp1, exp4): the dict
+    engine keeps the classic cache-mode ``_c`` suffix, the CSR engine gets
+    ``_csr`` (``engine_column("t_joinmatch", "csr") == "t_joinmatch_csr"``).
+    (exp3 predates this helper and keeps its ``t_bibfs``/``t_bfs`` names for
+    the dict columns.)
+    """
+    return f"{prefix}_c" if engine == "dict" else f"{prefix}_{engine}"
+
+
+def build_search_matchers(graph: Any, engines: Iterable[str]) -> Dict[str, Any]:
+    """One reusable ``PathMatcher`` per engine for steady-state timing.
+
+    The exp3 protocol, shared so exp1/exp4 cannot drift from it: matchers are
+    reused across every query of an experiment, and the one-off CSR snapshot
+    compile happens here — outside the caller's timed region.
+    """
+    from repro.graph.csr import compiled_snapshot
+    from repro.matching.paths import PathMatcher
+
+    matchers = {engine: PathMatcher(graph, engine=engine) for engine in engines}
+    if "csr" in matchers:
+        compiled_snapshot(graph)
+    return matchers
+
+
+def time_pq_search_variants(
+    query: Any,
+    graph: Any,
+    matchers: Dict[str, Any],
+    join_reference: Any,
+    split_reference: Any,
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Time JoinMatch/SplitMatch on each engine's warm matcher for one query.
+
+    Shared by the engine-aware PQ experiments (exp1, exp4) so the timing and
+    parity-abort protocol cannot drift between them.  Every engine's match
+    sets are asserted identical to the supplied references; returns
+    ``({engine: join_seconds}, {engine: split_seconds})``.
+    """
+    from repro.matching.join_match import join_match
+    from repro.matching.split_match import split_match
+
+    join_times: Dict[str, float] = {}
+    split_times: Dict[str, float] = {}
+    for engine, matcher in matchers.items():
+        join_result = join_match(query, graph, matcher=matcher)
+        split_result = split_match(query, graph, matcher=matcher)
+        if not (
+            join_result.same_matches(join_reference)
+            and split_result.same_matches(split_reference)
+        ):
+            raise AssertionError(
+                f"PQ evaluation disagrees (engine={engine}); "
+                "this indicates a bug in the library"
+            )
+        join_times[engine] = join_result.elapsed_seconds
+        split_times[engine] = split_result.elapsed_seconds
+    return join_times, split_times
+
+
 @dataclass
 class ExperimentReport:
     """A named collection of result rows (one row per plotted point)."""

@@ -98,6 +98,8 @@ class CompiledGraph:
         "name",
         "source_version",
         "source_attrs_version",
+        "source_edges_version",
+        "_source_color_versions",
         "_ids",
         "_index",
         "_attrs",
@@ -113,7 +115,7 @@ class CompiledGraph:
         "_source",
     )
 
-    def __init__(self, graph: DataGraph):
+    def __init__(self, graph: DataGraph, reuse_from: Optional["CompiledGraph"] = None):
         # Imported here (not at module level) to keep repro.graph importable
         # without dragging in repro.matching — and to avoid the import cycle
         # graph.csr -> matching.cache -> matching.csr_engine -> graph.csr.
@@ -122,6 +124,7 @@ class CompiledGraph:
         self.name = graph.name
         self.source_version = graph.version
         self.source_attrs_version = graph.attrs_version
+        self.source_edges_version = graph.edges_version
         ids: Tuple[NodeId, ...] = tuple(graph.nodes())
         self._ids = ids
         self._index: Dict[NodeId, int] = {node: i for i, node in enumerate(ids)}
@@ -129,35 +132,112 @@ class CompiledGraph:
         colors = tuple(sorted(graph.colors))
         self._colors = colors
         self._color_index: Dict[str, int] = {color: k for k, color in enumerate(colors)}
+        # Per-colour edge versions at compile time: lets a successor snapshot
+        # decide which memoised expansions are still valid (colour untouched),
+        # and lets this compile reuse the predecessor's untouched layers.
+        self._source_color_versions: Dict[str, int] = {
+            color: graph.color_version(color) for color in colors
+        }
 
         n = len(ids)
-        fwd_buckets: List[Dict[int, List[int]]] = [{} for _ in colors]
-        rev_buckets: List[Dict[int, List[int]]] = [{} for _ in colors]
-        any_fwd: Dict[int, List[int]] = {}
-        any_rev: Dict[int, List[int]] = {}
         index = self._index
+        # Layers of colours whose edges did not change since ``reuse_from``
+        # was compiled are adopted as-is (they are immutable), provided the
+        # node index space is identical — incremental workloads recompile a
+        # snapshot per update, but each update only invalidates one colour.
+        reused: Dict[str, Tuple[CsrLayer, CsrLayer]] = {}
+        if reuse_from is not None and reuse_from._ids == ids:
+            for color in colors:
+                old_id = reuse_from.color_id(color)
+                if old_id is None or old_id == ANY_COLOR:
+                    continue
+                if reuse_from.source_color_version(color) == self._source_color_versions[color]:
+                    reused[color] = (
+                        reuse_from._fwd[old_id],
+                        reuse_from._rev[old_id],
+                    )
+
+        rebuild = {k for k, color in enumerate(colors) if color not in reused}
+        fwd_buckets: Dict[int, Dict[int, List[int]]] = {k: {} for k in rebuild}
+        rev_buckets: Dict[int, Dict[int, List[int]]] = {k: {} for k in rebuild}
         color_index = self._color_index
-        num_edges = 0
-        for edge in graph.edges():
-            u = index[edge.source]
-            v = index[edge.target]
-            k = color_index[edge.color]
-            fwd_buckets[k].setdefault(u, []).append(v)
-            rev_buckets[k].setdefault(v, []).append(u)
-            any_fwd.setdefault(u, []).append(v)
-            any_rev.setdefault(v, []).append(u)
-            num_edges += 1
-        self._fwd = tuple(_build_layer(n, bucket) for bucket in fwd_buckets)
-        self._rev = tuple(_build_layer(n, bucket) for bucket in rev_buckets)
-        self._fwd_any = _build_layer(n, any_fwd, dedup=True)
-        self._rev_any = _build_layer(n, any_rev, dedup=True)
-        self._num_edges = num_edges
+        if rebuild:
+            for source, table in graph.adjacency():
+                u = index[source]
+                for color, targets in table.items():
+                    k = color_index[color]
+                    if k not in rebuild:
+                        continue
+                    targets_idx = [index[target] for target in targets]
+                    fwd_buckets[k][u] = targets_idx
+                    bucket = rev_buckets[k]
+                    for v in targets_idx:
+                        bucket.setdefault(v, []).append(u)
+
+        fwd: List[CsrLayer] = []
+        rev: List[CsrLayer] = []
+        for k, color in enumerate(colors):
+            if color in reused:
+                fwd_layer, rev_layer = reused[color]
+            else:
+                fwd_layer = _build_layer(n, fwd_buckets[k])
+                rev_layer = _build_layer(n, rev_buckets[k])
+            fwd.append(fwd_layer)
+            rev.append(rev_layer)
+        self._fwd = tuple(fwd)
+        self._rev = tuple(rev)
+        # The "any colour" layers are built lazily on first wildcard access
+        # (from the frozen per-colour layers, so they always reflect this
+        # snapshot); an unchanged edge set lets them be adopted directly.
+        if (
+            reuse_from is not None
+            and reuse_from._ids == ids
+            and reuse_from.source_edges_version == self.source_edges_version
+        ):
+            self._fwd_any = reuse_from._fwd_any
+            self._rev_any = reuse_from._rev_any
+        else:
+            self._fwd_any = None
+            self._rev_any = None
+        self._num_edges = sum(layer.num_edges for layer in self._fwd)
         self._engine = None
-        self._scan_cache = LruCache(4096)
+        # Predicate scans depend on node attributes only, never on edges:
+        # when the node set and attrs_version are unchanged, the donor's
+        # memoised scans remain valid verbatim, so the cache is shared.
+        if (
+            reuse_from is not None
+            and reuse_from._ids == ids
+            and reuse_from.source_attrs_version == self.source_attrs_version
+        ):
+            self._scan_cache = reuse_from._scan_cache
+        else:
+            self._scan_cache = LruCache(4096)
         # Weak handle on the source graph: lets matching_indices notice
         # attribute updates (attrs_version) and flush the scan memo lazily,
         # for snapshots built via compile_graph and compiled_snapshot alike.
         self._source = ref(graph)
+
+    def _any_layer(self, reverse: bool) -> CsrLayer:
+        """The lazily built de-duplicated "any colour" layer."""
+        existing = self._rev_any if reverse else self._fwd_any
+        if existing is not None:
+            return existing
+        layers = self._rev if reverse else self._fwd
+        n = len(self._ids)
+        buckets: Dict[int, List[int]] = {}
+        for layer in layers:
+            offsets = layer.offsets
+            view = layer._view
+            mask = layer.mask
+            for i in range(n):
+                if mask[i]:
+                    buckets.setdefault(i, []).extend(view[offsets[i]:offsets[i + 1]])
+        built = _build_layer(n, buckets, dedup=True)
+        if reverse:
+            self._rev_any = built
+        else:
+            self._fwd_any = built
+        return built
 
     # -- id / colour interning --------------------------------------------------
 
@@ -198,6 +278,10 @@ class CompiledGraph:
             return ANY_COLOR
         return self._color_index.get(color)
 
+    def source_color_version(self, color: str) -> int:
+        """The source graph's per-colour edge version when this was compiled."""
+        return self._source_color_versions.get(color, 0)
+
     def __len__(self) -> int:
         return len(self._ids)
 
@@ -215,7 +299,7 @@ class CompiledGraph:
     def layer(self, color_id: int, reverse: bool = False) -> CsrLayer:
         """The CSR layer for one colour id (or :data:`ANY_COLOR`)."""
         if color_id == ANY_COLOR:
-            return self._rev_any if reverse else self._fwd_any
+            return self._any_layer(reverse)
         return (self._rev if reverse else self._fwd)[color_id]
 
     def neighbors(self, index: int, color_id: int = ANY_COLOR, reverse: bool = False) -> memoryview:
@@ -280,7 +364,17 @@ class CompiledGraph:
         if predicate is None:
             return tuple(range(len(attrs)))
         source = self._source()
-        if source is not None and source.attrs_version != self.source_attrs_version:
+        # Lazy refresh is only sound while the topology version still
+        # matches: then the attribute views are live and a rescan sees the
+        # graph's current values.  On a topology-stale snapshot the captured
+        # views may belong to removed nodes — rescanning them is *not*
+        # equivalent to the live graph, and advancing the version tag here
+        # would let the next recompile wrongly adopt this memo as fresh.
+        if (
+            source is not None
+            and source.attrs_version != self.source_attrs_version
+            and source.version == self.source_version
+        ):
             self.refresh_attribute_scans(source.attrs_version)
         cacheable = hasattr(predicate, "compile")
         if cacheable:
@@ -348,6 +442,10 @@ def compiled_snapshot(graph: DataGraph) -> CompiledGraph:
     cached = _SNAPSHOTS.get(graph)
     if cached is not None and cached.source_version == graph.version:
         return cached
-    snapshot = CompiledGraph(graph)
+    # A stale predecessor still serves as a layer donor: colours whose edges
+    # did not change keep their (immutable) CSR layers instead of being
+    # rebuilt — the recompile cost of an update is proportional to the
+    # touched colour, not to the whole graph.
+    snapshot = CompiledGraph(graph, reuse_from=cached)
     _SNAPSHOTS[graph] = snapshot
     return snapshot

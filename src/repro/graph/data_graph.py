@@ -69,6 +69,8 @@ class DataGraph:
         "_num_edges",
         "_version",
         "_attrs_version",
+        "_edges_version",
+        "_color_versions",
         "__weakref__",
     )
 
@@ -88,6 +90,14 @@ class DataGraph:
         # Bumped on attribute updates to existing nodes; cheaper to react to
         # than a topology change (snapshots only flush their scan memos).
         self._attrs_version = 0
+        # Bumped on every *edge* change (add_edge/remove_edge) — unlike
+        # _version it ignores pure node additions, so wildcard BFS memos
+        # survive them.  _color_versions refines it per colour: a memoised
+        # single-colour search stays valid until an edge of *that* colour
+        # changes, which is what lets PathMatcher keep caches warm across
+        # updates that cannot affect them.
+        self._edges_version = 0
+        self._color_versions: Dict[str, int] = {}
 
     # -- construction ----------------------------------------------------------
 
@@ -100,6 +110,11 @@ class DataGraph:
             self._out[node] = {}
             self._in[node] = {}
             self._version += 1
+            # A new node is a new attribute row: memoised predicate scans
+            # (and any donor-shared scan cache) must not survive it — a
+            # removed-and-re-added node can otherwise resurrect its old
+            # attributes in scan results.
+            self._attrs_version += 1
         elif attributes:
             # Attribute changes invalidate memoised predicate scans only.
             self._attrs_version += 1
@@ -119,6 +134,8 @@ class DataGraph:
             self._colors.add(color)
             self._num_edges += 1
             self._version += 1
+            self._edges_version += 1
+            self._color_versions[color] = self._color_versions.get(color, 0) + 1
         return Edge(source, target, color)
 
     def add_edges_from(self, edges: Iterable[Tuple[NodeId, NodeId, str]]) -> None:
@@ -135,6 +152,8 @@ class DataGraph:
             raise GraphError(f"edge {source}-{color}->{target} does not exist") from exc
         self._num_edges -= 1
         self._version += 1
+        self._edges_version += 1
+        self._color_versions[color] = self._color_versions.get(color, 0) + 1
         if not self._out[source][color]:
             del self._out[source][color]
         if not self._in[target][color]:
@@ -155,6 +174,8 @@ class DataGraph:
         del self._out[node]
         del self._in[node]
         self._version += 1
+        # The attribute table lost a row; see add_node.
+        self._attrs_version += 1
 
     # -- inspection ------------------------------------------------------------
 
@@ -173,15 +194,35 @@ class DataGraph:
 
     @property
     def attrs_version(self) -> int:
-        """Monotonic counter bumped when :meth:`add_node` updates attributes
-        of an existing node.
+        """Monotonic counter bumped whenever the attribute table changes:
+        :meth:`add_node` updating an existing node's attributes, a node being
+        created, or a node being removed.
 
-        Snapshots react by flushing their memoised predicate scans — no CSR
-        recompile, since the topology is untouched.  (Mappings returned by
-        :meth:`attributes` are read-only views, so this counter cannot be
-        bypassed.)
+        Snapshots react by flushing their memoised predicate scans (for an
+        attribute-only update, no CSR recompile happens — the topology is
+        untouched).  Mappings returned by :meth:`attributes` are read-only
+        views, so this counter cannot be bypassed.
         """
         return self._attrs_version
+
+    @property
+    def edges_version(self) -> int:
+        """Monotonic counter bumped on every edge addition or removal.
+
+        Coarser than :meth:`color_version` (any colour bumps it) but finer
+        than :attr:`version` (node additions leave it alone): the tag for
+        memoised *wildcard* searches, which see every edge but no attribute.
+        """
+        return self._edges_version
+
+    def color_version(self, color: str) -> int:
+        """Monotonic counter bumped when an edge of ``color`` is added/removed.
+
+        Never-seen colours report 0.  :class:`~repro.matching.paths.PathMatcher`
+        tags its per-colour BFS memos with this counter, so a mutation of one
+        colour leaves the memos of every other colour warm and valid.
+        """
+        return self._color_versions.get(color, 0)
 
     @property
     def num_edges(self) -> int:
@@ -230,6 +271,15 @@ class DataGraph:
             for color, targets in table.items():
                 for target in targets:
                     yield Edge(source, target, color)
+
+    def adjacency(self) -> Iterator[Tuple[NodeId, Mapping[str, Set[NodeId]]]]:
+        """Iterate ``(node, {colour: successor set})`` rows directly.
+
+        The bulk-export path used by graph compilation
+        (:mod:`repro.graph.csr`): one row per node, no per-edge
+        :class:`Edge` allocation.  Callers must not mutate the yielded sets.
+        """
+        return iter(self._out.items())
 
     def successors(self, node: NodeId, color: Optional[str] = None) -> Set[NodeId]:
         """Out-neighbours of ``node`` (restricted to one colour if given)."""

@@ -19,8 +19,9 @@ from typing import Dict, Hashable, Optional
 
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
+from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY
 from repro.matching.naive import initial_candidates
-from repro.matching.paths import PathMatcher
+from repro.matching.paths import PathMatcher, resolve_pq_matcher
 from repro.matching.result import PatternMatchResult
 from repro.query.pq import PatternQuery
 from repro.regex.fclass import FRegex, RegexAtom
@@ -38,16 +39,22 @@ def bounded_simulation_match(
     graph: DataGraph,
     distance_matrix: Optional[DistanceMatrix] = None,
     matcher: Optional[PathMatcher] = None,
+    cache_capacity: Optional[int] = DEFAULT_SEARCH_CACHE_CAPACITY,
+    engine: str = "auto",
 ) -> PatternMatchResult:
-    """Evaluate ``pattern`` under bounded-simulation (colour-blind) semantics."""
+    """Evaluate ``pattern`` under bounded-simulation (colour-blind) semantics.
+
+    ``engine`` mirrors :func:`repro.matching.join_match.join_match`: on
+    ``"csr"`` (or ``"auto"`` without a matrix) the colour-blind reachability
+    checks run over the compiled snapshot's wildcard layer.
+    """
     started = time.perf_counter()
-    if matcher is None:
-        matcher = PathMatcher(graph, distance_matrix=distance_matrix)
+    matcher = resolve_pq_matcher(graph, distance_matrix, matcher, cache_capacity, engine)
     algorithm = "MatchM" if matcher.uses_matrix else "MatchC"
 
-    candidates = initial_candidates(pattern, graph)
+    candidates = initial_candidates(pattern, graph, matcher=matcher)
     if any(not nodes for nodes in candidates.values()):
-        return PatternMatchResult.empty(algorithm)
+        return PatternMatchResult.empty(algorithm, engine=matcher.engine)
 
     relaxed: Dict[tuple, FRegex] = {
         (edge.source, edge.target): _color_blind(edge.regex) for edge in pattern.edges()
@@ -67,18 +74,16 @@ def bounded_simulation_match(
                 source_set -= removable
                 changed = True
                 if not source_set:
-                    return PatternMatchResult.empty(algorithm)
+                    return PatternMatchResult.empty(algorithm, engine=matcher.engine)
 
     edge_matches = {}
     for edge in pattern.edges():
-        pairs = set()
         loose = relaxed[(edge.source, edge.target)]
-        target_set = candidates[edge.target]
-        for source_node in candidates[edge.source]:
-            for target_node in matcher.targets_from(source_node, loose) & target_set:
-                pairs.add((source_node, target_node))
+        pairs = matcher.edge_pairs(
+            candidates[edge.source], candidates[edge.target], loose
+        )
         if not pairs:
-            return PatternMatchResult.empty(algorithm)
+            return PatternMatchResult.empty(algorithm, engine=matcher.engine)
         edge_matches[(edge.source, edge.target)] = pairs
 
     elapsed = time.perf_counter() - started
@@ -87,4 +92,5 @@ def bounded_simulation_match(
         node_matches={node: set(nodes) for node, nodes in candidates.items()},
         algorithm=algorithm,
         elapsed_seconds=elapsed,
+        engine=matcher.engine,
     )

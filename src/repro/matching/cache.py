@@ -15,6 +15,12 @@ from typing import Any, Hashable, Iterator, Optional
 #: in evaluate_rq and the engines' own defaults can never drift apart.
 DEFAULT_SEARCH_CACHE_CAPACITY = 50000
 
+#: Capacity of CsrEngine's *set-level* memo (backward chains and per-edge
+#: pair sets).  Both keys and values there are O(|V|)-sized frozensets, so
+#: the bound is deliberately much tighter than the per-node caches' — it
+#: limits worst-case retained memory, not just entry count.
+SET_FRONTIER_CACHE_CAPACITY = 1024
+
 
 class LruCache:
     """A bounded mapping that evicts the least recently used entry.
@@ -57,6 +63,14 @@ class LruCache:
         if self._capacity is not None and len(self._store) > self._capacity:
             self._store.popitem(last=False)
             self.evictions += 1
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key`` without touching recency or hit/miss statistics.
+
+        Used when consulting a *retired* cache (e.g. a donor from a previous
+        CSR snapshot) whose stats no longer describe live traffic.
+        """
+        return self._store.get(key, default)
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._store

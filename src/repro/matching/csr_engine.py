@@ -14,6 +14,11 @@ pipeline.  It operates entirely in the dense integer index space of a
 * full queries are answered with the bidirectional meet-in-the-middle
   strategy of Section 4 (always advancing the smaller frontier) or with a
   plain forward sweep, both byte-identical to the dict engine's results;
+* *set-level* frontiers (the hot loop of the PQ refinement fixpoint of
+  Figs. 7/8) are expanded as one batched multi-source BFS per atom
+  (:meth:`CsrEngine.expand_set`), instead of unioning per-node searches —
+  this is what JoinMatch/SplitMatch/incremental ride on under
+  ``engine="csr"``;
 * general (non-F-class) expressions are evaluated with an NFA-product path:
   a :class:`~repro.regex.nfa.LazyDfa` over the graph's colour alphabet is
   walked in product with the CSR layers.
@@ -24,11 +29,15 @@ Results are translated back to original node ids only at the very end, in
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import EvaluationError
-from repro.graph.csr import CompiledGraph
-from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY, LruCache
+from repro.graph.csr import ANY_COLOR, CompiledGraph
+from repro.matching.cache import (
+    DEFAULT_SEARCH_CACHE_CAPACITY,
+    SET_FRONTIER_CACHE_CAPACITY,
+    LruCache,
+)
 from repro.matching.frontiers import forward_sweep, meet_in_the_middle
 from repro.regex.fclass import FRegex, RegexAtom
 from repro.regex.nfa import LazyDfa, Nfa
@@ -56,9 +65,102 @@ class CsrEngine:
         self,
         compiled: CompiledGraph,
         cache_capacity: Optional[int] = DEFAULT_SEARCH_CACHE_CAPACITY,
+        donor: Optional["CsrEngine"] = None,
     ):
         self.compiled = compiled
         self._cache = LruCache(cache_capacity)
+        # Set-level memos (backward chains, per-edge pair sets) hold
+        # O(num_nodes)-sized keys *and* values, so they get their own, much
+        # tighter LRU bound — never looser than the caller's capacity.
+        self._set_cache = LruCache(
+            SET_FRONTIER_CACHE_CAPACITY
+            if cache_capacity is None
+            else min(cache_capacity, SET_FRONTIER_CACHE_CAPACITY)
+        )
+        #: Entries promoted from the donor's caches (still-valid warm state).
+        self.promoted = 0
+        self._donor_cache: Optional[LruCache] = None
+        self._donor_set_cache: Optional[LruCache] = None
+        self._donor_untouched: frozenset = frozenset()
+        self._donor_same_edges = False
+        self._donor_old_id: Dict[int, int] = {}
+        self._donor_regex_ok: Dict[FRegex, bool] = {}
+        if donor is not None:
+            self._install_donor(donor)
+
+    # -- lazy cache migration across snapshot recompiles -------------------------
+
+    def _install_donor(self, donor: "CsrEngine") -> None:
+        """Keep the previous snapshot's caches as a validate-on-lookup donor.
+
+        An entry for colour ``c`` is still valid when the node index space is
+        unchanged (same ``ids`` tuple) and no edge of ``c`` was added or
+        removed since the old snapshot (per-colour edge versions); wildcard /
+        whole-expression entries additionally require the relevant edge set
+        untouched.  Validation happens per *miss* — O(1) per lookup — so a
+        recompile never pays a scan proportional to cache occupancy.  Only
+        one donor generation is kept: the donor's own donor is severed here,
+        bounding both memory and lookup chains.
+        """
+        old_compiled = donor.compiled
+        new_compiled = self.compiled
+        donor._donor_cache = donor._donor_set_cache = None
+        if old_compiled is new_compiled or old_compiled.ids != new_compiled.ids:
+            return
+        self._donor_cache = donor._cache
+        self._donor_set_cache = donor._set_cache
+        self._donor_same_edges = (
+            old_compiled.source_edges_version == new_compiled.source_edges_version
+        )
+        self._donor_untouched = frozenset(
+            color
+            for color in new_compiled.colors
+            if old_compiled.source_color_version(color)
+            == new_compiled.source_color_version(color)
+        )
+        # New colour id -> the donor snapshot's id for the same colour.
+        self._donor_old_id = {}
+        for old_id, color in enumerate(old_compiled.colors):
+            if color in self._donor_untouched:
+                new_id = new_compiled.color_id(color)
+                if new_id is not None:
+                    self._donor_old_id[new_id] = old_id
+
+    def _donor_regex_untouched(self, regex: FRegex) -> bool:
+        """A whole-expression memo stays valid when every colour the
+        expression can traverse is untouched since the donor snapshot."""
+        valid = self._donor_regex_ok.get(regex)
+        if valid is None:
+            valid = (
+                self._donor_same_edges
+                if regex.has_wildcard
+                else self._donor_untouched.issuperset(regex.colors)
+            )
+            self._donor_regex_ok[regex] = valid
+        return valid
+
+    def _donor_atom_entry(
+        self, start: int, color_id: int, bound: Optional[int], reverse: bool
+    ) -> Optional[Tuple[int, ...]]:
+        """A still-valid memoised expansion from the donor, or ``None``."""
+        if self._donor_cache is None:
+            return None
+        if color_id == ANY_COLOR:
+            if not self._donor_same_edges:
+                return None
+            old_id = ANY_COLOR
+        else:
+            old_id = self._donor_old_id.get(color_id)
+            if old_id is None:
+                return None
+        return self._donor_cache.peek((start, old_id, bound, reverse))
+
+    def _donor_expression_entry(self, cache: LruCache, key: Tuple) -> Optional[frozenset]:
+        """A still-valid `"expr"`/`"bwd"`/`"pairs"` entry from the donor."""
+        donor = self._donor_cache if cache is self._cache else self._donor_set_cache
+        if donor is None or not self._donor_regex_untouched(key[1]):
+            return None
+        return donor.peek(key)
 
     # -- per-atom expansion (the hot loop) --------------------------------------
 
@@ -73,6 +175,11 @@ class CsrEngine:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        promoted = self._donor_atom_entry(start, color_id, bound, reverse)
+        if promoted is not None:
+            self._cache.put(key, promoted)
+            self.promoted += 1
+            return promoted
 
         layer = self.compiled.layer(color_id, reverse)
         if not layer.mask[start]:
@@ -122,10 +229,117 @@ class CsrEngine:
             return ()
         return self._expand(index, color_id, item.max_count, reverse=True)
 
+    # -- batched set-level expansion (the PQ fixpoint's hot loop) ----------------
+
+    def expand_set(
+        self,
+        starts: Iterable[int],
+        color_id: int,
+        bound: Optional[int],
+        reverse: bool,
+    ) -> List[int]:
+        """Indices at positive distance ``1 … bound`` from *any* start index.
+
+        One multi-source BFS over the colour's CSR layer — equivalent to (but
+        much cheaper than) unioning :meth:`_expand` over every start.  A start
+        index itself is included exactly when some start reaches it through a
+        non-empty admissible path.  Not memoised: the refinement fixpoint
+        calls this with ever-shrinking candidate sets that rarely repeat.
+        """
+        layer = self.compiled.layer(color_id, reverse)
+        offsets = layer.offsets
+        neighbors = layer._view
+        mask = layer.mask
+        visited = bytearray(self.compiled.num_nodes)
+        reached_flags = bytearray(self.compiled.num_nodes)
+        frontier: List[int] = []
+        for start in starts:
+            if not visited[start]:
+                visited[start] = 1
+                if mask[start]:
+                    frontier.append(start)
+        reached: List[int] = []
+        depth = 0
+        while frontier and (bound is None or depth < bound):
+            depth += 1
+            advanced: List[int] = []
+            push = advanced.append
+            record = reached.append
+            for node in frontier:
+                for nxt in neighbors[offsets[node]:offsets[node + 1]]:
+                    if not reached_flags[nxt]:
+                        reached_flags[nxt] = 1
+                        record(nxt)
+                    if not visited[nxt]:
+                        visited[nxt] = 1
+                        push(nxt)
+            frontier = advanced
+        return reached
+
+    def set_targets_indices(self, starts: Iterable[int], item: RegexAtom) -> List[int]:
+        """Indices reachable from *any* start by one non-empty atom block."""
+        color_id = self.compiled.color_id(None if item.is_wildcard else item.color)
+        if color_id is None:
+            return []
+        return self.expand_set(starts, color_id, item.max_count, reverse=False)
+
+    def set_sources_indices(self, starts: Iterable[int], item: RegexAtom) -> List[int]:
+        """Indices reaching *any* start by one non-empty atom block."""
+        color_id = self.compiled.color_id(None if item.is_wildcard else item.color)
+        if color_id is None:
+            return []
+        return self.expand_set(starts, color_id, item.max_count, reverse=True)
+
+    def backward_reachable_indices(
+        self, targets: Iterable[int], regex: FRegex
+    ) -> FrozenSet[int]:
+        """All indices with a path into ``targets`` matching the whole expression.
+
+        The CSR counterpart of :meth:`PathMatcher.backward_reachable`: one
+        batched reverse expansion per atom, right-to-left.  The full chain is
+        memoised per ``(target set, regex)`` — the refinement fixpoint and
+        the incremental maintainer keep asking for the same stabilised
+        candidate sets, which then cost one frozenset hash instead of a BFS
+        cascade.
+        """
+        target_set = frozenset(targets)
+        key = ("bwd", regex, target_set)
+        cached = self._set_cache.get(key)
+        if cached is not None:
+            return cached
+        promoted = self._donor_expression_entry(self._set_cache, key)
+        if promoted is not None:
+            self._set_cache.put(key, promoted)
+            self.promoted += 1
+            return promoted
+        frontier: Iterable[int] = target_set
+        for item in reversed(regex.atoms):
+            frontier = self.set_sources_indices(frontier, item)
+            if not frontier:
+                break
+        result = frozenset(frontier)
+        self._set_cache.put(key, result)
+        return result
+
     # -- full expressions (index space) -----------------------------------------
 
-    def targets_from(self, index: int, regex: FRegex) -> Set[int]:
-        """All indices ``j`` such that ``(index, j)`` matches ``regex``."""
+    def targets_from(self, index: int, regex: FRegex) -> FrozenSet[int]:
+        """All indices ``j`` such that ``(index, j)`` matches ``regex``.
+
+        Whole-expression frontiers are memoised per ``(index, regex)`` on top
+        of the per-atom memo — repeated sweeps over stable candidate sets
+        (the result-assembly loop of JoinMatch/SplitMatch, re-run per update
+        by the incremental maintainer) collapse to one cache lookup.
+        """
+        key = ("expr", regex, index, False)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        promoted = self._donor_expression_entry(self._cache, key)
+        if promoted is not None:
+            self._cache.put(key, promoted)
+            self.promoted += 1
+            return promoted
         frontier: Set[int] = {index}
         for item in regex.atoms:
             advanced: Set[int] = set()
@@ -134,10 +348,21 @@ class CsrEngine:
             frontier = advanced
             if not frontier:
                 break
-        return frontier
+        result = frozenset(frontier)
+        self._cache.put(key, result)
+        return result
 
-    def sources_to(self, index: int, regex: FRegex) -> Set[int]:
+    def sources_to(self, index: int, regex: FRegex) -> FrozenSet[int]:
         """All indices ``j`` such that ``(j, index)`` matches ``regex``."""
+        key = ("expr", regex, index, True)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        promoted = self._donor_expression_entry(self._cache, key)
+        if promoted is not None:
+            self._cache.put(key, promoted)
+            self.promoted += 1
+            return promoted
         frontier: Set[int] = {index}
         for item in reversed(regex.atoms):
             advanced: Set[int] = set()
@@ -146,7 +371,33 @@ class CsrEngine:
             frontier = advanced
             if not frontier:
                 break
-        return frontier
+        result = frozenset(frontier)
+        self._cache.put(key, result)
+        return result
+
+    def matching_pairs(
+        self,
+        regex: FRegex,
+        source_indices: FrozenSet[int],
+        target_indices: FrozenSet[int],
+    ) -> FrozenSet[IndexPair]:
+        """Pairs ``(s, t)`` with ``s``/``t`` in the candidate sets and a path
+        from ``s`` to ``t`` matching ``regex`` — the per-edge result-assembly
+        step of the PQ algorithms, memoised per (regex, candidate sets)."""
+        key = ("pairs", regex, source_indices, target_indices)
+        cached = self._set_cache.get(key)
+        if cached is not None:
+            return cached
+        promoted = self._donor_expression_entry(self._set_cache, key)
+        if promoted is not None:
+            self._set_cache.put(key, promoted)
+            self.promoted += 1
+            return promoted
+        result = frozenset(
+            forward_sweep(self, regex, list(source_indices), target_indices)
+        )
+        self._set_cache.put(key, result)
+        return result
 
     def bidirectional_pairs(
         self,
@@ -248,8 +499,10 @@ class CsrEngine:
 
     @property
     def cache_stats(self) -> Dict[str, float]:
-        """Hit-rate statistics of the expansion cache."""
+        """Hit-rate statistics of the expansion and set-level caches."""
         return {
             "hit_rate": self._cache.hit_rate,
             "entries": float(len(self._cache)),
+            "set_hit_rate": self._set_cache.hit_rate,
+            "set_entries": float(len(self._set_cache)),
         }

@@ -21,6 +21,12 @@ The maintainer always produces exactly the same answer as evaluating from
 scratch (asserted by the test suite on random update sequences); the benefit
 is that the common cases — deletions, and insertions of colours the query does
 not mention — touch far less state.
+
+One :class:`~repro.matching.paths.PathMatcher` is created up front and reused
+across the entire update stream: its caches are version-aware (dict-mode BFS
+memos are tagged with per-colour edge versions, CSR expansions are carried
+into fresh snapshots when their colour is untouched), so warm state survives
+every update that cannot affect it instead of being rebuilt per update.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ import time
 from typing import Dict, Hashable, Optional, Set
 
 from repro.graph.data_graph import DataGraph
+from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY
 from repro.matching.naive import collect_result, initial_candidates
 from repro.matching.paths import PathMatcher
 from repro.matching.result import PatternMatchResult
@@ -47,6 +54,14 @@ class IncrementalPatternMatcher:
     graph:
         The data graph; the maintainer mutates this graph in place through its
         :meth:`add_edge` / :meth:`remove_edge` methods.
+    engine:
+        Path-matching engine for the maintained fixpoint: ``"dict"``,
+        ``"csr"`` or ``"auto"`` (the default, which picks CSR).  On CSR the
+        refinement's set-level reachability checks run as batched flat-array
+        expansions over the graph's compiled snapshot, recompiled per
+        topology change with still-valid memos carried over.
+    cache_capacity:
+        LRU capacity of the shared matcher's search caches.
 
     Notes
     -----
@@ -56,9 +71,18 @@ class IncrementalPatternMatcher:
     for the cache-based RQ strategy on large graphs.
     """
 
-    def __init__(self, pattern: PatternQuery, graph: DataGraph):
+    def __init__(
+        self,
+        pattern: PatternQuery,
+        graph: DataGraph,
+        engine: str = "auto",
+        cache_capacity: Optional[int] = DEFAULT_SEARCH_CACHE_CAPACITY,
+    ):
         self.pattern = pattern
         self.graph = graph
+        # One version-aware matcher for the whole update stream: stale cache
+        # entries invalidate themselves, warm ones keep serving hits.
+        self._matcher = PathMatcher(graph, cache_capacity=cache_capacity, engine=engine)
         self._relevant_colors = self._compute_relevant_colors(pattern)
         self._candidates: Dict[str, Set[NodeId]] = {}
         self._result: Optional[PatternMatchResult] = None
@@ -66,6 +90,16 @@ class IncrementalPatternMatcher:
         self.incremental_refinements = 0
         self.skipped_updates = 0
         self._recompute_from_scratch()
+
+    @property
+    def engine(self) -> str:
+        """The resolved evaluation engine (``"dict"`` or ``"csr"``)."""
+        return self._matcher.engine
+
+    @property
+    def matcher(self) -> PathMatcher:
+        """The shared version-aware path matcher (one per maintainer)."""
+        return self._matcher
 
     @staticmethod
     def _compute_relevant_colors(pattern: PatternQuery) -> Optional[frozenset]:
@@ -114,16 +148,17 @@ class IncrementalPatternMatcher:
             self._recompute_from_scratch()
             return self.result
         # Deletions can only shrink the relation: restart the refinement from
-        # the cached candidate sets.
+        # the cached candidate sets, on the shared matcher — memos of colours
+        # the deletion did not touch keep serving hits.
         self.incremental_refinements += 1
         started = time.perf_counter()
-        matcher = PathMatcher(self.graph)
+        matcher = self._matcher
         candidates = {node: set(matches) for node, matches in self._candidates.items()}
         survived = self._refine(candidates, matcher)
         elapsed = time.perf_counter() - started
         if not survived:
             self._candidates = candidates
-            self._result = PatternMatchResult.empty("incremental")
+            self._result = PatternMatchResult.empty("incremental", engine=matcher.engine)
             self._result.elapsed_seconds = elapsed
             return self.result
         self._candidates = candidates
@@ -143,13 +178,13 @@ class IncrementalPatternMatcher:
     def _recompute_from_scratch(self) -> None:
         self.full_recomputations += 1
         started = time.perf_counter()
-        matcher = PathMatcher(self.graph)
-        candidates = initial_candidates(self.pattern, self.graph)
+        matcher = self._matcher
+        candidates = initial_candidates(self.pattern, self.graph, matcher=matcher)
         survived = self._refine(candidates, matcher)
         elapsed = time.perf_counter() - started
         self._candidates = candidates
         if not survived:
-            self._result = PatternMatchResult.empty("incremental")
+            self._result = PatternMatchResult.empty("incremental", engine=matcher.engine)
             self._result.elapsed_seconds = elapsed
         else:
             self._result = collect_result(
@@ -182,6 +217,11 @@ class IncrementalPatternMatcher:
             "incremental_refinements": self.incremental_refinements,
             "skipped_updates": self.skipped_updates,
         }
+
+    def cache_statistics(self) -> Dict[str, float]:
+        """The shared matcher's cache statistics (hit rates, stale
+        invalidations, CSR entries carried across snapshot recompiles)."""
+        return self._matcher.cache_stats
 
     def __repr__(self) -> str:
         return (

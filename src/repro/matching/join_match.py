@@ -25,8 +25,9 @@ from typing import Dict, Hashable, Optional, Set
 
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
+from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY
 from repro.matching.naive import collect_result, initial_candidates
-from repro.matching.paths import PathMatcher
+from repro.matching.paths import PathMatcher, resolve_pq_matcher
 from repro.matching.result import PatternMatchResult
 from repro.query.pq import PatternQuery
 
@@ -39,7 +40,8 @@ def join_match(
     distance_matrix: Optional[DistanceMatrix] = None,
     matcher: Optional[PathMatcher] = None,
     normalize: Optional[bool] = None,
-    cache_capacity: Optional[int] = 50000,
+    cache_capacity: Optional[int] = DEFAULT_SEARCH_CACHE_CAPACITY,
+    engine: str = "auto",
 ) -> PatternMatchResult:
     """Evaluate ``pattern`` on ``graph`` with the JoinMatch algorithm.
 
@@ -53,31 +55,37 @@ def join_match(
         Optional pre-computed distance matrix (the paper's ``flag = true``
         mode).  Without it the matcher falls back to cached search.
     matcher:
-        Optionally reuse a :class:`PathMatcher` across evaluations.
+        Optionally reuse a :class:`PathMatcher` across evaluations (its
+        caches are version-aware, so it may be shared across graph
+        mutations).  The matcher's own engine then drives evaluation; an
+        explicit conflicting ``engine`` raises :class:`ValueError`.
     normalize:
         Decompose multi-atom edge constraints through dummy nodes before the
         fixpoint, as the paper does in matrix mode.  Defaults to doing so
         exactly when a distance matrix is used.
     cache_capacity:
         LRU capacity for a newly created matcher in search mode.
+    engine:
+        ``"dict"``, ``"csr"`` or ``"auto"`` for a newly created matcher.
+        On ``"csr"`` the refinement fixpoint's set-level frontiers run as
+        batched flat-array expansions over the compiled snapshot
+        (:mod:`repro.matching.csr_engine`); ``"auto"`` picks CSR whenever no
+        distance matrix is supplied.  Matches are identical on every engine.
     """
     started = time.perf_counter()
-    if matcher is None:
-        matcher = PathMatcher(
-            graph, distance_matrix=distance_matrix, cache_capacity=cache_capacity
-        )
+    matcher = resolve_pq_matcher(graph, distance_matrix, matcher, cache_capacity, engine)
     if normalize is None:
         normalize = matcher.uses_matrix
     algorithm = "JoinMatchM" if matcher.uses_matrix else "JoinMatchC"
 
     work_pattern = pattern.normalized() if normalize else pattern
-    candidates = initial_candidates(work_pattern, graph)
+    candidates = initial_candidates(work_pattern, graph, matcher=matcher)
     if any(not nodes for nodes in candidates.values()):
-        return PatternMatchResult.empty(algorithm)
+        return PatternMatchResult.empty(algorithm, engine=matcher.engine)
 
     refined = _refine(work_pattern, candidates, matcher)
     if refined is None:
-        return PatternMatchResult.empty(algorithm)
+        return PatternMatchResult.empty(algorithm, engine=matcher.engine)
 
     # Report over the original pattern only (dummy nodes introduced by
     # normalisation are internal bookkeeping).

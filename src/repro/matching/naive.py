@@ -14,17 +14,37 @@ from __future__ import annotations
 import time
 from typing import Dict, Hashable, Optional, Set
 
+from repro.graph.csr import compiled_snapshot
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
-from repro.matching.paths import PathMatcher
+from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY
+from repro.matching.paths import PathMatcher, resolve_pq_matcher
 from repro.matching.result import PatternMatchResult
 from repro.query.pq import PatternQuery
 
 NodeId = Hashable
 
 
-def initial_candidates(pattern: PatternQuery, graph: DataGraph) -> Dict[str, Set[NodeId]]:
-    """Predicate-based candidate sets ``mat(u)`` for every pattern node."""
+def initial_candidates(
+    pattern: PatternQuery,
+    graph: DataGraph,
+    matcher: Optional[PathMatcher] = None,
+) -> Dict[str, Set[NodeId]]:
+    """Predicate-based candidate sets ``mat(u)`` for every pattern node.
+
+    When a CSR-mode ``matcher`` is supplied the scan runs over the compiled
+    snapshot's flat attribute table
+    (:meth:`~repro.graph.csr.CompiledGraph.matching_ids`), which memoises
+    per-predicate sweeps — repeated evaluations of the same pattern (the
+    incremental maintainer's steady state) pay the full scan once.
+    """
+    if matcher is not None and matcher.engine == "csr":
+        # The same cached snapshot the matcher's engine wraps.
+        compiled = compiled_snapshot(graph)
+        return {
+            node: set(compiled.matching_ids(pattern.predicate(node)))
+            for node in pattern.nodes()
+        }
     candidates: Dict[str, Set[NodeId]] = {}
     for node in pattern.nodes():
         predicate = pattern.predicate(node)
@@ -49,23 +69,21 @@ def collect_result(
     matches, per the all-or-nothing semantics of PQ answers.
     """
     if any(not nodes for nodes in candidates.values()):
-        return PatternMatchResult.empty(algorithm)
+        return PatternMatchResult.empty(algorithm, engine=matcher.engine)
     edge_matches = {}
     for edge in pattern.edges():
-        pairs = set()
-        target_set = candidates[edge.target]
-        for source_node in candidates[edge.source]:
-            reached = matcher.targets_from(source_node, edge.regex) & target_set
-            for target_node in reached:
-                pairs.add((source_node, target_node))
+        pairs = matcher.edge_pairs(
+            candidates[edge.source], candidates[edge.target], edge.regex
+        )
         if not pairs:
-            return PatternMatchResult.empty(algorithm)
+            return PatternMatchResult.empty(algorithm, engine=matcher.engine)
         edge_matches[(edge.source, edge.target)] = pairs
     return PatternMatchResult(
         edge_matches=edge_matches,
         node_matches={node: set(nodes) for node, nodes in candidates.items()},
         algorithm=algorithm,
         elapsed_seconds=elapsed_seconds,
+        engine=matcher.engine,
     )
 
 
@@ -74,14 +92,26 @@ def naive_match(
     graph: DataGraph,
     distance_matrix: Optional[DistanceMatrix] = None,
     matcher: Optional[PathMatcher] = None,
+    engine: Optional[str] = None,
 ) -> PatternMatchResult:
-    """Evaluate a pattern query with the direct fixpoint (reference semantics)."""
+    """Evaluate a pattern query with the direct fixpoint (reference semantics).
+
+    ``engine`` selects the path-matching engine (``"dict"``, ``"csr"`` or
+    ``"auto"``).  Left unset, a supplied matcher is used as-is and a newly
+    created matcher defaults to the simple dict engine, so the reference
+    evaluator stays the engine-independent yardstick the optimised
+    implementations are validated against.  An explicit value that conflicts
+    with a supplied matcher raises :class:`ValueError`, as in ``join_match``.
+    """
     started = time.perf_counter()
-    if matcher is None:
-        matcher = PathMatcher(graph, distance_matrix=distance_matrix)
-    candidates = initial_candidates(pattern, graph)
+    if engine is None:
+        engine = "auto" if matcher is not None else "dict"
+    matcher = resolve_pq_matcher(
+        graph, distance_matrix, matcher, DEFAULT_SEARCH_CACHE_CAPACITY, engine
+    )
+    candidates = initial_candidates(pattern, graph, matcher=matcher)
     if any(not nodes for nodes in candidates.values()):
-        return PatternMatchResult.empty("naive")
+        return PatternMatchResult.empty("naive", engine=matcher.engine)
 
     changed = True
     while changed:
@@ -95,7 +125,7 @@ def naive_match(
                 source_set -= removable
                 changed = True
                 if not source_set:
-                    return PatternMatchResult.empty("naive")
+                    return PatternMatchResult.empty("naive", engine=matcher.engine)
 
     elapsed = time.perf_counter() - started
     return collect_result(pattern, candidates, matcher, "naive", elapsed)

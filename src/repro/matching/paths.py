@@ -15,20 +15,63 @@ source" / "all sources of a target" questions) under two regimes:
 Distances returned for a node to *itself* are the length of its shortest
 non-empty cycle (paths in the paper are required to be non-empty, so the
 trivial zero-length path never counts).
+
+All search-mode caches are **version-aware**: dict-mode BFS memos are tagged
+with the graph's per-colour edge version
+(:meth:`~repro.graph.data_graph.DataGraph.color_version`; wildcard memos with
+:attr:`~repro.graph.data_graph.DataGraph.edges_version`) and a tag mismatch is
+treated as a miss, while the CSR engine is rebuilt against the fresh snapshot
+with still-valid expansions carried over.  One matcher can therefore be
+safely reused across graph mutations — answers are always computed against
+the current topology, and memos of untouched colours stay warm.  (A
+caller-supplied distance matrix is *not* a matcher cache: matrix mode keeps
+answering from the matrix the caller built, mutations notwithstanding.)
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Optional, Set
+from typing import Dict, Hashable, Optional, Set, Tuple
 
+from repro.exceptions import GraphError
 from repro.graph.csr import compiled_snapshot
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
 from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY, LruCache
+from repro.matching.frontiers import forward_sweep
 from repro.regex.fclass import WILDCARD, FRegex, RegexAtom
 
 NodeId = Hashable
+
+
+def resolve_pq_matcher(
+    graph: DataGraph,
+    distance_matrix: Optional[DistanceMatrix],
+    matcher: Optional["PathMatcher"],
+    cache_capacity: Optional[int],
+    engine: str,
+) -> "PathMatcher":
+    """The matcher driving one PQ evaluation call (shared by all algorithms).
+
+    A caller-supplied matcher is used as-is — its own engine decides dict vs
+    CSR expansion; asking for a *different* engine at the same time raises
+    :class:`ValueError` (mirroring ``evaluate_rq``'s refusal to combine
+    ``engine="csr"`` with a matcher).  Otherwise a fresh matcher is built
+    with the requested engine.
+    """
+    if matcher is not None:
+        if engine not in ("auto", matcher.engine):
+            raise ValueError(
+                f"engine={engine!r} conflicts with the supplied matcher's engine "
+                f"{matcher.engine!r}; configure the matcher instead"
+            )
+        return matcher
+    return PathMatcher(
+        graph,
+        distance_matrix=distance_matrix,
+        cache_capacity=cache_capacity,
+        engine=engine,
+    )
 
 
 class PathMatcher:
@@ -73,10 +116,23 @@ class PathMatcher:
         self._backward_cache = LruCache(cache_capacity)
         self.engine = "csr" if engine in ("auto", "csr") and distance_matrix is None else "dict"
         self._csr = None
+        #: Dict-mode cache entries discarded because the graph mutated under them.
+        self.stale_invalidations = 0
+        # Promotions accumulated by CSR engines this matcher already retired.
+        self._csr_promoted_base = 0
 
     @property
     def uses_matrix(self) -> bool:
         return self.matrix is not None
+
+    @property
+    def csr_entries_carried(self) -> int:
+        """Memoised CSR expansions that stayed warm across snapshot
+        recompiles — validated per lookup against per-colour edge versions
+        and promoted from the retired engine's caches on a hit."""
+        engine = self._csr
+        current = engine.promoted if engine is not None else 0
+        return self._csr_promoted_base + current
 
     @property
     def _csr_engine(self):
@@ -85,17 +141,21 @@ class PathMatcher:
         The snapshot itself is shared (compiled once per graph), but the
         expansion cache belongs to the matcher and honours ``cache_capacity``
         — mirroring the dict-mode caches.  A fresh engine is built whenever
-        the graph has been recompiled since the last call; in steady state
-        the check is one integer comparison, keeping per-atom calls cheap.
+        the graph has been recompiled since the last call, keeping the old
+        engine's caches as a validate-on-lookup donor so memoised expansions
+        of colours the mutation did not touch stay warm; in steady state the
+        check is one integer comparison, keeping per-atom calls cheap.
         """
         from repro.matching.csr_engine import CsrEngine
 
         engine = self._csr
         if engine is not None and engine.compiled.source_version == self.graph.version:
             return engine
-        engine = CsrEngine(compiled_snapshot(self.graph), self._cache_capacity)
-        self._csr = engine
-        return engine
+        if engine is not None:
+            self._csr_promoted_base += engine.promoted
+        fresh = CsrEngine(compiled_snapshot(self.graph), self._cache_capacity, donor=engine)
+        self._csr = fresh
+        return fresh
 
     # -- per-atom distance maps ------------------------------------------------
 
@@ -111,15 +171,31 @@ class PathMatcher:
         The entry for ``start`` itself, when present, is the length of the
         shortest non-empty cycle through it.  Results of BFS runs are memoised
         per (start, colour, direction); a cached run is reused whenever it was
-        computed with a depth bound at least as large as the requested one.
+        computed with a depth bound at least as large as the requested one
+        *and* no edge of the searched colour changed since it was computed
+        (entries are tagged with the graph's per-colour edge version, so a
+        mutated graph never serves stale reachability answers while memos of
+        untouched colours stay warm).
         """
+        if not self.graph.has_node(start):
+            # A removed node must fail identically to a fresh matcher (and to
+            # the CSR engine) even when a version-tagged memo for it is still
+            # around — e.g. remove_node only bumps the versions of the
+            # colours it had edges in.
+            raise GraphError(f"node {start!r} does not exist")
         cache = self._backward_cache if reverse else self._forward_cache
         key = (start, color)
+        version = (
+            self.graph.edges_version if color is None else self.graph.color_version(color)
+        )
         cached = cache.get(key)
         if cached is not None:
-            cached_depth, distances = cached
-            if cached_depth is None or (max_depth is not None and max_depth <= cached_depth):
-                return distances
+            cached_version, cached_depth, distances = cached
+            if cached_version == version:
+                if cached_depth is None or (max_depth is not None and max_depth <= cached_depth):
+                    return distances
+            else:
+                self.stale_invalidations += 1
 
         neighbours = self.graph.predecessors if reverse else self.graph.successors
         seen: Dict[NodeId, int] = {start: 0}
@@ -142,7 +218,7 @@ class PathMatcher:
         distances = {node: dist for node, dist in seen.items() if node != start}
         if cycle_length is not None:
             distances[start] = cycle_length
-        cache.put(key, (max_depth, distances))
+        cache.put(key, (version, max_depth, distances))
         return distances
 
     def _matrix_row(self, source: NodeId, color: Optional[str]) -> Dict[NodeId, int]:
@@ -197,8 +273,25 @@ class PathMatcher:
 
     # -- set-level frontiers ---------------------------------------------------
 
+    def _csr_set_frontier(self, nodes: Set[NodeId], item: RegexAtom, reverse: bool) -> Set[NodeId]:
+        """Batched set-level frontier: one multi-source BFS over CSR arrays.
+
+        Replaces the union of per-node expansions for the PQ refinement
+        fixpoint; a singleton set still goes through the memoised per-node
+        path, which stays warm across repeated fixpoint sweeps.
+        """
+        engine = self._csr_engine
+        compiled = engine.compiled
+        node_index = compiled.node_index
+        indices = [node_index(node) for node in nodes]
+        expand = engine.set_sources_indices if reverse else engine.set_targets_indices
+        ids = compiled.ids
+        return {ids[j] for j in expand(indices, item)}
+
     def set_targets(self, sources: Set[NodeId], item: RegexAtom) -> Set[NodeId]:
         """Nodes reachable from *any* node of ``sources`` by one atom block."""
+        if self.engine == "csr" and len(sources) > 1:
+            return self._csr_set_frontier(sources, item, reverse=False)
         result: Set[NodeId] = set()
         for node in sources:
             result |= self.atom_targets(node, item)
@@ -209,11 +302,14 @@ class PathMatcher:
 
         In matrix mode this is a single sweep over the graph nodes (checking
         each forward row against the target set), which avoids the lack of a
-        reverse index in the distance matrix; in search mode it is the union
+        reverse index in the distance matrix; on the CSR engine it is one
+        batched multi-source reverse BFS; in dict search mode it is the union
         of cached backward BFS runs.
         """
         if not targets:
             return set()
+        if self.engine == "csr" and len(targets) > 1:
+            return self._csr_set_frontier(targets, item, reverse=True)
         if self.matrix is None:
             result: Set[NodeId] = set()
             for node in targets:
@@ -240,7 +336,22 @@ class PathMatcher:
         return result
 
     def backward_reachable(self, targets: Set[NodeId], regex: FRegex) -> Set[NodeId]:
-        """All nodes with a path into ``targets`` matching the full expression."""
+        """All nodes with a path into ``targets`` matching the full expression.
+
+        This is the per-edge reachability check of the PQ refinement fixpoint
+        (Figs. 7/8).  On the CSR engine the whole chain runs (and is
+        memoised) in dense index space — one batched multi-source BFS per
+        atom — instead of unioning per-node searches.
+        """
+        if self.engine == "csr" and targets:
+            engine = self._csr_engine
+            compiled = engine.compiled
+            node_index = compiled.node_index
+            indices = engine.backward_reachable_indices(
+                [node_index(node) for node in targets], regex
+            )
+            ids = compiled.ids
+            return {ids[j] for j in indices}
         frontier = set(targets)
         for item in reversed(regex.atoms):
             frontier = self.set_sources(frontier, item)
@@ -252,6 +363,13 @@ class PathMatcher:
 
     def targets_from(self, source: NodeId, regex: FRegex) -> Set[NodeId]:
         """All nodes ``v2`` such that ``(source, v2)`` matches ``regex``."""
+        if self.engine == "csr":
+            # Walk the whole expression in dense index space; translate once.
+            engine = self._csr_engine
+            compiled = engine.compiled
+            ids = compiled.ids
+            indices = engine.targets_from(compiled.node_index(source), regex)
+            return {ids[j] for j in indices}
         frontier: Set[NodeId] = {source}
         for item in regex.atoms:
             next_frontier: Set[NodeId] = set()
@@ -264,6 +382,12 @@ class PathMatcher:
 
     def sources_to(self, target: NodeId, regex: FRegex) -> Set[NodeId]:
         """All nodes ``v1`` such that ``(v1, target)`` matches ``regex``."""
+        if self.engine == "csr":
+            engine = self._csr_engine
+            compiled = engine.compiled
+            ids = compiled.ids
+            indices = engine.sources_to(compiled.node_index(target), regex)
+            return {ids[j] for j in indices}
         frontier: Set[NodeId] = {target}
         for item in reversed(regex.atoms):
             next_frontier: Set[NodeId] = set()
@@ -273,6 +397,28 @@ class PathMatcher:
             if not frontier:
                 break
         return frontier
+
+    def edge_pairs(
+        self, sources: Set[NodeId], targets: Set[NodeId], regex: FRegex
+    ) -> Set[Tuple[NodeId, NodeId]]:
+        """All pairs ``(v1, v2)`` from the candidate sets joined by ``regex``.
+
+        The per-edge result-assembly step of the PQ algorithms.  On the CSR
+        engine the sweep runs (and is memoised) in dense index space; the
+        dict/matrix path is the classic per-source forward expansion.
+        """
+        if self.engine == "csr":
+            engine = self._csr_engine
+            compiled = engine.compiled
+            node_index = compiled.node_index
+            index_pairs = engine.matching_pairs(
+                regex,
+                frozenset(node_index(node) for node in sources),
+                frozenset(node_index(node) for node in targets),
+            )
+            ids = compiled.ids
+            return {(ids[a], ids[b]) for a, b in index_pairs}
+        return forward_sweep(self, regex, list(sources), targets)
 
     def pair_matches(self, source: NodeId, target: NodeId, regex: FRegex) -> bool:
         """True when a non-empty path from ``source`` to ``target`` matches ``regex``."""
@@ -295,10 +441,18 @@ class PathMatcher:
 
     @property
     def cache_stats(self) -> Dict[str, float]:
-        """Hit-rate statistics of the two LRU caches (search mode only)."""
+        """Hit-rate statistics of the two LRU caches (search mode only).
+
+        A lookup that finds an entry whose version tag is stale still counts
+        as an LRU hit; ``stale_invalidations`` counts how many of those were
+        discarded and recomputed.  ``csr_entries_carried`` counts memoised
+        CSR expansions migrated into fresh snapshots after mutations.
+        """
         return {
             "forward_hit_rate": self._forward_cache.hit_rate,
             "backward_hit_rate": self._backward_cache.hit_rate,
             "forward_entries": float(len(self._forward_cache)),
             "backward_entries": float(len(self._backward_cache)),
+            "stale_invalidations": float(self.stale_invalidations),
+            "csr_entries_carried": float(self.csr_entries_carried),
         }

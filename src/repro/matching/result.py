@@ -32,12 +32,17 @@ class PatternMatchResult:
         Name of the algorithm that produced the result.
     elapsed_seconds:
         Wall-clock evaluation time (filled in by the evaluation entry points).
+    engine:
+        Evaluation engine the algorithm ran on (``"dict"`` or ``"csr"``; both
+        produce identical match sets, mirroring
+        :class:`~repro.matching.reachability.ReachabilityResult`).
     """
 
     edge_matches: Dict[EdgeKey, Set[NodePair]] = field(default_factory=dict)
     node_matches: Dict[str, Set[NodeId]] = field(default_factory=dict)
     algorithm: str = ""
     elapsed_seconds: float = 0.0
+    engine: str = "dict"
 
     @property
     def is_empty(self) -> bool:
@@ -74,9 +79,9 @@ class PatternMatchResult:
         return self.as_frozen() == other.as_frozen()
 
     @classmethod
-    def empty(cls, algorithm: str = "") -> "PatternMatchResult":
+    def empty(cls, algorithm: str = "", engine: str = "dict") -> "PatternMatchResult":
         """The empty result."""
-        return cls(edge_matches={}, node_matches={}, algorithm=algorithm)
+        return cls(edge_matches={}, node_matches={}, algorithm=algorithm, engine=engine)
 
     def __repr__(self) -> str:
         return (

@@ -33,7 +33,9 @@ def _edge_color_admitted(regex: FRegex, color: str) -> bool:
     return first.admits_color(color)
 
 
-def graph_simulation(pattern: PatternQuery, graph: DataGraph) -> Dict[str, Set[NodeId]]:
+def graph_simulation(
+    pattern: PatternQuery, graph: DataGraph, engine: str = "auto"
+) -> Dict[str, Set[NodeId]]:
     """Maximum colour-aware graph simulation of ``pattern`` in ``graph``.
 
     Returns the mapping ``{pattern node: set of data nodes}``; the mapping is
@@ -42,8 +44,16 @@ def graph_simulation(pattern: PatternQuery, graph: DataGraph) -> Dict[str, Set[N
 
     The computation is the standard fixpoint: start from the predicate-based
     candidate sets and repeatedly remove any candidate that misses a successor
-    for some outgoing pattern edge.
+    for some outgoing pattern edge.  With ``engine="csr"`` (or ``"auto"``,
+    the default) the fixpoint runs entirely in the dense index space of the
+    graph's compiled snapshot — the successor test walks CSR rows against a
+    candidate bitmap instead of hashing node ids; ``"dict"`` keeps the
+    original adjacency-dict evaluation.  Answers are identical either way.
     """
+    if engine not in ("auto", "dict", "csr"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'auto', 'dict' or 'csr'")
+    if engine in ("auto", "csr"):
+        return _csr_simulation(pattern, graph)
     sim: Dict[str, Set[NodeId]] = {}
     for node in pattern.nodes():
         predicate = pattern.predicate(node)
@@ -82,3 +92,57 @@ def _has_successor(
         if graph.successors(candidate, color) & targets:
             return True
     return False
+
+
+def _csr_simulation(pattern: PatternQuery, graph: DataGraph) -> Dict[str, Set[NodeId]]:
+    """The same fixpoint over the compiled CSR snapshot (index space)."""
+    from repro.graph.csr import compiled_snapshot
+
+    compiled = compiled_snapshot(graph)
+    num_nodes = compiled.num_nodes
+    sim: Dict[str, Set[int]] = {}
+    for node in pattern.nodes():
+        sim[node] = set(compiled.matching_indices(pattern.predicate(node)))
+        if not sim[node]:
+            return {}
+
+    # Pre-resolve, per pattern edge, the colour layers one data edge of which
+    # can satisfy the constraint (empty for multi-atom expressions).
+    edges = []
+    for edge in pattern.edges():
+        layers = [
+            compiled.layer(k)
+            for k, color in enumerate(compiled.colors)
+            if _edge_color_admitted(edge.regex, color)
+        ]
+        edges.append((edge.source, edge.target, layers))
+
+    changed = True
+    while changed:
+        changed = False
+        for source_node, target_node, layers in edges:
+            source_candidates = sim[source_node]
+            target_flags = bytearray(num_nodes)
+            for index in sim[target_node]:
+                target_flags[index] = 1
+            removable = set()
+            for candidate in source_candidates:
+                for layer in layers:
+                    if not layer.mask[candidate]:
+                        continue
+                    offsets = layer.offsets
+                    if any(
+                        target_flags[nxt]
+                        for nxt in layer._view[offsets[candidate]:offsets[candidate + 1]]
+                    ):
+                        break
+                else:
+                    removable.add(candidate)
+            if removable:
+                source_candidates -= removable
+                changed = True
+                if not source_candidates:
+                    return {}
+
+    ids = compiled.ids
+    return {node: {ids[j] for j in indices} for node, indices in sim.items()}

@@ -22,8 +22,9 @@ from typing import Dict, Hashable, Optional, Set, Tuple
 
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
+from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY
 from repro.matching.naive import collect_result, initial_candidates
-from repro.matching.paths import PathMatcher
+from repro.matching.paths import PathMatcher, resolve_pq_matcher
 from repro.matching.result import PatternMatchResult
 from repro.query.pq import PatternQuery
 
@@ -95,25 +96,25 @@ def split_match(
     distance_matrix: Optional[DistanceMatrix] = None,
     matcher: Optional[PathMatcher] = None,
     normalize: Optional[bool] = None,
-    cache_capacity: Optional[int] = 50000,
+    cache_capacity: Optional[int] = DEFAULT_SEARCH_CACHE_CAPACITY,
+    engine: str = "auto",
 ) -> PatternMatchResult:
     """Evaluate ``pattern`` on ``graph`` with the SplitMatch algorithm.
 
-    Arguments mirror :func:`repro.matching.join_match.join_match`.
+    Arguments mirror :func:`repro.matching.join_match.join_match`, including
+    ``engine`` (dict / csr / auto) for the split-refinement's set-level
+    reachability checks.
     """
     started = time.perf_counter()
-    if matcher is None:
-        matcher = PathMatcher(
-            graph, distance_matrix=distance_matrix, cache_capacity=cache_capacity
-        )
+    matcher = resolve_pq_matcher(graph, distance_matrix, matcher, cache_capacity, engine)
     if normalize is None:
         normalize = matcher.uses_matrix
     algorithm = "SplitMatchM" if matcher.uses_matrix else "SplitMatchC"
 
     work_pattern = pattern.normalized() if normalize else pattern
-    candidates = initial_candidates(work_pattern, graph)
+    candidates = initial_candidates(work_pattern, graph, matcher=matcher)
     if any(not nodes for nodes in candidates.values()):
-        return PatternMatchResult.empty(algorithm)
+        return PatternMatchResult.empty(algorithm, engine=matcher.engine)
 
     partition = _Partition(candidates)
     worklist = deque(work_pattern.edges())
@@ -124,7 +125,7 @@ def split_match(
         queued.discard((edge.source, edge.target))
         source_set = partition.candidate_set(edge.source)
         if not source_set:
-            return PatternMatchResult.empty(algorithm)
+            return PatternMatchResult.empty(algorithm, engine=matcher.engine)
         target_set = partition.candidate_set(edge.target)
         survivors = matcher.backward_reachable(target_set, edge.regex)
         removable = source_set - survivors
@@ -132,7 +133,7 @@ def split_match(
             continue
         partition.split_and_detach(edge.source, removable)
         if not partition.rel[edge.source]:
-            return PatternMatchResult.empty(algorithm)
+            return PatternMatchResult.empty(algorithm, engine=matcher.engine)
         for incoming in work_pattern.in_edges(edge.source):
             key = (incoming.source, incoming.target)
             if key not in queued:
@@ -143,6 +144,6 @@ def split_match(
         node: partition.candidate_set(node) for node in pattern.nodes()
     }
     if any(not nodes for nodes in final_candidates.values()):
-        return PatternMatchResult.empty(algorithm)
+        return PatternMatchResult.empty(algorithm, engine=matcher.engine)
     elapsed = time.perf_counter() - started
     return collect_result(pattern, final_candidates, matcher, algorithm, elapsed)

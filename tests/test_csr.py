@@ -189,3 +189,42 @@ class TestSnapshotCache:
         assert compiled.num_nodes == 0
         assert compiled.num_edges == 0
         assert compiled.colors == ()
+
+
+class TestScanCacheAfterNodeChurn:
+    def test_removed_and_readded_node_does_not_resurrect_old_attributes(self):
+        from repro.graph.csr import compiled_snapshot
+        from repro.query.predicates import Predicate
+
+        graph = DataGraph()
+        graph.add_node("a", kind="keep")
+        graph.add_node("x", kind="old")
+        predicate = Predicate.parse("kind = 'old'")
+        snapshot = compiled_snapshot(graph)
+        assert snapshot.matching_ids(predicate) == ["x"]  # warms the scan memo
+        graph.remove_node("x")
+        graph.add_node("x", kind="new")
+        # The recompiled snapshot has an identical ids tuple; the scan memo
+        # must not be inherited from the donor, since x's attributes changed.
+        fresh = compiled_snapshot(graph)
+        assert fresh.matching_ids(predicate) == []
+        assert fresh.matching_ids(Predicate.parse("kind = 'new'")) == ["x"]
+
+    def test_stale_snapshot_queried_mid_churn_cannot_poison_the_donor(self):
+        from repro.graph.csr import compiled_snapshot
+        from repro.query.predicates import Predicate
+
+        graph = DataGraph()
+        graph.add_node("a", kind="keep")
+        graph.add_node("x", kind="old")
+        predicate = Predicate.parse("kind = 'old'")
+        stale = compiled_snapshot(graph)
+        assert stale.matching_ids(predicate) == ["x"]
+        graph.remove_node("x")
+        graph.add_node("x", kind="new")
+        # Querying the stale snapshot between the churn and the recompile
+        # rescans its captured (dead) views; that memo must not advance the
+        # snapshot's attrs tag, or the next recompile would adopt it.
+        assert stale.matching_ids(predicate) == ["x"]  # snapshot semantics
+        fresh = compiled_snapshot(graph)
+        assert fresh.matching_ids(predicate) == []

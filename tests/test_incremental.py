@@ -118,3 +118,83 @@ class TestRandomUpdateSequences:
                 matcher.add_edge(source, target, rng.choice(colors))
             expected = join_match(pattern, graph)
             assert matcher.result.same_matches(expected), (seed, step)
+
+
+class TestWarmMatcherReuse:
+    """One version-aware PathMatcher survives the whole update stream."""
+
+    def test_single_matcher_reused_across_updates(self, essembly):
+        matcher = IncrementalPatternMatcher(essembly_query_q2(), essembly)
+        shared = matcher.matcher
+        matcher.add_edge("C1", "B1", "fn")
+        matcher.remove_edge("C1", "B1", "fn")
+        assert matcher.matcher is shared
+
+    def test_dict_cache_state_survives_deletion(self, essembly):
+        matcher = IncrementalPatternMatcher(essembly_query_q2(), essembly, engine="dict")
+        path_matcher = matcher.matcher
+        warm_entries = len(path_matcher._backward_cache)
+        assert warm_entries > 0  # warmed by the initial computation
+        hits_before = path_matcher._backward_cache.hits + path_matcher._forward_cache.hits
+        # Delete a relevant edge: the refinement re-runs on the shared
+        # matcher, and memos of colours the deletion did not touch keep
+        # serving hits instead of being rebuilt from scratch.
+        matcher.remove_edge("C3", "B1", "fn")
+        hits_after = path_matcher._backward_cache.hits + path_matcher._forward_cache.hits
+        assert hits_after > hits_before
+        assert len(path_matcher._backward_cache) > 0
+        stats = matcher.cache_statistics()
+        assert stats["backward_hit_rate"] > 0.0
+
+    def test_csr_cache_entries_carried_across_deletion(self, essembly):
+        matcher = IncrementalPatternMatcher(essembly_query_q2(), essembly, engine="csr")
+        assert matcher.engine == "csr"
+        path_matcher = matcher.matcher
+        assert matcher.cache_statistics()["csr_entries_carried"] == 0.0
+        matcher.remove_edge("C3", "B1", "fn")
+        # The deletion recompiled the snapshot, but expansions of untouched
+        # colours were migrated into the fresh engine instead of discarded.
+        assert path_matcher.csr_entries_carried > 0
+
+    def test_engines_give_identical_answers(self, essembly):
+        query = essembly_query_q2()
+        dict_matcher = IncrementalPatternMatcher(query, essembly.copy(), engine="dict")
+        csr_matcher = IncrementalPatternMatcher(query, essembly.copy(), engine="csr")
+        assert dict_matcher.result.same_matches(csr_matcher.result)
+        for inc in (dict_matcher, csr_matcher):
+            inc.add_edge("C1", "B1", "fn")
+        assert dict_matcher.result.same_matches(csr_matcher.result)
+        for inc in (dict_matcher, csr_matcher):
+            inc.remove_edge("C3", "B1", "fn")
+        assert dict_matcher.result.same_matches(csr_matcher.result)
+
+    def test_engine_validation(self, essembly):
+        with pytest.raises(ValueError):
+            IncrementalPatternMatcher(essembly_query_q2(), essembly, engine="quantum")
+
+
+class TestRandomUpdateSequencesBothEngines:
+    @pytest.mark.parametrize("engine", ["dict", "csr"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_incremental_equals_from_scratch(self, seed, engine):
+        rng = random.Random(seed)
+        graph = generate_synthetic_graph(
+            num_nodes=25, num_edges=70, num_attributes=2, attribute_cardinality=3, seed=seed
+        )
+        generator = QueryGenerator(graph, seed=seed)
+        pattern = generator.pattern_query(3, 4, num_predicates=1, bound=2, max_colors=2)
+        matcher = IncrementalPatternMatcher(pattern, graph, engine=engine)
+        nodes = list(graph.nodes())
+        colors = sorted(graph.colors)
+
+        for step in range(12):
+            if rng.random() < 0.5 and graph.num_edges > 0:
+                edge = rng.choice(list(graph.edges()))
+                matcher.remove_edge(edge.source, edge.target, edge.color)
+            else:
+                source, target = rng.choice(nodes), rng.choice(nodes)
+                if source == target:
+                    continue
+                matcher.add_edge(source, target, rng.choice(colors))
+            expected = join_match(pattern, graph, engine="dict")
+            assert matcher.result.same_matches(expected), (seed, engine, step)

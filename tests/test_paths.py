@@ -118,3 +118,137 @@ class TestModeAgreement:
         matcher.targets_from("a", parse_fregex("red^2"))
         stats = matcher.cache_stats
         assert stats["forward_entries"] >= 1
+
+
+class TestVersionAwareCaches:
+    """A reused matcher must never serve stale answers after graph mutations.
+
+    Before the version-tagging fix, ``_positive_distances`` memoised BFS runs
+    with no notion of graph versions, so every test in this class that
+    mutates the graph through a reused dict-mode matcher failed (the matcher
+    kept answering from the pre-mutation topology).
+    """
+
+    def test_added_edge_visible_through_reused_matcher(self, small_graph):
+        matcher = PathMatcher(small_graph, engine="dict")
+        expr = parse_fregex("red^2")
+        assert matcher.targets_from("a", expr) == {"b", "c"}
+        small_graph.add_edge("c", "e", "red")
+        assert matcher.targets_from("a", expr) == {"b", "c"}  # bound still 2
+        assert matcher.targets_from("b", expr) == {"c", "e"}
+
+    def test_removed_edge_visible_through_reused_matcher(self, small_graph):
+        matcher = PathMatcher(small_graph, engine="dict")
+        expr = parse_fregex("red^2")
+        assert matcher.targets_from("a", expr) == {"b", "c"}
+        small_graph.remove_edge("b", "c", "red")
+        assert matcher.targets_from("a", expr) == {"b"}
+        assert matcher.stale_invalidations >= 1
+
+    def test_backward_cache_invalidated_too(self, small_graph):
+        matcher = PathMatcher(small_graph, engine="dict")
+        expr = parse_fregex("red")
+        assert matcher.sources_to("b", expr) == {"a"}
+        small_graph.add_edge("e", "b", "red")
+        assert matcher.sources_to("b", expr) == {"a", "e"}
+
+    def test_untouched_color_memo_stays_warm(self, small_graph):
+        matcher = PathMatcher(small_graph, engine="dict")
+        blue = parse_fregex("blue")
+        assert matcher.targets_from("c", blue) == {"d"}
+        warm_hits = matcher._forward_cache.hits
+        warm_stale = matcher.stale_invalidations
+        # Mutating *red* must not invalidate the memoised *blue* search.
+        small_graph.remove_edge("a", "b", "red")
+        assert matcher.targets_from("c", blue) == {"d"}
+        assert matcher._forward_cache.hits > warm_hits
+        assert matcher.stale_invalidations == warm_stale
+
+    def test_wildcard_memo_invalidated_by_any_edge_change(self, small_graph):
+        matcher = PathMatcher(small_graph, engine="dict")
+        wildcard = parse_fregex("_")
+        assert matcher.targets_from("a", wildcard) == {"b"}
+        small_graph.add_edge("a", "z", "purple")
+        assert matcher.targets_from("a", wildcard) == {"b", "z"}
+        assert matcher.stale_invalidations >= 1
+
+    def test_matrix_mode_keeps_answering_from_the_matrix(self, small_graph):
+        # Documented contract: the matrix is the caller's index, not a cache.
+        matcher = PathMatcher(small_graph, distance_matrix=build_distance_matrix(small_graph))
+        expr = parse_fregex("red")
+        assert matcher.targets_from("a", expr) == {"b"}
+        small_graph.add_edge("a", "q", "red")
+        assert matcher.targets_from("a", expr) == {"b"}
+
+    def test_csr_matcher_tracks_mutations(self, small_graph):
+        matcher = PathMatcher(small_graph, engine="csr")
+        expr = parse_fregex("red^2")
+        assert matcher.targets_from("a", expr) == {"b", "c"}
+        small_graph.remove_edge("b", "c", "red")
+        assert matcher.targets_from("a", expr) == {"b"}
+
+    def test_csr_warm_entries_carried_across_mutations(self, small_graph):
+        matcher = PathMatcher(small_graph, engine="csr")
+        blue = parse_fregex("blue")
+        red = parse_fregex("red")
+        assert matcher.targets_from("c", blue) == {"d"}
+        assert matcher.targets_from("a", red) == {"b"}
+        carried_before = matcher.csr_entries_carried
+        # Deleting a *green* edge leaves blue and red expansions valid.
+        small_graph.remove_edge("b", "b", "green")
+        assert matcher.targets_from("c", blue) == {"d"}
+        assert matcher.csr_entries_carried > carried_before
+        assert matcher.targets_from("a", red) == {"b"}
+
+    def test_csr_touched_color_entries_dropped(self, small_graph):
+        matcher = PathMatcher(small_graph, engine="csr")
+        red = parse_fregex("red")
+        assert matcher.targets_from("a", red) == {"b"}
+        small_graph.add_edge("a", "c", "red")
+        assert matcher.targets_from("a", red) == {"b", "c"}
+
+    def test_dict_and_csr_agree_through_update_stream(self):
+        graph = generate_synthetic_graph(20, 60, seed=4)
+        colors = sorted(graph.colors)
+        dict_matcher = PathMatcher(graph, engine="dict")
+        csr_matcher = PathMatcher(graph, engine="csr")
+        expr = parse_fregex(f"{colors[0]}^2.{colors[1 % len(colors)]}")
+        nodes = list(graph.nodes())
+        edges = list(graph.edges())
+        for step, edge in enumerate(edges[:8]):
+            if step % 2:
+                graph.remove_edge(edge.source, edge.target, edge.color)
+            else:
+                graph.add_edge(edge.target, edge.source, edge.color)
+            for node in nodes[:8]:
+                assert dict_matcher.targets_from(node, expr) == csr_matcher.targets_from(node, expr)
+                assert dict_matcher.sources_to(node, expr) == csr_matcher.sources_to(node, expr)
+
+    def test_removed_node_raises_even_with_warm_memo(self, small_graph):
+        from repro.exceptions import GraphError
+
+        # remove_node only bumps the versions of the colours the node had
+        # edges in; a warm memo for another colour must not mask the removal.
+        small_graph.add_edge("x", "y", "red")
+        matcher = PathMatcher(small_graph, engine="dict")
+        blue = parse_fregex("blue")
+        assert matcher.targets_from("x", blue) == set()  # memoises ('x','blue')
+        small_graph.remove_node("x")
+        with pytest.raises(GraphError):
+            matcher.targets_from("x", blue)
+        csr_matcher = PathMatcher(small_graph, engine="csr")
+        with pytest.raises(GraphError):
+            csr_matcher.targets_from("x", blue)
+
+    def test_set_level_csr_memos_are_tightly_bounded(self, small_graph):
+        from repro.matching.cache import SET_FRONTIER_CACHE_CAPACITY
+
+        matcher = PathMatcher(small_graph, engine="csr")
+        red = parse_fregex("red")
+        matcher.backward_reachable({"c", "d"}, red)
+        engine = matcher._csr_engine
+        assert engine._set_cache.capacity <= SET_FRONTIER_CACHE_CAPACITY
+        assert len(engine._set_cache) >= 1
+        tiny = PathMatcher(small_graph, cache_capacity=5, engine="csr")
+        tiny.backward_reachable({"c", "d"}, red)
+        assert tiny._csr_engine._set_cache.capacity == 5

@@ -61,7 +61,7 @@ from repro.matching.general_rq import (
 from repro.regex.general import GeneralRegex
 from repro.metrics.fmeasure import compute_f_measure
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     # exceptions

@@ -8,7 +8,8 @@ A small CLI for working with data graphs and queries without writing Python:
 * ``repro generate youtube OUT.json --nodes 1000 --edges 4000`` — write one of
   the synthetic datasets to disk;
 * ``repro experiment exp3`` — run one of the paper's experiments and print its
-  table (``exp4`` runs all four PQ sweeps of Fig. 11).
+  table (``exp4`` runs all four PQ sweeps of Fig. 11; ``exp6`` runs the
+  incremental-maintenance update-stream comparison).
 
 Engines
 -------
@@ -55,10 +56,11 @@ _EXPERIMENTS = {
     "exp3": "repro.experiments.exp3_rq:run_rq_efficiency",
     "exp4": "repro.experiments.exp4_pq:run_all_sweeps",
     "exp5f": "repro.experiments.exp5_synthetic:run_subiso_comparison",
+    "exp6": "repro.experiments.exp6_incremental:run_update_streams",
 }
 
 #: Experiments whose runner accepts an ``engines=`` keyword (dict-vs-CSR columns).
-_ENGINE_AWARE_EXPERIMENTS = frozenset({"exp1", "exp3", "exp4"})
+_ENGINE_AWARE_EXPERIMENTS = frozenset({"exp1", "exp3", "exp4", "exp6"})
 
 _GENERATORS = {
     "youtube": generate_youtube_graph,
@@ -106,7 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=["both", "dict", "csr"],
         help="engine column(s) for experiments that compare engines "
-        "(exp1, exp3, exp4; default both)",
+        "(exp1, exp3, exp4, exp6; default both)",
     )
 
     return parser

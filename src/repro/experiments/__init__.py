@@ -11,7 +11,9 @@ One module per experiment:
 * :mod:`~repro.experiments.exp4_pq` — Fig. 11(a)–(d): PQ evaluation on the
   YouTube-like graph, varying |Vp|, |Ep|, |pred| and the bound b;
 * :mod:`~repro.experiments.exp5_synthetic` — Fig. 12(a)–(f): scalability on
-  synthetic graphs and the SubIso comparison.
+  synthetic graphs and the SubIso comparison;
+* :mod:`~repro.experiments.exp6_incremental` — (extension, Section 7's future
+  work): incremental maintenance vs recompute on update streams.
 
 Every experiment function returns a list of row dictionaries (one per plotted
 point) so that results can be printed, asserted in tests and re-used by the

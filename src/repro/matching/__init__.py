@@ -22,6 +22,7 @@
 from repro.matching.cache import LruCache
 from repro.matching.csr_engine import CsrEngine
 from repro.matching.paths import PathMatcher
+from repro.matching.refinement import refine_fixpoint
 from repro.matching.reachability import evaluate_rq
 from repro.matching.result import PatternMatchResult
 from repro.matching.join_match import join_match
@@ -35,6 +36,7 @@ __all__ = [
     "LruCache",
     "CsrEngine",
     "PathMatcher",
+    "refine_fixpoint",
     "evaluate_rq",
     "PatternMatchResult",
     "join_match",

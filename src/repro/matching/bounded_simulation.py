@@ -22,6 +22,7 @@ from repro.graph.distance import DistanceMatrix
 from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY
 from repro.matching.naive import initial_candidates
 from repro.matching.paths import PathMatcher, resolve_pq_matcher
+from repro.matching.refinement import refine_fixpoint
 from repro.matching.result import PatternMatchResult
 from repro.query.pq import PatternQuery
 from repro.regex.fclass import FRegex, RegexAtom
@@ -60,21 +61,15 @@ def bounded_simulation_match(
         (edge.source, edge.target): _color_blind(edge.regex) for edge in pattern.edges()
     }
 
-    changed = True
-    while changed:
-        changed = False
-        for edge in pattern.edges():
-            source_set = candidates[edge.source]
-            target_set = candidates[edge.target]
-            survivors = matcher.backward_reachable(
-                target_set, relaxed[(edge.source, edge.target)]
-            )
-            removable = source_set - survivors
-            if removable:
-                source_set -= removable
-                changed = True
-                if not source_set:
-                    return PatternMatchResult.empty(algorithm, engine=matcher.engine)
+    # The colour-blind refinement runs on the shared dirty-queue fixpoint
+    # (worklist over pattern nodes whose candidate set changed).
+    survived = refine_fixpoint(
+        [(edge.source, edge.target, relaxed[edge.pair]) for edge in pattern.edges()],
+        candidates,
+        lambda regex, target_set: matcher.backward_reachable(target_set, regex),
+    )
+    if not survived:
+        return PatternMatchResult.empty(algorithm, engine=matcher.engine)
 
     edge_matches = {}
     for edge in pattern.edges():

@@ -290,6 +290,52 @@ class CsrEngine:
             return []
         return self.expand_set(starts, color_id, item.max_count, reverse=True)
 
+    def backward_closure_indices(
+        self, starts: Iterable[int], color_ids: Optional[Iterable[int]] = None
+    ) -> List[int]:
+        """Indices with a non-empty directed path into *any* start index.
+
+        One unbounded multi-source reverse BFS — the delta-seeded expansion
+        of the incremental maintainer: the affected area of an edge
+        insertion is the closure of the new edge's source.  ``color_ids``
+        restricts the traversable colours (witnessing paths only use colours
+        some constraint admits, so the maintainer passes the query's
+        relevant colours — whose reverse layers survive snapshot recompiles
+        of other colours); ``None`` walks the wildcard layer.  Start indices
+        are included only when they lie on a cycle (callers union the start
+        set back in); not memoised, as each update asks with a different
+        seed set.
+        """
+        if color_ids is None:
+            return self.expand_set(starts, ANY_COLOR, None, reverse=True)
+        layers = [self.compiled.layer(color_id, reverse=True) for color_id in color_ids]
+        visited = bytearray(self.compiled.num_nodes)
+        frontier: List[int] = []
+        for start in starts:
+            if not visited[start]:
+                visited[start] = 1
+                frontier.append(start)
+        reached_flags = bytearray(self.compiled.num_nodes)
+        reached: List[int] = []
+        record = reached.append
+        while frontier:
+            advanced: List[int] = []
+            push = advanced.append
+            for node in frontier:
+                for layer in layers:
+                    if not layer.mask[node]:
+                        continue
+                    offsets = layer.offsets
+                    for nxt in layer._view[offsets[node]:offsets[node + 1]]:
+                        if not reached_flags[nxt]:
+                            reached_flags[nxt] = 1
+                            record(nxt)
+                        if not visited[nxt]:
+                            visited[nxt] = 1
+                            push(nxt)
+            frontier = advanced
+        return reached
+
     def backward_reachable_indices(
         self, targets: Iterable[int], regex: FRegex
     ) -> FrozenSet[int]:

@@ -31,7 +31,7 @@ answering from the matrix the caller built, mutations notwithstanding.)
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
 
 from repro.exceptions import GraphError
 from repro.graph.csr import compiled_snapshot
@@ -42,6 +42,47 @@ from repro.matching.frontiers import forward_sweep
 from repro.regex.fclass import WILDCARD, FRegex, RegexAtom
 
 NodeId = Hashable
+
+
+def regex_admits_color(regex: FRegex, color: str) -> bool:
+    """True when a data edge of ``color`` can appear on a path matching ``regex``.
+
+    This is the colour-relevance test of the incremental maintainer: an edge
+    update of a colour no expression admits (no atom names it and none is the
+    wildcard) cannot change any regex-constrained reachability answer.
+    """
+    return regex.has_wildcard or color in regex.colors
+
+
+def pattern_relevant_colors(pattern) -> Optional[frozenset]:
+    """Colours that can influence a pattern query's answer.
+
+    ``None`` means *all* colours (some edge constraint uses the wildcard);
+    otherwise the union of the concrete colours mentioned by the edge
+    constraints.  Updates of any other colour are no-ops for the query.
+    """
+    colors: Set[str] = set()
+    for edge in pattern.edges():
+        if edge.regex.has_wildcard:
+            return None
+        colors |= set(edge.regex.colors)
+    return frozenset(colors)
+
+
+def dirty_targets_for_colors(pattern, colors: Iterable[str]) -> Set[str]:
+    """Pattern nodes whose in-edge constraints can traverse any of ``colors``.
+
+    These are the seeds of the dirty-queue refinement after edge updates of
+    those colours: the constraint of a pattern edge ``(s, t)`` checks
+    backward reachability *into* ``mat(t)``, so a data-edge change of an
+    admitted colour means the in-edges of ``t`` must be re-checked.
+    """
+    color_list = list(colors)
+    return {
+        edge.target
+        for edge in pattern.edges()
+        if any(regex_admits_color(edge.regex, color) for color in color_list)
+    }
 
 
 def resolve_pq_matcher(
@@ -334,6 +375,61 @@ class PathMatcher:
                     result.add(node)
                     break
         return result
+
+    def backward_closure(
+        self, starts: Iterable[NodeId], colors: Optional[Iterable[str]] = None
+    ) -> Set[NodeId]:
+        """``starts`` plus every node with a directed path into one of them.
+
+        Unbounded, and colour-agnostic unless ``colors`` restricts the
+        traversable edges.  This is the *affected area* of the incremental
+        maintainer's insertion delta: any node a new edge ``(u, v, c)`` can
+        newly admit into some candidate set must reach ``u`` through edges
+        of colours some constraint admits (the path prefix before the first
+        use of the new edge), so re-admission candidates are confined to the
+        closure of ``u`` over the query's relevant colours.  On the CSR
+        engine it runs as one multi-source reverse BFS over the relevant
+        reverse layers (which survive snapshot recompiles of other colours);
+        in dict/matrix mode it walks the reverse adjacency dicts directly
+        (never the distance matrix — the closure must reflect the *current*
+        topology).
+        """
+        start_set = {node for node in starts if self.graph.has_node(node)}
+        if not start_set:
+            return set()
+        color_list = None if colors is None else list(colors)
+        if self.engine == "csr":
+            engine = self._csr_engine
+            compiled = engine.compiled
+            node_index = compiled.node_index
+            color_ids = None
+            if color_list is not None:
+                color_ids = [
+                    color_id
+                    for color_id in (compiled.color_id(color) for color in color_list)
+                    if color_id is not None
+                ]
+            indices = engine.backward_closure_indices(
+                [node_index(node) for node in start_set], color_ids
+            )
+            ids = compiled.ids
+            return start_set | {ids[j] for j in indices}
+        closure = set(start_set)
+        queue = deque(start_set)
+        predecessors = self.graph.predecessors
+        while queue:
+            current = queue.popleft()
+            if color_list is None:
+                incoming = predecessors(current)
+            else:
+                incoming = set()
+                for color in color_list:
+                    incoming |= predecessors(current, color)
+            for prev in incoming:
+                if prev not in closure:
+                    closure.add(prev)
+                    queue.append(prev)
+        return closure
 
     def backward_reachable(self, targets: Set[NodeId], regex: FRegex) -> Set[NodeId]:
         """All nodes with a path into ``targets`` matching the full expression.

@@ -1,0 +1,92 @@
+"""Dirty-queue refinement fixpoint shared by the PQ evaluators.
+
+Every simulation-flavoured evaluator in this package converges on the same
+shape of computation: per pattern edge ``(s, t)`` the candidate set of ``s``
+must stay inside the set of nodes that can satisfy the edge constraint
+against the candidate set of ``t``, and candidates are removed until nothing
+changes.  The classic formulation sweeps *all* pattern edges until a sweep
+removes nothing; this module provides the worklist formulation instead:
+
+* the constraint of edge ``(s, t)`` can only become violated when ``mat(t)``
+  shrinks (fewer witnesses) or ``mat(s)`` grows (new members are unchecked);
+* so it suffices to keep a queue of pattern nodes whose candidate set
+  changed, and to re-check only the *in-edges* of queued nodes.
+
+Seeding the queue with every pattern node reproduces the full fixpoint
+(:func:`refine_fixpoint` with ``dirty=None``); seeding it with just the
+pattern nodes a graph update can affect is what the incremental maintainer's
+delta path rides on (:mod:`repro.matching.incremental`).
+
+The helper is generic over how survivors are computed: the regex-constrained
+evaluators pass :meth:`~repro.matching.paths.PathMatcher.backward_reachable`,
+graph simulation passes its single-edge successor test.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, Iterable, Optional, Sequence, Set, Tuple, TypeVar
+
+NodeId = Hashable
+Payload = TypeVar("Payload")
+
+#: One pattern edge handed to the fixpoint: (source node, target node, payload).
+#: The payload is whatever the survivor function needs (usually the edge regex).
+RefinementEdge = Tuple[str, str, Payload]
+
+
+def refine_fixpoint(
+    edges: Sequence[RefinementEdge],
+    candidates: Dict[str, Set[NodeId]],
+    survivors: Callable[[Payload, Set[NodeId]], Set[NodeId]],
+    dirty: Optional[Iterable[str]] = None,
+) -> bool:
+    """Run the refinement fixpoint in place; ``False`` when some set empties.
+
+    Parameters
+    ----------
+    edges:
+        The pattern edges as ``(source, target, payload)`` triples.
+    candidates:
+        Mutable candidate sets per pattern node; shrunk in place.
+    survivors:
+        ``survivors(payload, target_set)`` returns the nodes that can satisfy
+        the edge constraint against ``target_set``; the source set is
+        intersected with it.  Must depend only on the payload and the target
+        set (the standard backward-reachability check).
+    dirty:
+        Pattern nodes whose candidate set changed since the constraints were
+        last known to hold — only their in-edges are re-checked initially
+        (removals propagate from there).  ``None`` re-checks everything,
+        which is the classic full fixpoint.
+
+    Any pattern node missing from ``candidates`` (no incident edges handed
+    in, e.g. an isolated node) is simply never touched.
+    """
+    in_edges: Dict[str, list] = {}
+    for source, target, payload in edges:
+        in_edges.setdefault(target, []).append((source, payload))
+
+    if dirty is None:
+        queue = deque(in_edges)
+    else:
+        queue = deque(node for node in dirty if node in in_edges)
+    queued = set(queue)
+
+    while queue:
+        node = queue.popleft()
+        queued.discard(node)
+        target_set = candidates[node]
+        for source, payload in in_edges[node]:
+            source_set = candidates[source]
+            keep = survivors(payload, target_set)
+            removable = source_set - keep
+            if not removable:
+                continue
+            source_set -= removable
+            if not source_set:
+                return False
+            if source in in_edges and source not in queued:
+                queue.append(source)
+                queued.add(source)
+    return True

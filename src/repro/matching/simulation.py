@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Set
 
 from repro.graph.data_graph import DataGraph
+from repro.matching.refinement import refine_fixpoint
 from repro.query.pq import PatternQuery
 from repro.regex.fclass import FRegex
 
@@ -65,33 +66,23 @@ def graph_simulation(
         if not sim[node]:
             return {}
 
-    changed = True
-    while changed:
-        changed = False
-        for edge in pattern.edges():
-            source_candidates = sim[edge.source]
-            target_candidates = sim[edge.target]
-            removable = set()
-            for candidate in source_candidates:
-                if not _has_successor(graph, candidate, target_candidates, edge.regex):
-                    removable.add(candidate)
-            if removable:
-                source_candidates -= removable
-                changed = True
-                if not source_candidates:
-                    return {}
-    return sim
+    # Single-edge backward step: every node with an admitted edge into the
+    # target set survives.  The fixpoint itself is the shared dirty-queue
+    # worklist (re-check only the in-edges of changed pattern nodes).
+    def survivors(regex: FRegex, targets: Set[NodeId]) -> Set[NodeId]:
+        keep: Set[NodeId] = set()
+        for target in targets:
+            for color in graph.predecessor_colors(target):
+                if _edge_color_admitted(regex, color):
+                    keep |= graph.predecessors(target, color)
+        return keep
 
-
-def _has_successor(
-    graph: DataGraph, candidate: NodeId, targets: Set[NodeId], regex: FRegex
-) -> bool:
-    for color in graph.successor_colors(candidate):
-        if not _edge_color_admitted(regex, color):
-            continue
-        if graph.successors(candidate, color) & targets:
-            return True
-    return False
+    survived = refine_fixpoint(
+        [(edge.source, edge.target, edge.regex) for edge in pattern.edges()],
+        sim,
+        survivors,
+    )
+    return sim if survived else {}
 
 
 def _csr_simulation(pattern: PatternQuery, graph: DataGraph) -> Dict[str, Set[NodeId]]:
@@ -99,50 +90,39 @@ def _csr_simulation(pattern: PatternQuery, graph: DataGraph) -> Dict[str, Set[No
     from repro.graph.csr import compiled_snapshot
 
     compiled = compiled_snapshot(graph)
-    num_nodes = compiled.num_nodes
     sim: Dict[str, Set[int]] = {}
     for node in pattern.nodes():
         sim[node] = set(compiled.matching_indices(pattern.predicate(node)))
         if not sim[node]:
             return {}
 
-    # Pre-resolve, per pattern edge, the colour layers one data edge of which
-    # can satisfy the constraint (empty for multi-atom expressions).
+    # Pre-resolve, per pattern edge, the *reverse* colour layers one data
+    # edge of which can satisfy the constraint (empty for multi-atom
+    # expressions); the single-edge backward step then walks reverse CSR
+    # rows of the target set, and the fixpoint is the shared dirty-queue
+    # worklist over pattern nodes.
     edges = []
     for edge in pattern.edges():
         layers = [
-            compiled.layer(k)
+            compiled.layer(k, reverse=True)
             for k, color in enumerate(compiled.colors)
             if _edge_color_admitted(edge.regex, color)
         ]
         edges.append((edge.source, edge.target, layers))
 
-    changed = True
-    while changed:
-        changed = False
-        for source_node, target_node, layers in edges:
-            source_candidates = sim[source_node]
-            target_flags = bytearray(num_nodes)
-            for index in sim[target_node]:
-                target_flags[index] = 1
-            removable = set()
-            for candidate in source_candidates:
-                for layer in layers:
-                    if not layer.mask[candidate]:
-                        continue
-                    offsets = layer.offsets
-                    if any(
-                        target_flags[nxt]
-                        for nxt in layer._view[offsets[candidate]:offsets[candidate + 1]]
-                    ):
-                        break
-                else:
-                    removable.add(candidate)
-            if removable:
-                source_candidates -= removable
-                changed = True
-                if not source_candidates:
-                    return {}
+    def survivors(layers, targets: Set[int]) -> Set[int]:
+        keep: Set[int] = set()
+        for layer in layers:
+            offsets = layer.offsets
+            view = layer._view
+            mask = layer.mask
+            for index in targets:
+                if mask[index]:
+                    keep.update(view[offsets[index]:offsets[index + 1]])
+        return keep
+
+    if not refine_fixpoint(edges, sim, survivors):
+        return {}
 
     ids = compiled.ids
     return {node: {ids[j] for j in indices} for node, indices in sim.items()}

@@ -36,6 +36,38 @@ class TestCiWorkflow:
         assert "ruff check" in commands
         assert "pytest -x -q" in commands
 
+    def test_quick_job_deselects_slow_suites(self, workflow):
+        job = workflow["jobs"]["test"]
+        quick = [
+            step
+            for step in job["steps"]
+            if "not slow" in step.get("run", "")
+        ]
+        assert quick, "non-primary matrix versions must deselect -m slow suites"
+        # The quick run must be the NON-primary legs — the primary one runs
+        # the full suite under coverage.
+        assert all(
+            "python-version != '3.12'" in step.get("if", "") for step in quick
+        )
+
+    def test_coverage_floor_and_artifact(self, workflow):
+        job = workflow["jobs"]["test"]
+        commands = "\n".join(step.get("run", "") for step in job["steps"])
+        assert "--cov=repro" in commands
+        assert "--cov-report=xml" in commands
+        # The floor is a concrete percentage (measured baseline minus 1%).
+        import re
+
+        floors = re.findall(r"--cov-fail-under=(\d+)", commands)
+        assert floors and all(50 <= int(value) <= 100 for value in floors)
+        uploads = [
+            step
+            for step in job["steps"]
+            if "upload-artifact" in step.get("uses", "")
+        ]
+        assert uploads and uploads[0]["with"]["path"] == "coverage.xml"
+        assert "3.12" in uploads[0]["if"]
+
     def test_benchmark_job_emits_artifact(self, workflow):
         job = workflow["jobs"]["benchmark-smoke"]
         commands = "\n".join(step.get("run", "") for step in job["steps"])

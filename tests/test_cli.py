@@ -116,3 +116,15 @@ class TestExperimentCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "nonsense"])
+
+    def test_exp6_registered_and_engine_aware(self):
+        # exp6 is a valid subcommand choice and accepts --engine.
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "exp6", "--engine", "csr"])
+        assert args.name == "exp6"
+        assert args.engine == "csr"
+
+    def test_engine_flag_rejected_for_non_engine_experiments(self, capsys):
+        code = main(["experiment", "exp2", "--engine", "csr"])
+        assert code == 2
+        assert "does not compare engines" in capsys.readouterr().err

@@ -318,6 +318,7 @@ def graph_and_query(draw):
     return graph, query
 
 
+@pytest.mark.slow
 @settings(max_examples=60, deadline=None)
 @given(graph_and_query())
 def test_property_dict_csr_parity(case):
@@ -329,6 +330,7 @@ def test_property_dict_csr_parity(case):
     assert dict_bi == dict_bfs == csr_bi == csr_bfs
 
 
+@pytest.mark.slow
 @settings(max_examples=25, deadline=None)
 @given(graph_and_query())
 def test_property_snapshot_round_trip(case):

@@ -1,0 +1,56 @@
+"""Smoke tests for the example scripts.
+
+The scripts under ``examples/`` are the library's front door and have drifted
+from the API before without anything noticing.  Each one is executed
+**in-process** (``runpy``, as ``__main__``) and its stdout asserted to
+contain the markers of a successful, *non-empty* run — including the
+``True`` verdicts of the scripts that check their answers against the
+paper's printed tables.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> substrings its stdout must contain on a healthy run.
+EXPECTED_OUTPUT = {
+    "quickstart.py": (
+        "Reachability query",
+        "SplitMatch agrees: True",
+        "minimized size 4",
+    ),
+    "essembly_social_network.py": (
+        "matches the paper's Fig. 2: True",
+        "matches the paper's Example 2.3 table: True",
+    ),
+    "terrorism_collaboration.py": (
+        "organisations reach Hamas",
+        "Matches per pattern node:",
+    ),
+    "video_recommendations.py": (
+        "edge matches; per pattern node:",
+        "SplitMatch agrees with JoinMatch: True",
+    ),
+}
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT), (
+        "examples/ changed; update EXPECTED_OUTPUT in tests/test_examples.py"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs_with_nonempty_results(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} printed nothing"
+    for marker in EXPECTED_OUTPUT[script]:
+        assert marker in out, f"{script}: missing {marker!r} in output"
+    # No example may take the "no match on this instance" fallback branch:
+    # the bundled graphs are seeded so the full patterns always match.
+    assert "no match" not in out.lower()

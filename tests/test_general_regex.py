@@ -118,6 +118,7 @@ atom_strategy = st.builds(
 )
 
 
+@pytest.mark.slow
 @given(
     atoms=st.lists(atom_strategy, min_size=1, max_size=3),
     word=st.lists(color_strategy, min_size=0, max_size=6),

@@ -1,0 +1,152 @@
+"""Stateful differential harness for the incremental maintainer.
+
+A hypothesis :class:`~hypothesis.stateful.RuleBasedStateMachine` drives one
+:class:`~repro.matching.incremental.IncrementalPatternMatcher` per engine
+(``dict`` and ``csr``) through random interleavings of single-edge updates,
+coalesced batches and forced recomputations, and asserts after **every** rule
+that each maintainer's cached answer is exactly what a fresh from-scratch
+evaluation of its current graph produces — the contract the delta
+optimisation must never silently break.
+
+The update universe deliberately includes node ids that do not exist yet
+(insertions create nodes), duplicate insertions and deletions of absent
+edges (both counted no-ops), and irrelevant colours, so every guard of the
+maintenance surface is exercised.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.graph.data_graph import DataGraph
+from repro.matching.incremental import IncrementalPatternMatcher
+from repro.matching.join_match import join_match
+from repro.query.pq import PatternQuery
+from repro.regex.fclass import FRegex, RegexAtom
+
+pytestmark = pytest.mark.slow
+
+_COLORS = ("r", "g", "b")
+#: Update endpoints; ids at 8+ never exist initially, so inserting an edge on
+#: them exercises the node-creation path of the maintainer.
+_NODE_POOL = tuple(range(10))
+
+_node = st.sampled_from(_NODE_POOL)
+_color = st.sampled_from(_COLORS)
+_update = st.tuples(st.sampled_from(("add", "remove")), _node, _node, _color)
+
+
+@st.composite
+def _graph_and_pattern(draw):
+    """A small random data graph plus a random pattern query over it."""
+    num_nodes = draw(st.integers(min_value=1, max_value=8))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+                st.sampled_from(_COLORS),
+            ),
+            max_size=20,
+        )
+    )
+    graph = DataGraph(name="stateful")
+    attributes = draw(st.lists(st.integers(0, 2), min_size=num_nodes, max_size=num_nodes))
+    for node in range(num_nodes):
+        graph.add_node(node, tag=attributes[node])
+    for source, target, color in edges:
+        graph.add_edge(source, target, color)
+
+    num_pattern_nodes = draw(st.integers(min_value=1, max_value=3))
+    predicates = draw(
+        st.lists(
+            st.one_of(st.none(), st.integers(0, 2)),
+            min_size=num_pattern_nodes,
+            max_size=num_pattern_nodes,
+        )
+    )
+    pattern = PatternQuery(name="stateful")
+    for node, tag in enumerate(predicates):
+        pattern.add_node(f"u{node}", None if tag is None else {"tag": tag})
+    atom = st.tuples(
+        st.sampled_from(_COLORS + ("_",)), st.one_of(st.none(), st.integers(1, 2))
+    )
+    raw_edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_pattern_nodes - 1),
+                st.integers(0, num_pattern_nodes - 1),
+                st.lists(atom, min_size=1, max_size=2),
+            ),
+            max_size=4,
+        )
+    )
+    seen = set()
+    for source, target, atoms in raw_edges:
+        if (source, target) in seen:
+            continue
+        seen.add((source, target))
+        pattern.add_edge(
+            f"u{source}", f"u{target}", FRegex([RegexAtom(c, b) for c, b in atoms])
+        )
+    return graph, pattern
+
+
+class IncrementalDifferentialMachine(RuleBasedStateMachine):
+    """Interleaves updates and checks both engines against from-scratch."""
+
+    def __init__(self):
+        super().__init__()
+        self.maintainers = None
+
+    @initialize(case=_graph_and_pattern())
+    def setup(self, case):
+        graph, pattern = case
+        self.pattern = pattern
+        self.maintainers = {
+            "dict": IncrementalPatternMatcher(pattern, graph.copy(), engine="dict"),
+            "csr": IncrementalPatternMatcher(pattern, graph.copy(), engine="csr"),
+        }
+
+    # NB: the endpoint parameters are called head/tail because ``target`` is
+    # a reserved keyword of hypothesis' @rule (Bundle targets).
+    @rule(head=_node, tail=_node, color=_color)
+    def add_edge(self, head, tail, color):
+        for maintainer in self.maintainers.values():
+            maintainer.add_edge(head, tail, color)
+
+    @rule(head=_node, tail=_node, color=_color)
+    def remove_edge(self, head, tail, color):
+        # Removing an absent edge must be a counted no-op, so no guard here.
+        for maintainer in self.maintainers.values():
+            maintainer.remove_edge(head, tail, color)
+
+    @rule(stream=st.lists(_update, min_size=1, max_size=6))
+    def apply_batch(self, stream):
+        for maintainer in self.maintainers.values():
+            maintainer.apply_updates(list(stream))
+
+    @rule()
+    def recompute(self):
+        for maintainer in self.maintainers.values():
+            maintainer.recompute()
+
+    @invariant()
+    def matches_from_scratch(self):
+        if not self.maintainers:
+            return
+        graphs = [m.graph for m in self.maintainers.values()]
+        assert {str(e) for e in graphs[0].edges()} == {str(e) for e in graphs[1].edges()}
+        for engine, maintainer in self.maintainers.items():
+            fresh = join_match(self.pattern, maintainer.graph, engine=engine)
+            assert maintainer.result.same_matches(fresh), engine
+            if not fresh.is_empty:
+                assert maintainer.result.node_matches == fresh.node_matches, engine
+
+
+IncrementalDifferentialMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=10, deadline=None
+)
+
+TestIncrementalDifferential = IncrementalDifferentialMachine.TestCase

@@ -14,6 +14,7 @@ The central invariants:
   removes only provably-invalid ones).
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph.data_graph import DataGraph
@@ -24,6 +25,9 @@ from repro.matching.paths import PathMatcher
 from repro.matching.split_match import split_match
 from repro.query.pq import PatternQuery
 from repro.regex.fclass import FRegex, RegexAtom
+
+# Heavy hypothesis suite: deselect with -m "not slow" for a quick run.
+pytestmark = pytest.mark.slow
 
 COLORS = ["r", "s"]
 KINDS = ["p", "q"]

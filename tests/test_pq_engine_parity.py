@@ -90,6 +90,7 @@ def graph_and_pattern(draw):
     return graph, pattern
 
 
+@pytest.mark.slow
 @settings(max_examples=50, deadline=None)
 @given(graph_and_pattern())
 def test_property_join_split_parity(case):
@@ -102,6 +103,7 @@ def test_property_join_split_parity(case):
             assert result.engine == engine
 
 
+@pytest.mark.slow
 @settings(max_examples=30, deadline=None)
 @given(graph_and_pattern())
 def test_property_bounded_simulation_parity(case):
@@ -111,6 +113,7 @@ def test_property_bounded_simulation_parity(case):
     assert csr_result.same_matches(dict_result)
 
 
+@pytest.mark.slow
 @settings(max_examples=30, deadline=None)
 @given(graph_and_pattern())
 def test_property_graph_simulation_parity(case):
@@ -138,6 +141,7 @@ def graph_pattern_and_updates(draw):
     return graph, pattern, updates
 
 
+@pytest.mark.slow
 @settings(max_examples=30, deadline=None)
 @given(graph_pattern_and_updates())
 def test_property_incremental_updates_match_from_scratch(case):

@@ -1,8 +1,12 @@
 """Property-based tests for predicate implication and satisfaction."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.query.predicates import AtomicCondition, Predicate
+
+# Heavy hypothesis suite: deselect with -m "not slow" for a quick run.
+pytestmark = pytest.mark.slow
 
 ATTRIBUTES = ["x", "y"]
 OPERATORS = ["<", "<=", "=", "!=", ">", ">="]

@@ -1,10 +1,14 @@
 """Property-based tests (hypothesis) for the F-class regex engine."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.regex.containment import language_contains, syntactic_contains
 from repro.regex.fclass import WILDCARD, FRegex, RegexAtom, concat
 from repro.regex.nfa import build_nfa, nfa_language_contains
+
+# Heavy hypothesis suite: deselect with -m "not slow" for a quick run.
+pytestmark = pytest.mark.slow
 
 COLORS = ["a", "b", "c"]
 

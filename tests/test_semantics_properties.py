@@ -62,6 +62,7 @@ rq_strategy = st.builds(
 )
 
 
+@pytest.mark.slow
 @given(first=rq_strategy, second=rq_strategy)
 @settings(max_examples=40, deadline=None)
 def test_rq_containment_sound_wrt_evaluation(graphs, first, second):

@@ -4,9 +4,12 @@ Run with::
 
     python examples/quickstart.py
 
-The example builds a toy research-collaboration graph, then shows
+The example builds a toy research-collaboration graph, opens a
+:class:`~repro.GraphSession` on it, then shows
 
-1. a reachability query (RQ) with a regex edge constraint,
+1. a reachability query (RQ) with a regex edge constraint, prepared and
+   executed through the session (the cost-based planner explains its
+   choice of algorithm and engine),
 2. a graph pattern query (PQ) evaluated with JoinMatch and SplitMatch,
 3. static analyses: containment and minimization.
 """
@@ -15,14 +18,11 @@ from __future__ import annotations
 
 from repro import (
     DataGraph,
+    GraphSession,
     PatternQuery,
     ReachabilityQuery,
-    build_distance_matrix,
-    evaluate_rq,
-    join_match,
     minimize_pattern_query,
     pq_contained_in,
-    split_match,
 )
 
 
@@ -60,7 +60,7 @@ def build_graph() -> DataGraph:
     return graph
 
 
-def reachability_example(graph: DataGraph) -> None:
+def reachability_example(session: GraphSession) -> None:
     """Which professors reach a database student via at most two advice hops?"""
     query = ReachabilityQuery(
         source_predicate={"role": "professor"},
@@ -69,15 +69,16 @@ def reachability_example(graph: DataGraph) -> None:
         source="Prof",
         target="Student",
     )
-    matrix = build_distance_matrix(graph)
-    result = evaluate_rq(query, graph, distance_matrix=matrix)
+    prepared = session.prepare(query)
+    print(prepared.explain())
+    result = prepared.execute()
     print("Reachability query", query)
-    for source, target in sorted(result.pairs):
+    for source, target in sorted(result.answer.pairs):
         print(f"  {source} -> {target}")
     print()
 
 
-def pattern_example(graph: DataGraph) -> PatternQuery:
+def pattern_example(session: GraphSession) -> PatternQuery:
     """Find advisor chains whose student cites back into the group."""
     pattern = PatternQuery(name="advice-loop")
     pattern.add_node("P", {"role": "professor"})
@@ -85,9 +86,8 @@ def pattern_example(graph: DataGraph) -> PatternQuery:
     pattern.add_edge("P", "S", "advises^2")   # P advises S, possibly indirectly
     pattern.add_edge("S", "P", "cites^+")     # S cites back to P (any number of hops)
 
-    matrix = build_distance_matrix(graph)
-    join_result = join_match(pattern, graph, distance_matrix=matrix)
-    split_result = split_match(pattern, graph, distance_matrix=matrix)
+    join_result = session.prepare(pattern, algorithm="join").execute().answer
+    split_result = session.prepare(pattern, algorithm="split").execute().answer
     print("Pattern query matches (JoinMatch):")
     for edge, pairs in sorted(join_result.edge_matches.items()):
         print(f"  edge {edge}: {sorted(pairs)}")
@@ -120,8 +120,12 @@ def analysis_example(pattern: PatternQuery) -> None:
 def main() -> None:
     graph = build_graph()
     print(graph, "\n")
-    reachability_example(graph)
-    pattern = pattern_example(graph)
+    # One session owns the graph, the distance matrix and all warm matcher
+    # state; every query below runs as a prepared query on it.
+    session = GraphSession(graph)
+    session.build_matrix()
+    reachability_example(session)
+    pattern = pattern_example(session)
     analysis_example(pattern)
 
 

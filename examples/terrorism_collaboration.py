@@ -14,7 +14,7 @@ organisations from the paper's figure.
 
 from __future__ import annotations
 
-from repro import PatternQuery, ReachabilityQuery, build_distance_matrix, evaluate_rq, join_match
+from repro import GraphSession, PatternQuery, ReachabilityQuery
 from repro.datasets.terrorism import generate_terrorism_graph
 
 
@@ -36,7 +36,8 @@ def build_pattern() -> PatternQuery:
 
 def main() -> None:
     graph = generate_terrorism_graph(seed=13)
-    matrix = build_distance_matrix(graph)
+    session = GraphSession(graph)
+    session.build_matrix()
     print(graph, "\n")
 
     # A reachability query first: who reaches Hamas via international links?
@@ -47,13 +48,15 @@ def main() -> None:
         source="TO",
         target="Hamas",
     )
-    reach_result = evaluate_rq(reach, graph, distance_matrix=matrix)
+    prepared = session.prepare(reach)
+    print(prepared.explain())
+    reach_result = prepared.execute().answer
     print(f"{len(reach_result.sources())} bombing-focused organisations reach Hamas "
           f"via international collaboration chains.\n")
 
     pattern = build_pattern()
     print(pattern.describe(), "\n")
-    result = join_match(pattern, graph, distance_matrix=matrix)
+    result = session.prepare(pattern, algorithm="join").execute().answer
     if result.is_empty:
         print("The full pattern has no match on this synthetic instance.")
     else:

@@ -16,12 +16,15 @@ The paper's Exp-1 query Q1 on the YouTube dataset looks for:
 
 The real crawl is not available offline, so the query runs on the synthetic
 YouTube-like graph (same schema and colours); the point of the example is the
-query formulation and the use of the evaluation API on a non-trivial graph.
+query formulation and the session API on a non-trivial graph: the pattern is
+prepared once, executed, and then *watched* — a stream of new recommendation
+edges flows through ``session.apply_updates`` and the answer is maintained
+incrementally instead of being recomputed.
 """
 
 from __future__ import annotations
 
-from repro import PatternQuery, join_match, split_match
+from repro import GraphSession, PatternQuery
 from repro.datasets.youtube import generate_youtube_graph
 
 
@@ -42,11 +45,14 @@ def build_query() -> PatternQuery:
 
 def main() -> None:
     graph = generate_youtube_graph(num_nodes=1500, num_edges=12000, seed=7)
+    session = GraphSession(graph)
     print(graph)
     query = build_query()
     print(query.describe(), "\n")
 
-    result = join_match(query, graph)
+    prepared = session.prepare(query, algorithm="join")
+    print(prepared.explain(), "\n")
+    result = prepared.execute().answer
     if result.is_empty:
         print("No match for the full pattern on this synthetic instance.")
     else:
@@ -55,8 +61,23 @@ def main() -> None:
             matches = sorted(result.matches_of(node))
             print(f"  {node}: {len(matches)} videos, e.g. {matches[:5]}")
 
-    split_result = split_match(query, graph)
+    split_result = session.prepare(query, algorithm="split").execute().answer
     print("\nSplitMatch agrees with JoinMatch:", result.same_matches(split_result))
+
+    # --- live maintenance: watch the pattern under a recommendation stream ----
+    watch = session.watch(query)
+    before = watch.result.size
+    stream = [
+        ("add", "video3", "video7", "fr"),
+        ("add", "video7", "video11", "sr"),
+        ("remove", "video3", "video7", "fr"),  # cancels the first insert
+        ("add", "video11", "video42", "fr"),
+    ]
+    delta = session.apply_updates(stream)
+    print(
+        f"\nWatched update stream: {delta.net_changes} net changes "
+        f"({delta.coalesced} coalesced away), matches {before} -> {watch.result.size}"
+    )
 
 
 if __name__ == "__main__":

@@ -60,8 +60,16 @@ from repro.matching.general_rq import (
 )
 from repro.regex.general import GeneralRegex
 from repro.metrics.fmeasure import compute_f_measure
+from repro.session.planner import QueryPlan, plan_query
+from repro.session.result import QueryResult
+from repro.session.session import (
+    GraphSession,
+    PreparedQuery,
+    SessionWatch,
+    default_session,
+)
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 __all__ = [
     # exceptions
@@ -115,6 +123,14 @@ __all__ = [
     "GeneralRegex",
     "GeneralReachabilityQuery",
     "evaluate_general_rq",
+    # session facade
+    "GraphSession",
+    "PreparedQuery",
+    "SessionWatch",
+    "QueryResult",
+    "QueryPlan",
+    "plan_query",
+    "default_session",
     # metrics
     "compute_f_measure",
 ]

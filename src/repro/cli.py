@@ -7,9 +7,17 @@ A small CLI for working with data graphs and queries without writing Python:
   — evaluate a reachability query;
 * ``repro generate youtube OUT.json --nodes 1000 --edges 4000`` — write one of
   the synthetic datasets to disk;
+* ``repro plan GRAPH.json --regex "fa^2.fn"`` — show the session planner's
+  decision (algorithm / engine / method / maintenance and the reasons) for a
+  query *without* running it (``--execute`` also runs it);
 * ``repro experiment exp3`` — run one of the paper's experiments and print its
   table (``exp4`` runs all four PQ sweeps of Fig. 11; ``exp6`` runs the
   incremental-maintenance update-stream comparison).
+
+``repro rq --session`` routes evaluation through a
+:class:`~repro.session.session.GraphSession` — the cost-based planner picks
+method and engine from graph statistics (printing its plan first), instead of
+the ``--method``/``--engine`` flags deciding.
 
 Engines
 -------
@@ -93,6 +101,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation engine: adjacency dicts, compiled CSR arrays, or auto",
     )
     rq.add_argument("--limit", type=int, default=20, help="print at most this many pairs")
+    rq.add_argument(
+        "--session",
+        action="store_true",
+        help="evaluate through a GraphSession: the cost-based planner picks "
+        "method/engine (explicit --method/--engine become planner overrides)",
+    )
+
+    plan = commands.add_parser(
+        "plan", help="explain the session planner's decision for a query"
+    )
+    plan.add_argument("graph", help="path to a graph JSON file")
+    plan.add_argument("--source", default="", help="source predicate, e.g. \"job = 'biologist'\"")
+    plan.add_argument("--target", default="", help="target predicate")
+    plan.add_argument("--regex", required=True, help="edge constraint, e.g. fa^2.fn")
+    plan.add_argument(
+        "--general",
+        action="store_true",
+        help="treat --regex as a general regular expression (NFA-product evaluation)",
+    )
+    plan.add_argument(
+        "--engine", default=None, choices=["dict", "csr"], help="force the engine"
+    )
+    plan.add_argument(
+        "--method",
+        default=None,
+        choices=["matrix", "bidirectional", "bfs"],
+        help="force the RQ method (matrix implies --matrix)",
+    )
+    plan.add_argument(
+        "--matrix",
+        action="store_true",
+        help="attach a distance matrix to the session before planning",
+    )
+    plan.add_argument(
+        "--execute",
+        action="store_true",
+        help="also execute the prepared query and print a result summary",
+    )
 
     generate = commands.add_parser("generate", help="generate a synthetic dataset")
     generate.add_argument("dataset", choices=sorted(_GENERATORS))
@@ -130,7 +176,83 @@ def _command_stats(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _print_pairs(pairs, limit: int, out) -> None:
+    total = len(pairs)
+    for index, (source, target) in enumerate(sorted(pairs, key=str)):
+        if index >= limit:
+            print(f"... ({total - limit} more)", file=out)
+            break
+        print(f"  {source} -> {target}", file=out)
+
+
+def _session_error(command: str, error: Exception) -> int:
+    print(f"repro {command}: error: {error}", file=sys.stderr)
+    return 2
+
+
+def _command_rq_session(args: argparse.Namespace, out) -> int:
+    from repro.exceptions import QueryError
+    from repro.session import GraphSession
+
+    graph = load_json(args.graph)
+    query = ReachabilityQuery(args.source, args.target, args.regex)
+    session = GraphSession(graph)
+    if args.method == "matrix":
+        session.build_matrix()
+    try:
+        prepared = session.prepare(
+            query,
+            method=None if args.method == "auto" else args.method,
+            engine=None if args.engine == "auto" else args.engine,
+        )
+    except QueryError as error:
+        # e.g. --method matrix --engine csr: same clean exit as the classic path.
+        return _session_error("rq", error)
+    print(prepared.explain(), file=out)
+    result = prepared.execute()
+    print(
+        f"{result.size} matching pairs (algorithm={result.plan.algorithm}, "
+        f"engine={result.engine}, {result.elapsed_seconds:.4f}s)",
+        file=out,
+    )
+    _print_pairs(result.answer.pairs, args.limit, out)
+    return 0
+
+
+def _command_plan(args: argparse.Namespace, out) -> int:
+    from repro.exceptions import QueryError
+    from repro.session import GraphSession
+
+    if args.method == "matrix":
+        args.matrix = True
+    graph = load_json(args.graph)
+    if args.general:
+        from repro.matching.general_rq import GeneralReachabilityQuery
+
+        query = GeneralReachabilityQuery(args.source, args.target, args.regex)
+    else:
+        query = ReachabilityQuery(args.source, args.target, args.regex)
+    session = GraphSession(graph)
+    if args.matrix:
+        session.build_matrix()
+    try:
+        prepared = session.prepare(query, engine=args.engine, method=args.method)
+    except QueryError as error:
+        return _session_error("plan", error)
+    print(prepared.explain(), file=out)
+    if args.execute:
+        result = prepared.execute()
+        print(
+            f"{result.size} matching pairs (engine={result.engine}, "
+            f"{result.elapsed_seconds:.4f}s)",
+            file=out,
+        )
+    return 0
+
+
 def _command_rq(args: argparse.Namespace, out) -> int:
+    if args.session:
+        return _command_rq_session(args, out)
     if args.method == "matrix" and args.engine == "csr":
         print(
             "repro rq: error: the matrix method runs on the dict engine only "
@@ -150,11 +272,7 @@ def _command_rq(args: argparse.Namespace, out) -> int:
     )
     print(f"{result.size} matching pairs (method={result.method}, engine={result.engine}, "
           f"{result.elapsed_seconds:.4f}s)", file=out)
-    for index, (source, target) in enumerate(sorted(result.pairs, key=str)):
-        if index >= args.limit:
-            print(f"... ({result.size - args.limit} more)", file=out)
-            break
-        print(f"  {source} -> {target}", file=out)
+    _print_pairs(result.pairs, args.limit, out)
     return 0
 
 
@@ -195,6 +313,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     handlers = {
         "stats": _command_stats,
         "rq": _command_rq,
+        "plan": _command_plan,
         "generate": _command_generate,
         "experiment": _command_experiment,
     }

@@ -24,7 +24,7 @@ from repro.datasets.terrorism import generate_terrorism_graph
 from repro.experiments.harness import (
     ExperimentReport,
     average_seconds,
-    build_search_matchers,
+    build_experiment_session,
     engine_column,
     time_pq_search_variants,
     validate_engines,
@@ -69,7 +69,7 @@ def run_effectiveness(
         graph = generate_terrorism_graph(num_nodes=num_nodes, num_edges=num_edges, seed=seed)
     matrix = build_distance_matrix(graph)
     generator = QueryGenerator(graph, seed=seed)
-    search_matchers = build_search_matchers(graph, engines)
+    session = build_experiment_session(graph, engines)
     report = ExperimentReport(
         name="exp1-effectiveness",
         description="Fig. 9(b)/(c): F-measure and elapsed time vs SubIso and Match "
@@ -100,7 +100,7 @@ def run_effectiveness(
             split_t.append(split_result.elapsed_seconds)
 
             join_times, split_times = time_pq_search_variants(
-                query, graph, search_matchers, truth, split_result
+                query, session, engines, truth, split_result
             )
             for engine in engines:
                 join_search[engine].append(join_times[engine])

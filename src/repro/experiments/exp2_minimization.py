@@ -20,7 +20,7 @@ from repro.datasets.youtube import generate_youtube_graph
 from repro.experiments.harness import ExperimentReport, average_seconds
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import build_distance_matrix
-from repro.matching.join_match import join_match
+from repro.session.session import GraphSession
 from repro.query.generator import QueryGenerator
 from repro.query.minimization import minimize_pattern_query
 from repro.query.pq import PatternQuery
@@ -84,6 +84,9 @@ def run_minimization(
         graph = generate_youtube_graph(num_nodes=num_nodes, num_edges=num_edges, seed=seed)
     matrix = build_distance_matrix(graph)
     generator = QueryGenerator(graph, seed=seed)
+    # One matrix-backed session: both evaluations run as prepared queries
+    # with JoinMatch forced (the paper times JoinMatchM on both shapes).
+    session = GraphSession(graph, distance_matrix=matrix)
     report = ExperimentReport(
         name="exp2-minimization",
         description="Fig. 10(a): JoinMatch time on minimized vs original queries",
@@ -100,8 +103,8 @@ def run_minimization(
             original_sizes.append(query.size)
             minimized_sizes.append(minimized.size)
 
-            original = join_match(query, graph, distance_matrix=matrix)
-            minimized_result = join_match(minimized, graph, distance_matrix=matrix)
+            original = session.prepare(query, algorithm="join").execute().answer
+            minimized_result = session.prepare(minimized, algorithm="join").execute().answer
             original_times.append(original.elapsed_seconds)
             minimized_times.append(minimized_result.elapsed_seconds)
 

@@ -28,12 +28,14 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.datasets.youtube import generate_youtube_graph
-from repro.graph.csr import compiled_snapshot
-from repro.matching.paths import PathMatcher
-from repro.experiments.harness import ExperimentReport, average_seconds, validate_engines
+from repro.experiments.harness import (
+    ExperimentReport,
+    average_seconds,
+    build_experiment_session,
+    validate_engines,
+)
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import build_distance_matrix
-from repro.matching.reachability import evaluate_rq
 from repro.query.generator import QueryGenerator
 from repro.query.rq import ReachabilityQuery
 from repro.regex.fclass import FRegex, RegexAtom
@@ -65,11 +67,11 @@ def run_rq_efficiency(
     matrix = build_distance_matrix(graph)
     generator = QueryGenerator(graph, seed=seed)
     colors = sorted(graph.colors)
-    # Warm, symmetric engine state: one shared matcher for the dict engine,
-    # and the CSR snapshot compiled outside the timed region.
-    search_matcher = PathMatcher(graph)
-    if "csr" in engines:
-        compiled_snapshot(graph)
+    # Warm, symmetric engine state: one session whose per-engine matchers
+    # are shared across all queries, with the CSR snapshot compiled outside
+    # the timed region.  All evaluation runs as prepared queries on it.
+    session = build_experiment_session(graph, engines)
+    session.attach_matrix(matrix)
     report = ExperimentReport(
         name="exp3-rq",
         description="Fig. 10(b): RQ evaluation time — distance matrix vs biBFS vs BFS "
@@ -90,16 +92,11 @@ def run_rq_efficiency(
                 target_predicate=generator.random_predicate(num_predicates),
                 regex=FRegex(atoms),
             )
-            dm = evaluate_rq(query, graph, distance_matrix=matrix, method="matrix")
+            dm = session.prepare(query, method="matrix").execute().answer
             dm_times.append(dm.elapsed_seconds)
             sizes.append(dm.size)
             for (method, engine), samples in search_times.items():
-                if engine == "dict":
-                    result = evaluate_rq(
-                        query, graph, method=method, engine="dict", matcher=search_matcher
-                    )
-                else:
-                    result = evaluate_rq(query, graph, method=method, engine="csr")
+                result = session.prepare(query, method=method, engine=engine).execute().answer
                 samples.append(result.elapsed_seconds)
                 if result.pairs != dm.pairs:
                     raise AssertionError(

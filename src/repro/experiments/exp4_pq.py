@@ -36,7 +36,7 @@ from repro.datasets.youtube import generate_youtube_graph
 from repro.experiments.harness import (
     ExperimentReport,
     average_seconds,
-    build_search_matchers,
+    build_experiment_session,
     engine_column,
     time_pq_search_variants,
     validate_engines,
@@ -105,7 +105,7 @@ def run_pq_sweep(
     else:
         matrix_seconds = 0.0
     generator = QueryGenerator(graph, seed=seed)
-    search_matchers = build_search_matchers(graph, engines)
+    session = build_experiment_session(graph, engines)
     report = ExperimentReport(
         name=f"exp4-pq-{parameter}",
         description=f"{FIGURE_OF_SWEEP[parameter]}: PQ time varying {parameter} on {graph.name}"
@@ -132,7 +132,7 @@ def run_pq_sweep(
             split_reference = split_match(query, graph, distance_matrix=matrix)
             split_m.append(split_reference.elapsed_seconds)
             join_times, split_times = time_pq_search_variants(
-                query, graph, search_matchers, join_reference, split_reference
+                query, session, engines, join_reference, split_reference
             )
             for engine in engines:
                 join_c[engine].append(join_times[engine])

@@ -27,6 +27,7 @@ from repro.experiments.harness import ExperimentReport, average_seconds
 from repro.graph.distance import build_distance_matrix
 from repro.matching.join_match import join_match
 from repro.matching.split_match import split_match
+from repro.session.session import GraphSession
 from repro.matching.subgraph_iso import subgraph_isomorphism_match
 from repro.query.generator import QueryGenerator
 
@@ -144,13 +145,14 @@ def run_subiso_comparison(
     for num_nodes, num_edges in graph_sizes:
         graph = generate_synthetic_graph(num_nodes, num_edges, seed=seed)
         generator = QueryGenerator(graph, seed=seed)
+        session = GraphSession(graph)
         split_times, iso_times = [], []
         split_matches, iso_matches = [], []
         for _ in range(queries_per_point):
             query = generator.pattern_query(
                 query_nodes, query_edges, num_predicates, bound, max_colors=1
             )
-            split_result = split_match(query, graph)
+            split_result = session.prepare(query, algorithm="split").execute().answer
             iso_result = subgraph_isomorphism_match(query, graph, max_states=500_000)
             split_times.append(split_result.elapsed_seconds)
             iso_times.append(iso_result.elapsed_seconds)

@@ -32,10 +32,10 @@ from typing import Iterable, List, Sequence, Tuple
 
 from repro.datasets.youtube import generate_youtube_graph
 from repro.experiments.harness import ExperimentReport, engine_column, validate_engines
-from repro.matching.incremental import IncrementalPatternMatcher
 from repro.matching.join_match import join_match
 from repro.matching.paths import pattern_relevant_colors
 from repro.query.generator import QueryGenerator
+from repro.session.session import GraphSession, SessionWatch
 
 #: Stream kinds reported, in row order.
 STREAM_KINDS = ("insert-heavy", "delete-heavy", "mixed", "batch")
@@ -107,26 +107,29 @@ def _build_stream(
     return [], ops
 
 
-def _drive(maintainer: IncrementalPatternMatcher, ops: Iterable[Tuple]) -> float:
-    """Total wall-clock seconds to process ``ops`` one update at a time."""
+def _drive(watch: SessionWatch, ops: Iterable[Tuple]) -> float:
+    """Total wall-clock seconds to process ``ops`` one update at a time.
+
+    Updates flow through the watch's session (one coalesced graph mutation
+    propagated to the watcher), exactly the production path.
+    """
+    session = watch.session
     total = 0.0
-    for op, source, target, color in ops:
+    for op in ops:
         started = time.perf_counter()
-        if op == "add":
-            maintainer.add_edge(source, target, color)
-        else:
-            maintainer.remove_edge(source, target, color)
+        session.apply_updates([op])
         total += time.perf_counter() - started
     return total
 
 
-def _drive_batched(maintainer: IncrementalPatternMatcher, ops: Sequence[Tuple]) -> float:
+def _drive_batched(watch: SessionWatch, ops: Sequence[Tuple]) -> float:
     """Total wall-clock seconds to process ``ops`` in apply_updates chunks."""
+    session = watch.session
     total = 0.0
     for start in range(0, len(ops), BATCH_CHUNK):
         chunk = list(ops[start:start + BATCH_CHUNK])
         started = time.perf_counter()
-        maintainer.apply_updates(chunk)
+        session.apply_updates(chunk)
         total += time.perf_counter() - started
     return total
 
@@ -159,12 +162,17 @@ def run_update_streams(
         for source, target, color in pre_removed:
             base.remove_edge(source, target, color)
 
-        maintainers = {
-            engine: IncrementalPatternMatcher(pattern, base.copy(), engine=engine)
+        # One session per engine, each watching the pattern on its own graph
+        # copy; the recompute baseline is a fourth watch with the strategy
+        # forced (overriding the planner's delta choice).
+        watches = {
+            engine: GraphSession(base.copy(), engine=engine).watch(
+                pattern, strategy="delta"
+            )
             for engine in engines
         }
-        baseline = IncrementalPatternMatcher(
-            pattern, base.copy(), engine="csr", strategy="recompute"
+        baseline = GraphSession(base.copy(), engine="csr").watch(
+            pattern, strategy="recompute"
         )
 
         checkpoints = _parity_checkpoints(len(ops))
@@ -172,11 +180,11 @@ def run_update_streams(
         delta_seconds = {engine: 0.0 for engine in engines}
         for index, op in enumerate(ops):
             baseline_seconds += _drive(baseline, [op])
-            for engine, maintainer in maintainers.items():
+            for engine, watch in watches.items():
                 if kind == "batch":
                     continue  # driven below, chunk-wise
-                delta_seconds[engine] += _drive(maintainer, [op])
-                if index in checkpoints and not maintainer.result.same_matches(
+                delta_seconds[engine] += _drive(watch, [op])
+                if index in checkpoints and not watch.result.same_matches(
                     baseline.result
                 ):
                     raise AssertionError(
@@ -185,9 +193,9 @@ def run_update_streams(
                         "this indicates a bug in the library"
                     )
         if kind == "batch":
-            for engine, maintainer in maintainers.items():
-                delta_seconds[engine] = _drive_batched(maintainer, ops)
-                if not maintainer.result.same_matches(baseline.result):
+            for engine, watch in watches.items():
+                delta_seconds[engine] = _drive_batched(watch, ops)
+                if not watch.result.same_matches(baseline.result):
                     raise AssertionError(
                         f"batched maintenance disagrees with recompute "
                         f"(engine={engine}); this indicates a bug in the library"

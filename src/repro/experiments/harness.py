@@ -44,54 +44,58 @@ def engine_column(prefix: str, engine: str) -> str:
     return f"{prefix}_c" if engine == "dict" else f"{prefix}_{engine}"
 
 
-def build_search_matchers(graph: Any, engines: Iterable[str]) -> Dict[str, Any]:
-    """One reusable ``PathMatcher`` per engine for steady-state timing.
+def build_experiment_session(graph: Any, engines: Iterable[str]) -> Any:
+    """One warm :class:`~repro.session.session.GraphSession` per experiment.
 
-    The exp3 protocol, shared so exp1/exp4 cannot drift from it: matchers are
-    reused across every query of an experiment, and the one-off CSR snapshot
-    compile happens here — outside the caller's timed region.
+    The exp3 protocol, shared so exp1/exp4 cannot drift from it: the
+    session's per-engine matchers are reused across every query of an
+    experiment, and the one-off CSR snapshot compile happens here — outside
+    the caller's timed region.  Experiments run their engine-timed variants
+    as *prepared queries* on this session.
     """
     from repro.graph.csr import compiled_snapshot
-    from repro.matching.paths import PathMatcher
+    from repro.session.session import GraphSession
 
-    matchers = {engine: PathMatcher(graph, engine=engine) for engine in engines}
-    if "csr" in matchers:
+    session = GraphSession(graph)
+    for engine in engines:
+        session.matcher(engine)
+    if "csr" in engines:
         compiled_snapshot(graph)
-    return matchers
+    return session
 
 
 def time_pq_search_variants(
     query: Any,
-    graph: Any,
-    matchers: Dict[str, Any],
+    session: Any,
+    engines: Iterable[str],
     join_reference: Any,
     split_reference: Any,
 ) -> Tuple[Dict[str, float], Dict[str, float]]:
-    """Time JoinMatch/SplitMatch on each engine's warm matcher for one query.
+    """Time JoinMatch/SplitMatch per engine via prepared queries on ``session``.
 
     Shared by the engine-aware PQ experiments (exp1, exp4) so the timing and
-    parity-abort protocol cannot drift between them.  Every engine's match
-    sets are asserted identical to the supplied references; returns
-    ``({engine: join_seconds}, {engine: split_seconds})``.
+    parity-abort protocol cannot drift between them.  Each (algorithm,
+    engine) pair is prepared with forced planner overrides and executed on
+    the session's warm matchers; every answer is asserted identical to the
+    supplied references.  Returns ``({engine: join_seconds}, {engine:
+    split_seconds})`` where the seconds are the underlying evaluation time
+    (the envelope's ``answer.elapsed_seconds``, excluding planner glue).
     """
-    from repro.matching.join_match import join_match
-    from repro.matching.split_match import split_match
-
     join_times: Dict[str, float] = {}
     split_times: Dict[str, float] = {}
-    for engine, matcher in matchers.items():
-        join_result = join_match(query, graph, matcher=matcher)
-        split_result = split_match(query, graph, matcher=matcher)
+    for engine in engines:
+        join_result = session.prepare(query, algorithm="join", engine=engine).execute()
+        split_result = session.prepare(query, algorithm="split", engine=engine).execute()
         if not (
-            join_result.same_matches(join_reference)
-            and split_result.same_matches(split_reference)
+            join_result.answer.same_matches(join_reference)
+            and split_result.answer.same_matches(split_reference)
         ):
             raise AssertionError(
                 f"PQ evaluation disagrees (engine={engine}); "
                 "this indicates a bug in the library"
             )
-        join_times[engine] = join_result.elapsed_seconds
-        split_times[engine] = split_result.elapsed_seconds
+        join_times[engine] = join_result.answer.elapsed_seconds
+        split_times[engine] = split_result.answer.elapsed_seconds
     return join_times, split_times
 
 

@@ -10,10 +10,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Hashable, Iterator, Optional
 
+from repro.session.defaults import DEFAULT_CACHE_CAPACITY
+
 #: Default capacity of the per-query search caches (PathMatcher's BFS memos
-#: and CsrEngine's expansion memo).  Shared so the "default capacity" check
-#: in evaluate_rq and the engines' own defaults can never drift apart.
-DEFAULT_SEARCH_CACHE_CAPACITY = 50000
+#: and CsrEngine's expansion memo).  An alias of
+#: :data:`repro.session.defaults.DEFAULT_CACHE_CAPACITY` — the single source
+#: of truth — kept under its historical name for the matching stack.
+DEFAULT_SEARCH_CACHE_CAPACITY = DEFAULT_CACHE_CAPACITY
 
 #: Capacity of CsrEngine's *set-level* memo (backward chains and per-edge
 #: pair sets).  Both keys and values there are O(|V|)-sized frozensets, so

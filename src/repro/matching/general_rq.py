@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Hashable, List, Set, Tuple, Union
+from typing import Dict, Hashable, Iterator, List, Set, Tuple, Union
 
 from repro.exceptions import EvaluationError
 from repro.graph.csr import compiled_snapshot
@@ -25,6 +25,7 @@ from repro.graph.data_graph import DataGraph
 from repro.query.predicates import Predicate
 from repro.query.rq import PredicateLike, coerce_predicate
 from repro.regex.general import GeneralRegex
+from repro.session.defaults import ENGINES
 
 NodeId = Hashable
 NodePair = Tuple[NodeId, NodeId]
@@ -71,6 +72,38 @@ class GeneralReachabilityResult:
 
     def __contains__(self, pair: NodePair) -> bool:
         return pair in self.pairs
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __bool__(self) -> bool:
+        """True when at least one pair matched."""
+        return bool(self.pairs)
+
+    def __iter__(self) -> Iterator[NodePair]:
+        """Iterate the matching ``(source, target)`` pairs."""
+        return iter(self.pairs)
+
+    def copy(self) -> "GeneralReachabilityResult":
+        """An independent copy (mutating it never affects the original)."""
+        return GeneralReachabilityResult(
+            pairs=set(self.pairs), elapsed_seconds=self.elapsed_seconds
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-container view that :meth:`from_dict` round-trips."""
+        return {
+            "pairs": sorted((list(pair) for pair in self.pairs), key=repr),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GeneralReachabilityResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            pairs={(pair[0], pair[1]) for pair in data.get("pairs", [])},
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )
 
 
 def regex_reachable_from(
@@ -121,8 +154,8 @@ def evaluate_general_rq(
     determinised automaton across all candidate sources and walks CSR arrays.
     Both return identical pair sets.
     """
-    if engine not in ("auto", "dict", "csr"):
-        raise EvaluationError(f"unknown engine {engine!r}; expected 'auto', 'dict' or 'csr'")
+    if engine not in ENGINES:
+        raise EvaluationError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     started = time.perf_counter()
 
     if engine in ("auto", "csr"):

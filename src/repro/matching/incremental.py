@@ -42,10 +42,11 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.data_graph import DataGraph
-from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY
+from repro.session.defaults import DEFAULT_CACHE_CAPACITY, DEFAULT_STRATEGY, STRATEGIES
 from repro.matching.naive import collect_result, initial_candidates
 from repro.matching.paths import (
     PathMatcher,
@@ -147,10 +148,108 @@ def _insertion_backward_frontier(
 _INSERT_OPS = frozenset({"add", "insert", "+"})
 _DELETE_OPS = frozenset({"remove", "delete", "-"})
 
-#: Maintenance strategies: ``"delta"`` grows/refines only the affected area,
-#: ``"recompute"`` re-runs the full fixpoint on every relevant update (the
-#: baseline the delta path is benchmarked against).
-STRATEGIES = ("delta", "recompute")
+
+@dataclass(frozen=True)
+class UpdateDelta:
+    """The net effect of one coalesced update stream on a data graph.
+
+    ``inserted`` / ``deleted`` are the net edge changes (already applied to
+    the graph, *not* filtered by any query's colour relevance — that is
+    per-watcher), ``new_nodes`` the endpoint nodes the stream created,
+    ``skipped`` the duplicate adds / absent removes, and ``coalesced`` the
+    operations cancelled by an opposite operation on the same edge.
+    """
+
+    inserted: Tuple[EdgeTriple, ...] = ()
+    deleted: Tuple[EdgeTriple, ...] = ()
+    new_nodes: Tuple[NodeId, ...] = ()
+    skipped: int = 0
+    coalesced: int = 0
+
+    @property
+    def net_changes(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+
+def coalesce_update_stream(
+    graph: DataGraph, updates: Iterable[Tuple[str, NodeId, NodeId, str]]
+) -> UpdateDelta:
+    """Coalesce an ordered update stream and apply its net effect to ``graph``.
+
+    ``updates`` is an iterable of ``(op, source, target, color)`` with ``op``
+    in ``{"add", "insert", "+"}`` or ``{"remove", "delete", "-"}``.  An
+    add/remove pair over the same edge cancels out (endpoint nodes the
+    insertion would have created are still created, since a sequential
+    removal keeps them); duplicate adds and removals of absent edges are
+    counted no-ops.  The graph ends up exactly as if the operations had been
+    applied one by one.
+
+    This is the stream-level half of
+    :meth:`IncrementalPatternMatcher.apply_updates`, shared with
+    :meth:`~repro.session.session.GraphSession.apply_updates` so a session
+    can mutate its graph once and propagate one delta to every watcher
+    (each watcher then filters by its own colour relevance in
+    :meth:`~IncrementalPatternMatcher.maintain_applied`).
+    """
+    initial_presence: Dict[EdgeTriple, bool] = {}
+    presence: Dict[EdgeTriple, bool] = {}
+    new_nodes: List[NodeId] = []
+    known_nodes: Set[NodeId] = set()
+    effective = 0
+    skipped = 0
+    for op in updates:
+        kind, source, target, color = op
+        key = (source, target, color)
+        if key not in initial_presence:
+            present = graph.has_edge(source, target, color)
+            initial_presence[key] = present
+            presence[key] = present
+        if kind in _INSERT_OPS:
+            if presence[key]:
+                skipped += 1
+                continue
+            presence[key] = True
+            effective += 1
+            for node in (source, target):
+                if node not in known_nodes:
+                    known_nodes.add(node)
+                    if not graph.has_node(node):
+                        # Create the endpoint immediately, exactly as a
+                        # sequential add_edge would — the node outlives
+                        # the edge even when a later removal cancels it.
+                        graph.add_node(node)
+                        new_nodes.append(node)
+        elif kind in _DELETE_OPS:
+            if not presence[key]:
+                skipped += 1
+                continue
+            presence[key] = False
+            effective += 1
+        else:
+            raise ValueError(
+                f"unknown update operation {kind!r}; expected one of "
+                f"{sorted(_INSERT_OPS | _DELETE_OPS)}"
+            )
+
+    inserted: List[EdgeTriple] = []
+    deleted: List[EdgeTriple] = []
+    for key, present in presence.items():
+        if present == initial_presence[key]:
+            continue
+        source, target, color = key
+        if present:
+            graph.add_edge(source, target, color)
+            inserted.append(key)
+        else:
+            graph.remove_edge(source, target, color)
+            deleted.append(key)
+    return UpdateDelta(
+        inserted=tuple(inserted),
+        deleted=tuple(deleted),
+        new_nodes=tuple(new_nodes),
+        skipped=skipped,
+        coalesced=effective - len(inserted) - len(deleted),
+    )
 
 
 class IncrementalPatternMatcher:
@@ -191,8 +290,8 @@ class IncrementalPatternMatcher:
         pattern: PatternQuery,
         graph: DataGraph,
         engine: str = "auto",
-        cache_capacity: Optional[int] = DEFAULT_SEARCH_CACHE_CAPACITY,
-        strategy: str = "delta",
+        cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
+        strategy: str = DEFAULT_STRATEGY,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
@@ -309,73 +408,44 @@ class IncrementalPatternMatcher:
         by one, and the cached answer matches a from-scratch evaluation of
         the final graph.
         """
-        self.batch_updates += 1
-        initial_presence: Dict[EdgeTriple, bool] = {}
-        presence: Dict[EdgeTriple, bool] = {}
-        new_nodes: List[NodeId] = []
-        known_nodes: Set[NodeId] = set()
-        effective = 0
-        for op in updates:
-            kind, source, target, color = op
-            key = (source, target, color)
-            if key not in initial_presence:
-                present = self.graph.has_edge(source, target, color)
-                initial_presence[key] = present
-                presence[key] = present
-            if kind in _INSERT_OPS:
-                if presence[key]:
-                    self.skipped_updates += 1
-                    continue
-                presence[key] = True
-                effective += 1
-                for node in (source, target):
-                    if node not in known_nodes:
-                        known_nodes.add(node)
-                        if not self.graph.has_node(node):
-                            # Create the endpoint immediately, exactly as a
-                            # sequential add_edge would — the node outlives
-                            # the edge even when a later removal cancels it.
-                            self.graph.add_node(node)
-                            new_nodes.append(node)
-            elif kind in _DELETE_OPS:
-                if not presence[key]:
-                    self.skipped_updates += 1
-                    continue
-                presence[key] = False
-                effective += 1
-            else:
-                raise ValueError(
-                    f"unknown update operation {kind!r}; expected one of "
-                    f"{sorted(_INSERT_OPS | _DELETE_OPS)}"
-                )
+        delta = coalesce_update_stream(self.graph, updates)
+        self.skipped_updates += delta.skipped
+        self.coalesced_updates += delta.coalesced
+        return self.maintain_applied(delta.inserted, delta.deleted, delta.new_nodes)
 
-        inserted: List[EdgeTriple] = []
-        deleted: List[EdgeTriple] = []
-        net_changes = 0
-        for key, present in presence.items():
-            if present == initial_presence[key]:
-                continue
-            net_changes += 1
-            source, target, color = key
-            if present:
-                self.graph.add_edge(source, target, color)
-                if self._color_is_relevant(color):
-                    inserted.append(key)
-                else:
-                    self.skipped_updates += 1
-            else:
-                self.graph.remove_edge(source, target, color)
-                if self._color_is_relevant(color):
-                    deleted.append(key)
-                else:
-                    self.skipped_updates += 1
-        self.coalesced_updates += effective - net_changes
-        if not inserted and not deleted and not new_nodes:
+    def maintain_applied(
+        self,
+        inserted: Sequence[EdgeTriple],
+        deleted: Sequence[EdgeTriple],
+        new_nodes: Sequence[NodeId] = (),
+    ) -> PatternMatchResult:
+        """Bring the cached answer up to date for *already-applied* changes.
+
+        ``inserted`` / ``deleted`` are net edge changes the caller has
+        already applied to :attr:`graph` (e.g. the
+        :class:`UpdateDelta` of :func:`coalesce_update_stream`), ``new_nodes``
+        the nodes that were created.  This is the maintenance half of
+        :meth:`apply_updates`, exposed so one graph mutation can be
+        propagated to *several* maintainers watching the same graph
+        (:meth:`repro.session.session.GraphSession.apply_updates`): the first
+        watcher must not re-apply the stream the session already committed.
+
+        Changes of colours the query cannot mention are counted as
+        ``skipped_updates`` and otherwise ignored, exactly as in the
+        one-by-one methods.
+        """
+        self.batch_updates += 1
+        relevant_inserted = [edge for edge in inserted if self._color_is_relevant(edge[2])]
+        relevant_deleted = [edge for edge in deleted if self._color_is_relevant(edge[2])]
+        self.skipped_updates += (len(inserted) - len(relevant_inserted)) + (
+            len(deleted) - len(relevant_deleted)
+        )
+        if not relevant_inserted and not relevant_deleted and not new_nodes:
             return self.result
         if self.strategy == "recompute":
             self._recompute_from_scratch()
             return self.result
-        return self._apply_delta(inserted, deleted, new_nodes)
+        return self._apply_delta(relevant_inserted, relevant_deleted, list(new_nodes))
 
     def recompute(self) -> PatternMatchResult:
         """Force a from-scratch recomputation (mainly for testing)."""

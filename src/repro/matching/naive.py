@@ -17,7 +17,7 @@ from typing import Dict, Hashable, Optional, Set
 from repro.graph.csr import compiled_snapshot
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
-from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY
+from repro.session.defaults import DEFAULT_CACHE_CAPACITY
 from repro.matching.paths import PathMatcher, resolve_pq_matcher
 from repro.matching.result import PatternMatchResult
 from repro.query.pq import PatternQuery
@@ -107,7 +107,7 @@ def naive_match(
     if engine is None:
         engine = "auto" if matcher is not None else "dict"
     matcher = resolve_pq_matcher(
-        graph, distance_matrix, matcher, DEFAULT_SEARCH_CACHE_CAPACITY, engine
+        graph, distance_matrix, matcher, DEFAULT_CACHE_CAPACITY, engine
     )
     candidates = initial_candidates(pattern, graph, matcher=matcher)
     if any(not nodes for nodes in candidates.values()):

@@ -37,9 +37,10 @@ from repro.exceptions import GraphError
 from repro.graph.csr import compiled_snapshot
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
-from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY, LruCache
+from repro.matching.cache import LruCache
 from repro.matching.frontiers import forward_sweep
 from repro.regex.fclass import WILDCARD, FRegex, RegexAtom
+from repro.session.defaults import DEFAULT_CACHE_CAPACITY, ENGINES
 
 NodeId = Hashable
 
@@ -97,7 +98,11 @@ def resolve_pq_matcher(
     A caller-supplied matcher is used as-is — its own engine decides dict vs
     CSR expansion; asking for a *different* engine at the same time raises
     :class:`ValueError` (mirroring ``evaluate_rq``'s refusal to combine
-    ``engine="csr"`` with a matcher).  Otherwise a fresh matcher is built
+    ``engine="csr"`` with a matcher).  A plain search-mode call (no matcher,
+    no matrix, default cache capacity) delegates to the graph's
+    module-level default session (:func:`repro.session.session.default_session`)
+    and shares its warm, version-aware matcher — answers are identical, the
+    caches just stay hot across calls.  Otherwise a private matcher is built
     with the requested engine.
     """
     if matcher is not None:
@@ -107,6 +112,13 @@ def resolve_pq_matcher(
                 f"{matcher.engine!r}; configure the matcher instead"
             )
         return matcher
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if distance_matrix is None and cache_capacity == DEFAULT_CACHE_CAPACITY:
+        from repro.session.session import default_session
+
+        resolved = "csr" if engine in ("auto", "csr") else "dict"
+        return default_session(graph).matcher(resolved)
     return PathMatcher(
         graph,
         distance_matrix=distance_matrix,
@@ -142,11 +154,11 @@ class PathMatcher:
         self,
         graph: DataGraph,
         distance_matrix: Optional[DistanceMatrix] = None,
-        cache_capacity: Optional[int] = DEFAULT_SEARCH_CACHE_CAPACITY,
+        cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
         engine: str = "dict",
     ):
-        if engine not in ("auto", "dict", "csr"):
-            raise ValueError(f"unknown engine {engine!r}; expected 'auto', 'dict' or 'csr'")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         if engine == "csr" and distance_matrix is not None:
             # Mirror evaluate_rq: the matrix is a dict-engine index.
             raise ValueError("engine='csr' cannot be combined with a distance matrix")

@@ -31,28 +31,32 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import EvaluationError
 from repro.graph.csr import compiled_snapshot
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
-from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY
 from repro.matching.frontiers import forward_sweep, meet_in_the_middle
 from repro.matching.paths import PathMatcher
 from repro.query.rq import ReachabilityQuery
+from repro.session.defaults import (
+    DEFAULT_CACHE_CAPACITY,
+    ENGINES,
+    RQ_METHODS as METHODS,
+)
 
 NodeId = Hashable
 NodePair = Tuple[NodeId, NodeId]
 
-#: Recognised evaluation strategies.
-METHODS = ("auto", "matrix", "bidirectional", "bfs")
-
-#: Recognised evaluation engines.
-ENGINES = ("auto", "dict", "csr")
-
-#: Default LRU capacity for per-call search caches (shared with the engines).
-DEFAULT_CACHE_CAPACITY = DEFAULT_SEARCH_CACHE_CAPACITY
+__all__ = [
+    "ReachabilityResult",
+    "evaluate_rq",
+    "reachable_pairs_by_edge",
+    "METHODS",
+    "ENGINES",
+    "DEFAULT_CACHE_CAPACITY",
+]
 
 
 @dataclass
@@ -79,6 +83,46 @@ class ReachabilityResult:
 
     def __len__(self) -> int:
         return len(self.pairs)
+
+    def __bool__(self) -> bool:
+        """True when at least one pair matched."""
+        return bool(self.pairs)
+
+    def __iter__(self) -> Iterator[NodePair]:
+        """Iterate the matching ``(source, target)`` pairs."""
+        return iter(self.pairs)
+
+    def copy(self) -> "ReachabilityResult":
+        """An independent copy (mutating it never affects the original)."""
+        return ReachabilityResult(
+            pairs=set(self.pairs),
+            method=self.method,
+            elapsed_seconds=self.elapsed_seconds,
+            engine=self.engine,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-container view that :meth:`from_dict` round-trips.
+
+        Pairs become ``repr``-sorted two-element lists for deterministic,
+        JSON-able output.
+        """
+        return {
+            "pairs": sorted((list(pair) for pair in self.pairs), key=repr),
+            "method": self.method,
+            "elapsed_seconds": self.elapsed_seconds,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ReachabilityResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            pairs={(pair[0], pair[1]) for pair in data.get("pairs", [])},
+            method=str(data.get("method", "")),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            engine=str(data.get("engine", "dict")),
+        )
 
     def __repr__(self) -> str:
         return f"ReachabilityResult(method={self.method!r}, size={self.size})"
@@ -189,11 +233,20 @@ def evaluate_rq(
         )
 
     if matcher is None:
-        matcher = PathMatcher(
-            graph,
-            distance_matrix=distance_matrix if method == "matrix" else None,
-            cache_capacity=cache_capacity,
-        )
+        if method == "matrix":
+            matcher = PathMatcher(
+                graph, distance_matrix=distance_matrix, cache_capacity=cache_capacity
+            )
+        elif default_cache:
+            # Thin delegation to the graph's module-level default session:
+            # plain search-mode calls share its warm, version-aware dict
+            # matcher instead of rebuilding caches per call.  Answers are
+            # identical (the memos invalidate themselves on mutation).
+            from repro.session.session import default_session
+
+            matcher = default_session(graph).matcher("dict")
+        else:
+            matcher = PathMatcher(graph, cache_capacity=cache_capacity)
 
     sources, targets = _candidate_nodes(graph, query)
     pairs: Set[NodePair] = set()

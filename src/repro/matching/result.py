@@ -9,7 +9,7 @@ convenience accessors used by the experiment harness and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterator, Set, Tuple
 
 NodeId = Hashable
 EdgeKey = Tuple[str, str]
@@ -82,6 +82,71 @@ class PatternMatchResult:
     def empty(cls, algorithm: str = "", engine: str = "dict") -> "PatternMatchResult":
         """The empty result."""
         return cls(edge_matches={}, node_matches={}, algorithm=algorithm, engine=engine)
+
+    # -- ergonomics ------------------------------------------------------------
+    #
+    # Callers used to poke ``result.edge_matches`` / ``result.is_empty``
+    # directly; the dunder protocol plus ``to_dict`` round-trips make the
+    # common cases ("did it match?", "how big?", "serialise it") first-class.
+
+    def __bool__(self) -> bool:
+        """True when the query matched (``Qp(G) ≠ ∅``)."""
+        return not self.is_empty
+
+    def __len__(self) -> int:
+        """The paper's result size ``Σ_e |S_e|`` (same as :attr:`size`)."""
+        return self.size
+
+    def __iter__(self) -> "Iterator[Tuple[EdgeKey, Set[NodePair]]]":
+        """Iterate ``((u1, u2), pairs)`` per pattern edge, insertion-ordered."""
+        return iter(self.edge_matches.items())
+
+    def copy(self) -> "PatternMatchResult":
+        """An independent copy (mutating it never affects the original)."""
+        return PatternMatchResult(
+            edge_matches={edge: set(pairs) for edge, pairs in self.edge_matches.items()},
+            node_matches={node: set(nodes) for node, nodes in self.node_matches.items()},
+            algorithm=self.algorithm,
+            elapsed_seconds=self.elapsed_seconds,
+            engine=self.engine,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-container view that :meth:`from_dict` round-trips.
+
+        Edge keys become ``[source, target, [[v1, v2], …]]`` triples (tuple
+        keys do not survive JSON); pair lists are sorted by ``repr`` for
+        deterministic output.
+        """
+        return {
+            "edge_matches": [
+                [source, target, sorted((list(pair) for pair in pairs), key=repr)]
+                for (source, target), pairs in self.edge_matches.items()
+            ],
+            "node_matches": {
+                node: sorted(nodes, key=repr) for node, nodes in self.node_matches.items()
+            },
+            "algorithm": self.algorithm,
+            "elapsed_seconds": self.elapsed_seconds,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PatternMatchResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            edge_matches={
+                (source, target): {(pair[0], pair[1]) for pair in pairs}
+                for source, target, pairs in data.get("edge_matches", [])
+            },
+            node_matches={
+                node: set(nodes)
+                for node, nodes in dict(data.get("node_matches", {})).items()
+            },
+            algorithm=str(data.get("algorithm", "")),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            engine=str(data.get("engine", "dict")),
+        )
 
     def __repr__(self) -> str:
         return (

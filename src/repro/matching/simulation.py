@@ -20,6 +20,7 @@ from repro.graph.data_graph import DataGraph
 from repro.matching.refinement import refine_fixpoint
 from repro.query.pq import PatternQuery
 from repro.regex.fclass import FRegex
+from repro.session.defaults import ENGINES
 
 NodeId = Hashable
 
@@ -51,8 +52,8 @@ def graph_simulation(
     candidate bitmap instead of hashing node ids; ``"dict"`` keeps the
     original adjacency-dict evaluation.  Answers are identical either way.
     """
-    if engine not in ("auto", "dict", "csr"):
-        raise ValueError(f"unknown engine {engine!r}; expected 'auto', 'dict' or 'csr'")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     if engine in ("auto", "csr"):
         return _csr_simulation(pattern, graph)
     sim: Dict[str, Set[NodeId]] = {}

@@ -22,7 +22,7 @@ from typing import Dict, Hashable, Optional, Set, Tuple
 
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
-from repro.matching.cache import DEFAULT_SEARCH_CACHE_CAPACITY
+from repro.session.defaults import DEFAULT_CACHE_CAPACITY
 from repro.matching.naive import collect_result, initial_candidates
 from repro.matching.paths import PathMatcher, resolve_pq_matcher
 from repro.matching.result import PatternMatchResult
@@ -96,7 +96,7 @@ def split_match(
     distance_matrix: Optional[DistanceMatrix] = None,
     matcher: Optional[PathMatcher] = None,
     normalize: Optional[bool] = None,
-    cache_capacity: Optional[int] = DEFAULT_SEARCH_CACHE_CAPACITY,
+    cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
     engine: str = "auto",
 ) -> PatternMatchResult:
     """Evaluate ``pattern`` on ``graph`` with the SplitMatch algorithm.

@@ -1,0 +1,53 @@
+"""Session facade: one lifecycle for a graph and all of its warm query state.
+
+Public names:
+
+* :class:`~repro.session.session.GraphSession` — owns a
+  :class:`~repro.graph.data_graph.DataGraph` plus compiled CSR snapshots,
+  version-aware path matchers, incremental watchers and predicate-scan
+  memos, behind ``prepare`` / ``execute`` / ``watch`` / ``apply_updates``;
+* :class:`~repro.session.session.PreparedQuery` and
+  :class:`~repro.session.result.QueryResult`;
+* :func:`~repro.session.planner.plan_query` and
+  :class:`~repro.session.planner.QueryPlan` — the cost-based planner;
+* :func:`~repro.session.session.default_session` — the module-level
+  per-graph session the free functions delegate their warm state to;
+* :mod:`~repro.session.defaults` — the shared default constants.
+
+Attribute access is lazy (PEP 562): :mod:`repro.session.defaults` is a leaf
+module imported by the matching stack at import time, so this package must
+not eagerly import :mod:`repro.session.session` (which imports the matching
+stack back) or ``import repro`` would cycle.
+"""
+
+from __future__ import annotations
+
+from repro.session import defaults  # noqa: F401  (leaf module, safe to expose eagerly)
+
+_LAZY = {
+    "GraphSession": ("repro.session.session", "GraphSession"),
+    "PreparedQuery": ("repro.session.session", "PreparedQuery"),
+    "SessionWatch": ("repro.session.session", "SessionWatch"),
+    "default_session": ("repro.session.session", "default_session"),
+    "QueryResult": ("repro.session.result", "QueryResult"),
+    "QueryPlan": ("repro.session.planner", "QueryPlan"),
+    "plan_query": ("repro.session.planner", "plan_query"),
+}
+
+__all__ = ["defaults", *_LAZY]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(__all__)

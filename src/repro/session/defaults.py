@@ -1,0 +1,80 @@
+"""Shared evaluation defaults and thresholds — the single source of truth.
+
+Before the session API existed, every evaluation entry point re-declared its
+own ``engine=`` / ``method=`` / ``strategy=`` / ``cache_capacity=`` defaults,
+and they drifted (PR 2 fixed one such drift where ``join_match`` and
+``split_match`` had re-hardcoded the LRU capacity).  This module centralises
+them; :mod:`repro.matching` and :mod:`repro.session` import from here and
+nowhere else.
+
+It is deliberately a **leaf** module: importing it must never pull in the
+graph or matching machinery (those modules import *us* at module-import
+time).  ``repro/session/__init__.py`` keeps its own imports lazy for the
+same reason.
+
+One intentional deviation from these defaults is documented where it lives:
+:func:`repro.matching.naive.naive_match` defaults its engine to ``"dict"``
+(not :data:`DEFAULT_ENGINE`) so the reference evaluator stays the
+engine-independent yardstick.
+"""
+
+from __future__ import annotations
+
+#: Recognised evaluation engines everywhere an ``engine=`` kwarg exists.
+ENGINES = ("auto", "dict", "csr")
+
+#: Default engine selection: ``"auto"`` resolves to the compiled CSR engine
+#: for search-based evaluation and to the dict engine otherwise.
+DEFAULT_ENGINE = "auto"
+
+#: Recognised reachability-query evaluation methods.
+RQ_METHODS = ("auto", "matrix", "bidirectional", "bfs")
+
+#: Default RQ method: ``"auto"`` resolves to ``"matrix"`` when a distance
+#: matrix is supplied and to ``"bidirectional"`` otherwise.
+DEFAULT_METHOD = "auto"
+
+#: Recognised incremental-maintenance strategies.
+STRATEGIES = ("delta", "recompute")
+
+#: Default maintenance strategy for :class:`IncrementalPatternMatcher`.
+DEFAULT_STRATEGY = "delta"
+
+#: Default LRU capacity of the per-matcher search caches (dict-mode BFS memos
+#: and the CSR engines' expansion caches).  ``None`` means unbounded.
+DEFAULT_CACHE_CAPACITY = 50000
+
+#: How many graphs' default sessions (the warm state behind the classic free
+#: functions) are retained at once.  The registry is a bounded LRU rather
+#: than a weak mapping — a session's matchers reference its graph strongly,
+#: so weak keys would never be collected — and this bound is what keeps a
+#: long-running process over many short-lived graphs from growing without
+#: limit.  Eviction only costs warmth, never correctness.
+DEFAULT_SESSION_REGISTRY_CAPACITY = 8
+
+# -- planner thresholds ---------------------------------------------------------
+#
+# The cost model of repro.session.planner reads graph/query features
+# (node/edge counts, colour cardinalities, pattern size and diameter, regex
+# shape) and compares them against these cut-offs.  They are deliberately
+# coarse: the paper's own observation is that the algorithms dominate in
+# *regimes*, not at precise sizes, so the planner only needs the right order
+# of magnitude.
+
+#: Below this many data nodes the dict engine wins: the one-off CSR snapshot
+#: compile and index translation outweigh flat-array expansion on toy graphs.
+SMALL_GRAPH_NODES = 64
+
+#: Above this many data nodes a quadratic distance matrix stops being a
+#: realistic index, matrix or not — the planner falls back to search.
+MATRIX_MAX_NODES = 4096
+
+#: Below this many data edges a full recompute per update is cheaper than the
+#: delta machinery's affected-area bookkeeping.
+TINY_GRAPH_EDGES = 128
+
+#: Pattern edge/node ratio above which the planner prefers SplitMatch: dense
+#: (cyclic) patterns re-check the same candidate sets through many
+#: constraints, which the partition-relation representation shares, while
+#: JoinMatch's SCC-ordered worklist wins on sparse, DAG-like patterns.
+DENSE_PATTERN_EDGE_RATIO = 1.0

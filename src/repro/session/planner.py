@@ -1,0 +1,452 @@
+"""Cost-based query planning for :class:`~repro.session.session.GraphSession`.
+
+The paper presents two PQ algorithms (JoinMatch and SplitMatch) and two RQ
+strategies (distance matrix vs bidirectional search) and observes that each
+dominates in a different regime; PR 1 added a second evaluation engine on top
+(adjacency dicts vs compiled CSR arrays).  Before the session API, every call
+site re-decided those knobs by hand.  :func:`plan_query` centralises the
+decision: it reads graph statistics (:mod:`repro.graph.stats`) and query
+shape features and returns a :class:`QueryPlan` — the algorithm, engine,
+method and maintenance strategy one prepared query will run with, plus the
+reasons for every choice (rendered by :meth:`QueryPlan.explain`).
+
+The cost model is a small decision table over coarse features (the paper's
+regimes are orders of magnitude apart, so coarse is enough):
+
+* **engine** — dict below :data:`~repro.session.defaults.SMALL_GRAPH_NODES`
+  nodes (snapshot compilation outweighs flat-array wins on toy graphs),
+  CSR otherwise;
+* **RQ method** — the distance matrix when one is attached and the graph is
+  small enough for a quadratic index, bidirectional search otherwise;
+* **PQ algorithm** — bounded simulation when every edge constraint is a
+  single wildcard atom (the colour-blind relaxation is then exact),
+  SplitMatch for dense/cyclic patterns (edge/node ratio above
+  :data:`~repro.session.defaults.DENSE_PATTERN_EDGE_RATIO`), JoinMatch for
+  sparse DAG-like patterns;
+* **unsatisfiable pruning** — an F-class constraint naming a colour with
+  zero edges in the graph cannot be traversed (every atom consumes at least
+  one edge of its colour), so the plan short-circuits to the empty answer;
+* **maintenance** — full recompute below
+  :data:`~repro.session.defaults.TINY_GRAPH_EDGES` edges, delta otherwise.
+
+Every knob can be forced by the caller (``engine=``, ``method=``,
+``algorithm=``, ``strategy=``); a forced choice is honoured verbatim and
+recorded as such in the plan's reasons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import QueryError
+from repro.graph.stats import GraphStats
+from repro.session.defaults import (
+    DENSE_PATTERN_EDGE_RATIO,
+    ENGINES,
+    MATRIX_MAX_NODES,
+    RQ_METHODS,
+    SMALL_GRAPH_NODES,
+    STRATEGIES,
+    TINY_GRAPH_EDGES,
+)
+
+#: Algorithms the planner can emit, per query kind.
+RQ_ALGORITHMS = ("matrix", "bidirectional", "bfs")
+PQ_ALGORITHMS = ("join", "split", "bounded-simulation", "naive")
+GENERAL_RQ_ALGORITHMS = ("nfa-product",)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's decision for one prepared query.
+
+    Attributes
+    ----------
+    kind:
+        ``"rq"``, ``"general_rq"`` or ``"pq"``.
+    algorithm:
+        The evaluation algorithm (see the ``*_ALGORITHMS`` tuples).
+    engine:
+        Resolved evaluation engine, ``"dict"`` or ``"csr"`` (never
+        ``"auto"`` — the planner's job is to resolve it).
+    method:
+        RQ evaluation method (``""`` for PQ / general-RQ plans).
+    use_matrix:
+        Whether evaluation walks the session's distance matrix.
+    maintenance:
+        ``"delta"`` or ``"recompute"`` — how :meth:`GraphSession.watch`
+        keeps the answer fresh under updates.
+    unsatisfiable:
+        True when the constraint names a colour absent from the graph, so
+        the answer is provably empty without evaluation.
+    features:
+        The raw feature values the decision was computed from.
+    reasons:
+        One human-readable line per decision, in decision order.
+    """
+
+    kind: str
+    algorithm: str
+    engine: str
+    method: str = ""
+    use_matrix: bool = False
+    maintenance: str = "delta"
+    unsatisfiable: bool = False
+    features: Dict[str, object] = field(default_factory=dict)
+    reasons: Tuple[str, ...] = ()
+
+    def explain(self) -> str:
+        """Render the decision, one reason per line."""
+        header = f"plan[{self.kind}]: algorithm={self.algorithm} engine={self.engine}"
+        if self.method:
+            header += f" method={self.method}"
+        header += f" maintenance={self.maintenance}"
+        if self.unsatisfiable:
+            header += " (answer provably empty)"
+        lines = [header]
+        lines.extend(f"  - {reason}" for reason in self.reasons)
+        return "\n".join(lines)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary for tabular / JSON reporting."""
+        return {
+            "kind": self.kind,
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+            "method": self.method,
+            "use_matrix": self.use_matrix,
+            "maintenance": self.maintenance,
+            "unsatisfiable": self.unsatisfiable,
+        }
+
+
+def _query_kind(query) -> str:
+    # Imported lazily to keep this module importable without the full
+    # matching stack (and to avoid import cycles at package-import time).
+    from repro.matching.general_rq import GeneralReachabilityQuery
+    from repro.query.pq import PatternQuery
+    from repro.query.rq import ReachabilityQuery
+
+    if isinstance(query, ReachabilityQuery):
+        return "rq"
+    if isinstance(query, GeneralReachabilityQuery):
+        return "general_rq"
+    if isinstance(query, PatternQuery):
+        return "pq"
+    raise QueryError(
+        f"cannot plan {type(query).__name__!r}; expected ReachabilityQuery, "
+        "GeneralReachabilityQuery or PatternQuery"
+    )
+
+
+def _pattern_diameter(pattern) -> int:
+    """Longest shortest directed path (in edges) between any pattern nodes.
+
+    Patterns are tiny (a handful of nodes), so a BFS per node is fine.
+    """
+    best = 0
+    nodes = list(pattern.nodes())
+    for start in nodes:
+        depths = {start: 0}
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for succ in pattern.successors(node):
+                    if succ not in depths:
+                        depths[succ] = depths[node] + 1
+                        nxt.append(succ)
+            frontier = nxt
+        best = max(best, max(depths.values()))
+    return best
+
+
+def _missing_colors(regexes, stats: GraphStats):
+    """Concrete constraint colours with zero edges in the graph."""
+    missing = set()
+    for regex in regexes:
+        for atom in regex.atoms:
+            if not atom.is_wildcard and not stats.color_counts.get(atom.color):
+                missing.add(atom.color)
+    return sorted(missing)
+
+
+def _resolve_engine(
+    engine: Optional[str], stats: GraphStats, reasons, forced_dict_reason: Optional[str] = None
+) -> str:
+    if engine in ("dict", "csr"):
+        reasons.append(f"engine={engine} forced by caller")
+        return engine
+    if forced_dict_reason is not None:
+        reasons.append(forced_dict_reason)
+        return "dict"
+    if stats.num_nodes < SMALL_GRAPH_NODES:
+        reasons.append(
+            f"graph has {stats.num_nodes} nodes (< {SMALL_GRAPH_NODES}): snapshot "
+            "compilation would outweigh CSR wins, staying on the dict engine"
+        )
+        return "dict"
+    reasons.append(
+        f"graph has {stats.num_nodes} nodes (>= {SMALL_GRAPH_NODES}): compiled "
+        "CSR engine amortises its snapshot"
+    )
+    return "csr"
+
+
+def _resolve_maintenance(strategy: Optional[str], stats: GraphStats, reasons) -> str:
+    if strategy is not None:
+        if strategy not in STRATEGIES:
+            raise QueryError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        reasons.append(f"maintenance={strategy} forced by caller")
+        return strategy
+    if stats.num_edges < TINY_GRAPH_EDGES:
+        reasons.append(
+            f"graph has {stats.num_edges} edges (< {TINY_GRAPH_EDGES}): full "
+            "recompute per update is cheaper than delta bookkeeping"
+        )
+        return "recompute"
+    reasons.append(
+        f"graph has {stats.num_edges} edges (>= {TINY_GRAPH_EDGES}): delta "
+        "maintenance confines updates to the affected area"
+    )
+    return "delta"
+
+
+def plan_query(
+    query,
+    stats: GraphStats,
+    has_matrix: bool = False,
+    engine: Optional[str] = None,
+    method: Optional[str] = None,
+    algorithm: Optional[str] = None,
+    strategy: Optional[str] = None,
+) -> QueryPlan:
+    """Choose algorithm / engine / method / maintenance for one query.
+
+    ``stats`` are the statistics of the graph the query will run on;
+    ``has_matrix`` says whether the session has a distance matrix attached.
+    ``engine`` / ``method`` / ``algorithm`` / ``strategy`` force the
+    respective knob (``None`` and ``"auto"`` mean "planner's choice").
+    """
+    if engine == "auto":
+        engine = None
+    if method == "auto":
+        method = None
+    if engine is not None and engine not in ENGINES:
+        raise QueryError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if method is not None and method not in RQ_METHODS:
+        raise QueryError(f"unknown method {method!r}; expected one of {RQ_METHODS}")
+
+    kind = _query_kind(query)
+    if kind == "rq":
+        return _plan_rq(query, stats, has_matrix, engine, method, strategy)
+    if kind == "general_rq":
+        return _plan_general_rq(query, stats, engine, strategy)
+    return _plan_pq(query, stats, has_matrix, engine, algorithm, strategy)
+
+
+def _plan_rq(query, stats, has_matrix, engine, method, strategy) -> QueryPlan:
+    reasons = []
+    regex = query.regex
+    features = {
+        "num_nodes": stats.num_nodes,
+        "num_edges": stats.num_edges,
+        "num_colors": stats.num_colors,
+        "regex_atoms": regex.num_atoms,
+        "regex_has_wildcard": regex.has_wildcard,
+        "regex_max_length": regex.max_length,
+        "has_matrix": has_matrix,
+    }
+
+    missing = _missing_colors([regex], stats)
+    if missing:
+        reasons.append(
+            f"constraint colour(s) {', '.join(missing)} have no edges in the "
+            "graph: every atom must traverse at least one edge of its colour, "
+            "so the answer is empty without evaluation"
+        )
+        return QueryPlan(
+            kind="rq",
+            algorithm="pruned",
+            engine="dict",
+            method="pruned",
+            maintenance=_resolve_maintenance(strategy, stats, reasons),
+            unsatisfiable=True,
+            features=features,
+            reasons=tuple(reasons),
+        )
+
+    chosen_method: str
+    if method is not None:
+        if method == "matrix" and not has_matrix:
+            raise QueryError(
+                "method='matrix' forced but the session has no distance matrix attached"
+            )
+        if method == "matrix" and engine == "csr":
+            raise QueryError("the matrix method runs on the dict engine only")
+        reasons.append(f"method={method} forced by caller")
+        chosen_method = method
+    elif has_matrix and stats.num_nodes <= MATRIX_MAX_NODES and engine != "csr":
+        reasons.append(
+            f"distance matrix attached and graph fits a quadratic index "
+            f"({stats.num_nodes} <= {MATRIX_MAX_NODES} nodes): matrix lookups win"
+        )
+        chosen_method = "matrix"
+    else:
+        if has_matrix and stats.num_nodes > MATRIX_MAX_NODES:
+            reasons.append(
+                f"distance matrix attached but graph too large for a quadratic "
+                f"index ({stats.num_nodes} > {MATRIX_MAX_NODES} nodes): searching instead"
+            )
+        elif has_matrix and engine == "csr":
+            reasons.append(
+                "engine=csr forced: the matrix is a dict-engine index, searching instead"
+            )
+        else:
+            reasons.append("no distance matrix attached: bidirectional search")
+        chosen_method = "bidirectional"
+
+    use_matrix = chosen_method == "matrix"
+    if use_matrix:
+        chosen_engine = _resolve_engine(
+            engine, stats, reasons, forced_dict_reason="the matrix method runs on the dict engine"
+        )
+    else:
+        chosen_engine = _resolve_engine(engine, stats, reasons)
+
+    return QueryPlan(
+        kind="rq",
+        algorithm=chosen_method,
+        engine=chosen_engine,
+        method=chosen_method,
+        use_matrix=use_matrix,
+        maintenance=_resolve_maintenance(strategy, stats, reasons),
+        features=features,
+        reasons=tuple(reasons),
+    )
+
+
+def _plan_general_rq(query, stats, engine, strategy) -> QueryPlan:
+    reasons = [
+        "general regular expression: single NFA-product evaluation "
+        "(shared lazily-determinised automaton across all sources)"
+    ]
+    features = {
+        "num_nodes": stats.num_nodes,
+        "num_edges": stats.num_edges,
+        "num_colors": stats.num_colors,
+        "regex": str(query.regex),
+    }
+    chosen_engine = _resolve_engine(engine, stats, reasons)
+    return QueryPlan(
+        kind="general_rq",
+        algorithm="nfa-product",
+        engine=chosen_engine,
+        maintenance=_resolve_maintenance(strategy, stats, reasons),
+        features=features,
+        reasons=tuple(reasons),
+    )
+
+
+def _plan_pq(query, stats, has_matrix, engine, algorithm, strategy) -> QueryPlan:
+    reasons = []
+    edges = list(query.edges())
+    diameter = _pattern_diameter(query)
+    features = {
+        "num_nodes": stats.num_nodes,
+        "num_edges": stats.num_edges,
+        "num_colors": stats.num_colors,
+        "pattern_nodes": query.num_nodes,
+        "pattern_edges": query.num_edges,
+        "pattern_size": query.size,
+        "pattern_diameter": diameter,
+        "has_matrix": has_matrix,
+    }
+
+    missing = _missing_colors([edge.regex for edge in edges], stats)
+    if missing:
+        reasons.append(
+            f"pattern-edge colour(s) {', '.join(missing)} have no edges in the "
+            "graph: the edge constraint is unsatisfiable and PQ semantics are "
+            "all-or-nothing, so the answer is empty without evaluation"
+        )
+        return QueryPlan(
+            kind="pq",
+            algorithm="pruned",
+            engine="dict",
+            maintenance=_resolve_maintenance(strategy, stats, reasons),
+            unsatisfiable=True,
+            features=features,
+            reasons=tuple(reasons),
+        )
+
+    if algorithm is not None:
+        if algorithm not in PQ_ALGORITHMS:
+            raise QueryError(
+                f"unknown PQ algorithm {algorithm!r}; expected one of {PQ_ALGORITHMS}"
+            )
+        reasons.append(f"algorithm={algorithm} forced by caller")
+        chosen = algorithm
+    elif edges and all(
+        edge.regex.num_atoms == 1 and edge.regex.atoms[0].is_wildcard
+        for edge in edges
+    ):
+        # A *single* wildcard atom ``_^k`` is its own colour-blind
+        # relaxation, so bounded simulation returns exactly the PQ answer.
+        # (Multi-atom wildcard chains do NOT qualify: ``_._`` requires
+        # length exactly 2 while the relaxation ``_^2`` admits length 1.)
+        reasons.append(
+            "every edge constraint is a single wildcard atom: the "
+            "bounded-simulation relaxation is exact and cheapest"
+        )
+        chosen = "bounded-simulation"
+    elif query.num_edges > DENSE_PATTERN_EDGE_RATIO * query.num_nodes:
+        reasons.append(
+            f"dense/cyclic pattern ({query.num_edges} edges > {query.num_nodes} "
+            "nodes): SplitMatch's partition-relation pair shares refinement "
+            "work between overlapping candidate sets"
+        )
+        chosen = "split"
+    else:
+        reasons.append(
+            f"sparse pattern ({query.num_edges} edges <= {query.num_nodes} nodes, "
+            f"diameter {diameter}): JoinMatch's SCC-ordered worklist settles "
+            "constraints bottom-up"
+        )
+        chosen = "join"
+
+    use_matrix = (
+        has_matrix
+        and stats.num_nodes <= MATRIX_MAX_NODES
+        and engine != "csr"
+        and chosen in ("join", "split", "bounded-simulation")
+    )
+    if use_matrix:
+        reasons.append(
+            f"distance matrix attached and graph fits a quadratic index "
+            f"({stats.num_nodes} <= {MATRIX_MAX_NODES} nodes): per-edge joins "
+            "become O(1) row walks"
+        )
+        chosen_engine = _resolve_engine(
+            engine, stats, reasons, forced_dict_reason="matrix mode runs on the dict engine"
+        )
+    else:
+        if has_matrix and stats.num_nodes > MATRIX_MAX_NODES:
+            reasons.append(
+                f"distance matrix attached but graph too large for a quadratic "
+                f"index ({stats.num_nodes} > {MATRIX_MAX_NODES} nodes): searching instead"
+            )
+        chosen_engine = _resolve_engine(engine, stats, reasons)
+
+    return QueryPlan(
+        kind="pq",
+        algorithm=chosen,
+        engine=chosen_engine,
+        use_matrix=use_matrix,
+        maintenance=_resolve_maintenance(strategy, stats, reasons),
+        features=features,
+        reasons=tuple(reasons),
+    )

@@ -1,0 +1,85 @@
+"""The unified result envelope returned by prepared-query execution.
+
+Every :meth:`PreparedQuery.execute` call — RQ, general RQ or PQ — returns one
+:class:`QueryResult`: the underlying answer object plus the plan it ran
+under, the engine, wall-clock timings and the session's cache counters at
+completion.  The envelope delegates the common ergonomics (truthiness,
+length, iteration, ``to_dict``) to the answer so callers can treat all three
+query kinds uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.session.planner import QueryPlan
+
+
+@dataclass
+class QueryResult:
+    """One executed query: answer + plan + timings + cache counters.
+
+    Attributes
+    ----------
+    answer:
+        The kind-specific result object
+        (:class:`~repro.matching.reachability.ReachabilityResult`,
+        :class:`~repro.matching.general_rq.GeneralReachabilityResult` or
+        :class:`~repro.matching.result.PatternMatchResult`).
+    plan:
+        The :class:`~repro.session.planner.QueryPlan` the execution followed.
+    engine:
+        The engine the answer was actually produced on.
+    elapsed_seconds:
+        Wall-clock time of this ``execute()`` call (result-cache hits are
+        near zero; the underlying evaluation time is in
+        ``answer.elapsed_seconds``).
+    from_result_cache:
+        True when the answer was served from the prepared query's
+        version-keyed result memo instead of being re-evaluated.
+    cache_stats:
+        Snapshot of the executing matcher's cache counters (empty for
+        result-cache hits and pruned plans).
+    """
+
+    answer: Any
+    plan: QueryPlan
+    engine: str = "dict"
+    elapsed_seconds: float = 0.0
+    from_result_cache: bool = False
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Result size: pairs for RQs, total match pairs for PQs."""
+        return len(self)
+
+    def __len__(self) -> int:
+        return len(self.answer)
+
+    def __bool__(self) -> bool:
+        return bool(self.answer)
+
+    def __iter__(self):
+        return iter(self.answer)
+
+    def __contains__(self, item) -> bool:
+        return item in self.answer
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able view: the answer's ``to_dict`` plus the plan row."""
+        return {
+            "answer": self.answer.to_dict(),
+            "plan": self.plan.as_row(),
+            "engine": self.engine,
+            "elapsed_seconds": self.elapsed_seconds,
+            "from_result_cache": self.from_result_cache,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult(kind={self.plan.kind!r}, algorithm={self.plan.algorithm!r}, "
+            f"engine={self.engine!r}, size={len(self)}, "
+            f"cached={self.from_result_cache})"
+        )

@@ -1,0 +1,606 @@
+"""The :class:`GraphSession` facade: one lifecycle for all warm query state.
+
+Before this module, warm state was wired by hand at every call site: the CLI,
+the experiments and the examples each re-decided ``engine=`` / ``method=`` /
+``strategy=`` and re-built :class:`~repro.matching.paths.PathMatcher`s,
+distance matrices and :class:`~repro.matching.incremental.IncrementalPatternMatcher`s.
+A session owns all of it behind one lifecycle:
+
+* ``session.prepare(query)`` plans the evaluation with the cost-based
+  planner (:mod:`repro.session.planner`) and returns a
+  :class:`PreparedQuery`; ``prepared.execute()`` runs the plan on the
+  session's warm matchers and memoises the answer against the graph's
+  version counters, so re-executing on an unchanged graph is O(1);
+* ``session.watch(query)`` registers incremental maintenance (PQs natively;
+  RQs through their single-edge pattern encoding) and
+  ``session.apply_updates(stream)`` applies one coalesced graph mutation
+  and propagates a single delta pass to *every* watcher;
+* the classic free functions (``evaluate_rq``, ``join_match``, …) are thin
+  shims over a module-level default session (:func:`default_session`):
+  plain calls share the per-graph warm matchers and stay byte-identical.
+
+Everything a session caches is version-aware (graph topology and attribute
+counters), so a session never serves stale answers after mutations.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import QueryError
+from repro.graph.data_graph import DataGraph
+from repro.graph.distance import DistanceMatrix, build_distance_matrix
+from repro.graph.stats import GraphStats, compute_stats
+from repro.matching.bounded_simulation import bounded_simulation_match
+from repro.matching.general_rq import GeneralReachabilityResult, evaluate_general_rq
+from repro.matching.incremental import (
+    IncrementalPatternMatcher,
+    coalesce_update_stream,
+    UpdateDelta,
+)
+from repro.matching.cache import LruCache
+from repro.matching.join_match import join_match
+from repro.matching.naive import naive_match
+from repro.matching.paths import PathMatcher
+from repro.matching.reachability import ReachabilityResult, evaluate_rq
+from repro.matching.result import PatternMatchResult
+from repro.matching.split_match import split_match
+from repro.query.pq import PatternQuery
+from repro.query.rq import ReachabilityQuery
+from repro.session.defaults import (
+    DEFAULT_CACHE_CAPACITY,
+    DEFAULT_ENGINE,
+    DEFAULT_SESSION_REGISTRY_CAPACITY,
+    ENGINES,
+)
+from repro.session.planner import QueryPlan, plan_query
+from repro.session.result import QueryResult
+
+
+class PreparedQuery:
+    """One planned query bound to a session.
+
+    Created by :meth:`GraphSession.prepare`.  Both the plan and the
+    execution results are tagged with the graph's version counters:
+    :meth:`execute` on an unchanged graph serves the memoised answer
+    (``from_result_cache=True`` in the envelope) without re-evaluating,
+    and after a mutation the cost model re-runs automatically before the
+    next execution — a decision that no longer holds (an unsatisfiable
+    colour now present, a distance matrix gone stale) is never replayed.
+    Caller overrides passed to ``prepare`` survive every replan.
+    """
+
+    def __init__(self, session: "GraphSession", query: Any, plan: QueryPlan, overrides: Dict[str, Any]):
+        self.session = session
+        self.query = query
+        self.plan = plan
+        self._overrides = dict(overrides)
+        self._plan_key: Tuple[int, int] = session._version_key()
+        self._memo_key: Optional[Tuple[int, int]] = None
+        self._memo_answer: Optional[Any] = None
+        self.executions = 0
+        self.result_cache_hits = 0
+
+    def explain(self) -> str:
+        """Render the planner's decision (algorithm, engine, reasons)."""
+        return self.plan.explain()
+
+    def replan(self) -> QueryPlan:
+        """Re-run the cost model against the graph's *current* statistics."""
+        self.plan = self.session._plan(self.query, self._overrides)
+        self._plan_key = self.session._version_key()
+        self._memo_key = None
+        self._memo_answer = None
+        return self.plan
+
+    def execute(self) -> QueryResult:
+        """Run the plan and return the unified result envelope.
+
+        A graph mutation since the last planning pass triggers an automatic
+        :meth:`replan` first (statistics are memoised per version, so this
+        is cheap); an unchanged graph serves the memoised answer.
+        """
+        session = self.session
+        self.executions += 1
+        session.executed_queries += 1
+        started = time.perf_counter()
+        key = session._version_key()
+        if self._memo_key == key and self._memo_answer is not None:
+            self.result_cache_hits += 1
+            session.result_cache_hits += 1
+            return QueryResult(
+                answer=self._memo_answer.copy(),
+                plan=self.plan,
+                engine=self.plan.engine,
+                elapsed_seconds=time.perf_counter() - started,
+                from_result_cache=True,
+            )
+        if self._plan_key != key:
+            self.replan()
+        answer, cache_stats = session._run_plan(self.query, self.plan)
+        # Memoise a private copy so callers mutating the returned answer can
+        # never poison later hits.
+        self._memo_key = session._version_key()
+        self._memo_answer = answer.copy()
+        return QueryResult(
+            answer=answer,
+            plan=self.plan,
+            engine=getattr(answer, "engine", self.plan.engine),
+            elapsed_seconds=time.perf_counter() - started,
+            cache_stats=cache_stats,
+        )
+
+    def execute_many(self, batch: Iterable[Iterable[Tuple]]) -> List[QueryResult]:
+        """Execute across a batch of update streams.
+
+        Each element of ``batch`` is an update stream in the
+        :meth:`GraphSession.apply_updates` format; the stream is applied to
+        the session (propagating to every watcher) and the prepared query is
+        re-executed against the resulting graph state.  Returns one
+        :class:`QueryResult` per stream.  An empty stream re-executes on the
+        current state (typically a result-cache hit).
+        """
+        results = []
+        for stream in batch:
+            stream = list(stream)
+            if stream:
+                self.session.apply_updates(stream)
+            results.append(self.execute())
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery(kind={self.plan.kind!r}, algorithm={self.plan.algorithm!r}, "
+            f"engine={self.plan.engine!r}, executions={self.executions})"
+        )
+
+
+class SessionWatch:
+    """Incremental maintenance of one query registered on a session.
+
+    Wraps an :class:`~repro.matching.incremental.IncrementalPatternMatcher`
+    over the session's graph.  Reachability queries are watched through
+    their single-edge pattern encoding (each PQ edge *is* an RQ — Section 2
+    of the paper), so :attr:`pairs` recovers the RQ answer exactly.
+
+    Updates must flow through the session
+    (:meth:`GraphSession.apply_updates` / ``add_edge`` / ``remove_edge``),
+    which propagates one coalesced delta pass to every watcher; mutating the
+    graph behind the session's back leaves watchers stale.
+    """
+
+    def __init__(self, session: "GraphSession", query: Any, kind: str,
+                 pattern: PatternQuery, maintainer: IncrementalPatternMatcher):
+        self.session = session
+        self.query = query
+        self.kind = kind
+        self.pattern = pattern
+        self.maintainer = maintainer
+        self.active = True
+
+    @property
+    def result(self) -> PatternMatchResult:
+        """The maintained pattern-level answer on the current graph."""
+        return self.maintainer.result
+
+    @property
+    def pairs(self):
+        """The maintained pair set (RQ view; for PQs, all edge pairs unioned)."""
+        if self.kind == "rq":
+            return self.result.pairs_of(self.query.source, self.query.target)
+        pairs = set()
+        for _, edge_pairs in self.result:
+            pairs |= edge_pairs
+        return pairs
+
+    def answer(self):
+        """The kind-shaped answer object (ReachabilityResult for RQ watches)."""
+        if self.kind == "rq":
+            return ReachabilityResult(
+                pairs=self.pairs, method="incremental", engine=self.maintainer.engine
+            )
+        return self.result.copy()
+
+    def statistics(self) -> Dict[str, int]:
+        return self.maintainer.statistics()
+
+    def stop(self) -> None:
+        """Unregister from the session (no further maintenance)."""
+        if self.active:
+            self.active = False
+            self.session._watches.remove(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionWatch(kind={self.kind!r}, pattern={self.pattern.name!r}, "
+            f"active={self.active}, matches={self.result.size})"
+        )
+
+
+class GraphSession:
+    """One data graph plus every piece of warm query state, one lifecycle.
+
+    Parameters
+    ----------
+    graph:
+        The data graph the session owns.  Mutations should flow through the
+        session once watchers exist (see :meth:`apply_updates`).
+    engine:
+        Session-wide engine preference: ``"auto"`` (default) lets the
+        planner resolve dict vs CSR per query from graph statistics; an
+        explicit ``"dict"`` / ``"csr"`` forces it for every prepared query
+        (still overridable per :meth:`prepare` call).
+    cache_capacity:
+        LRU capacity of the session's matcher caches.
+    distance_matrix:
+        Optional pre-computed distance matrix; when attached (also via
+        :meth:`build_matrix`), the planner may choose matrix-based
+        evaluation for small graphs.
+    name:
+        Display name (defaults to the graph's).
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        engine: str = DEFAULT_ENGINE,
+        cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
+        distance_matrix: Optional[DistanceMatrix] = None,
+        name: Optional[str] = None,
+    ):
+        if engine not in ENGINES:
+            raise QueryError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self.graph = graph
+        self.engine = engine
+        self.cache_capacity = cache_capacity
+        self.name = name if name is not None else graph.name
+        self._matrix = distance_matrix
+        self._matrix_matcher: Optional[PathMatcher] = None
+        self._matrix_edges_version = graph.edges_version
+        self._matchers: Dict[str, PathMatcher] = {}
+        self._stats: Optional[GraphStats] = None
+        self._stats_key: Optional[Tuple[int, int]] = None
+        self._watches: List[SessionWatch] = []
+        # Counters (surfaced by .counters()).
+        self.prepared_queries = 0
+        self.executed_queries = 0
+        self.result_cache_hits = 0
+        self.updates_applied = 0
+        self.plans_chosen: Counter = Counter()
+
+    # -- warm state --------------------------------------------------------------
+
+    def _version_key(self) -> Tuple[int, int]:
+        """The graph's (topology, attribute) version pair — the tag every
+        session-level memo (plans, results, stats) is keyed on."""
+        return (self.graph.version, self.graph.attrs_version)
+
+    @property
+    def distance_matrix(self) -> Optional[DistanceMatrix]:
+        return self._matrix
+
+    def build_matrix(self) -> DistanceMatrix:
+        """Build (or rebuild) and attach a distance matrix for the current graph."""
+        self._matrix = build_distance_matrix(self.graph)
+        self._matrix_matcher = None
+        self._matrix_edges_version = self.graph.edges_version
+        return self._matrix
+
+    def attach_matrix(self, matrix: DistanceMatrix) -> None:
+        """Attach a caller-built distance matrix (assumed current).
+
+        The matrix is trusted to describe the graph *as it is now*; after
+        any edge mutation it is considered stale and the planner stops
+        choosing matrix-based evaluation until :meth:`build_matrix` (or a
+        fresh ``attach_matrix``) refreshes it — a session never serves
+        answers from a matrix the graph has drifted away from.
+        """
+        self._matrix = matrix
+        self._matrix_matcher = None
+        self._matrix_edges_version = self.graph.edges_version
+
+    def _matrix_is_fresh(self) -> bool:
+        return (
+            self._matrix is not None
+            and self._matrix_edges_version == self.graph.edges_version
+        )
+
+    @property
+    def stats(self) -> GraphStats:
+        """Statistics of the current graph, cached per version counters."""
+        key = (self.graph.version, self.graph.attrs_version)
+        if self._stats is None or self._stats_key != key:
+            self._stats = compute_stats(self.graph)
+            self._stats_key = key
+        return self._stats
+
+    def matcher(self, engine: str) -> PathMatcher:
+        """The session's shared version-aware matcher for one engine.
+
+        One matcher per engine lives for the whole session; its caches are
+        version-aware, so it survives graph mutations and keeps memos of
+        untouched colours warm.  This is the warm state the free-function
+        shims borrow.
+        """
+        if engine not in ("dict", "csr"):
+            raise QueryError(f"unknown engine {engine!r}; expected 'dict' or 'csr'")
+        matcher = self._matchers.get(engine)
+        if matcher is None:
+            matcher = PathMatcher(
+                self.graph, cache_capacity=self.cache_capacity, engine=engine
+            )
+            self._matchers[engine] = matcher
+        return matcher
+
+    def _matrix_path_matcher(self) -> PathMatcher:
+        if self._matrix is None:
+            raise QueryError("the session has no distance matrix attached")
+        if not self._matrix_is_fresh():
+            raise QueryError(
+                "the session's distance matrix is stale (edges changed since it "
+                "was built); call build_matrix() to refresh it"
+            )
+        if self._matrix_matcher is None:
+            self._matrix_matcher = PathMatcher(
+                self.graph,
+                distance_matrix=self._matrix,
+                cache_capacity=self.cache_capacity,
+            )
+        return self._matrix_matcher
+
+    # -- planning and execution --------------------------------------------------
+
+    def _plan(self, query: Any, overrides: Dict[str, Any]) -> QueryPlan:
+        merged = dict(overrides)
+        if "engine" not in merged and self.engine != "auto":
+            merged["engine"] = self.engine
+        return plan_query(
+            query,
+            self.stats,
+            has_matrix=self._matrix_is_fresh(),
+            engine=merged.get("engine"),
+            method=merged.get("method"),
+            algorithm=merged.get("algorithm"),
+            strategy=merged.get("strategy"),
+        )
+
+    def prepare(
+        self,
+        query: Any,
+        engine: Optional[str] = None,
+        method: Optional[str] = None,
+        algorithm: Optional[str] = None,
+        strategy: Optional[str] = None,
+    ) -> PreparedQuery:
+        """Plan ``query`` and return a :class:`PreparedQuery`.
+
+        ``query`` is any of :class:`~repro.query.rq.ReachabilityQuery`,
+        :class:`~repro.matching.general_rq.GeneralReachabilityQuery` or
+        :class:`~repro.query.pq.PatternQuery`.  The keyword arguments force
+        individual planner decisions (``None`` / ``"auto"`` = planner's
+        choice).
+        """
+        overrides = {
+            key: value
+            for key, value in (
+                ("engine", engine),
+                ("method", method),
+                ("algorithm", algorithm),
+                ("strategy", strategy),
+            )
+            if value is not None
+        }
+        plan = self._plan(query, overrides)
+        self.prepared_queries += 1
+        self.plans_chosen[(plan.kind, plan.algorithm)] += 1
+        return PreparedQuery(self, query, plan, overrides)
+
+    def execute(self, query: Any, **overrides: Any) -> QueryResult:
+        """Prepare and execute in one call (no prepared-query reuse)."""
+        return self.prepare(query, **overrides).execute()
+
+    def execute_many(self, queries: Iterable[Any], **overrides: Any) -> List[QueryResult]:
+        """Prepare and execute a batch of queries on shared warm state."""
+        return [self.execute(query, **overrides) for query in queries]
+
+    def _run_plan(self, query: Any, plan: QueryPlan) -> Tuple[Any, Dict[str, float]]:
+        """Dispatch one plan to the underlying evaluation machinery."""
+        if plan.unsatisfiable:
+            return self._empty_answer(plan), {}
+        if plan.kind == "rq":
+            return self._run_rq(query, plan)
+        if plan.kind == "general_rq":
+            answer = evaluate_general_rq(query, self.graph, engine=plan.engine)
+            return answer, {}
+        return self._run_pq(query, plan)
+
+    def _empty_answer(self, plan: QueryPlan):
+        if plan.kind == "rq":
+            return ReachabilityResult(pairs=set(), method="pruned", engine=plan.engine)
+        if plan.kind == "general_rq":
+            return GeneralReachabilityResult()
+        return PatternMatchResult.empty("pruned", engine=plan.engine)
+
+    def _run_rq(self, query: ReachabilityQuery, plan: QueryPlan):
+        if plan.use_matrix:
+            matcher = self._matrix_path_matcher()
+            answer = evaluate_rq(
+                query,
+                self.graph,
+                distance_matrix=self._matrix,
+                method="matrix",
+                matcher=matcher,
+            )
+            return answer, dict(matcher.cache_stats)
+        if plan.engine == "csr":
+            # The shared compiled-snapshot engine (predicate scans and
+            # expansions memoised on the snapshot itself).
+            answer = evaluate_rq(
+                query, self.graph, method=plan.method, engine="csr",
+                cache_capacity=self.cache_capacity,
+            )
+            return answer, {}
+        matcher = self.matcher("dict")
+        answer = evaluate_rq(query, self.graph, method=plan.method, matcher=matcher)
+        return answer, dict(matcher.cache_stats)
+
+    def _run_pq(self, query: PatternQuery, plan: QueryPlan):
+        if plan.use_matrix:
+            matcher = self._matrix_path_matcher()
+        else:
+            matcher = self.matcher(plan.engine)
+        algorithms = {
+            "join": join_match,
+            "split": split_match,
+            "bounded-simulation": bounded_simulation_match,
+            "naive": naive_match,
+        }
+        evaluate = algorithms[plan.algorithm]
+        answer = evaluate(query, self.graph, matcher=matcher)
+        return answer, dict(matcher.cache_stats)
+
+    # -- incremental maintenance -------------------------------------------------
+
+    def watch(
+        self,
+        query: Any,
+        strategy: Optional[str] = None,
+        engine: Optional[str] = None,
+    ) -> SessionWatch:
+        """Register incremental maintenance for ``query``.
+
+        Pattern queries are maintained natively; reachability queries
+        through their single-edge pattern encoding (identical answers).
+        General-regex queries have no incremental maintainer yet.  The
+        maintenance strategy (delta vs recompute) and engine come from the
+        planner unless forced.
+        """
+        plan = self._plan(
+            query,
+            {
+                key: value
+                for key, value in (("strategy", strategy), ("engine", engine))
+                if value is not None
+            },
+        )
+        if plan.kind == "general_rq":
+            raise QueryError(
+                "general-regex queries cannot be watched; incremental "
+                "maintenance exists for F-class RQs and pattern queries"
+            )
+        if plan.kind == "rq":
+            if query.source == query.target:
+                raise QueryError(
+                    "cannot watch an RQ whose source and target share a name"
+                )
+            pattern = PatternQuery(name=f"watch:{query.source}->{query.target}")
+            pattern.add_node(query.source, query.source_predicate)
+            pattern.add_node(query.target, query.target_predicate)
+            pattern.add_edge(query.source, query.target, query.regex)
+        else:
+            pattern = query
+        maintainer = IncrementalPatternMatcher(
+            pattern,
+            self.graph,
+            engine=plan.engine,
+            cache_capacity=self.cache_capacity,
+            strategy=plan.maintenance,
+        )
+        watch = SessionWatch(self, query, plan.kind, pattern, maintainer)
+        self._watches.append(watch)
+        return watch
+
+    @property
+    def watches(self) -> Tuple[SessionWatch, ...]:
+        return tuple(self._watches)
+
+    def apply_updates(self, updates: Iterable[Tuple[str, Any, Any, str]]) -> UpdateDelta:
+        """Apply one coalesced update stream and propagate it to every watcher.
+
+        ``updates`` is an ordered iterable of ``(op, source, target, color)``
+        (ops as in :meth:`IncrementalPatternMatcher.apply_updates`).  The
+        graph is mutated exactly once; each watcher then runs one delta
+        maintenance pass over the already-applied net changes — the
+        coalescing work is shared instead of repeated per watcher.
+        """
+        delta = coalesce_update_stream(self.graph, updates)
+        self.updates_applied += delta.net_changes
+        for watch in self._watches:
+            watch.maintainer.maintain_applied(
+                delta.inserted, delta.deleted, delta.new_nodes
+            )
+        return delta
+
+    def add_edge(self, source: Any, target: Any, color: str) -> UpdateDelta:
+        """Insert one edge through the session (propagates to watchers)."""
+        return self.apply_updates([("add", source, target, color)])
+
+    def remove_edge(self, source: Any, target: Any, color: str) -> UpdateDelta:
+        """Delete one edge through the session (propagates to watchers)."""
+        return self.apply_updates([("remove", source, target, color)])
+
+    def add_node(self, node: Any, **attributes: Any) -> None:
+        """Add (or re-attribute) a node through the session.
+
+        Creating a node propagates as a delta to every watcher; *changing an
+        existing node's attributes* can shrink candidate sets, which the
+        delta passes cannot express, so watchers recompute from scratch.
+        """
+        existed = self.graph.has_node(node)
+        self.graph.add_node(node, **attributes)
+        for watch in self._watches:
+            if existed and attributes:
+                watch.maintainer.recompute()
+            elif not existed:
+                watch.maintainer.maintain_applied((), (), (node,))
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def counters(self) -> Dict[str, Any]:
+        """Session-level counters (prepared/executed/cache hits/updates)."""
+        return {
+            "prepared_queries": self.prepared_queries,
+            "executed_queries": self.executed_queries,
+            "result_cache_hits": self.result_cache_hits,
+            "updates_applied": self.updates_applied,
+            "watches": len(self._watches),
+            "plans_chosen": dict(self.plans_chosen),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphSession(name={self.name!r}, nodes={self.graph.num_nodes}, "
+            f"edges={self.graph.num_edges}, prepared={self.prepared_queries}, "
+            f"watches={len(self._watches)})"
+        )
+
+
+#: One default session per recently used graph: the warm state behind the
+#: free-function shims.  The registry is a *bounded* LRU (a weak mapping
+#: would not work: a session's matchers reference its graph strongly, which
+#: is exactly the values-referencing-keys pitfall that defeats
+#: ``WeakKeyDictionary`` collection), so a long-running process evaluating
+#: many short-lived graphs retains at most this many of them; evicted
+#: sessions — and their graphs — become collectable.
+_DEFAULT_SESSIONS = LruCache(DEFAULT_SESSION_REGISTRY_CAPACITY)
+
+
+def default_session(graph: DataGraph) -> GraphSession:
+    """The module-level default session for ``graph`` (created on first use).
+
+    The classic free functions (``evaluate_rq``, ``join_match``, …) delegate
+    their warm state here, so repeated plain calls on the same graph share
+    version-aware matcher caches.  The registry keeps the
+    :data:`~repro.session.defaults.DEFAULT_SESSION_REGISTRY_CAPACITY` most
+    recently used graphs' sessions; eviction only costs warmth (a fresh
+    session is built on the next call), never correctness.  Explicitly
+    constructed :class:`GraphSession` objects are independent of this
+    registry.
+    """
+    session = _DEFAULT_SESSIONS.get(graph)
+    if session is None:
+        session = GraphSession(graph)
+        _DEFAULT_SESSIONS.put(graph, session)
+    return session

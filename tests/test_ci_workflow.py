@@ -68,6 +68,15 @@ class TestCiWorkflow:
         assert uploads and uploads[0]["with"]["path"] == "coverage.xml"
         assert "3.12" in uploads[0]["if"]
 
+    def test_benchmark_job_runs_session_plan_smoke(self, workflow):
+        job = workflow["jobs"]["benchmark-smoke"]
+        commands = "\n".join(
+            step.get("run", "") for step in job["steps"] if "run" in step
+        )
+        assert "repro.cli plan" in commands
+        assert "--general" in commands
+        assert "--session" in commands
+
     def test_benchmark_job_emits_artifact(self, workflow):
         job = workflow["jobs"]["benchmark-smoke"]
         commands = "\n".join(step.get("run", "") for step in job["steps"])

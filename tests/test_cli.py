@@ -97,6 +97,109 @@ class TestRqCommand:
         assert "dict engine only" in capsys.readouterr().err
 
 
+class TestRqSessionFlag:
+    def test_session_path_prints_plan_and_same_pairs(self, essembly_json):
+        args = [
+            "rq",
+            essembly_json,
+            "--source", "job = 'biologist' & sp = 'cloning'",
+            "--target", "job = 'doctor'",
+            "--regex", "fa^2.fn",
+        ]
+        classic, session = io.StringIO(), io.StringIO()
+        assert main(args, out=classic) == 0
+        assert main([*args, "--session"], out=session) == 0
+        text = session.getvalue()
+        assert text.startswith("plan[rq]:")
+        assert "4 matching pairs" in text
+        assert "C1 -> B1" in text
+        # Same pair lines as the classic path, planner or not.
+        pair_lines = lambda s: [line for line in s.splitlines() if "->" in line]  # noqa: E731
+        assert pair_lines(text) == pair_lines(classic.getvalue())
+
+    def test_session_path_rejects_matrix_with_csr_engine_cleanly(self, essembly_json, capsys):
+        # Regression: planner QueryErrors must exit 2 with a one-line error,
+        # matching the classic path, not a raw traceback.
+        code = main(
+            ["rq", essembly_json, "--regex", "fa", "--session",
+             "--method", "matrix", "--engine", "csr"],
+        )
+        assert code == 2
+        assert "dict engine only" in capsys.readouterr().err
+
+    def test_session_path_honours_method_override(self, essembly_json):
+        out = io.StringIO()
+        code = main(
+            ["rq", essembly_json, "--regex", "fa", "--session", "--method", "matrix"],
+            out=out,
+        )
+        assert code == 0
+        assert "algorithm=matrix" in out.getvalue()
+
+
+class TestPlanCommand:
+    def test_explains_without_executing(self, essembly_json):
+        out = io.StringIO()
+        code = main(["plan", essembly_json, "--regex", "fa^2.fn"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert text.startswith("plan[rq]:")
+        assert "matching pairs" not in text  # not executed
+
+    def test_execute_flag_runs_the_prepared_query(self, essembly_json):
+        out = io.StringIO()
+        code = main(
+            [
+                "plan", essembly_json,
+                "--source", "job = 'biologist' & sp = 'cloning'",
+                "--target", "job = 'doctor'",
+                "--regex", "fa^2.fn",
+                "--execute",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "4 matching pairs" in out.getvalue()
+
+    def test_matrix_flag_plans_matrix_method(self, essembly_json):
+        out = io.StringIO()
+        assert main(["plan", essembly_json, "--regex", "fa", "--matrix"], out=out) == 0
+        assert "algorithm=matrix" in out.getvalue()
+
+    def test_method_matrix_implies_matrix_attachment(self, essembly_json):
+        out = io.StringIO()
+        assert main(["plan", essembly_json, "--regex", "fa", "--method", "matrix"], out=out) == 0
+        assert "method=matrix forced by caller" in out.getvalue()
+
+    def test_general_flag_plans_nfa_product(self, essembly_json):
+        out = io.StringIO()
+        code = main(
+            ["plan", essembly_json, "--regex", "(fa|sa)+", "--general", "--execute"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "plan[general_rq]: algorithm=nfa-product" in text
+        assert "matching pairs" in text
+
+    def test_forced_engine_recorded_in_reasons(self, essembly_json):
+        out = io.StringIO()
+        assert main(["plan", essembly_json, "--regex", "fa", "--engine", "csr"], out=out) == 0
+        assert "engine=csr forced by caller" in out.getvalue()
+
+    def test_plan_rejects_matrix_with_csr_engine_cleanly(self, essembly_json, capsys):
+        code = main(
+            ["plan", essembly_json, "--regex", "fa", "--method", "matrix",
+             "--engine", "csr"],
+        )
+        assert code == 2
+        assert "dict engine only" in capsys.readouterr().err
+
+    def test_plan_requires_regex(self, essembly_json):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", essembly_json])
+
+
 class TestGenerateCommand:
     @pytest.mark.parametrize("dataset", ["youtube", "terrorism", "synthetic"])
     def test_generates_and_roundtrips(self, dataset, tmp_path):

@@ -18,21 +18,27 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 #: script name -> substrings its stdout must contain on a healthy run.
 EXPECTED_OUTPUT = {
     "quickstart.py": (
+        "plan[rq]:",
         "Reachability query",
         "SplitMatch agrees: True",
         "minimized size 4",
     ),
     "essembly_social_network.py": (
+        "plan[rq]:",
+        "plan[pq]: algorithm=join",
         "matches the paper's Fig. 2: True",
         "matches the paper's Example 2.3 table: True",
     ),
     "terrorism_collaboration.py": (
+        "plan[rq]: algorithm=matrix",
         "organisations reach Hamas",
         "Matches per pattern node:",
     ),
     "video_recommendations.py": (
+        "plan[pq]: algorithm=join",
         "edge matches; per pattern node:",
         "SplitMatch agrees with JoinMatch: True",
+        "Watched update stream:",
     ),
 }
 

@@ -2,6 +2,7 @@
 
 import importlib
 
+import pytest
 
 import repro
 
@@ -23,8 +24,17 @@ class TestPublicApi:
             "repro.datasets",
             "repro.metrics",
             "repro.experiments",
+            "repro.session",
         ]:
             importlib.import_module(module)
+
+    def test_session_package_lazy_attributes(self):
+        import repro.session
+
+        assert repro.session.GraphSession is repro.GraphSession
+        assert "GraphSession" in dir(repro.session)
+        with pytest.raises(AttributeError):
+            repro.session.not_a_session_name
 
     def test_exception_hierarchy(self):
         assert issubclass(repro.RegexSyntaxError, repro.ReproError)

@@ -1,0 +1,121 @@
+"""Unit tests for the result-object ergonomics.
+
+``ReachabilityResult``, ``GeneralReachabilityResult`` and
+``PatternMatchResult`` support ``__bool__`` / ``__len__`` / ``__iter__`` and
+a ``to_dict`` / ``from_dict`` round-trip so callers (and the session's
+result envelope) never need to poke internals.
+"""
+
+import json
+
+from repro.matching.general_rq import GeneralReachabilityResult
+from repro.matching.reachability import ReachabilityResult
+from repro.matching.result import PatternMatchResult
+
+
+def rq_result():
+    return ReachabilityResult(
+        pairs={("a", "b"), ("a", "c")},
+        method="bidirectional",
+        elapsed_seconds=0.25,
+        engine="csr",
+    )
+
+
+def pq_result():
+    return PatternMatchResult(
+        edge_matches={("X", "Y"): {("a", "b"), ("a", "c")}, ("Y", "Z"): {("b", "d")}},
+        node_matches={"X": {"a"}, "Y": {"b", "c"}, "Z": {"d"}},
+        algorithm="JoinMatchC",
+        elapsed_seconds=0.5,
+        engine="dict",
+    )
+
+
+class TestReachabilityResultErgonomics:
+    def test_truthiness_and_length(self):
+        result = rq_result()
+        assert result
+        assert len(result) == 2
+        assert not ReachabilityResult()
+        assert len(ReachabilityResult()) == 0
+
+    def test_iteration_yields_pairs(self):
+        assert set(rq_result()) == {("a", "b"), ("a", "c")}
+
+    def test_to_dict_round_trip(self):
+        result = rq_result()
+        rebuilt = ReachabilityResult.from_dict(result.to_dict())
+        assert rebuilt.pairs == result.pairs
+        assert rebuilt.method == result.method
+        assert rebuilt.engine == result.engine
+        assert rebuilt.elapsed_seconds == result.elapsed_seconds
+
+    def test_to_dict_is_json_serialisable_and_deterministic(self):
+        result = rq_result()
+        assert json.dumps(result.to_dict()) == json.dumps(result.to_dict())
+
+    def test_copy_is_independent(self):
+        result = rq_result()
+        clone = result.copy()
+        clone.pairs.add(("x", "y"))
+        assert ("x", "y") not in result.pairs
+
+
+class TestGeneralReachabilityResultErgonomics:
+    def test_protocol(self):
+        result = GeneralReachabilityResult(pairs={("a", "b")}, elapsed_seconds=0.1)
+        assert result and len(result) == 1
+        assert set(result) == {("a", "b")}
+        assert ("a", "b") in result
+        assert not GeneralReachabilityResult()
+
+    def test_to_dict_round_trip(self):
+        result = GeneralReachabilityResult(pairs={("a", "b"), ("c", "d")})
+        rebuilt = GeneralReachabilityResult.from_dict(result.to_dict())
+        assert rebuilt.pairs == result.pairs
+
+    def test_copy_is_independent(self):
+        result = GeneralReachabilityResult(pairs={("a", "b")})
+        clone = result.copy()
+        clone.pairs.clear()
+        assert result.pairs == {("a", "b")}
+
+
+class TestPatternMatchResultErgonomics:
+    def test_truthiness_follows_is_empty(self):
+        assert pq_result()
+        assert not PatternMatchResult.empty("JoinMatchC")
+
+    def test_len_is_the_papers_result_size(self):
+        result = pq_result()
+        assert len(result) == result.size == 3
+
+    def test_iteration_yields_edge_match_items(self):
+        items = dict(pq_result())
+        assert items[("X", "Y")] == {("a", "b"), ("a", "c")}
+        assert items[("Y", "Z")] == {("b", "d")}
+
+    def test_to_dict_round_trip(self):
+        result = pq_result()
+        rebuilt = PatternMatchResult.from_dict(result.to_dict())
+        assert rebuilt.same_matches(result)
+        assert rebuilt.node_matches == result.node_matches
+        assert rebuilt.algorithm == result.algorithm
+        assert rebuilt.engine == result.engine
+
+    def test_to_dict_is_json_serialisable(self):
+        json.dumps(pq_result().to_dict())
+
+    def test_empty_round_trip(self):
+        rebuilt = PatternMatchResult.from_dict(PatternMatchResult.empty("naive").to_dict())
+        assert rebuilt.is_empty
+        assert not rebuilt
+
+    def test_copy_is_independent(self):
+        result = pq_result()
+        clone = result.copy()
+        clone.edge_matches[("X", "Y")].add(("z", "z"))
+        clone.node_matches["X"].add("z")
+        assert ("z", "z") not in result.edge_matches[("X", "Y")]
+        assert "z" not in result.node_matches["X"]

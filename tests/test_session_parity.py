@@ -1,0 +1,178 @@
+"""Hypothesis parity suite: ``GraphSession.execute`` ≡ the free functions.
+
+Whatever the cost-based planner picks — engine, method, algorithm, pruning —
+a session must return exactly the answer of the corresponding classic free
+function, on random graphs and random queries.  This is the acceptance
+contract of the session facade: the planner may only change *how* a query
+runs, never *what* it returns.
+
+The colour-blind branch is the interesting one: for patterns whose edge
+constraints are all-wildcard the planner picks bounded simulation, which is
+provably exact there (the colour-blind relaxation of a colour-blind
+constraint is the identity); the random patterns exercise that equivalence.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.data_graph import DataGraph
+from repro.matching.general_rq import GeneralReachabilityQuery, evaluate_general_rq
+from repro.matching.join_match import join_match
+from repro.matching.reachability import evaluate_rq
+from repro.query.pq import PatternQuery
+from repro.query.rq import ReachabilityQuery
+from repro.regex.fclass import FRegex, RegexAtom
+from repro.session.session import GraphSession
+
+_COLORS = ("r", "g", "b")
+
+
+def _build_graph(num_nodes, edges, attributes):
+    graph = DataGraph(name="hypothesis-session")
+    for node in range(num_nodes):
+        graph.add_node(node, tag=attributes[node])
+    for source, target, color in edges:
+        graph.add_edge(source, target, color)
+    return graph
+
+
+@st.composite
+def random_graph(draw, max_nodes=12, max_edges=35):
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+                st.sampled_from(_COLORS),
+            ),
+            max_size=max_edges,
+        )
+    )
+    attributes = draw(st.lists(st.integers(0, 2), min_size=num_nodes, max_size=num_nodes))
+    return _build_graph(num_nodes, edges, attributes)
+
+
+_atom = st.tuples(
+    st.sampled_from(_COLORS + ("_", "zz")),  # "zz" never occurs: prunable regexes
+    st.one_of(st.none(), st.integers(1, 3)),
+)
+
+
+def _predicate(draw):
+    tag = draw(st.one_of(st.none(), st.integers(0, 2)))
+    return None if tag is None else {"tag": tag}
+
+
+@st.composite
+def graph_and_rq(draw):
+    graph = draw(random_graph())
+    atoms = draw(st.lists(_atom, min_size=1, max_size=3))
+    query = ReachabilityQuery(
+        source_predicate=_predicate(draw),
+        target_predicate=_predicate(draw),
+        regex=FRegex([RegexAtom(color, bound) for color, bound in atoms]),
+    )
+    return graph, query
+
+
+@st.composite
+def graph_and_pattern(draw):
+    graph = draw(random_graph())
+    num_pattern_nodes = draw(st.integers(min_value=1, max_value=4))
+    predicates = [_predicate(draw) for _ in range(num_pattern_nodes)]
+    raw_edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_pattern_nodes - 1),
+                st.integers(0, num_pattern_nodes - 1),
+                st.lists(_atom, min_size=1, max_size=2),
+            ),
+            max_size=6,
+        )
+    )
+    pattern = PatternQuery(name="hypothesis-session")
+    for node, predicate in enumerate(predicates):
+        pattern.add_node(f"u{node}", predicate)
+    seen = set()
+    for source, target, atoms in raw_edges:
+        if (source, target) in seen:
+            continue
+        seen.add((source, target))
+        pattern.add_edge(
+            f"u{source}",
+            f"u{target}",
+            FRegex([RegexAtom(color, bound) for color, bound in atoms]),
+        )
+    return graph, pattern
+
+
+@pytest.mark.slow
+@settings(max_examples=60, deadline=None)
+@given(graph_and_rq())
+def test_property_session_rq_parity(case):
+    graph, query = case
+    reference = evaluate_rq(query, graph, engine="dict")
+    session = GraphSession(graph)
+    for overrides in ({}, {"engine": "dict"}, {"engine": "csr"}, {"method": "bfs"}):
+        result = session.prepare(query, **overrides).execute()
+        assert result.answer.pairs == reference.pairs, overrides
+
+
+@pytest.mark.slow
+@settings(max_examples=60, deadline=None)
+@given(graph_and_pattern())
+def test_property_session_pq_parity(case):
+    graph, pattern = case
+    reference = join_match(pattern, graph, engine="dict")
+    session = GraphSession(graph)
+    result = session.prepare(pattern).execute()
+    assert result.answer.same_matches(reference), result.plan.algorithm
+
+
+def _general_text(regex: FRegex) -> str:
+    """Translate an F-class regex into general-regex syntax."""
+    parts = []
+    for atom in regex.atoms:
+        name = "(r|g|b)" if atom.is_wildcard else atom.color
+        if atom.max_count is None:
+            parts.append(f"{name}+")
+        else:
+            parts.extend([name] * atom.max_count)
+    return ".".join(parts)
+
+
+@pytest.mark.slow
+@settings(max_examples=30, deadline=None)
+@given(graph_and_rq())
+def test_property_session_general_rq_parity(case):
+    graph, rq = case
+    query = GeneralReachabilityQuery(
+        rq.source_predicate, rq.target_predicate, _general_text(rq.regex)
+    )
+    reference = evaluate_general_rq(query, graph, engine="dict")
+    result = GraphSession(graph).prepare(query).execute()
+    assert result.answer.pairs == reference.pairs
+
+
+@pytest.mark.slow
+@settings(max_examples=25, deadline=None)
+@given(
+    graph_and_rq(),
+    st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove"]),
+            st.integers(0, 11),
+            st.integers(0, 11),
+            st.sampled_from(_COLORS),
+        ),
+        max_size=10,
+    ),
+)
+def test_property_watch_parity_under_updates(case, updates):
+    graph, query = case
+    session = GraphSession(graph)
+    watch = session.watch(query)
+    session.apply_updates(updates)
+    assert watch.pairs == evaluate_rq(query, graph, engine="dict").pairs

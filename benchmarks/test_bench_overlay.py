@@ -1,0 +1,182 @@
+"""Interleaved read/write benchmarks: the overlay-CSR store vs recompiling.
+
+Before the storage layer, every mutation invalidated the compiled CSR
+snapshot: an interleaved read/write stream on the ``csr`` engine paid a
+recompile (donor layers notwithstanding) per update.  The
+:class:`~repro.storage.overlay.OverlayCsrStore` absorbs mutations into
+per-colour overlays instead — O(delta) per update, merged read-through
+frontiers for the dirty colours, full flat-array speed for the clean ones.
+
+* ``overlay-interleaved`` — one warm CSR matcher driving a mutate-then-query
+  stream on the YouTube fixture, per store policy: the overlay's default
+  compaction policy vs ``compaction_fraction=0.0`` (compact on every
+  mutation — exactly the old recompile-per-update behaviour), plus the dict
+  engine for context;
+* ``test_interleaved_overlay_speedup`` — the acceptance gate: best-of-three
+  timed passes asserting the overlay store is at least **3x** faster than
+  recompile-per-mutation on the same stream, with every answer asserted
+  identical to a from-scratch dict evaluation of the final graph.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.datasets.youtube import generate_youtube_graph
+from repro.matching.paths import PathMatcher
+from repro.matching.reachability import evaluate_rq
+from repro.query.rq import ReachabilityQuery
+from repro.regex.parser import parse_fregex
+
+
+@pytest.fixture(scope="module")
+def overlay_case():
+    """(base graph, interleaved stream, probe expressions/queries/nodes).
+
+    The stream alternates single-edge writes (removing present edges,
+    re-inserting absent ones — the graph keeps drifting) with two kinds of
+    reads after every write: point reachability probes from a fixed node
+    sample and predicate-driven RQs (whose candidate scans the CSR engine
+    memoises on the base snapshot) — the shape of interleaved read/write
+    traffic the overlay store exists for.  Writes are confined to one
+    relationship type (colour), as update streams typically are: the other
+    colours stay clean, so their expansions keep running on the warm base
+    arrays while the mutated colour reads through the overlay.
+    """
+    graph = generate_youtube_graph(num_nodes=1500, num_edges=6000, seed=7)
+    rng = random.Random(13)
+    colors = sorted(graph.colors)
+    hot_color = colors[0]
+    hot_edges = sorted(
+        ((e.source, e.target, e.color) for e in graph.edges() if e.color == hot_color),
+        key=str,
+    )
+    flips = rng.sample(hot_edges, 40)
+    nodes = sorted(graph.nodes(), key=str)
+    probes = rng.sample(nodes, 8)
+    expressions = [
+        # (expression, probe nodes): the hot colour reads through the
+        # overlay, the clean expression runs on the warm base arrays.
+        (parse_fregex(f"{hot_color}^2"), probes[:4]),
+        (parse_fregex(f"{colors[1]}.{colors[2 % len(colors)]}"), probes),
+    ]
+    queries = [
+        ReachabilityQuery("age < 60", "view >= 900000", f"{colors[1 % len(colors)]}^2"),
+        ReachabilityQuery("len < 4", "com >= 800", f"{colors[2 % len(colors)]}^+"),
+    ]
+    return graph, flips, probes, expressions, queries
+
+
+def run_stream(graph, matcher, flips, probes, expressions, queries):
+    """Flip each stream edge, probing reads after every write."""
+    answers = []
+    for source, target, color in flips:
+        if graph.has_edge(source, target, color):
+            graph.remove_edge(source, target, color)
+        else:
+            graph.add_edge(source, target, color)
+        for expr, expr_probes in expressions:
+            for node in expr_probes:
+                answers.append(matcher.targets_from(node, expr))
+        for query in queries:
+            answers.append(evaluate_rq(query, graph, matcher=matcher).pairs)
+    return answers
+
+
+def _overlay_graph(base):
+    """A copy whose overlay store keeps the default compaction policy."""
+    return base.copy()
+
+
+def _recompile_graph(base):
+    """A copy whose overlay store compacts on every mutation.
+
+    ``compaction_fraction=0.0`` makes every sync fold the overlay into a
+    fresh base — byte-identical answers, but the recompile-per-update cost
+    profile the overlay store was built to remove.
+    """
+    graph = base.copy()
+    store = graph.overlay_store()
+    store.compaction_fraction = 0.0
+    store.min_compaction_edges = 0
+    return graph
+
+
+_POLICIES = {
+    "overlay": ("csr", _overlay_graph),
+    "recompile": ("csr", _recompile_graph),
+    "dict": ("dict", _overlay_graph),
+}
+
+
+@pytest.mark.parametrize("policy", list(_POLICIES))
+@pytest.mark.benchmark(group="overlay-interleaved")
+def test_bench_interleaved_stream(benchmark, overlay_case, policy):
+    base, flips, probes, expressions, queries = overlay_case
+    engine, prepare = _POLICIES[policy]
+    graph = prepare(base)
+    matcher = PathMatcher(graph, engine=engine)
+
+    def run():
+        return run_stream(graph, matcher, flips, probes, expressions, queries)
+
+    benchmark(run)
+    benchmark.extra_info["policy"] = policy
+
+
+def test_interleaved_overlay_speedup(overlay_case):
+    """Acceptance gate: overlay >= 3x over recompile-per-mutation.
+
+    Timed best-of-three passes over the same interleaved stream; every
+    overlay answer is asserted identical to the recompile policy's, and the
+    final probes are checked against a from-scratch dict evaluation.  The
+    measured margin is large; best-of-three keeps a single scheduler stall
+    on a noisy CI runner from pushing it under the 3x floor.
+    """
+    base, flips, probes, expressions, queries = overlay_case
+    best_overlay = best_recompile = float("inf")
+    for _ in range(3):
+        graph_overlay = _overlay_graph(base)
+        graph_recompile = _recompile_graph(base)
+        matcher_overlay = PathMatcher(graph_overlay, engine="csr")
+        matcher_recompile = PathMatcher(graph_recompile, engine="csr")
+        # Warm both engines outside the timed region (one-off base compile).
+        matcher_overlay.targets_from(probes[0], expressions[0][0])
+        matcher_recompile.targets_from(probes[0], expressions[0][0])
+
+        started = time.perf_counter()
+        overlay_answers = run_stream(
+            graph_overlay, matcher_overlay, flips, probes, expressions, queries
+        )
+        overlay_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        recompile_answers = run_stream(
+            graph_recompile, matcher_recompile, flips, probes, expressions, queries
+        )
+        recompile_seconds = time.perf_counter() - started
+
+        assert overlay_answers == recompile_answers
+        best_overlay = min(best_overlay, overlay_seconds)
+        best_recompile = min(best_recompile, recompile_seconds)
+
+    # The policies really did behave differently under the hood.
+    overlay_store = graph_overlay.active_overlay_store
+    recompile_store = graph_recompile.active_overlay_store
+    assert recompile_store.compactions >= len(flips)
+    assert overlay_store.compactions <= 2
+
+    # Final-state parity against a from-scratch dict evaluation.
+    fresh = PathMatcher(graph_overlay.copy(), engine="dict")
+    for expr, expr_probes in expressions:
+        for node in expr_probes:
+            assert matcher_overlay.targets_from(node, expr) == fresh.targets_from(node, expr)
+
+    speedup = best_recompile / best_overlay
+    assert speedup >= 3.0, (
+        f"overlay store only {speedup:.2f}x over recompile-per-mutation "
+        f"({best_overlay:.4f}s vs {best_recompile:.4f}s)"
+    )

@@ -60,6 +60,9 @@ from repro.matching.general_rq import (
 )
 from repro.regex.general import GeneralRegex
 from repro.metrics.fmeasure import compute_f_measure
+from repro.storage.base import GraphStore
+from repro.storage.dict_store import DictStore
+from repro.storage.overlay import OverlayCsrStore
 from repro.session.planner import QueryPlan, plan_query
 from repro.session.result import QueryResult
 from repro.session.session import (
@@ -69,7 +72,7 @@ from repro.session.session import (
     default_session,
 )
 
-__version__ = "2.3.0"
+__version__ = "2.4.0"
 
 __all__ = [
     # exceptions
@@ -118,6 +121,10 @@ __all__ = [
     "subgraph_isomorphism_match",
     "PathMatcher",
     "CsrEngine",
+    # storage layer
+    "GraphStore",
+    "DictStore",
+    "OverlayCsrStore",
     # extensions (the paper's future-work items)
     "IncrementalPatternMatcher",
     "GeneralRegex",

@@ -46,6 +46,7 @@ Invoke as ``python -m repro.cli …``, or as the ``repro`` console script after
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -85,8 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    json_help = "emit machine-readable JSON instead of the human-readable report"
+
     stats = commands.add_parser("stats", help="print statistics of a graph JSON file")
     stats.add_argument("graph", help="path to a graph written by repro.graph.io.save_json")
+    stats.add_argument("--json", action="store_true", help=json_help)
 
     rq = commands.add_parser("rq", help="evaluate a reachability query on a graph JSON file")
     rq.add_argument("graph", help="path to a graph JSON file")
@@ -107,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate through a GraphSession: the cost-based planner picks "
         "method/engine (explicit --method/--engine become planner overrides)",
     )
+    rq.add_argument("--json", action="store_true", help=json_help)
 
     plan = commands.add_parser(
         "plan", help="explain the session planner's decision for a query"
@@ -139,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also execute the prepared query and print a result summary",
     )
+    plan.add_argument("--json", action="store_true", help=json_help)
 
     generate = commands.add_parser("generate", help="generate a synthetic dataset")
     generate.add_argument("dataset", choices=sorted(_GENERATORS))
@@ -156,8 +162,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine column(s) for experiments that compare engines "
         "(exp1, exp3, exp4, exp6; default both)",
     )
+    experiment.add_argument("--json", action="store_true", help=json_help)
 
     return parser
+
+
+def _emit_json(payload, out) -> int:
+    from repro.jsonutil import jsonable
+
+    print(json.dumps(payload, indent=2, sort_keys=True, default=jsonable), file=out)
+    return 0
 
 
 def _resolve(spec: str):
@@ -169,6 +183,10 @@ def _resolve(spec: str):
 def _command_stats(args: argparse.Namespace, out) -> int:
     graph = load_json(args.graph)
     stats = compute_stats(graph)
+    if args.json:
+        row = stats.as_row()
+        row["color_counts"] = dict(sorted(stats.color_counts.items()))
+        return _emit_json({"command": "stats", "stats": row}, out)
     for key, value in stats.as_row().items():
         print(f"{key}: {value}", file=out)
     for color, count in sorted(stats.color_counts.items()):
@@ -208,6 +226,17 @@ def _command_rq_session(args: argparse.Namespace, out) -> int:
     except QueryError as error:
         # e.g. --method matrix --engine csr: same clean exit as the classic path.
         return _session_error("rq", error)
+    if args.json:
+        result = prepared.execute()
+        return _emit_json(
+            {
+                "command": "rq",
+                "session": True,
+                "plan": prepared.plan.to_dict(),
+                "result": result.answer.to_dict(),
+            },
+            out,
+        )
     print(prepared.explain(), file=out)
     result = prepared.execute()
     print(
@@ -239,6 +268,23 @@ def _command_plan(args: argparse.Namespace, out) -> int:
         prepared = session.prepare(query, engine=args.engine, method=args.method)
     except QueryError as error:
         return _session_error("plan", error)
+    if args.json:
+        payload = {
+            "command": "plan",
+            "plan": prepared.plan.to_dict(),
+            "store_stats": session.store_stats(),
+            "result": None,
+        }
+        if args.execute:
+            result = prepared.execute()
+            payload["result"] = {
+                "size": result.size,
+                "engine": result.engine,
+                "elapsed_seconds": result.elapsed_seconds,
+            }
+            # Execution may have created / advanced the overlay store.
+            payload["store_stats"] = session.store_stats()
+        return _emit_json(payload, out)
     print(prepared.explain(), file=out)
     if args.execute:
         result = prepared.execute()
@@ -270,6 +316,11 @@ def _command_rq(args: argparse.Namespace, out) -> int:
     result = evaluate_rq(
         query, graph, distance_matrix=distance_matrix, method=args.method, engine=args.engine
     )
+    if args.json:
+        return _emit_json(
+            {"command": "rq", "session": False, "plan": None, "result": result.to_dict()},
+            out,
+        )
     print(f"{result.size} matching pairs (method={result.method}, engine={result.engine}, "
           f"{result.elapsed_seconds:.4f}s)", file=out)
     _print_pairs(result.pairs, args.limit, out)
@@ -299,6 +350,15 @@ def _command_experiment(args: argparse.Namespace, out) -> int:
         return 2
     report = runner(**kwargs)
     reports = report if isinstance(report, list) else [report]
+    if args.json:
+        return _emit_json(
+            {
+                "command": "experiment",
+                "experiment": args.name,
+                "reports": [item.to_json_dict() for item in reports],
+            },
+            out,
+        )
     for item in reports:
         print(item.to_table(), file=out)
         print("", file=out)

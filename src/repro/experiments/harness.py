@@ -121,6 +121,20 @@ class ExperimentReport:
             header += f"\n{self.description}"
         return f"{header}\n{format_table(self.rows)}"
 
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable view (``repro experiment --json`` emits it).
+
+        Row values go through the shared coercion policy
+        (:mod:`repro.jsonutil`), so the output always serialises.
+        """
+        from repro.jsonutil import jsonable_mapping
+
+        return {
+            "name": self.name,
+            "description": self.description,
+            "rows": [jsonable_mapping(row) for row in self.rows],
+        }
+
     def __iter__(self):
         return iter(self.rows)
 

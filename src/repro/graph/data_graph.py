@@ -10,8 +10,14 @@ Parallel edges with *different* colours between the same pair of nodes are
 allowed (they model multiple relationship types); a duplicate edge with the
 same colour is ignored.  Self loops are allowed.
 
-The container maintains forward and reverse adjacency indexed by colour, which
-is what the reachability and pattern-matching algorithms traverse.
+Topology lives in the **storage layer**: every graph owns a
+:class:`~repro.storage.dict_store.DictStore` (the authoritative forward and
+reverse adjacency indexed by colour, plus the mutation journal), and this
+class is a thin facade over it — it keeps the attribute table and delegates
+every topology operation.  Derived stores such as
+:class:`~repro.storage.overlay.OverlayCsrStore` (the array-backed view behind
+the ``csr`` evaluation engine, obtained via :meth:`overlay_store`) replay the
+journal to follow mutations in O(delta) instead of recompiling per update.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from typing import (
 )
 
 from repro.exceptions import GraphError
+from repro.storage.dict_store import DictStore, JournalEntry
 
 NodeId = Hashable
 
@@ -63,14 +70,9 @@ class DataGraph:
         "name",
         "_attrs",
         "_attr_views",
-        "_out",
-        "_in",
-        "_colors",
-        "_num_edges",
-        "_version",
+        "_store",
+        "_overlay",
         "_attrs_version",
-        "_edges_version",
-        "_color_versions",
         "__weakref__",
     )
 
@@ -80,24 +82,13 @@ class DataGraph:
         # One long-lived read-only proxy per node, returned by attributes();
         # it tracks the underlying dict, so it is created once, not per call.
         self._attr_views: Dict[NodeId, Mapping[str, Any]] = {}
-        # _out[u][color] = set of successors via edges of that colour
-        self._out: Dict[NodeId, Dict[str, Set[NodeId]]] = {}
-        self._in: Dict[NodeId, Dict[str, Set[NodeId]]] = {}
-        self._colors: Set[str] = set()
-        self._num_edges = 0
-        # Bumped on every topology change; lets compiled snapshots detect staleness.
-        self._version = 0
+        # The authoritative topology store (adjacency, versions, journal).
+        self._store = DictStore()
+        # The derived array-backed store, created lazily by overlay_store().
+        self._overlay = None
         # Bumped on attribute updates to existing nodes; cheaper to react to
         # than a topology change (snapshots only flush their scan memos).
         self._attrs_version = 0
-        # Bumped on every *edge* change (add_edge/remove_edge) — unlike
-        # _version it ignores pure node additions, so wildcard BFS memos
-        # survive them.  _color_versions refines it per colour: a memoised
-        # single-colour search stays valid until an edge of *that* colour
-        # changes, which is what lets PathMatcher keep caches warm across
-        # updates that cannot affect them.
-        self._edges_version = 0
-        self._color_versions: Dict[str, int] = {}
 
     # -- construction ----------------------------------------------------------
 
@@ -107,9 +98,7 @@ class DataGraph:
             attrs: Dict[str, Any] = {}
             self._attrs[node] = attrs
             self._attr_views[node] = MappingProxyType(attrs)
-            self._out[node] = {}
-            self._in[node] = {}
-            self._version += 1
+            self._store.add_node(node)
             # A new node is a new attribute row: memoised predicate scans
             # (and any donor-shared scan cache) must not survive it — a
             # removed-and-re-added node can otherwise resurrect its old
@@ -127,15 +116,7 @@ class DataGraph:
             raise GraphError(f"edge colour must be a non-empty string, got {color!r}")
         self.add_node(source)
         self.add_node(target)
-        bucket = self._out[source].setdefault(color, set())
-        if target not in bucket:
-            bucket.add(target)
-            self._in[target].setdefault(color, set()).add(source)
-            self._colors.add(color)
-            self._num_edges += 1
-            self._version += 1
-            self._edges_version += 1
-            self._color_versions[color] = self._color_versions.get(color, 0) + 1
+        self._store.add_edge(source, target, color)
         return Edge(source, target, color)
 
     def add_edges_from(self, edges: Iterable[Tuple[NodeId, NodeId, str]]) -> None:
@@ -145,37 +126,61 @@ class DataGraph:
 
     def remove_edge(self, source: NodeId, target: NodeId, color: str) -> None:
         """Remove one coloured edge; raises :class:`GraphError` if absent."""
-        try:
-            self._out[source][color].remove(target)
-            self._in[target][color].remove(source)
-        except KeyError as exc:
-            raise GraphError(f"edge {source}-{color}->{target} does not exist") from exc
-        self._num_edges -= 1
-        self._version += 1
-        self._edges_version += 1
-        self._color_versions[color] = self._color_versions.get(color, 0) + 1
-        if not self._out[source][color]:
-            del self._out[source][color]
-        if not self._in[target][color]:
-            del self._in[target][color]
+        self._store.remove_edge(source, target, color)
 
     def remove_node(self, node: NodeId) -> None:
-        """Remove a node and all incident edges."""
+        """Remove a node and all incident edges.
+
+        Version contract (relied on by store overlays and matcher memos):
+        every incident edge removal bumps ``edges_version`` and its colour's
+        version, and the node removal itself bumps ``version`` and
+        ``edges_version`` once more unconditionally — removing an *isolated*
+        node still invalidates wildcard memos and overlay sync points.  The
+        attribute table loses a row, so ``attrs_version`` bumps too (see
+        :meth:`add_node`).
+        """
         if node not in self._attrs:
             raise GraphError(f"node {node!r} does not exist")
-        for color, targets in list(self._out[node].items()):
-            for target in list(targets):
-                self.remove_edge(node, target, color)
-        for color, sources in list(self._in[node].items()):
-            for source in list(sources):
-                self.remove_edge(source, node, color)
+        self._store.remove_node(node)
         del self._attrs[node]
         del self._attr_views[node]
-        del self._out[node]
-        del self._in[node]
-        self._version += 1
-        # The attribute table lost a row; see add_node.
         self._attrs_version += 1
+
+    # -- storage layer ---------------------------------------------------------
+
+    @property
+    def store(self) -> DictStore:
+        """The authoritative :class:`~repro.storage.dict_store.DictStore`."""
+        return self._store
+
+    def overlay_store(self):
+        """The graph's derived :class:`~repro.storage.overlay.OverlayCsrStore`.
+
+        Created on first use and kept for the graph's lifetime; the store
+        follows mutations by replaying the journal (see
+        :meth:`journal_since`), so one overlay serves every CSR-engine
+        matcher over this graph.
+        """
+        if self._overlay is None:
+            # Imported lazily: overlay -> graph.csr -> this module.
+            from repro.storage.overlay import OverlayCsrStore
+
+            self._overlay = OverlayCsrStore(self)
+        return self._overlay
+
+    @property
+    def active_overlay_store(self):
+        """The overlay store if one has been created, else ``None``.
+
+        Unlike :meth:`overlay_store` this never creates one — planners use
+        it to surface overlay occupancy without forcing dict-engine graphs
+        to pay for a CSR base.
+        """
+        return self._overlay
+
+    def journal_since(self, version: int) -> Optional[List[JournalEntry]]:
+        """Topology changes after ``version`` (``None`` if journal truncated)."""
+        return self._store.journal_since(version)
 
     # -- inspection ------------------------------------------------------------
 
@@ -190,7 +195,7 @@ class DataGraph:
         Compiled snapshots (:mod:`repro.graph.csr`) record the version they
         were built from and are recompiled transparently when it moves on.
         """
-        return self._version
+        return self._store.version
 
     @property
     def attrs_version(self) -> int:
@@ -207,13 +212,14 @@ class DataGraph:
 
     @property
     def edges_version(self) -> int:
-        """Monotonic counter bumped on every edge addition or removal.
+        """Monotonic counter bumped on every edge addition or removal (and
+        once more by :meth:`remove_node`, even for isolated nodes).
 
         Coarser than :meth:`color_version` (any colour bumps it) but finer
         than :attr:`version` (node additions leave it alone): the tag for
         memoised *wildcard* searches, which see every edge but no attribute.
         """
-        return self._edges_version
+        return self._store.edges_version
 
     def color_version(self, color: str) -> int:
         """Monotonic counter bumped when an edge of ``color`` is added/removed.
@@ -222,16 +228,16 @@ class DataGraph:
         tags its per-colour BFS memos with this counter, so a mutation of one
         colour leaves the memos of every other colour warm and valid.
         """
-        return self._color_versions.get(color, 0)
+        return self._store.color_version(color)
 
     @property
     def num_edges(self) -> int:
-        return self._num_edges
+        return self._store.num_edges
 
     @property
     def colors(self) -> FrozenSet[str]:
         """The edge-colour alphabet Σ of this graph."""
-        return frozenset(self._colors)
+        return frozenset(self._store.colors)
 
     def nodes(self) -> Iterator[NodeId]:
         """Iterate over node ids."""
@@ -242,12 +248,7 @@ class DataGraph:
 
     def has_edge(self, source: NodeId, target: NodeId, color: Optional[str] = None) -> bool:
         """True if an edge exists (of the given colour, or of any colour)."""
-        table = self._out.get(source)
-        if table is None:
-            return False
-        if color is not None:
-            return target in table.get(color, ())
-        return any(target in targets for targets in table.values())
+        return self._store.has_edge(source, target, color)
 
     def attributes(self, node: NodeId) -> Mapping[str, Any]:
         """The attribute tuple ``f_A(node)`` (a read-only live view).
@@ -267,7 +268,7 @@ class DataGraph:
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over all edges."""
-        for source, table in self._out.items():
+        for source, table in self._store.adjacency():
             for color, targets in table.items():
                 for target in targets:
                     yield Edge(source, target, color)
@@ -279,54 +280,35 @@ class DataGraph:
         (:mod:`repro.graph.csr`): one row per node, no per-edge
         :class:`Edge` allocation.  Callers must not mutate the yielded sets.
         """
-        return iter(self._out.items())
+        return self._store.adjacency()
 
     def successors(self, node: NodeId, color: Optional[str] = None) -> Set[NodeId]:
         """Out-neighbours of ``node`` (restricted to one colour if given)."""
-        table = self._out.get(node)
-        if table is None:
-            raise GraphError(f"node {node!r} does not exist")
-        if color is not None:
-            return set(table.get(color, ()))
-        result: Set[NodeId] = set()
-        for targets in table.values():
-            result |= targets
-        return result
+        return self._store.successors(node, color)
 
     def predecessors(self, node: NodeId, color: Optional[str] = None) -> Set[NodeId]:
         """In-neighbours of ``node`` (restricted to one colour if given)."""
-        table = self._in.get(node)
-        if table is None:
-            raise GraphError(f"node {node!r} does not exist")
-        if color is not None:
-            return set(table.get(color, ()))
-        result: Set[NodeId] = set()
-        for sources in table.values():
-            result |= sources
-        return result
+        return self._store.predecessors(node, color)
 
     def out_edges(self, node: NodeId) -> Iterator[Edge]:
         """Iterate over edges leaving ``node``."""
-        table = self._out.get(node)
-        if table is None:
-            raise GraphError(f"node {node!r} does not exist")
-        for color, targets in table.items():
+        for color, targets in self._store.out_row(node).items():
             for target in targets:
                 yield Edge(node, target, color)
 
     def out_degree(self, node: NodeId) -> int:
-        return sum(len(t) for t in self._out.get(node, {}).values())
+        return self._store.out_degree(node)
 
     def in_degree(self, node: NodeId) -> int:
-        return sum(len(s) for s in self._in.get(node, {}).values())
+        return self._store.in_degree(node)
 
     def successor_colors(self, node: NodeId) -> Set[str]:
         """Colours appearing on edges leaving ``node``."""
-        return {c for c, targets in self._out.get(node, {}).items() if targets}
+        return self._store.successor_colors(node)
 
     def predecessor_colors(self, node: NodeId) -> Set[str]:
         """Colours appearing on edges entering ``node``."""
-        return {c for c, sources in self._in.get(node, {}).items() if sources}
+        return self._store.predecessor_colors(node)
 
     # -- convenience -----------------------------------------------------------
 
@@ -365,5 +347,5 @@ class DataGraph:
     def __repr__(self) -> str:
         return (
             f"DataGraph(name={self.name!r}, nodes={self.num_nodes}, "
-            f"edges={self.num_edges}, colors={sorted(self._colors)})"
+            f"edges={self.num_edges}, colors={sorted(self._store.colors)})"
         )

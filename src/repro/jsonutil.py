@@ -1,0 +1,24 @@
+"""The one JSON-coercion policy for every machine-readable output surface.
+
+``repro plan/rq/experiment --json``, :meth:`QueryPlan.to_dict` and
+:meth:`ExperimentReport.to_json_dict` all need the same guarantee: the
+payload always serialises, with values JSON can't represent passed through
+``repr``.  Keeping the policy here means the CLI schemas cannot silently
+diverge between commands.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+
+def jsonable(value: Any) -> Any:
+    """``value`` if JSON can represent it directly, else its ``repr``."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def jsonable_mapping(mapping: Mapping[str, Any]) -> Dict[str, Any]:
+    """A plain dict with every value passed through :func:`jsonable`."""
+    return {key: jsonable(value) for key, value in mapping.items()}

@@ -445,6 +445,38 @@ class CsrEngine:
         self._set_cache.put(key, result)
         return result
 
+    def query_pairs(
+        self,
+        regex: FRegex,
+        source_indices: FrozenSet[int],
+        target_indices: FrozenSet[int],
+        method: str = "bidirectional",
+    ) -> FrozenSet[IndexPair]:
+        """Memoised whole-query evaluation between two candidate sets.
+
+        The RQ counterpart of :meth:`matching_pairs`: repeated executions of
+        the same query on an unchanged snapshot (interleaved read/write
+        streams re-ask after every irrelevant mutation) collapse to one
+        frozenset hash, and still-valid entries are promoted across snapshot
+        recompiles when no colour the expression can traverse changed.
+        """
+        key = ("qpairs", regex, source_indices, target_indices, method)
+        cached = self._set_cache.get(key)
+        if cached is not None:
+            return cached
+        promoted = self._donor_expression_entry(self._set_cache, key)
+        if promoted is not None:
+            self._set_cache.put(key, promoted)
+            self.promoted += 1
+            return promoted
+        if method == "bidirectional":
+            pairs = self.bidirectional_pairs(regex, list(source_indices), target_indices)
+        else:
+            pairs = self.forward_sweep_pairs(regex, list(source_indices), target_indices)
+        result = frozenset(pairs)
+        self._set_cache.put(key, result)
+        return result
+
     def bidirectional_pairs(
         self,
         regex: FRegex,

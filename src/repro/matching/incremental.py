@@ -524,12 +524,12 @@ class IncrementalPatternMatcher:
                 area |= matcher.backward_closure(starts, colors=self._relevant_colors)
             self.last_affected_area = len(area)
             self.affected_area_nodes += len(area)
-            # On CSR the predicate-eligible sets come from the compiled
-            # snapshot's memoised scans (carried across recompiles while
-            # attributes are untouched); the dict engine scans only the area.
+            # A scan-memoising matcher (the CSR engine's overlay store keeps
+            # per-predicate scans warm on its base snapshot) answers the
+            # predicate-eligible sets for free; otherwise scan only the area.
             eligible = (
                 initial_candidates(self.pattern, self.graph, matcher=matcher)
-                if matcher.engine == "csr"
+                if matcher.memoises_scans
                 else None
             )
             grown: List[str] = []

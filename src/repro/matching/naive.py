@@ -14,7 +14,6 @@ from __future__ import annotations
 import time
 from typing import Dict, Hashable, Optional, Set
 
-from repro.graph.csr import compiled_snapshot
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
 from repro.session.defaults import DEFAULT_CACHE_CAPACITY
@@ -32,17 +31,15 @@ def initial_candidates(
 ) -> Dict[str, Set[NodeId]]:
     """Predicate-based candidate sets ``mat(u)`` for every pattern node.
 
-    When a CSR-mode ``matcher`` is supplied the scan runs over the compiled
-    snapshot's flat attribute table
-    (:meth:`~repro.graph.csr.CompiledGraph.matching_ids`), which memoises
-    per-predicate sweeps — repeated evaluations of the same pattern (the
-    incremental maintainer's steady state) pay the full scan once.
+    When a ``matcher`` is supplied the scan is delegated to its storage
+    adapter (:meth:`~repro.matching.paths.PathMatcher.matching_nodes`): the
+    CSR engine serves it from the overlay store's memoised base-snapshot
+    scans — repeated evaluations of the same pattern (the incremental
+    maintainer's steady state) pay the full sweep once.
     """
-    if matcher is not None and matcher.engine == "csr":
-        # The same cached snapshot the matcher's engine wraps.
-        compiled = compiled_snapshot(graph)
+    if matcher is not None:
         return {
-            node: set(compiled.matching_ids(pattern.predicate(node)))
+            node: set(matcher.matching_nodes(pattern.predicate(node)))
             for node in pattern.nodes()
         }
     candidates: Dict[str, Set[NodeId]] = {}

@@ -8,39 +8,44 @@ source" / "all sources of a target" questions) under two regimes:
 * **matrix mode** — a pre-computed :class:`~repro.graph.distance.DistanceMatrix`
   answers per-colour distance lookups in O(1); multi-atom expressions walk the
   matrix rows atom by atom;
-* **search mode** — no matrix is kept; per-atom frontiers are expanded with
-  (bounded) BFS and memoised in an :class:`~repro.matching.cache.LruCache`,
-  mirroring the paper's runtime strategy for graphs too large for a matrix.
+* **search mode** — no matrix is kept; per-atom frontiers are expanded through
+  the graph's **storage layer** and memoised, mirroring the paper's runtime
+  strategy for graphs too large for a matrix.
 
 Distances returned for a node to *itself* are the length of its shortest
 non-empty cycle (paths in the paper are required to be non-empty, so the
 trivial zero-length path never counts).
 
-All search-mode caches are **version-aware**: dict-mode BFS memos are tagged
-with the graph's per-colour edge version
+The matcher itself is engine-free: every expansion is delegated to a storage
+adapter (:mod:`repro.storage.adapter`), the one layer that knows how to read
+each backend.  The ``dict`` engine expands over the authoritative
+:class:`~repro.storage.dict_store.DictStore`; the ``csr`` engine reads
+through the graph's :class:`~repro.storage.overlay.OverlayCsrStore` — clean
+colours at flat-array speed with memoised expansions, mutated colours as
+merged read-through frontiers, folded back into a fresh base when the store
+compacts.
+
+All search-mode caches are **version-aware**: memos are tagged with the
+graph's per-colour edge version
 (:meth:`~repro.graph.data_graph.DataGraph.color_version`; wildcard memos with
 :attr:`~repro.graph.data_graph.DataGraph.edges_version`) and a tag mismatch is
-treated as a miss, while the CSR engine is rebuilt against the fresh snapshot
-with still-valid expansions carried over.  One matcher can therefore be
-safely reused across graph mutations — answers are always computed against
-the current topology, and memos of untouched colours stay warm.  (A
-caller-supplied distance matrix is *not* a matcher cache: matrix mode keeps
-answering from the matrix the caller built, mutations notwithstanding.)
+treated as a miss.  One matcher can therefore be safely reused across graph
+mutations — answers are always computed against the current topology, and
+memos of untouched colours stay warm.  (A caller-supplied distance matrix is
+*not* a matcher cache: matrix mode keeps answering from the matrix the caller
+built, mutations notwithstanding.)
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
 
-from repro.exceptions import GraphError
-from repro.graph.csr import compiled_snapshot
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
 from repro.matching.cache import LruCache
-from repro.matching.frontiers import forward_sweep
-from repro.regex.fclass import WILDCARD, FRegex, RegexAtom
+from repro.regex.fclass import FRegex
 from repro.session.defaults import DEFAULT_CACHE_CAPACITY, ENGINES
+from repro.storage.adapter import make_adapter
 
 NodeId = Hashable
 
@@ -141,13 +146,13 @@ class PathMatcher:
         Capacity of the LRU caches used in search mode (ignored in matrix
         mode).  ``None`` makes the caches unbounded.
     engine:
-        ``"dict"`` (default) expands frontiers over the graph's adjacency
-        dicts; ``"csr"`` expands them over the compiled CSR snapshot of the
-        graph (:mod:`repro.graph.csr`), which is considerably faster;
-        ``"auto"`` picks CSR whenever no distance matrix is supplied.
-        Matrix mode always walks the distance matrix, so combining an
-        explicit ``"csr"`` with a matrix raises :class:`ValueError`.
-        Answers are identical on every engine.
+        ``"dict"`` (default) expands frontiers over the graph's
+        authoritative adjacency store; ``"csr"`` expands them through the
+        graph's overlay-CSR store (:mod:`repro.storage.overlay`), which is
+        considerably faster; ``"auto"`` picks CSR whenever no distance
+        matrix is supplied.  Matrix mode always walks the distance matrix,
+        so combining an explicit ``"csr"`` with a matrix raises
+        :class:`ValueError`.  Answers are identical on every engine.
     """
 
     def __init__(
@@ -159,7 +164,7 @@ class PathMatcher:
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-        if engine == "csr" and distance_matrix is not None:
+        if distance_matrix is not None and engine not in ("auto", "dict"):
             # Mirror evaluate_rq: the matrix is a dict-engine index.
             raise ValueError("engine='csr' cannot be combined with a distance matrix")
         self.graph = graph
@@ -168,189 +173,56 @@ class PathMatcher:
         self._forward_cache = LruCache(cache_capacity)
         self._backward_cache = LruCache(cache_capacity)
         self.engine = "csr" if engine in ("auto", "csr") and distance_matrix is None else "dict"
-        self._csr = None
-        #: Dict-mode cache entries discarded because the graph mutated under them.
+        #: Cache entries discarded because the graph mutated under them.
         self.stale_invalidations = 0
-        # Promotions accumulated by CSR engines this matcher already retired.
-        self._csr_promoted_base = 0
+        # The storage adapter owns every engine-specific expansion decision.
+        self._adapter = make_adapter(self)
 
     @property
     def uses_matrix(self) -> bool:
         return self.matrix is not None
 
     @property
+    def memoises_scans(self) -> bool:
+        """True when :meth:`matching_nodes` is backed by a per-snapshot memo
+        (repeated scans of the same predicate are then effectively free)."""
+        return self._adapter.memoises_scans
+
+    @property
     def csr_entries_carried(self) -> int:
-        """Memoised CSR expansions that stayed warm across snapshot
-        recompiles — validated per lookup against per-colour edge versions
-        and promoted from the retired engine's caches on a hit."""
-        engine = self._csr
-        current = engine.promoted if engine is not None else 0
-        return self._csr_promoted_base + current
+        """Memoised CSR expansions that stayed warm across store compactions
+        — validated per lookup against per-colour edge versions and promoted
+        from the retired engine's caches on a hit."""
+        return self._adapter.csr_entries_carried
 
     @property
     def _csr_engine(self):
-        """This matcher's private CSR engine over the graph's current snapshot.
+        """The CSR engine over the overlay store's current base snapshot.
 
-        The snapshot itself is shared (compiled once per graph), but the
-        expansion cache belongs to the matcher and honours ``cache_capacity``
-        — mirroring the dict-mode caches.  A fresh engine is built whenever
-        the graph has been recompiled since the last call, keeping the old
-        engine's caches as a validate-on-lookup donor so memoised expansions
-        of colours the mutation did not touch stay warm; in steady state the
-        check is one integer comparison, keeping per-atom calls cheap.
+        Exposed for tests and diagnostics; only meaningful on the ``csr``
+        engine.  The engine's expansion caches belong to this matcher and
+        honour ``cache_capacity``; the engine is rebuilt (keeping the old
+        caches as a validate-on-lookup donor) only when the store compacts.
         """
-        from repro.matching.csr_engine import CsrEngine
+        return self._adapter.engine_handle()
 
-        engine = self._csr
-        if engine is not None and engine.compiled.source_version == self.graph.version:
-            return engine
-        if engine is not None:
-            self._csr_promoted_base += engine.promoted
-        fresh = CsrEngine(compiled_snapshot(self.graph), self._cache_capacity, donor=engine)
-        self._csr = fresh
-        return fresh
+    # -- one-atom frontiers ------------------------------------------------------
 
-    # -- per-atom distance maps ------------------------------------------------
-
-    def _positive_distances(
-        self,
-        start: NodeId,
-        color: Optional[str],
-        max_depth: Optional[int],
-        reverse: bool,
-    ) -> Dict[NodeId, int]:
-        """Shortest *positive* distances from (or to) ``start`` via one colour.
-
-        The entry for ``start`` itself, when present, is the length of the
-        shortest non-empty cycle through it.  Results of BFS runs are memoised
-        per (start, colour, direction); a cached run is reused whenever it was
-        computed with a depth bound at least as large as the requested one
-        *and* no edge of the searched colour changed since it was computed
-        (entries are tagged with the graph's per-colour edge version, so a
-        mutated graph never serves stale reachability answers while memos of
-        untouched colours stay warm).
-        """
-        if not self.graph.has_node(start):
-            # A removed node must fail identically to a fresh matcher (and to
-            # the CSR engine) even when a version-tagged memo for it is still
-            # around — e.g. remove_node only bumps the versions of the
-            # colours it had edges in.
-            raise GraphError(f"node {start!r} does not exist")
-        cache = self._backward_cache if reverse else self._forward_cache
-        key = (start, color)
-        version = (
-            self.graph.edges_version if color is None else self.graph.color_version(color)
-        )
-        cached = cache.get(key)
-        if cached is not None:
-            cached_version, cached_depth, distances = cached
-            if cached_version == version:
-                if cached_depth is None or (max_depth is not None and max_depth <= cached_depth):
-                    return distances
-            else:
-                self.stale_invalidations += 1
-
-        neighbours = self.graph.predecessors if reverse else self.graph.successors
-        seen: Dict[NodeId, int] = {start: 0}
-        cycle_length: Optional[int] = None
-        queue = deque([start])
-        while queue:
-            current = queue.popleft()
-            depth = seen[current]
-            if max_depth is not None and depth >= max_depth:
-                continue
-            for nxt in neighbours(current, color):
-                if nxt == start:
-                    if cycle_length is None:
-                        cycle_length = depth + 1
-                    continue
-                if nxt not in seen:
-                    seen[nxt] = depth + 1
-                    queue.append(nxt)
-
-        distances = {node: dist for node, dist in seen.items() if node != start}
-        if cycle_length is not None:
-            distances[start] = cycle_length
-        cache.put(key, (version, max_depth, distances))
-        return distances
-
-    def _matrix_row(self, source: NodeId, color: Optional[str]) -> Dict[NodeId, int]:
-        key = WILDCARD if color is None else color
-        return self.matrix._row(source, key)
-
-    def atom_targets(self, source: NodeId, item: RegexAtom) -> Set[NodeId]:
+    def atom_targets(self, source: NodeId, item) -> Set[NodeId]:
         """Nodes reachable from ``source`` by a non-empty block matching one atom."""
-        if self.engine == "csr":
-            return self._csr_frontier(source, item, reverse=False)
-        color = None if item.is_wildcard else item.color
-        bound = item.max_count
-        if self.matrix is not None:
-            row = self._matrix_row(source, color)
-        else:
-            row = self._positive_distances(source, color, bound, reverse=False)
-        return {
-            target
-            for target, dist in row.items()
-            if dist >= 1 and (bound is None or dist <= bound)
-        }
+        return self._adapter.atom_targets(source, item)
 
-    def _csr_frontier(self, node: NodeId, item: RegexAtom, reverse: bool) -> Set[NodeId]:
-        """One-atom frontier via the compiled engine, translated back to ids."""
-        engine = self._csr_engine
-        compiled = engine.compiled
-        index = compiled.node_index(node)
-        expand = engine.atom_sources if reverse else engine.atom_targets
-        ids = compiled.ids
-        return {ids[j] for j in expand(index, item)}
-
-    def atom_sources(self, target: NodeId, item: RegexAtom) -> Set[NodeId]:
+    def atom_sources(self, target: NodeId, item) -> Set[NodeId]:
         """Nodes that reach ``target`` by a non-empty block matching one atom."""
-        if self.engine == "csr":
-            return self._csr_frontier(target, item, reverse=True)
-        color = None if item.is_wildcard else item.color
-        bound = item.max_count
-        if self.matrix is not None:
-            key = WILDCARD if color is None else color
-            result: Set[NodeId] = set()
-            for node in self.graph.nodes():
-                dist = self.matrix._row(node, key).get(target)
-                if dist is not None and dist >= 1 and (bound is None or dist <= bound):
-                    result.add(node)
-            return result
-        row = self._positive_distances(target, color, bound, reverse=True)
-        return {
-            source
-            for source, dist in row.items()
-            if dist >= 1 and (bound is None or dist <= bound)
-        }
+        return self._adapter.atom_sources(target, item)
 
     # -- set-level frontiers ---------------------------------------------------
 
-    def _csr_set_frontier(self, nodes: Set[NodeId], item: RegexAtom, reverse: bool) -> Set[NodeId]:
-        """Batched set-level frontier: one multi-source BFS over CSR arrays.
-
-        Replaces the union of per-node expansions for the PQ refinement
-        fixpoint; a singleton set still goes through the memoised per-node
-        path, which stays warm across repeated fixpoint sweeps.
-        """
-        engine = self._csr_engine
-        compiled = engine.compiled
-        node_index = compiled.node_index
-        indices = [node_index(node) for node in nodes]
-        expand = engine.set_sources_indices if reverse else engine.set_targets_indices
-        ids = compiled.ids
-        return {ids[j] for j in expand(indices, item)}
-
-    def set_targets(self, sources: Set[NodeId], item: RegexAtom) -> Set[NodeId]:
+    def set_targets(self, sources: Set[NodeId], item) -> Set[NodeId]:
         """Nodes reachable from *any* node of ``sources`` by one atom block."""
-        if self.engine == "csr" and len(sources) > 1:
-            return self._csr_set_frontier(sources, item, reverse=False)
-        result: Set[NodeId] = set()
-        for node in sources:
-            result |= self.atom_targets(node, item)
-        return result
+        return self._adapter.set_targets(sources, item)
 
-    def set_sources(self, targets: Set[NodeId], item: RegexAtom) -> Set[NodeId]:
+    def set_sources(self, targets: Set[NodeId], item) -> Set[NodeId]:
         """Nodes that reach *any* node of ``targets`` by one atom block.
 
         In matrix mode this is a single sweep over the graph nodes (checking
@@ -359,34 +231,7 @@ class PathMatcher:
         batched multi-source reverse BFS; in dict search mode it is the union
         of cached backward BFS runs.
         """
-        if not targets:
-            return set()
-        if self.engine == "csr" and len(targets) > 1:
-            return self._csr_set_frontier(targets, item, reverse=True)
-        if self.matrix is None:
-            result: Set[NodeId] = set()
-            for node in targets:
-                result |= self.atom_sources(node, item)
-            return result
-        color = None if item.is_wildcard else item.color
-        bound = item.max_count
-        key = WILDCARD if color is None else color
-        result = set()
-        for node in self.graph.nodes():
-            row = self.matrix._row(node, key)
-            if len(row) <= len(targets):
-                hits = (
-                    dist for target, dist in row.items() if target in targets
-                )
-            else:
-                hits = (
-                    row[target] for target in targets if target in row
-                )
-            for dist in hits:
-                if dist >= 1 and (bound is None or dist <= bound):
-                    result.add(node)
-                    break
-        return result
+        return self._adapter.set_sources(targets, item)
 
     def backward_closure(
         self, starts: Iterable[NodeId], colors: Optional[Iterable[str]] = None
@@ -401,47 +246,12 @@ class PathMatcher:
         use of the new edge), so re-admission candidates are confined to the
         closure of ``u`` over the query's relevant colours.  On the CSR
         engine it runs as one multi-source reverse BFS over the relevant
-        reverse layers (which survive snapshot recompiles of other colours);
-        in dict/matrix mode it walks the reverse adjacency dicts directly
+        reverse layers (which survive compactions of other colours); the
+        dict/matrix engines walk the authoritative adjacency directly
         (never the distance matrix — the closure must reflect the *current*
         topology).
         """
-        start_set = {node for node in starts if self.graph.has_node(node)}
-        if not start_set:
-            return set()
-        color_list = None if colors is None else list(colors)
-        if self.engine == "csr":
-            engine = self._csr_engine
-            compiled = engine.compiled
-            node_index = compiled.node_index
-            color_ids = None
-            if color_list is not None:
-                color_ids = [
-                    color_id
-                    for color_id in (compiled.color_id(color) for color in color_list)
-                    if color_id is not None
-                ]
-            indices = engine.backward_closure_indices(
-                [node_index(node) for node in start_set], color_ids
-            )
-            ids = compiled.ids
-            return start_set | {ids[j] for j in indices}
-        closure = set(start_set)
-        queue = deque(start_set)
-        predecessors = self.graph.predecessors
-        while queue:
-            current = queue.popleft()
-            if color_list is None:
-                incoming = predecessors(current)
-            else:
-                incoming = set()
-                for color in color_list:
-                    incoming |= predecessors(current, color)
-            for prev in incoming:
-                if prev not in closure:
-                    closure.add(prev)
-                    queue.append(prev)
-        return closure
+        return self._adapter.backward_closure(starts, colors)
 
     def backward_reachable(self, targets: Set[NodeId], regex: FRegex) -> Set[NodeId]:
         """All nodes with a path into ``targets`` matching the full expression.
@@ -451,60 +261,17 @@ class PathMatcher:
         memoised) in dense index space — one batched multi-source BFS per
         atom — instead of unioning per-node searches.
         """
-        if self.engine == "csr" and targets:
-            engine = self._csr_engine
-            compiled = engine.compiled
-            node_index = compiled.node_index
-            indices = engine.backward_reachable_indices(
-                [node_index(node) for node in targets], regex
-            )
-            ids = compiled.ids
-            return {ids[j] for j in indices}
-        frontier = set(targets)
-        for item in reversed(regex.atoms):
-            frontier = self.set_sources(frontier, item)
-            if not frontier:
-                break
-        return frontier
+        return self._adapter.backward_reachable(targets, regex)
 
     # -- full expressions ------------------------------------------------------
 
     def targets_from(self, source: NodeId, regex: FRegex) -> Set[NodeId]:
         """All nodes ``v2`` such that ``(source, v2)`` matches ``regex``."""
-        if self.engine == "csr":
-            # Walk the whole expression in dense index space; translate once.
-            engine = self._csr_engine
-            compiled = engine.compiled
-            ids = compiled.ids
-            indices = engine.targets_from(compiled.node_index(source), regex)
-            return {ids[j] for j in indices}
-        frontier: Set[NodeId] = {source}
-        for item in regex.atoms:
-            next_frontier: Set[NodeId] = set()
-            for node in frontier:
-                next_frontier |= self.atom_targets(node, item)
-            frontier = next_frontier
-            if not frontier:
-                break
-        return frontier
+        return self._adapter.targets_from(source, regex)
 
     def sources_to(self, target: NodeId, regex: FRegex) -> Set[NodeId]:
         """All nodes ``v1`` such that ``(v1, target)`` matches ``regex``."""
-        if self.engine == "csr":
-            engine = self._csr_engine
-            compiled = engine.compiled
-            ids = compiled.ids
-            indices = engine.sources_to(compiled.node_index(target), regex)
-            return {ids[j] for j in indices}
-        frontier: Set[NodeId] = {target}
-        for item in reversed(regex.atoms):
-            next_frontier: Set[NodeId] = set()
-            for node in frontier:
-                next_frontier |= self.atom_sources(node, item)
-            frontier = next_frontier
-            if not frontier:
-                break
-        return frontier
+        return self._adapter.sources_to(target, regex)
 
     def edge_pairs(
         self, sources: Set[NodeId], targets: Set[NodeId], regex: FRegex
@@ -515,18 +282,21 @@ class PathMatcher:
         engine the sweep runs (and is memoised) in dense index space; the
         dict/matrix path is the classic per-source forward expansion.
         """
-        if self.engine == "csr":
-            engine = self._csr_engine
-            compiled = engine.compiled
-            node_index = compiled.node_index
-            index_pairs = engine.matching_pairs(
-                regex,
-                frozenset(node_index(node) for node in sources),
-                frozenset(node_index(node) for node in targets),
-            )
-            ids = compiled.ids
-            return {(ids[a], ids[b]) for a, b in index_pairs}
-        return forward_sweep(self, regex, list(sources), targets)
+        return self._adapter.edge_pairs(sources, targets, regex)
+
+    def query_pairs(
+        self, regex: FRegex, sources, targets, method: str = "bidirectional"
+    ) -> Set[Tuple[NodeId, NodeId]]:
+        """All matching pairs between two candidate lists, one RQ evaluation.
+
+        ``method`` is ``"bidirectional"`` (meet in the middle, Section 4) or
+        anything else for the plain forward sweep (the BFS baseline / the
+        matrix method's nested row walks).  This is the bulk entry point
+        :func:`~repro.matching.reachability.evaluate_rq` drives; on the CSR
+        engine with no pending overlay it runs entirely in dense index
+        space, translating ids once.
+        """
+        return self._adapter.query_pairs(regex, sources, targets, method)
 
     def pair_matches(self, source: NodeId, target: NodeId, regex: FRegex) -> bool:
         """True when a non-empty path from ``source`` to ``target`` matches ``regex``."""
@@ -545,6 +315,18 @@ class PathMatcher:
         backward = self.sources_to(target, FRegex(atoms[middle:]))
         return bool(forward & backward)
 
+    # -- predicate scans -------------------------------------------------------
+
+    def matching_nodes(self, predicate):
+        """Node ids whose attributes satisfy ``predicate`` (``None`` = all).
+
+        On the CSR engine the scan runs on the overlay store's base snapshot
+        memo (nodes created since the base are swept live and appended); the
+        dict engine scans the live attribute table.  The ids are identical
+        either way, modulo order — callers treat the result as a set.
+        """
+        return self._adapter.matching_nodes(predicate)
+
     # -- statistics ------------------------------------------------------------
 
     @property
@@ -554,7 +336,7 @@ class PathMatcher:
         A lookup that finds an entry whose version tag is stale still counts
         as an LRU hit; ``stale_invalidations`` counts how many of those were
         discarded and recomputed.  ``csr_entries_carried`` counts memoised
-        CSR expansions migrated into fresh snapshots after mutations.
+        CSR expansions migrated into fresh bases across store compactions.
         """
         return {
             "forward_hit_rate": self._forward_cache.hit_rate,

@@ -34,10 +34,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import EvaluationError
-from repro.graph.csr import compiled_snapshot
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
-from repro.matching.frontiers import forward_sweep, meet_in_the_middle
 from repro.matching.paths import PathMatcher
 from repro.query.rq import ReachabilityQuery
 from repro.session.defaults import (
@@ -128,18 +126,18 @@ class ReachabilityResult:
         return f"ReachabilityResult(method={self.method!r}, size={self.size})"
 
 
-def _candidate_nodes(graph: DataGraph, query: ReachabilityQuery) -> Tuple[List[NodeId], List[NodeId]]:
-    """Nodes satisfying the source / target predicates (dict-engine path).
+def _candidate_nodes(matcher: PathMatcher, query: ReachabilityQuery) -> Tuple[List[NodeId], List[NodeId]]:
+    """Nodes satisfying the source / target predicates.
 
-    The CSR path scans the snapshot's flat attribute table instead
-    (:meth:`~repro.graph.csr.CompiledGraph.matching_indices`); the ids are
-    identical either way (both follow insertion order).
+    Delegated to the matcher's storage adapter: the CSR engine scans the
+    overlay store's base snapshot (memoised per predicate), the dict engine
+    the live attribute table.  The ids are identical either way (both follow
+    insertion order).
     """
-    source_check = query.source_predicate.compile()
-    target_check = query.target_predicate.compile()
-    sources = [node for node in graph.nodes() if source_check(graph.attributes(node))]
-    targets = [node for node in graph.nodes() if target_check(graph.attributes(node))]
-    return sources, targets
+    return (
+        matcher.matching_nodes(query.source_predicate),
+        matcher.matching_nodes(query.target_predicate),
+    )
 
 
 def evaluate_rq(
@@ -213,25 +211,8 @@ def evaluate_rq(
             "(the snapshot engine keeps its own caches) or use engine='dict'"
         )
     default_cache = cache_capacity == DEFAULT_CACHE_CAPACITY
-    use_csr = method in ("bidirectional", "bfs") and (
-        engine == "csr" or (engine == "auto" and matcher is None)
-    )
 
     started = time.perf_counter()
-    if use_csr:
-        snapshot = compiled_snapshot(graph)
-        if default_cache:
-            csr_engine = snapshot.default_engine()
-        else:
-            from repro.matching.csr_engine import CsrEngine
-
-            csr_engine = CsrEngine(snapshot, cache_capacity)
-        pairs = csr_engine.evaluate(query, method=method)
-        elapsed = time.perf_counter() - started
-        return ReachabilityResult(
-            pairs=pairs, method=method, elapsed_seconds=elapsed, engine="csr"
-        )
-
     if matcher is None:
         if method == "matrix":
             matcher = PathMatcher(
@@ -239,25 +220,27 @@ def evaluate_rq(
             )
         elif default_cache:
             # Thin delegation to the graph's module-level default session:
-            # plain search-mode calls share its warm, version-aware dict
-            # matcher instead of rebuilding caches per call.  Answers are
-            # identical (the memos invalidate themselves on mutation).
+            # plain search-mode calls share its warm, version-aware matcher
+            # for the resolved engine instead of rebuilding caches per call.
+            # Answers are identical (the memos invalidate themselves on
+            # mutation; the CSR matcher reads through the overlay store).
             from repro.session.session import default_session
 
-            matcher = default_session(graph).matcher("dict")
+            resolved = "csr" if engine in ("auto", "csr") else "dict"
+            matcher = default_session(graph).matcher(resolved)
         else:
-            matcher = PathMatcher(graph, cache_capacity=cache_capacity)
+            matcher = PathMatcher(graph, cache_capacity=cache_capacity, engine=engine)
 
-    sources, targets = _candidate_nodes(graph, query)
+    sources, targets = _candidate_nodes(matcher, query)
     pairs: Set[NodePair] = set()
     if sources and targets:
-        if method == "bidirectional":
-            pairs = meet_in_the_middle(matcher, query.regex, sources, targets)
-        else:
-            # With a distance matrix each expansion is a sequence of row
-            # walks (the paper's nested-loop matrix method); without one
-            # this is the plain forward BFS baseline of Exp-3.
-            pairs = forward_sweep(matcher, query.regex, sources, targets)
+        # The matcher's storage adapter picks the evaluation path: dense
+        # index space on a clean CSR base, merged read-through frontiers on
+        # a dirty one, dict/matrix expansion otherwise.  "bidirectional" is
+        # the meet-in-the-middle strategy of Section 4; anything else is the
+        # forward sweep (the matrix method's nested row walks / the plain
+        # BFS baseline of Exp-3).
+        pairs = matcher.query_pairs(query.regex, sources, targets, method)
     elapsed = time.perf_counter() - started
     # A caller-supplied matcher may itself run in csr mode; label honestly.
     return ReachabilityResult(

@@ -73,6 +73,19 @@ MATRIX_MAX_NODES = 4096
 #: delta machinery's affected-area bookkeeping.
 TINY_GRAPH_EDGES = 128
 
+#: Overlay fraction (net overlay edges / base edges) above which an
+#: :class:`~repro.storage.overlay.OverlayCsrStore` folds its overlay into a
+#: fresh CSR base (donor-layer recompile).  Below it, mutations stay O(delta)
+#: and dirty colours are served by merged read-through frontiers.  ``0.0``
+#: compacts on every mutation — the recompile-per-update baseline that
+#: ``benchmarks/test_bench_overlay.py`` measures the overlay against.
+OVERLAY_COMPACTION_FRACTION = 0.25
+
+#: Absolute overlay-size floor under which the fraction test never fires:
+#: folding a handful of edges into a recompile is not worth it on any graph
+#: large enough for the CSR engine in the first place.
+OVERLAY_MIN_COMPACTION_EDGES = 16
+
 #: Pattern edge/node ratio above which the planner prefers SplitMatch: dense
 #: (cyclic) patterns re-check the same candidate sets through many
 #: constraints, which the partition-relation representation shares, while

@@ -45,6 +45,7 @@ from repro.session.defaults import (
     DENSE_PATTERN_EDGE_RATIO,
     ENGINES,
     MATRIX_MAX_NODES,
+    OVERLAY_COMPACTION_FRACTION,
     RQ_METHODS,
     SMALL_GRAPH_NODES,
     STRATEGIES,
@@ -70,6 +71,11 @@ class QueryPlan:
     engine:
         Resolved evaluation engine, ``"dict"`` or ``"csr"`` (never
         ``"auto"`` — the planner's job is to resolve it).
+    store:
+        The storage backend the engine reads through: ``"dict"`` (the
+        authoritative adjacency store) or ``"overlay-csr"`` (immutable CSR
+        base plus per-colour edge overlays; see
+        :mod:`repro.storage.overlay`).
     method:
         RQ evaluation method (``""`` for PQ / general-RQ plans).
     use_matrix:
@@ -89,6 +95,7 @@ class QueryPlan:
     kind: str
     algorithm: str
     engine: str
+    store: str = "dict"
     method: str = ""
     use_matrix: bool = False
     maintenance: str = "delta"
@@ -98,7 +105,10 @@ class QueryPlan:
 
     def explain(self) -> str:
         """Render the decision, one reason per line."""
-        header = f"plan[{self.kind}]: algorithm={self.algorithm} engine={self.engine}"
+        header = (
+            f"plan[{self.kind}]: algorithm={self.algorithm} engine={self.engine} "
+            f"store={self.store}"
+        )
         if self.method:
             header += f" method={self.method}"
         header += f" maintenance={self.maintenance}"
@@ -114,11 +124,25 @@ class QueryPlan:
             "kind": self.kind,
             "algorithm": self.algorithm,
             "engine": self.engine,
+            "store": self.store,
             "method": self.method,
             "use_matrix": self.use_matrix,
             "maintenance": self.maintenance,
             "unsatisfiable": self.unsatisfiable,
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view: the flat row plus features and reasons.
+
+        Feature values are passed through the shared coercion policy
+        (:mod:`repro.jsonutil`), so the output always serialises.
+        """
+        from repro.jsonutil import jsonable_mapping
+
+        row = self.as_row()
+        row["features"] = jsonable_mapping(self.features)
+        row["reasons"] = list(self.reasons)
+        return row
 
 
 def _query_kind(query) -> str:
@@ -194,6 +218,50 @@ def _resolve_engine(
     return "csr"
 
 
+def _resolve_store(engine: str, overlay_stats, reasons, features) -> str:
+    """The storage backend behind a resolved engine, with occupancy surfaced.
+
+    The ``csr`` engine reads through the graph's
+    :class:`~repro.storage.overlay.OverlayCsrStore`; when the session already
+    has one active (an update stream is in flight), its live occupancy is
+    recorded in the plan features and rendered by ``explain()``.
+    """
+    if engine != "csr":
+        return "dict"
+    if overlay_stats:
+        fraction = overlay_stats.get("compaction_fraction", OVERLAY_COMPACTION_FRACTION)
+    else:
+        fraction = OVERLAY_COMPACTION_FRACTION
+    reasons.append(
+        "store=overlay-csr: mutations land in per-colour edge overlays "
+        f"(O(delta) per update), folded into a fresh CSR base at {fraction:.0%} "
+        "overlay occupancy"
+    )
+    if overlay_stats:
+        for key in (
+            "base_edges",
+            "overlay_edges",
+            "overlay_fraction",
+            "dirty_colors",
+            "new_nodes",
+            "compactions",
+        ):
+            if key in overlay_stats:
+                feature_key = key if key.startswith("overlay") else f"overlay_{key}"
+                features[feature_key] = overlay_stats[key]
+        reasons.append(
+            "overlay occupancy: {overlay}/{base} edges ({pct:.1%}), "
+            "{dirty} dirty colour(s), {compactions} compaction(s) so far".format(
+                overlay=overlay_stats.get("overlay_edges", 0),
+                base=overlay_stats.get("base_edges", 0),
+                pct=overlay_stats.get("overlay_fraction", 0.0),
+                dirty=overlay_stats.get("dirty_colors", 0),
+                compactions=overlay_stats.get("compactions", 0),
+            )
+        )
+    return "overlay-csr"
+
+
 def _resolve_maintenance(strategy: Optional[str], stats: GraphStats, reasons) -> str:
     if strategy is not None:
         if strategy not in STRATEGIES:
@@ -223,11 +291,14 @@ def plan_query(
     method: Optional[str] = None,
     algorithm: Optional[str] = None,
     strategy: Optional[str] = None,
+    overlay_stats: Optional[Dict[str, object]] = None,
 ) -> QueryPlan:
-    """Choose algorithm / engine / method / maintenance for one query.
+    """Choose algorithm / engine / method / store / maintenance for one query.
 
     ``stats`` are the statistics of the graph the query will run on;
-    ``has_matrix`` says whether the session has a distance matrix attached.
+    ``has_matrix`` says whether the session has a distance matrix attached;
+    ``overlay_stats`` the occupancy statistics of the graph's active
+    overlay-CSR store, if any (surfaced in the plan's features and reasons).
     ``engine`` / ``method`` / ``algorithm`` / ``strategy`` force the
     respective knob (``None`` and ``"auto"`` mean "planner's choice").
     """
@@ -242,13 +313,13 @@ def plan_query(
 
     kind = _query_kind(query)
     if kind == "rq":
-        return _plan_rq(query, stats, has_matrix, engine, method, strategy)
+        return _plan_rq(query, stats, has_matrix, engine, method, strategy, overlay_stats)
     if kind == "general_rq":
-        return _plan_general_rq(query, stats, engine, strategy)
-    return _plan_pq(query, stats, has_matrix, engine, algorithm, strategy)
+        return _plan_general_rq(query, stats, engine, strategy, overlay_stats)
+    return _plan_pq(query, stats, has_matrix, engine, algorithm, strategy, overlay_stats)
 
 
-def _plan_rq(query, stats, has_matrix, engine, method, strategy) -> QueryPlan:
+def _plan_rq(query, stats, has_matrix, engine, method, strategy, overlay_stats=None) -> QueryPlan:
     reasons = []
     regex = query.regex
     features = {
@@ -321,6 +392,7 @@ def _plan_rq(query, stats, has_matrix, engine, method, strategy) -> QueryPlan:
         kind="rq",
         algorithm=chosen_method,
         engine=chosen_engine,
+        store=_resolve_store(chosen_engine, overlay_stats, reasons, features),
         method=chosen_method,
         use_matrix=use_matrix,
         maintenance=_resolve_maintenance(strategy, stats, reasons),
@@ -329,7 +401,7 @@ def _plan_rq(query, stats, has_matrix, engine, method, strategy) -> QueryPlan:
     )
 
 
-def _plan_general_rq(query, stats, engine, strategy) -> QueryPlan:
+def _plan_general_rq(query, stats, engine, strategy, overlay_stats=None) -> QueryPlan:
     reasons = [
         "general regular expression: single NFA-product evaluation "
         "(shared lazily-determinised automaton across all sources)"
@@ -345,13 +417,14 @@ def _plan_general_rq(query, stats, engine, strategy) -> QueryPlan:
         kind="general_rq",
         algorithm="nfa-product",
         engine=chosen_engine,
+        store=_resolve_store(chosen_engine, overlay_stats, reasons, features),
         maintenance=_resolve_maintenance(strategy, stats, reasons),
         features=features,
         reasons=tuple(reasons),
     )
 
 
-def _plan_pq(query, stats, has_matrix, engine, algorithm, strategy) -> QueryPlan:
+def _plan_pq(query, stats, has_matrix, engine, algorithm, strategy, overlay_stats=None) -> QueryPlan:
     reasons = []
     edges = list(query.edges())
     diameter = _pattern_diameter(query)
@@ -445,6 +518,7 @@ def _plan_pq(query, stats, has_matrix, engine, algorithm, strategy) -> QueryPlan
         kind="pq",
         algorithm=chosen,
         engine=chosen_engine,
+        store=_resolve_store(chosen_engine, overlay_stats, reasons, features),
         use_matrix=use_matrix,
         maintenance=_resolve_maintenance(strategy, stats, reasons),
         features=features,

@@ -238,6 +238,12 @@ class GraphSession:
         Optional pre-computed distance matrix; when attached (also via
         :meth:`build_matrix`), the planner may choose matrix-based
         evaluation for small graphs.
+    compaction_fraction:
+        Overlay-occupancy fraction at which the graph's
+        :class:`~repro.storage.overlay.OverlayCsrStore` folds its overlay
+        into a fresh CSR base.  ``None`` keeps the store's policy
+        (:data:`~repro.session.defaults.OVERLAY_COMPACTION_FRACTION` for a
+        fresh store); an explicit value configures the store eagerly.
     name:
         Display name (defaults to the graph's).
     """
@@ -248,10 +254,18 @@ class GraphSession:
         engine: str = DEFAULT_ENGINE,
         cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
         distance_matrix: Optional[DistanceMatrix] = None,
+        compaction_fraction: Optional[float] = None,
         name: Optional[str] = None,
     ):
         if engine not in ENGINES:
             raise QueryError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if compaction_fraction is not None:
+            try:
+                graph.overlay_store().configure_compaction(compaction_fraction)
+            except ValueError as error:
+                # Negative value, or a conflicting policy already pinned on
+                # the graph-shared store by another session.
+                raise QueryError(str(error)) from error
         self.graph = graph
         self.engine = engine
         self.cache_capacity = cache_capacity
@@ -352,10 +366,25 @@ class GraphSession:
 
     # -- planning and execution --------------------------------------------------
 
+    def store_stats(self) -> Dict[str, Any]:
+        """Occupancy statistics of the graph's overlay store (if active).
+
+        ``{"store": "dict"}`` while no overlay base has been compiled — the
+        session never forces a CSR base onto a graph the planner keeps on
+        the dict engine (a store that merely exists, e.g. because
+        ``compaction_fraction`` was configured, does not count until a CSR
+        read compiles its base).
+        """
+        store = self.graph.active_overlay_store
+        if store is None or not store.has_base:
+            return {"store": "dict"}
+        return store.overlay_stats()
+
     def _plan(self, query: Any, overrides: Dict[str, Any]) -> QueryPlan:
         merged = dict(overrides)
         if "engine" not in merged and self.engine != "auto":
             merged["engine"] = self.engine
+        store = self.graph.active_overlay_store
         return plan_query(
             query,
             self.stats,
@@ -364,6 +393,9 @@ class GraphSession:
             method=merged.get("method"),
             algorithm=merged.get("algorithm"),
             strategy=merged.get("strategy"),
+            overlay_stats=(
+                store.overlay_stats() if store is not None and store.has_base else None
+            ),
         )
 
     def prepare(
@@ -434,15 +466,11 @@ class GraphSession:
                 matcher=matcher,
             )
             return answer, dict(matcher.cache_stats)
-        if plan.engine == "csr":
-            # The shared compiled-snapshot engine (predicate scans and
-            # expansions memoised on the snapshot itself).
-            answer = evaluate_rq(
-                query, self.graph, method=plan.method, engine="csr",
-                cache_capacity=self.cache_capacity,
-            )
-            return answer, {}
-        matcher = self.matcher("dict")
+        # One warm version-aware matcher per engine; its storage adapter
+        # decides how frontiers expand (the CSR matcher reads through the
+        # graph's overlay store, so interleaved mutations never force a
+        # recompile inside the session).
+        matcher = self.matcher(plan.engine)
         answer = evaluate_rq(query, self.graph, method=plan.method, matcher=matcher)
         return answer, dict(matcher.cache_stats)
 

@@ -1,0 +1,572 @@
+"""Storage adapters: the one place that branches on the evaluation backend.
+
+:class:`~repro.matching.paths.PathMatcher` exposes the expansion surface the
+RQ/PQ fixpoints drive (``atom_targets`` … ``edge_pairs``).  Every method used
+to branch on ``engine == "csr"`` inline; those branches now live here, behind
+two adapters sharing one interface:
+
+* :class:`DictEngineAdapter` — expansion over the authoritative
+  :class:`~repro.storage.dict_store.DictStore` (or the caller's distance
+  matrix), with the classic version-tagged BFS memos;
+* :class:`OverlayCsrAdapter` — expansion through the graph's
+  :class:`~repro.storage.overlay.OverlayCsrStore`: colours untouched since
+  the base snapshot run on the memoised flat-array
+  :class:`~repro.matching.csr_engine.CsrEngine` (rebuilt, with donor cache
+  promotion, only when the store compacts), dirty colours run as merged
+  read-through frontiers with per-colour version-tagged memos.
+
+The adapters are deliberately the *only* modules that know both worlds; the
+fixpoint bodies above them are engine-free (asserted by
+``tests/test_store_parity.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.exceptions import GraphError
+from repro.storage.base import scan_nodes
+
+NodeId = Hashable
+
+
+def make_adapter(matcher):
+    """The storage adapter for one resolved :class:`PathMatcher`."""
+    if matcher.engine == "csr":
+        return OverlayCsrAdapter(matcher)
+    return DictEngineAdapter(matcher)
+
+
+class DictEngineAdapter:
+    """Expansion over the adjacency dicts (and the optional distance matrix).
+
+    This is the parity reference: every other adapter must return exactly
+    these answers.  BFS runs are memoised per ``(start, colour, direction)``
+    in the matcher's LRU caches, tagged with the graph's per-colour edge
+    versions so a mutated graph never serves stale frontiers.
+    """
+
+    engine = "dict"
+    #: The dict engine scans the live attribute table per call (no snapshot
+    #: to memoise scans on); callers restrict scans to their affected area.
+    memoises_scans = False
+    csr_entries_carried = 0
+
+    def __init__(self, matcher):
+        self.matcher = matcher
+
+    # -- per-atom distance maps ------------------------------------------------
+
+    def positive_distances(
+        self,
+        start: NodeId,
+        color: Optional[str],
+        max_depth: Optional[int],
+        reverse: bool,
+    ) -> Dict[NodeId, int]:
+        """Shortest *positive* distances from (or to) ``start`` via one colour.
+
+        The entry for ``start`` itself, when present, is the length of the
+        shortest non-empty cycle through it.  Results of BFS runs are memoised
+        per (start, colour, direction); a cached run is reused whenever it was
+        computed with a depth bound at least as large as the requested one
+        *and* no edge of the searched colour changed since it was computed
+        (entries are tagged with the graph's per-colour edge version, so a
+        mutated graph never serves stale reachability answers while memos of
+        untouched colours stay warm).
+        """
+        from collections import deque
+
+        matcher = self.matcher
+        graph = matcher.graph
+        if not graph.has_node(start):
+            # A removed node must fail identically to a fresh matcher (and to
+            # the CSR engine) even when a version-tagged memo for it is still
+            # around — e.g. remove_node only bumps the versions of the
+            # colours it had edges in (plus edges_version).
+            raise GraphError(f"node {start!r} does not exist")
+        cache = matcher._backward_cache if reverse else matcher._forward_cache
+        key = (start, color)
+        version = graph.edges_version if color is None else graph.color_version(color)
+        cached = cache.get(key)
+        if cached is not None:
+            cached_version, cached_depth, distances = cached
+            if cached_version == version:
+                if cached_depth is None or (max_depth is not None and max_depth <= cached_depth):
+                    return distances
+            else:
+                matcher.stale_invalidations += 1
+
+        neighbours = graph.predecessors if reverse else graph.successors
+        seen: Dict[NodeId, int] = {start: 0}
+        cycle_length: Optional[int] = None
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            depth = seen[current]
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for nxt in neighbours(current, color):
+                if nxt == start:
+                    if cycle_length is None:
+                        cycle_length = depth + 1
+                    continue
+                if nxt not in seen:
+                    seen[nxt] = depth + 1
+                    queue.append(nxt)
+
+        distances = {node: dist for node, dist in seen.items() if node != start}
+        if cycle_length is not None:
+            distances[start] = cycle_length
+        cache.put(key, (version, max_depth, distances))
+        return distances
+
+    def _matrix_row(self, source: NodeId, color: Optional[str]) -> Dict[NodeId, int]:
+        from repro.regex.fclass import WILDCARD
+
+        key = WILDCARD if color is None else color
+        return self.matcher.matrix._row(source, key)
+
+    # -- one-atom frontiers ------------------------------------------------------
+
+    def atom_targets(self, source: NodeId, item) -> Set[NodeId]:
+        matcher = self.matcher
+        color = None if item.is_wildcard else item.color
+        bound = item.max_count
+        if matcher.matrix is not None:
+            row = self._matrix_row(source, color)
+        else:
+            row = self.positive_distances(source, color, bound, reverse=False)
+        return {
+            target
+            for target, dist in row.items()
+            if dist >= 1 and (bound is None or dist <= bound)
+        }
+
+    def atom_sources(self, target: NodeId, item) -> Set[NodeId]:
+        matcher = self.matcher
+        color = None if item.is_wildcard else item.color
+        bound = item.max_count
+        if matcher.matrix is not None:
+            from repro.regex.fclass import WILDCARD
+
+            key = WILDCARD if color is None else color
+            result: Set[NodeId] = set()
+            for node in matcher.graph.nodes():
+                dist = matcher.matrix._row(node, key).get(target)
+                if dist is not None and dist >= 1 and (bound is None or dist <= bound):
+                    result.add(node)
+            return result
+        row = self.positive_distances(target, color, bound, reverse=True)
+        return {
+            source
+            for source, dist in row.items()
+            if dist >= 1 and (bound is None or dist <= bound)
+        }
+
+    # -- set-level frontiers -----------------------------------------------------
+
+    def set_targets(self, sources: Set[NodeId], item) -> Set[NodeId]:
+        result: Set[NodeId] = set()
+        for node in sources:
+            result |= self.atom_targets(node, item)
+        return result
+
+    def set_sources(self, targets: Set[NodeId], item) -> Set[NodeId]:
+        matcher = self.matcher
+        if not targets:
+            return set()
+        if matcher.matrix is None:
+            result: Set[NodeId] = set()
+            for node in targets:
+                result |= self.atom_sources(node, item)
+            return result
+        from repro.regex.fclass import WILDCARD
+
+        color = None if item.is_wildcard else item.color
+        bound = item.max_count
+        key = WILDCARD if color is None else color
+        result = set()
+        for node in matcher.graph.nodes():
+            row = matcher.matrix._row(node, key)
+            if len(row) <= len(targets):
+                hits = (dist for target, dist in row.items() if target in targets)
+            else:
+                hits = (row[target] for target in targets if target in row)
+            for dist in hits:
+                if dist >= 1 and (bound is None or dist <= bound):
+                    result.add(node)
+                    break
+        return result
+
+    # -- closures and whole expressions ------------------------------------------
+
+    def backward_closure(
+        self, starts: Iterable[NodeId], colors: Optional[Iterable[str]] = None
+    ) -> Set[NodeId]:
+        graph = self.matcher.graph
+        start_set = {node for node in starts if graph.has_node(node)}
+        if not start_set:
+            return set()
+        # Never the distance matrix — the closure must reflect the *current*
+        # topology, so it walks the authoritative store.
+        return graph.store.closure(start_set, colors, reverse=True)
+
+    def backward_reachable(self, targets: Set[NodeId], regex) -> Set[NodeId]:
+        frontier = set(targets)
+        for item in reversed(regex.atoms):
+            frontier = self.set_sources(frontier, item)
+            if not frontier:
+                break
+        return frontier
+
+    def targets_from(self, source: NodeId, regex) -> Set[NodeId]:
+        frontier: Set[NodeId] = {source}
+        for item in regex.atoms:
+            next_frontier: Set[NodeId] = set()
+            for node in frontier:
+                next_frontier |= self.atom_targets(node, item)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frontier
+
+    def sources_to(self, target: NodeId, regex) -> Set[NodeId]:
+        frontier: Set[NodeId] = {target}
+        for item in reversed(regex.atoms):
+            next_frontier: Set[NodeId] = set()
+            for node in frontier:
+                next_frontier |= self.atom_sources(node, item)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frontier
+
+    def edge_pairs(
+        self, sources: Set[NodeId], targets: Set[NodeId], regex
+    ) -> Set[Tuple[NodeId, NodeId]]:
+        from repro.matching.frontiers import forward_sweep
+
+        return forward_sweep(self.matcher, regex, list(sources), targets)
+
+    def query_pairs(
+        self, regex, sources, targets, method: str
+    ) -> Set[Tuple[NodeId, NodeId]]:
+        from repro.matching.frontiers import forward_sweep, meet_in_the_middle
+
+        if method == "bidirectional":
+            return meet_in_the_middle(self.matcher, regex, sources, targets)
+        # With a distance matrix each expansion is a sequence of row walks
+        # (the paper's nested-loop matrix method); without one this is the
+        # plain forward BFS baseline of Exp-3.
+        return forward_sweep(self.matcher, regex, sources, targets)
+
+    # -- predicate scans ---------------------------------------------------------
+
+    def matching_nodes(self, predicate):
+        graph = self.matcher.graph
+        return scan_nodes(predicate, graph.nodes(), graph.attributes)
+
+
+class OverlayCsrAdapter:
+    """Expansion through the graph's overlay-CSR store.
+
+    Colours whose overlay is empty ("clean") run on the per-matcher
+    :class:`~repro.matching.csr_engine.CsrEngine` over the store's base
+    snapshot — full flat-array speed with memoised expansions that stay warm
+    across mutations of *other* colours, because the engine is rebuilt only
+    when the store compacts (old caches then serve as a validate-on-lookup
+    donor, counted in ``csr_entries_carried``).  Dirty colours are expanded
+    with the store's merged read-through frontiers, memoised in the
+    matcher's LRU caches under the same per-colour version tags the dict
+    engine uses.
+    """
+
+    engine = "csr"
+    #: Predicate scans run on the base snapshot's memo (plus a live sweep of
+    #: the few nodes created since) — repeated scans are effectively free.
+    memoises_scans = True
+
+    def __init__(self, matcher):
+        self.matcher = matcher
+        self.store = matcher.graph.overlay_store()
+        self._engine = None
+        self._engine_base = None
+        self._promoted_base = 0
+
+    # -- engine lifecycle --------------------------------------------------------
+
+    def engine_handle(self):
+        """This matcher's CSR engine over the store's current base.
+
+        The base only changes when the store compacts; the retiring engine's
+        caches then serve as a validate-on-lookup donor, so memoised
+        expansions of colours the compaction did not rebuild stay warm
+        (promotions are counted in :attr:`csr_entries_carried`).
+        """
+        from repro.matching.csr_engine import CsrEngine
+
+        base = self.store.base()
+        engine = self._engine
+        if engine is not None and self._engine_base is base:
+            return engine
+        if engine is not None:
+            self._promoted_base += engine.promoted
+        fresh = CsrEngine(base, self.matcher._cache_capacity, donor=engine)
+        self._engine = fresh
+        self._engine_base = base
+        return fresh
+
+    @property
+    def csr_entries_carried(self) -> int:
+        engine = self._engine
+        current = engine.promoted if engine is not None else 0
+        return self._promoted_base + current
+
+    # -- cleanliness helpers -----------------------------------------------------
+
+    def _regex_clean(self, regex) -> bool:
+        store = self.store
+        if regex.has_wildcard:
+            return store.is_clean(None)
+        return all(store.is_clean(color) for color in regex.colors)
+
+    def _all_in_base(self, nodes: Iterable[NodeId]) -> bool:
+        new_nodes = self.store._new_nodes
+        return not new_nodes or new_nodes.isdisjoint(nodes)
+
+    def _atom_version(self, color: Optional[str]) -> int:
+        graph = self.matcher.graph
+        return graph.edges_version if color is None else graph.color_version(color)
+
+    def _regex_version(self, regex):
+        graph = self.matcher.graph
+        if regex.has_wildcard:
+            return graph.edges_version
+        return tuple(graph.color_version(color) for color in sorted(regex.colors))
+
+    # -- one-atom frontiers ------------------------------------------------------
+
+    def _atom_frontier(self, node: NodeId, item, reverse: bool) -> Set[NodeId]:
+        store = self.store
+        store.sync()
+        matcher = self.matcher
+        color = None if item.is_wildcard else item.color
+        if store.is_clean(color) and store.in_base(node):
+            engine = self.engine_handle()
+            compiled = engine.compiled
+            index = compiled.node_index(node)
+            expand = engine.atom_sources if reverse else engine.atom_targets
+            ids = compiled.ids
+            return {ids[j] for j in expand(index, item)}
+        if not matcher.graph.has_node(node):
+            raise GraphError(f"node {node!r} does not exist")
+        # Dirty colour (or a node the base has not seen): merged read-through
+        # expansion, memoised under the same version tags as the dict engine.
+        cache = matcher._backward_cache if reverse else matcher._forward_cache
+        key = (node, color, item.max_count)
+        version = self._atom_version(color)
+        cached = cache.get(key)
+        if cached is not None:
+            cached_version, frontier = cached
+            if cached_version == version:
+                return set(frontier)
+            matcher.stale_invalidations += 1
+        frontier = frozenset(store.frontier((node,), color, item.max_count, reverse))
+        cache.put(key, (version, frontier))
+        return set(frontier)
+
+    def atom_targets(self, source: NodeId, item) -> Set[NodeId]:
+        return self._atom_frontier(source, item, reverse=False)
+
+    def atom_sources(self, target: NodeId, item) -> Set[NodeId]:
+        return self._atom_frontier(target, item, reverse=True)
+
+    # -- set-level frontiers -----------------------------------------------------
+
+    def _set_frontier(self, nodes: Set[NodeId], item, reverse: bool) -> Set[NodeId]:
+        store = self.store
+        store.sync()
+        color = None if item.is_wildcard else item.color
+        if len(nodes) == 1:
+            # Singletons go through the memoised per-node path, which stays
+            # warm across repeated fixpoint sweeps.
+            (node,) = nodes
+            return self._atom_frontier(node, item, reverse)
+        if store.is_clean(color) and self._all_in_base(nodes):
+            engine = self.engine_handle()
+            compiled = engine.compiled
+            node_index = compiled.node_index
+            indices = [node_index(node) for node in nodes]
+            expand = engine.set_sources_indices if reverse else engine.set_targets_indices
+            ids = compiled.ids
+            return {ids[j] for j in expand(indices, item)}
+        return store.frontier(nodes, color, item.max_count, reverse)
+
+    def set_targets(self, sources: Set[NodeId], item) -> Set[NodeId]:
+        if not sources:
+            return set()
+        return self._set_frontier(sources, item, reverse=False)
+
+    def set_sources(self, targets: Set[NodeId], item) -> Set[NodeId]:
+        if not targets:
+            return set()
+        return self._set_frontier(targets, item, reverse=True)
+
+    # -- closures ----------------------------------------------------------------
+
+    def backward_closure(
+        self, starts: Iterable[NodeId], colors: Optional[Iterable[str]] = None
+    ) -> Set[NodeId]:
+        store = self.store
+        store.sync()
+        graph = self.matcher.graph
+        start_set = {node for node in starts if graph.has_node(node)}
+        if not start_set:
+            return set()
+        color_list = None if colors is None else list(colors)
+        clean = (
+            store.is_clean(None)
+            if color_list is None
+            else all(store.is_clean(color) for color in color_list)
+        )
+        if clean and self._all_in_base(start_set):
+            engine = self.engine_handle()
+            compiled = engine.compiled
+            node_index = compiled.node_index
+            color_ids = None
+            if color_list is not None:
+                color_ids = [
+                    color_id
+                    for color_id in (compiled.color_id(color) for color in color_list)
+                    if color_id is not None
+                ]
+            indices = engine.backward_closure_indices(
+                [node_index(node) for node in start_set], color_ids
+            )
+            ids = compiled.ids
+            return start_set | {ids[j] for j in indices}
+        return store.closure(start_set, color_list, reverse=True)
+
+    # -- whole expressions -------------------------------------------------------
+
+    def backward_reachable(self, targets: Set[NodeId], regex) -> Set[NodeId]:
+        store = self.store
+        store.sync()
+        if not targets:
+            return set()
+        if self._regex_clean(regex) and self._all_in_base(targets):
+            engine = self.engine_handle()
+            compiled = engine.compiled
+            node_index = compiled.node_index
+            indices = engine.backward_reachable_indices(
+                [node_index(node) for node in targets], regex
+            )
+            ids = compiled.ids
+            return {ids[j] for j in indices}
+        # Dirty path: fold the merged set-level frontiers right-to-left,
+        # memoised per (regex, target set) under the regex's version vector —
+        # the refinement fixpoints keep asking for stabilised sets.
+        matcher = self.matcher
+        target_set = frozenset(targets)
+        key = ("bwd", regex, target_set)
+        version = self._regex_version(regex)
+        cached = matcher._backward_cache.get(key)
+        if cached is not None:
+            cached_version, frontier = cached
+            if cached_version == version:
+                return set(frontier)
+            matcher.stale_invalidations += 1
+        frontier: Set[NodeId] = set(target_set)
+        for item in reversed(regex.atoms):
+            frontier = self.set_sources(frontier, item)
+            if not frontier:
+                break
+        result = frozenset(frontier)
+        matcher._backward_cache.put(key, (version, result))
+        return set(result)
+
+    def _expression(self, node: NodeId, regex, reverse: bool) -> Set[NodeId]:
+        store = self.store
+        store.sync()
+        if self._regex_clean(regex) and store.in_base(node):
+            engine = self.engine_handle()
+            compiled = engine.compiled
+            ids = compiled.ids
+            index = compiled.node_index(node)
+            indices = engine.sources_to(index, regex) if reverse else engine.targets_from(index, regex)
+            return {ids[j] for j in indices}
+        if not self.matcher.graph.has_node(node):
+            raise GraphError(f"node {node!r} does not exist")
+        frontier: Set[NodeId] = {node}
+        atoms = reversed(regex.atoms) if reverse else regex.atoms
+        for item in atoms:
+            frontier = self._set_frontier(frontier, item, reverse) if frontier else frontier
+            if not frontier:
+                break
+        return frontier
+
+    def targets_from(self, source: NodeId, regex) -> Set[NodeId]:
+        return self._expression(source, regex, reverse=False)
+
+    def sources_to(self, target: NodeId, regex) -> Set[NodeId]:
+        return self._expression(target, regex, reverse=True)
+
+    def edge_pairs(
+        self, sources: Set[NodeId], targets: Set[NodeId], regex
+    ) -> Set[Tuple[NodeId, NodeId]]:
+        store = self.store
+        store.sync()
+        if (
+            self._regex_clean(regex)
+            and self._all_in_base(sources)
+            and self._all_in_base(targets)
+        ):
+            engine = self.engine_handle()
+            compiled = engine.compiled
+            node_index = compiled.node_index
+            index_pairs = engine.matching_pairs(
+                regex,
+                frozenset(node_index(node) for node in sources),
+                frozenset(node_index(node) for node in targets),
+            )
+            ids = compiled.ids
+            return {(ids[a], ids[b]) for a, b in index_pairs}
+        from repro.matching.frontiers import forward_sweep
+
+        return forward_sweep(self.matcher, regex, list(sources), targets)
+
+    def query_pairs(
+        self, regex, sources, targets, method: str
+    ) -> Set[Tuple[NodeId, NodeId]]:
+        from repro.matching.frontiers import forward_sweep, meet_in_the_middle
+
+        store = self.store
+        store.sync()
+        if (
+            self._regex_clean(regex)
+            and self._all_in_base(sources)
+            and self._all_in_base(targets)
+        ):
+            # Entirely in dense index space, translating once at the end;
+            # the engine memoises the whole query per candidate sets, so an
+            # unchanged clean query is one frozenset hash on re-execution.
+            engine = self.engine_handle()
+            compiled = engine.compiled
+            node_index = compiled.node_index
+            index_pairs = engine.query_pairs(
+                regex,
+                frozenset(node_index(node) for node in sources),
+                frozenset(node_index(node) for node in targets),
+                method,
+            )
+            ids = compiled.ids
+            return {(ids[a], ids[b]) for a, b in index_pairs}
+        if method == "bidirectional":
+            return meet_in_the_middle(self.matcher, regex, sources, targets)
+        return forward_sweep(self.matcher, regex, sources, targets)
+
+    # -- predicate scans ---------------------------------------------------------
+
+    def matching_nodes(self, predicate):
+        return self.store.matching_nodes(predicate)

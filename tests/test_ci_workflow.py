@@ -30,7 +30,9 @@ class TestCiWorkflow:
 
     def test_test_job_matrix_and_steps(self, workflow):
         job = workflow["jobs"]["test"]
-        assert job["strategy"]["matrix"]["python-version"] == ["3.9", "3.10", "3.11", "3.12"]
+        assert job["strategy"]["matrix"]["python-version"] == [
+            "3.9", "3.10", "3.11", "3.12", "3.13",
+        ]
         commands = "\n".join(step.get("run", "") for step in job["steps"])
         assert "pip install -e .[dev]" in commands
         assert "ruff check" in commands
@@ -84,3 +86,17 @@ class TestCiWorkflow:
         assert "--benchmark-min-rounds=1" in commands
         uploads = [step for step in job["steps"] if "upload-artifact" in step.get("uses", "")]
         assert uploads and uploads[0]["with"]["path"] == "bench.json"
+
+    def test_benchmark_job_emits_overlay_artifact(self, workflow):
+        # The overlay-store benchmark runs separately and uploads its JSON
+        # next to the classic benchmark artifact.
+        job = workflow["jobs"]["benchmark-smoke"]
+        commands = "\n".join(step.get("run", "") for step in job["steps"])
+        assert "benchmarks/test_bench_overlay.py" in commands
+        assert "--benchmark-json=bench-overlay.json" in commands
+        paths = [
+            step["with"]["path"]
+            for step in job["steps"]
+            if "upload-artifact" in step.get("uses", "")
+        ]
+        assert "bench-overlay.json" in paths and "bench.json" in paths

@@ -231,3 +231,101 @@ class TestExperimentCommand:
         code = main(["experiment", "exp2", "--engine", "csr"])
         assert code == 2
         assert "does not compare engines" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    """--json emits a stable machine-readable schema on every command."""
+
+    def run_json(self, argv):
+        import json
+
+        out = io.StringIO()
+        code = main(argv, out=out)
+        assert code == 0
+        return json.loads(out.getvalue())
+
+    def test_stats_json_schema(self, essembly_json):
+        payload = self.run_json(["stats", essembly_json, "--json"])
+        assert payload["command"] == "stats"
+        stats = payload["stats"]
+        assert stats["|V|"] == 7
+        assert isinstance(stats["color_counts"], dict)
+        assert stats["color_counts"]["fa"] >= 1
+
+    def test_rq_json_schema(self, essembly_json):
+        payload = self.run_json(
+            [
+                "rq", essembly_json,
+                "--source", "job = 'biologist' & sp = 'cloning'",
+                "--target", "job = 'doctor'",
+                "--regex", "fa^2.fn",
+                "--json",
+            ]
+        )
+        assert payload["command"] == "rq"
+        assert payload["session"] is False
+        assert payload["plan"] is None
+        result = payload["result"]
+        assert set(result) == {"pairs", "method", "elapsed_seconds", "engine"}
+        assert ["C1", "B1"] in result["pairs"]
+        assert len(result["pairs"]) == 4
+
+    def test_rq_session_json_includes_plan(self, essembly_json):
+        payload = self.run_json(
+            ["rq", essembly_json, "--regex", "fa", "--session", "--json"]
+        )
+        assert payload["session"] is True
+        plan = payload["plan"]
+        assert plan["kind"] == "rq"
+        assert plan["engine"] in ("dict", "csr")
+        assert plan["store"] in ("dict", "overlay-csr")
+        assert isinstance(plan["reasons"], list) and plan["reasons"]
+        assert isinstance(plan["features"], dict)
+        assert payload["result"]["pairs"]
+
+    def test_plan_json_schema(self, essembly_json):
+        payload = self.run_json(["plan", essembly_json, "--regex", "fa", "--json"])
+        assert payload["command"] == "plan"
+        assert payload["result"] is None
+        plan = payload["plan"]
+        for key in (
+            "kind", "algorithm", "engine", "store", "method",
+            "use_matrix", "maintenance", "unsatisfiable", "features", "reasons",
+        ):
+            assert key in plan, key
+        assert payload["store_stats"]["store"] in ("dict", "overlay-csr")
+
+    def test_plan_json_execute_reports_result_and_overlay(self, essembly_json):
+        payload = self.run_json(
+            ["plan", essembly_json, "--regex", "fa", "--engine", "csr", "--execute", "--json"]
+        )
+        assert payload["plan"]["store"] == "overlay-csr"
+        result = payload["result"]
+        assert set(result) == {"size", "engine", "elapsed_seconds"}
+        assert result["engine"] == "csr"
+        # Execution created the overlay store; its occupancy is surfaced.
+        stats = payload["store_stats"]
+        assert stats["store"] == "overlay-csr"
+        assert stats["overlay_edges"] == 0
+        assert stats["compactions"] >= 1
+
+    def test_experiment_json_schema(self):
+        payload = self.run_json(["experiment", "exp2", "--json"])
+        assert payload["command"] == "experiment"
+        assert payload["experiment"] == "exp2"
+        reports = payload["reports"]
+        assert isinstance(reports, list) and reports
+        for report in reports:
+            assert set(report) == {"name", "description", "rows"}
+            assert isinstance(report["rows"], list)
+            for row in report["rows"]:
+                assert isinstance(row, dict)
+
+    def test_json_output_parses_with_sorted_keys(self, essembly_json):
+        import json
+
+        out = io.StringIO()
+        assert main(["plan", essembly_json, "--regex", "fa", "--json"], out=out) == 0
+        text = out.getvalue()
+        assert json.loads(text) == json.loads(text)  # stable, valid JSON
+        assert text.lstrip().startswith("{")

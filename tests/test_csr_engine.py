@@ -197,7 +197,7 @@ class TestPathMatcherCsrMode:
         # "auto" quietly picks matrix mode (dict), as documented
         assert PathMatcher(graph, distance_matrix=matrix, engine="auto").engine == "dict"
 
-    def test_private_engine_tracks_snapshot(self):
+    def test_private_engine_tracks_store_base(self):
         graph = DataGraph()
         graph.add_node("a")
         graph.add_node("b")
@@ -207,9 +207,17 @@ class TestPathMatcherCsrMode:
         assert matcher.atom_targets("a", atom) == {"b"}
         first_engine = matcher._csr_engine
         assert first_engine._cache.capacity == 7  # honours cache_capacity
-        graph.add_edge("b", "a", "c")  # topology change -> new snapshot
+        # A mutation lands in the overlay: the base snapshot (and hence the
+        # engine) survives, and the dirty colour is answered read-through.
+        graph.add_edge("b", "a", "c")
+        assert matcher.atom_targets("b", atom) == {"a"}
+        assert matcher._csr_engine is first_engine
+        # Only a compaction folds the overlay into a fresh base and swaps
+        # the engine (donating the old caches).
+        graph.overlay_store().compact()
         assert matcher.atom_targets("b", atom) == {"a"}
         assert matcher._csr_engine is not first_engine
+        assert matcher._csr_engine._cache.capacity == 7
 
 
 class TestGeneralRegexProduct:

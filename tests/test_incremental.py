@@ -423,14 +423,26 @@ class TestWarmMatcherReuse:
         stats = matcher.cache_statistics()
         assert stats["backward_hit_rate"] > 0.0
 
-    def test_csr_cache_entries_carried_across_deletion(self, essembly):
+    def test_csr_deletion_maintained_without_recompile(self, essembly):
         matcher = IncrementalPatternMatcher(essembly_query_q2(), essembly, engine="csr")
         assert matcher.engine == "csr"
         path_matcher = matcher.matcher
         assert matcher.cache_statistics()["csr_entries_carried"] == 0.0
+        store = essembly.overlay_store()
+        engine = path_matcher._csr_engine
+        compactions_before = store.compactions
         matcher.remove_edge("C3", "B1", "fn")
-        # The deletion recompiled the snapshot, but expansions of untouched
-        # colours were migrated into the fresh engine instead of discarded.
+        # The deletion lands in the store overlay: no snapshot recompile
+        # happens inside the maintenance loop, the engine (and its warm
+        # expansions of untouched colours) stays in place, and the dirty
+        # colour is served by merged read-through frontiers.
+        assert store.compactions == compactions_before
+        assert path_matcher._csr_engine is engine
+        assert "fn" in store.dirty_colors()
+        # A forced compaction retires the engine but promotes still-valid
+        # memoised expansions into its successor.
+        store.compact()
+        matcher.recompute()
         assert path_matcher.csr_entries_carried > 0
 
     def test_engines_give_identical_answers(self, essembly):

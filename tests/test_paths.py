@@ -187,18 +187,37 @@ class TestVersionAwareCaches:
         small_graph.remove_edge("b", "c", "red")
         assert matcher.targets_from("a", expr) == {"b"}
 
-    def test_csr_warm_entries_carried_across_mutations(self, small_graph):
+    def test_csr_warm_entries_survive_mutations_without_recompile(self, small_graph):
         matcher = PathMatcher(small_graph, engine="csr")
         blue = parse_fregex("blue")
         red = parse_fregex("red")
         assert matcher.targets_from("c", blue) == {"d"}
         assert matcher.targets_from("a", red) == {"b"}
-        carried_before = matcher.csr_entries_carried
-        # Deleting a *green* edge leaves blue and red expansions valid.
+        engine = matcher._csr_engine
+        store = small_graph.overlay_store()
+        compactions_before = store.compactions
+        hits_before = engine._cache.hits
+        # Deleting a *green* edge only dirties green's overlay: no recompile
+        # happens, the engine (and its warm blue/red memos) stay in place.
         small_graph.remove_edge("b", "b", "green")
         assert matcher.targets_from("c", blue) == {"d"}
-        assert matcher.csr_entries_carried > carried_before
         assert matcher.targets_from("a", red) == {"b"}
+        assert store.compactions == compactions_before
+        assert matcher._csr_engine is engine
+        assert engine._cache.hits > hits_before
+
+    def test_csr_entries_promoted_across_compaction(self, small_graph):
+        matcher = PathMatcher(small_graph, engine="csr")
+        blue = parse_fregex("blue")
+        assert matcher.targets_from("c", blue) == {"d"}
+        carried_before = matcher.csr_entries_carried
+        small_graph.remove_edge("b", "b", "green")
+        # Folding the overlay into a fresh base retires the engine; memoised
+        # expansions of colours the compaction did not rebuild are promoted
+        # into its successor instead of being discarded.
+        small_graph.overlay_store().compact()
+        assert matcher.targets_from("c", blue) == {"d"}
+        assert matcher.csr_entries_carried > carried_before
 
     def test_csr_touched_color_entries_dropped(self, small_graph):
         matcher = PathMatcher(small_graph, engine="csr")
@@ -252,3 +271,90 @@ class TestVersionAwareCaches:
         tiny = PathMatcher(small_graph, cache_capacity=5, engine="csr")
         tiny.backward_reachable({"c", "d"}, red)
         assert tiny._csr_engine._set_cache.capacity == 5
+
+
+class TestRemoveNodeVersionSemantics:
+    """Audit of the remove_node version-counter contract.
+
+    Store overlays and matcher memos key their invalidation on the graph's
+    version counters, so ``remove_node`` must (a) bump ``edges_version`` and
+    the colour version of every colour the node had edges in — which its
+    per-edge removals already do — and (b) bump ``edges_version`` once more
+    unconditionally, so removing an *isolated* node still moves the counter
+    state keyed on the node universe depends on.
+    """
+
+    def test_touched_color_versions_bump(self, small_graph):
+        red_before = small_graph.color_version("red")
+        blue_before = small_graph.color_version("blue")
+        green_before = small_graph.color_version("green")
+        small_graph.remove_node("b")  # red in/out, blue in, green self loop
+        assert small_graph.color_version("red") > red_before
+        assert small_graph.color_version("blue") > blue_before
+        assert small_graph.color_version("green") > green_before
+
+    def test_isolated_node_removal_bumps_edges_version(self, small_graph):
+        small_graph.add_node("lonely")
+        edges_before = small_graph.edges_version
+        version_before = small_graph.version
+        small_graph.remove_node("lonely")
+        assert small_graph.edges_version == edges_before + 1
+        assert small_graph.version > version_before
+
+    def test_attrs_version_bumps_on_removal(self, small_graph):
+        attrs_before = small_graph.attrs_version
+        small_graph.remove_node("d")
+        assert small_graph.attrs_version > attrs_before
+
+    def test_overlay_store_compacts_on_node_removal(self, small_graph):
+        matcher = PathMatcher(small_graph, engine="csr")
+        red = parse_fregex("red^2")
+        assert matcher.targets_from("a", red) == {"b", "c"}
+        store = small_graph.overlay_store()
+        compactions = store.compactions
+        small_graph.remove_node("b")
+        # The removal forces a compaction (the base must never keep a dead
+        # node), and the warm matcher answers against the new topology.
+        assert matcher.targets_from("a", red) == set()
+        assert store.compactions > compactions
+        assert not store.base().has_node("b")
+
+    def test_isolated_removal_invalidates_overlay_sync(self, small_graph):
+        small_graph.add_node("lonely")
+        matcher = PathMatcher(small_graph, engine="csr")
+        blue = parse_fregex("blue")
+        assert matcher.targets_from("c", blue) == {"d"}
+        store = small_graph.overlay_store()
+        assert store.base().has_node("lonely")
+        small_graph.remove_node("lonely")
+        assert matcher.targets_from("c", blue) == {"d"}
+        assert not store.base().has_node("lonely")
+
+    def test_removed_and_readded_node_uses_fresh_attributes(self, small_graph):
+        from repro.query.predicates import Predicate
+
+        small_graph.add_node("x", role="old")
+        matcher = PathMatcher(small_graph, engine="csr")
+        predicate = Predicate.parse("role = 'old'")
+        assert set(matcher.matching_nodes(predicate)) == {"x"}
+        small_graph.remove_node("x")
+        small_graph.add_node("x", role="new")
+        # The memoised scan must not resurrect the old attribute row.
+        assert matcher.matching_nodes(predicate) == []
+        assert set(matcher.matching_nodes(Predicate.parse("role = 'new'"))) == {"x"}
+
+    def test_regression_alongside_version_aware_caches(self, small_graph):
+        # The original caveat: a warm memo for a colour the removed node had
+        # no edges in must not mask the removal (dict and csr engines alike).
+        from repro.exceptions import GraphError
+
+        small_graph.add_edge("x", "y", "red")
+        for engine in ("dict", "csr"):
+            matcher = PathMatcher(small_graph, engine=engine)
+            blue = parse_fregex("blue")
+            assert matcher.targets_from("x", blue) == set()
+        small_graph.remove_node("x")
+        for engine in ("dict", "csr"):
+            matcher = PathMatcher(small_graph, engine=engine)
+            with pytest.raises(GraphError):
+                matcher.targets_from("x", parse_fregex("blue"))

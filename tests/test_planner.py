@@ -218,6 +218,54 @@ class TestExplainRendering:
         row = plan_query(rq(), stats_for()).as_row()
         assert row["kind"] == "rq"
         assert set(row) == {
-            "kind", "algorithm", "engine", "method", "use_matrix",
+            "kind", "algorithm", "engine", "store", "method", "use_matrix",
             "maintenance", "unsatisfiable",
         }
+
+
+class TestStoreResolution:
+    """The planner names the storage backend behind every resolved engine."""
+
+    def test_csr_engine_reads_the_overlay_store(self):
+        plan = plan_query(rq(), stats_for(num_nodes=500))
+        assert plan.engine == "csr"
+        assert plan.store == "overlay-csr"
+        assert any("overlay" in reason for reason in plan.reasons)
+
+    def test_dict_engine_uses_the_dict_store(self):
+        plan = plan_query(rq(), stats_for(num_nodes=SMALL_GRAPH_NODES - 1))
+        assert plan.engine == "dict"
+        assert plan.store == "dict"
+
+    def test_overlay_occupancy_surfaced_in_features_and_explain(self):
+        overlay_stats = {
+            "base_edges": 400,
+            "overlay_edges": 12,
+            "overlay_fraction": 0.03,
+            "dirty_colors": 2,
+            "new_nodes": 1,
+            "compactions": 3,
+            "compaction_fraction": 0.25,
+        }
+        plan = plan_query(rq(), stats_for(num_nodes=500), overlay_stats=overlay_stats)
+        assert plan.features["overlay_edges"] == 12
+        assert plan.features["overlay_base_edges"] == 400
+        assert plan.features["overlay_compactions"] == 3
+        assert "overlay occupancy: 12/400 edges" in plan.explain()
+        assert "3 compaction(s)" in plan.explain()
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+
+        plan = plan_query(rq(), stats_for(num_nodes=500))
+        payload = json.loads(json.dumps(plan.to_dict()))
+        assert payload["store"] == "overlay-csr"
+        assert payload["reasons"] == list(plan.reasons)
+        assert isinstance(payload["features"], dict)
+
+    def test_pq_plans_carry_store_too(self):
+        query = pattern([("A", "B", "fa")], predicates=[("A", None), ("B", None)])
+        plan = plan_query(query, stats_for(num_nodes=500))
+        assert plan.store == "overlay-csr"
+        forced = plan_query(query, stats_for(num_nodes=500), engine="dict")
+        assert forced.store == "dict"

@@ -25,6 +25,7 @@ class TestPublicApi:
             "repro.metrics",
             "repro.experiments",
             "repro.session",
+            "repro.storage",
         ]:
             importlib.import_module(module)
 

@@ -18,6 +18,7 @@ from repro import (
     evaluate_rq,
     join_match,
 )
+from repro.datasets.synthetic import generate_synthetic_graph
 from repro.exceptions import QueryError
 from repro.graph.data_graph import DataGraph
 from repro.matching.incremental import coalesce_update_stream
@@ -409,3 +410,54 @@ class TestDefaultSessionRegistry:
         del first, filler
         gc.collect()
         assert reference() is None, "evicted graph (and its session) must be collectable"
+
+
+class TestSessionStoreIntegration:
+    def test_store_stats_dict_until_csr_runs(self, graph, rq):
+        session = GraphSession(graph, engine="dict")
+        assert session.store_stats() == {"store": "dict"}
+        session.execute(rq)
+        assert session.store_stats() == {"store": "dict"}
+
+    def test_csr_execution_activates_overlay_store(self):
+        graph = generate_synthetic_graph(100, 400, seed=3)
+        session = GraphSession(graph, engine="csr")
+        query = ReachabilityQuery(None, None, sorted(graph.colors)[0])
+        session.execute(query)
+        stats = session.store_stats()
+        assert stats["store"] == "overlay-csr"
+        assert stats["base_edges"] == graph.num_edges
+
+    def test_compaction_fraction_configures_the_store(self):
+        graph = generate_synthetic_graph(100, 400, seed=3)
+        session = GraphSession(graph, compaction_fraction=0.5)
+        assert graph.overlay_store().compaction_fraction == 0.5
+
+    def test_negative_compaction_fraction_rejected(self, graph):
+        with pytest.raises(QueryError):
+            GraphSession(graph, compaction_fraction=-0.1)
+
+    def test_replanned_query_surfaces_overlay_occupancy(self):
+        graph = generate_synthetic_graph(100, 400, seed=3)
+        colors = sorted(graph.colors)
+        session = GraphSession(graph, engine="csr")
+        prepared = session.prepare(ReachabilityQuery(None, None, colors[0]))
+        prepared.execute()
+        nodes = list(graph.nodes())
+        session.apply_updates([("add", nodes[0], nodes[1], colors[1])])
+        prepared.execute()  # auto-replans against the mutated graph
+        assert prepared.plan.store == "overlay-csr"
+        assert "overlay occupancy" in prepared.explain()
+        assert prepared.plan.features["overlay_edges"] >= 1
+
+    def test_session_rq_on_csr_keeps_answers_identical_under_updates(self):
+        graph = generate_synthetic_graph(120, 500, seed=5)
+        colors = sorted(graph.colors)
+        session = GraphSession(graph, engine="csr")
+        query = ReachabilityQuery(None, None, f"{colors[0]}^2")
+        nodes = list(graph.nodes())
+        for step in range(6):
+            session.apply_updates([("add", nodes[step], nodes[-1 - step], colors[0])])
+            got = session.execute(query).answer.pairs
+            expected = evaluate_rq(query, graph.copy(), engine="dict").pairs
+            assert got == expected, step

@@ -1,0 +1,555 @@
+"""Differential tests of the storage layer.
+
+Two kinds of guarantees are pinned here:
+
+* **store parity** — for any interleaving of edge/node updates, the
+  overlay-CSR store (the ``csr`` engine's read path) answers every frontier,
+  RQ, general-RQ and PQ question exactly like the authoritative dict store
+  *and* like a from-scratch recomputation on a fresh copy of the graph.  A
+  hypothesis :class:`~hypothesis.stateful.RuleBasedStateMachine` (extending
+  the differential harness of ``tests/test_incremental_stateful.py``) drives
+  random streams; deterministic tests cover the overlay mechanics (journal
+  replay, netting, compaction, merged reads, scans).
+* **layering** — the evaluation fixpoint modules contain no ``engine ==``
+  branches: dict-vs-CSR dispatch lives in :mod:`repro.storage.adapter` and
+  nowhere else (the acceptance gate of the storage-layer refactor).
+"""
+
+import pathlib
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.graph.data_graph import DataGraph
+from repro.matching.general_rq import GeneralReachabilityQuery, evaluate_general_rq
+from repro.matching.join_match import join_match
+from repro.matching.paths import PathMatcher
+from repro.matching.reachability import evaluate_rq
+from repro.query.pq import PatternQuery
+from repro.query.rq import ReachabilityQuery
+from repro.regex.parser import parse_fregex
+from repro.storage.dict_store import DictStore
+from repro.storage.overlay import OverlayCsrStore
+
+_COLORS = ("r", "g", "b")
+
+
+def build_graph(edges, num_nodes=6):
+    graph = DataGraph(name="store-parity")
+    for node in range(num_nodes):
+        graph.add_node(node, tag=node % 3)
+    for source, target, color in edges:
+        graph.add_edge(source, target, color)
+    return graph
+
+
+@pytest.fixture
+def graph():
+    return build_graph(
+        [
+            (0, 1, "r"),
+            (1, 2, "r"),
+            (2, 3, "g"),
+            (3, 1, "g"),
+            (1, 1, "b"),
+            (4, 2, "r"),
+        ]
+    )
+
+
+class TestDictStore:
+    def test_journal_off_until_a_store_subscribes(self, graph):
+        # No consumer -> no recording; a derived store syncing from any
+        # pre-subscription version sees "truncated" and compacts.
+        graph.add_edge(0, 5, "b")
+        assert graph.journal_since(0) is None
+
+    def test_journal_records_mutations(self, graph):
+        store = graph.store
+        store.enable_journal()
+        version = graph.version
+        graph.add_edge(0, 5, "b")
+        graph.remove_edge(0, 5, "b")
+        entries = store.journal_since(version)
+        assert [entry[1] for entry in entries] == ["+e", "-e"]
+        assert entries[0][2:] == (0, 5, "b")
+
+    def test_journal_reports_node_ops(self, graph):
+        graph.store.enable_journal()
+        version = graph.version
+        graph.add_edge(7, 8, "r")  # creates both endpoints
+        graph.remove_node(7)
+        ops = [entry[1] for entry in graph.journal_since(version)]
+        assert ops == ["+n", "+n", "+e", "-e", "-n"]
+
+    def test_journal_truncation_returns_none(self, graph, monkeypatch):
+        import repro.storage.dict_store as dict_store
+
+        graph.store.enable_journal()
+        monkeypatch.setattr(dict_store, "JOURNAL_CAPACITY", 4)
+        monkeypatch.setattr(dict_store, "_JOURNAL_TRIM_CHUNK", 1)
+        version = graph.version
+        for step in range(6):
+            graph.add_edge(0, 10 + step, "r")
+        assert graph.journal_since(version) is None
+        # A recent sync point still replays fine.
+        assert graph.journal_since(graph.version - 1) is not None
+
+    def test_frontier_matches_matcher_semantics(self, graph):
+        store = graph.store
+        # Non-empty block semantics: the self loop re-reaches its start.
+        assert 1 in store.frontier([1], "b", None)
+        assert store.frontier([0], "r", 1) == {1}
+        assert store.frontier([0], "r", 2) == {1, 2}
+        assert store.frontier([0, 4], "r", 1) == {1, 2}
+        assert store.frontier([2], "r", None, reverse=True) == {1, 0, 4}
+        assert store.frontier([3], None, 1, reverse=True) == {2}
+
+    def test_store_kind_and_sync_noop(self, graph):
+        assert graph.store.kind == "dict"
+        graph.store.sync()  # authoritative: nothing to do
+
+
+class TestOverlayMechanics:
+    def test_overlay_absorbs_mutations_without_recompile(self, graph):
+        store = graph.overlay_store()
+        store.sync()
+        base = store.base()
+        compactions = store.compactions
+        graph.add_edge(0, 3, "r")
+        graph.remove_edge(1, 2, "r")
+        store.sync()
+        assert store.base() is base  # no recompile
+        assert store.compactions == compactions
+        assert store.overlay_edges == 2
+        assert store.dirty_colors() == {"r"}
+        assert not store.is_clean("r")
+        assert store.is_clean("g")
+        assert not store.is_clean(None)  # wildcard sees any overlay
+
+    def test_netting_cancels_opposite_operations(self, graph):
+        store = graph.overlay_store()
+        store.sync()
+        graph.add_edge(0, 3, "r")
+        graph.remove_edge(0, 3, "r")
+        store.sync()
+        assert store.overlay_edges == 0
+        assert store.is_clean("r")
+        # Removing a base edge and re-adding it also nets out.
+        graph.remove_edge(0, 1, "r")
+        graph.add_edge(0, 1, "r")
+        store.sync()
+        assert store.overlay_edges == 0
+
+    def test_merged_neighbors_equal_live_adjacency(self, graph):
+        store = graph.overlay_store()
+        store.sync()
+        graph.add_edge(0, 3, "r")
+        graph.remove_edge(1, 2, "r")
+        graph.add_edge(9, 1, "g")  # new node with an edge
+        store.sync()
+        for node in graph.nodes():
+            for color in graph.colors:
+                assert store.merged_neighbors(node, color) == graph.successors(node, color), (
+                    node, color,
+                )
+                assert store.merged_neighbors(node, color, reverse=True) == graph.predecessors(
+                    node, color
+                ), (node, color)
+
+    def test_compaction_triggered_by_occupancy(self, graph):
+        store = OverlayCsrStore(graph, compaction_fraction=0.3, min_compaction_edges=1)
+        store.sync()
+        compactions = store.compactions
+        graph.add_edge(0, 2, "g")  # 1/6 < 0.3: stays overlay
+        store.sync()
+        assert store.compactions == compactions
+        graph.add_edge(0, 3, "g")  # 2/6 >= 0.3: folds
+        store.sync()
+        assert store.compactions == compactions + 1
+        assert store.overlay_edges == 0
+        assert store.is_clean(None)
+
+    def test_zero_fraction_compacts_every_mutation(self, graph):
+        store = OverlayCsrStore(graph, compaction_fraction=0.0, min_compaction_edges=0)
+        store.sync()
+        before = store.compactions
+        graph.add_edge(0, 2, "g")
+        store.sync()
+        graph.remove_edge(0, 2, "g")
+        store.sync()
+        assert store.compactions == before + 2
+
+    def test_node_removal_forces_compaction(self, graph):
+        store = graph.overlay_store()
+        store.sync()
+        compactions = store.compactions
+        graph.remove_node(4)
+        store.sync()
+        assert store.compactions == compactions + 1
+        assert not store.base().has_node(4)
+
+    def test_journal_truncation_falls_back_to_compaction(self, graph, monkeypatch):
+        import repro.storage.dict_store as dict_store
+
+        store = graph.overlay_store()
+        store.sync()
+        compactions = store.compactions
+        monkeypatch.setattr(dict_store, "JOURNAL_CAPACITY", 2)
+        monkeypatch.setattr(dict_store, "_JOURNAL_TRIM_CHUNK", 1)
+        for step in range(5):
+            graph.add_edge(0, 20 + step, "r")
+        store.sync()
+        assert store.compactions == compactions + 1
+        assert store.overlay_edges == 0
+
+    def test_matching_nodes_sees_new_nodes_and_attr_updates(self, graph):
+        from repro.query.predicates import Predicate
+
+        store = graph.overlay_store()
+        store.sync()
+        predicate = Predicate.parse("tag = 1")
+        baseline = set(store.matching_nodes(predicate))
+        assert baseline == {1, 4}
+        graph.add_node(30, tag=1)  # new node, journal-replayed
+        assert set(store.matching_nodes(predicate)) == baseline | {30}
+        graph.add_node(2, tag=1)  # attribute update on a base node
+        assert set(store.matching_nodes(predicate)) == baseline | {30, 2}
+
+    def test_overlay_stats_shape(self, graph):
+        stats = graph.overlay_store().overlay_stats()
+        for key in (
+            "store", "base_nodes", "base_edges", "overlay_edges", "overlay_fraction",
+            "dirty_colors", "new_nodes", "compactions", "syncs", "replayed_ops",
+            "compaction_fraction",
+        ):
+            assert key in stats, key
+        assert stats["store"] == "overlay-csr"
+
+
+class TestMatcherStoreParity:
+    """Interleaved update/query streams: csr ≡ dict ≡ from-scratch."""
+
+    def test_deterministic_interleaving(self, graph):
+        dict_matcher = PathMatcher(graph, engine="dict")
+        csr_matcher = PathMatcher(graph, engine="csr")
+        expressions = [parse_fregex(e) for e in ("r", "r^2.g", "_^2", "g^+.b", "_")]
+        updates = [
+            ("add", 0, 3, "r"),
+            ("remove", 1, 2, "r"),
+            ("add", 9, 1, "g"),
+            ("add", 1, 9, "g"),
+            ("remove", 3, 1, "g"),
+            ("add", 2, 2, "b"),
+        ]
+        for op, source, target, color in updates:
+            if op == "add":
+                graph.add_edge(source, target, color)
+            else:
+                graph.remove_edge(source, target, color)
+            fresh = PathMatcher(graph.copy(), engine="dict")
+            for expr in expressions:
+                for node in list(graph.nodes()):
+                    expected = fresh.targets_from(node, expr)
+                    assert dict_matcher.targets_from(node, expr) == expected, (op, expr, node)
+                    assert csr_matcher.targets_from(node, expr) == expected, (op, expr, node)
+                    expected_back = fresh.sources_to(node, expr)
+                    assert csr_matcher.sources_to(node, expr) == expected_back, (op, expr, node)
+
+    def test_set_level_parity_through_updates(self, graph):
+        csr_matcher = PathMatcher(graph, engine="csr")
+        dict_matcher = PathMatcher(graph, engine="dict")
+        expr = parse_fregex("r.g")
+        graph.add_edge(5, 0, "r")
+        graph.remove_edge(2, 3, "g")
+        targets = {1, 2, 3}
+        assert csr_matcher.backward_reachable(targets, expr) == dict_matcher.backward_reachable(
+            targets, expr
+        )
+        assert csr_matcher.set_sources(targets, expr.atoms[0]) == dict_matcher.set_sources(
+            targets, expr.atoms[0]
+        )
+        assert csr_matcher.backward_closure([1], colors=["r"]) == dict_matcher.backward_closure(
+            [1], colors=["r"]
+        )
+
+
+def _fresh_rq_answer(graph, query):
+    return evaluate_rq(query, graph.copy(), engine="dict").pairs
+
+
+_node = st.integers(min_value=0, max_value=9)
+_color = st.sampled_from(_COLORS)
+_update = st.tuples(st.sampled_from(("add", "remove")), _node, _node, _color)
+
+
+@st.composite
+def _initial_edges(draw):
+    return draw(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5), st.sampled_from(_COLORS)),
+            max_size=15,
+        )
+    )
+
+
+class StoreDifferentialMachine(RuleBasedStateMachine):
+    """Random interleaved add/remove/query streams over one shared graph.
+
+    The machine mutates ONE graph observed by two long-lived matchers (dict
+    and overlay-csr) plus the overlay store's compaction hook, and after
+    every rule checks RQ, general-RQ and PQ answers on both engines against
+    a from-scratch evaluation of a fresh copy — extending the differential
+    harness of ``tests/test_incremental_stateful.py`` one layer down, to the
+    storage reads themselves.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.graph = None
+
+    @initialize(edges=_initial_edges())
+    def setup(self, edges):
+        self.graph = build_graph(edges)
+        self.dict_matcher = PathMatcher(self.graph, engine="dict")
+        self.csr_matcher = PathMatcher(self.graph, engine="csr")
+        self.rq = ReachabilityQuery("tag = 0", "tag = 1", "r^2.g")
+        self.wild_rq = ReachabilityQuery(None, "tag = 2", "_^2")
+        self.general = GeneralReachabilityQuery("tag = 0", None, "(r|g)+")
+        pattern = PatternQuery(name="store-parity")
+        pattern.add_node("A", {"tag": 0})
+        pattern.add_node("B", {"tag": 1})
+        pattern.add_edge("A", "B", "r^2")
+        pattern.add_edge("B", "B", "_^2")
+        self.pattern = pattern
+
+    @rule(head=_node, tail=_node, color=_color)
+    def add_edge(self, head, tail, color):
+        self.graph.add_edge(head, tail, color)
+
+    @rule(head=_node, tail=_node, color=_color)
+    def remove_edge(self, head, tail, color):
+        if self.graph.has_edge(head, tail, color):
+            self.graph.remove_edge(head, tail, color)
+
+    @rule(node=_node)
+    def remove_node(self, node):
+        if self.graph.has_node(node) and self.graph.num_nodes > 2:
+            self.graph.remove_node(node)
+
+    @rule(node=_node, tag=st.integers(0, 2))
+    def upsert_node(self, node, tag):
+        self.graph.add_node(node, tag=tag)
+
+    @rule(stream=st.lists(_update, min_size=1, max_size=5))
+    def batch(self, stream):
+        from repro.matching.incremental import coalesce_update_stream
+
+        applicable = [
+            op for op in stream
+            if op[0] == "add" or self.graph.has_edge(op[1], op[2], op[3])
+        ]
+        coalesce_update_stream(self.graph, applicable)
+
+    @rule()
+    def compact(self):
+        self.graph.overlay_store().compact()
+
+    @invariant()
+    def answers_match_from_scratch(self):
+        if self.graph is None:
+            return
+        for query in (self.rq, self.wild_rq):
+            expected = _fresh_rq_answer(self.graph, query)
+            for matcher in (self.dict_matcher, self.csr_matcher):
+                got = evaluate_rq(query, self.graph, matcher=matcher).pairs
+                assert got == expected, (matcher.engine, query.regex)
+        expected_general = evaluate_general_rq(self.general, self.graph.copy(), engine="dict").pairs
+        assert evaluate_general_rq(self.general, self.graph, engine="csr").pairs == expected_general
+        reference = join_match(self.pattern, self.graph.copy(), engine="dict")
+        for matcher in (self.dict_matcher, self.csr_matcher):
+            result = join_match(self.pattern, self.graph, matcher=matcher)
+            assert result.same_matches(reference), matcher.engine
+
+
+StoreDifferentialMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)
+TestStoreDifferential = pytest.mark.slow(StoreDifferentialMachine.TestCase)
+
+
+# -- layering gate ----------------------------------------------------------------
+
+#: The PQ/RQ fixpoint modules: evaluation bodies that must be engine-free —
+#: dict-vs-CSR dispatch belongs to repro/storage/adapter.py alone.
+_FIXPOINT_MODULES = (
+    "paths.py",
+    "naive.py",
+    "join_match.py",
+    "split_match.py",
+    "simulation.py",
+    "bounded_simulation.py",
+    "incremental.py",
+    "refinement.py",
+    "frontiers.py",
+    "subgraph_iso.py",
+)
+
+
+def test_no_engine_branches_in_fixpoint_bodies():
+    matching = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro" / "matching"
+    offenders = []
+    for name in _FIXPOINT_MODULES:
+        text = (matching / name).read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if "engine ==" in line:
+                offenders.append(f"{name}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "engine == branches must live in repro/storage/adapter.py, found:\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_adapter_module_is_the_branching_layer():
+    adapter = (
+        pathlib.Path(__file__).resolve().parent.parent
+        / "src" / "repro" / "storage" / "adapter.py"
+    )
+    assert adapter.exists()
+    text = adapter.read_text(encoding="utf-8")
+    assert "DictEngineAdapter" in text and "OverlayCsrAdapter" in text
+
+
+class TestAdapterEdgeCases:
+    def test_overlay_store_successor_views_match_graph(self, graph):
+        store = graph.overlay_store()
+        store.sync()  # compile the base so the mutations land in the overlay
+        graph.add_edge(0, 3, "r")
+        graph.add_edge(9, 1, "q")  # brand-new colour via the overlay
+        for node in graph.nodes():
+            assert store.successors(node) == graph.successors(node), node
+            assert store.predecessors(node) == graph.predecessors(node), node
+            for color in graph.colors:
+                assert store.successors(node, color) == graph.successors(node, color)
+
+    def test_dirty_forward_sweep_method(self, graph):
+        # evaluate_rq with method="bfs" down the dirty overlay path.
+        csr_matcher = PathMatcher(graph, engine="csr")
+        query = ReachabilityQuery("tag = 0", None, "r^2")
+        graph.overlay_store().sync()  # compile the base first
+        graph.add_edge(0, 4, "r")  # dirties r
+        got = evaluate_rq(query, graph, matcher=csr_matcher, method="bfs").pairs
+        expected = evaluate_rq(query, graph.copy(), engine="dict", method="bfs").pairs
+        assert got == expected
+
+    def test_dirty_atom_memo_serves_repeat_probes(self, graph):
+        matcher = PathMatcher(graph, engine="csr")
+        expr = parse_fregex("r^2")
+        matcher.targets_from(0, expr)  # compile the base *before* mutating
+        graph.add_edge(0, 4, "r")
+        first = matcher.targets_from(0, expr)
+        hits_before = matcher._forward_cache.hits
+        assert matcher.targets_from(0, expr) == first
+        assert matcher._forward_cache.hits > hits_before
+        # A further mutation of the same colour invalidates the tagged memo.
+        graph.add_edge(4, 5, "r")
+        assert matcher.targets_from(0, expr) == first | {5}
+        assert matcher.stale_invalidations >= 1
+
+    def test_missing_node_raises_on_both_engines(self, graph):
+        from repro.exceptions import GraphError
+
+        for engine in ("dict", "csr"):
+            matcher = PathMatcher(graph, engine=engine)
+            with pytest.raises(GraphError):
+                matcher.targets_from("nope", parse_fregex("r"))
+            with pytest.raises(GraphError):
+                matcher.sources_to("nope", parse_fregex("r"))
+
+    def test_new_node_expression_goes_through_dirty_path(self, graph):
+        matcher = PathMatcher(graph, engine="csr")
+        matcher.targets_from(0, parse_fregex("r"))  # warm the base
+        graph.add_edge("fresh", 0, "r")
+        assert matcher.targets_from("fresh", parse_fregex("r^2")) == {0, 1}
+        assert matcher.sources_to("fresh", parse_fregex("r")) == set()
+        assert matcher.backward_closure(["fresh"]) == {"fresh"}
+
+    def test_backward_reachable_dirty_memo(self, graph):
+        matcher = PathMatcher(graph, engine="csr")
+        expr = parse_fregex("r.g")
+        matcher.backward_reachable({3}, expr)  # compile the base first
+        graph.add_edge(0, 3, "g")  # dirties g
+        first = matcher.backward_reachable({3, 2}, expr)
+        assert first == PathMatcher(graph.copy(), engine="dict").backward_reachable({3, 2}, expr)
+        hits_before = matcher._backward_cache.hits
+        assert matcher.backward_reachable({3, 2}, expr) == first
+        assert matcher._backward_cache.hits > hits_before
+
+
+class TestReviewHardening:
+    """Regressions for the post-review fixes (journal cost, shared policy)."""
+
+    def test_journal_since_slices_by_version_index(self, graph):
+        store = graph.store
+        store.enable_journal()
+        for step in range(30):
+            graph.add_edge(0, 100 + step, "r")
+        version = graph.version
+        graph.add_edge(0, 999, "g")
+        entries = store.journal_since(version)
+        assert len(entries) == 2  # +n for the new endpoint, then +e
+        assert entries[-1][1:] == ("+e", 0, 999, "g")
+        assert store.journal_since(graph.version) == []
+
+    def test_journal_trim_keeps_slicing_sound(self, graph, monkeypatch):
+        import repro.storage.dict_store as dict_store
+
+        graph.store.enable_journal()
+        monkeypatch.setattr(dict_store, "JOURNAL_CAPACITY", 8)
+        monkeypatch.setattr(dict_store, "_JOURNAL_TRIM_CHUNK", 4)
+        for step in range(40):
+            graph.add_edge(0, 200 + step, "r")
+            version = graph.version
+            graph.add_edge(0, 500 + step, "g")
+            entries = graph.journal_since(version)
+            assert entries is not None
+            assert [entry[1] for entry in entries] == ["+n", "+e"], step
+
+    def test_conflicting_compaction_policy_rejected(self):
+        from repro import GraphSession
+        from repro.datasets.synthetic import generate_synthetic_graph
+        from repro.exceptions import QueryError
+
+        graph = generate_synthetic_graph(80, 300, seed=2)
+        GraphSession(graph, compaction_fraction=0.5)
+        GraphSession(graph, compaction_fraction=0.5)  # same value: fine
+        with pytest.raises(QueryError):
+            GraphSession(graph, compaction_fraction=0.0)
+
+    def test_overlay_sync_cost_is_delta_not_journal_length(self, graph):
+        store = graph.overlay_store()
+        store.sync()
+        for step in range(600):  # grow a long retained journal
+            graph.add_edge(0, 1000 + step, "r")
+        store.sync()
+        replayed_before = store.replayed_ops
+        graph.add_edge(0, 5000, "g")
+        store.sync()
+        # One mutation replays two ops (+n, +e) — not the whole journal.
+        assert store.replayed_ops - replayed_before == 2
+
+    def test_store_protocol_raises_for_missing_nodes_on_both_backends(self, graph):
+        from repro.exceptions import GraphError
+
+        overlay = graph.overlay_store()
+        for store in (graph.store, overlay):
+            with pytest.raises(GraphError):
+                store.successors("typo-node")
+            with pytest.raises(GraphError):
+                store.predecessors("typo-node", "r")
+        # Wildcard point-reads agree between backends for live nodes too.
+        graph.add_edge(0, 3, "r")
+        for node in graph.nodes():
+            assert overlay.successors(node) == graph.store.successors(node), node

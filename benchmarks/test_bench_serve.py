@@ -1,0 +1,82 @@
+"""Serving-layer benchmark: concurrent pinned readers against a live writer.
+
+Boots a real :class:`~repro.service.GraphService` on an ephemeral loopback
+port and drives it with the load generator: 8 reader threads issuing the
+probe mix over HTTP while a writer thread streams update batches.  Every
+reader answer is verified post hoc against an update-log replay (the
+snapshot-isolation gate), and the throughput/latency numbers land in the
+benchmark ``extra_info`` so CI uploads them alongside the timings.
+
+The CI workflow runs the same burst end-to-end through the CLI
+(``repro serve --load-burst``) and uploads ``bench-serve.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching.general_rq import GeneralReachabilityQuery
+from repro.query.pq import PatternQuery
+from repro.query.rq import ReachabilityQuery
+from repro.service import GraphService, ServiceConfig, build_update_plan, run_load
+from repro.session.session import GraphSession
+
+READERS = 8
+DURATION = 1.5
+
+
+def _probes():
+    pattern = PatternQuery(name="serve-probe")
+    pattern.add_node("A", "cat = 'Comedy'")
+    pattern.add_node("B", "cat = 'Music'")
+    pattern.add_edge("A", "B", "fc.sr^+")
+    return [
+        ("rq", ReachabilityQuery("cat = 'Comedy'", "cat = 'Music'", "fc.sr^+")),
+        ("rq", ReachabilityQuery("cat = 'Music'", "cat = 'Comedy'", "sr^+")),
+        ("general_rq", GeneralReachabilityQuery("cat = 'Comedy'", "", "(fc|sr)*.sr")),
+        ("pq", pattern),
+    ]
+
+
+@pytest.mark.benchmark(group="serve-load-burst")
+def test_bench_serve_load_burst(benchmark, youtube_graph):
+    """One verified load burst; wall time is the benchmark measurement."""
+    graph = youtube_graph.copy()  # the writer mutates the served graph
+    initial = graph.copy()
+    plan = build_update_plan(initial, batches=16, batch_size=4, seed=7)
+    service = GraphService(GraphSession(graph), ServiceConfig(port=0))
+    handle = service.run_in_thread()
+    try:
+        host, port = handle.address
+
+        def burst():
+            return run_load(
+                host,
+                port,
+                initial,
+                _probes(),
+                readers=READERS,
+                duration=DURATION,
+                update_plan=plan,
+                seed=7,
+            )
+
+        report = benchmark.pedantic(burst, rounds=1, iterations=1)
+    finally:
+        handle.shutdown()
+
+    # The acceptance gate: every answer any reader saw matches a from-scratch
+    # evaluation of the graph at the version the service pinned for it.
+    assert report["ok"], report["failures"]
+    assert report["readers"] == READERS
+    assert report["requests"] > 0
+    assert report["updates_applied"] > 0
+    assert report["distinct_versions_observed"] >= 2
+
+    benchmark.extra_info["qps"] = report["qps"]
+    benchmark.extra_info["latency_p50_ms"] = report["latency_p50_ms"]
+    benchmark.extra_info["latency_p99_ms"] = report["latency_p99_ms"]
+    benchmark.extra_info["requests"] = report["requests"]
+    benchmark.extra_info["distinct_versions_observed"] = report[
+        "distinct_versions_observed"
+    ]

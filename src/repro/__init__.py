@@ -16,16 +16,26 @@ The library provides:
 * the two PQ evaluation algorithms of the paper (:func:`join_match`,
   :func:`split_match`) plus reference and baseline matchers;
 * dataset generators, an experiment harness and benchmarks reproducing every
-  figure of the paper's evaluation.
+  figure of the paper's evaluation;
+* a session facade (:class:`GraphSession`) with a cost-based planner,
+  prepared queries, incremental watchers and pinned snapshots
+  (:meth:`GraphSession.pin`);
+* a snapshot-isolated serving layer (:class:`GraphService`,
+  :class:`ServiceClient`, ``repro serve``) speaking a versioned JSON wire
+  format (:data:`SCHEMA_VERSION`).
 """
 
 from repro.exceptions import (
     EvaluationError,
     GraphError,
+    OverloadedError,
     PredicateError,
+    ProtocolError,
     QueryError,
     RegexSyntaxError,
     ReproError,
+    ServiceError,
+    SnapshotError,
 )
 from repro.graph.csr import CompiledGraph, compile_graph, compiled_snapshot
 from repro.graph.data_graph import DataGraph, Edge
@@ -63,16 +73,23 @@ from repro.metrics.fmeasure import compute_f_measure
 from repro.storage.base import GraphStore
 from repro.storage.dict_store import DictStore
 from repro.storage.overlay import OverlayCsrStore
+from repro.storage.snapshot import SnapshotGraph, StoreSnapshot
 from repro.session.planner import QueryPlan, plan_query
-from repro.session.result import QueryResult
+from repro.session.result import SCHEMA_VERSION, QueryResult
 from repro.session.session import (
     GraphSession,
     PreparedQuery,
+    SessionSnapshot,
     SessionWatch,
     default_session,
 )
+from repro.service import (
+    GraphService,
+    ServiceClient,
+    ServiceConfig,
+)
 
-__version__ = "2.4.0"
+__version__ = "2.5.0"
 
 __all__ = [
     # exceptions
@@ -82,6 +99,10 @@ __all__ = [
     "GraphError",
     "QueryError",
     "EvaluationError",
+    "SnapshotError",
+    "ServiceError",
+    "ProtocolError",
+    "OverloadedError",
     # graph substrate
     "DataGraph",
     "Edge",
@@ -125,6 +146,8 @@ __all__ = [
     "GraphStore",
     "DictStore",
     "OverlayCsrStore",
+    "StoreSnapshot",
+    "SnapshotGraph",
     # extensions (the paper's future-work items)
     "IncrementalPatternMatcher",
     "GeneralRegex",
@@ -133,11 +156,17 @@ __all__ = [
     # session facade
     "GraphSession",
     "PreparedQuery",
+    "SessionSnapshot",
     "SessionWatch",
     "QueryResult",
     "QueryPlan",
     "plan_query",
     "default_session",
+    # serving layer
+    "SCHEMA_VERSION",
+    "GraphService",
+    "ServiceConfig",
+    "ServiceClient",
     # metrics
     "compute_f_measure",
 ]

@@ -12,7 +12,18 @@ A small CLI for working with data graphs and queries without writing Python:
   query *without* running it (``--execute`` also runs it);
 * ``repro experiment exp3`` — run one of the paper's experiments and print its
   table (``exp4`` runs all four PQ sweeps of Fig. 11; ``exp6`` runs the
-  incremental-maintenance update-stream comparison).
+  incremental-maintenance update-stream comparison);
+* ``repro serve GRAPH.json`` — serve the graph over HTTP with
+  snapshot-isolated reads (see :mod:`repro.service`); ``--load-burst`` runs
+  the built-in load generator against an in-process service instead, writes
+  its latency/verification report (``--out bench-serve.json``) and exits
+  non-zero if any served answer disagrees with from-scratch evaluation at
+  its pinned version.
+
+Every ``--json`` payload is stamped with the wire ``schema_version`` shared
+with the service responses; error exits print one structured
+``[code] message (retryable=...)`` line to stderr using the stable codes of
+:mod:`repro.exceptions`.
 
 ``repro rq --session`` routes evaluation through a
 :class:`~repro.session.session.GraphSession` — the cost-based planner picks
@@ -164,12 +175,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--json", action="store_true", help=json_help)
 
+    serve = commands.add_parser(
+        "serve", help="serve a graph over HTTP with snapshot-isolated reads"
+    )
+    serve.add_argument("graph", help="path to a graph JSON file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 binds an ephemeral port")
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="queued-read ceiling before requests get a retryable 503",
+    )
+    serve.add_argument(
+        "--load-burst",
+        action="store_true",
+        help="boot an in-process service, drive it with concurrent readers "
+        "and an update stream, verify snapshot isolation, then exit",
+    )
+    serve.add_argument("--readers", type=int, default=8, help="load-burst reader threads")
+    serve.add_argument("--duration", type=float, default=3.0, help="load-burst seconds")
+    serve.add_argument("--update-batches", type=int, default=24)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--out", default=None, help="write the load report JSON to this path")
+    serve.add_argument("--json", action="store_true", help=json_help)
+
     return parser
 
 
 def _emit_json(payload, out) -> int:
     from repro.jsonutil import jsonable
+    from repro.session.result import stamped
 
+    if isinstance(payload, dict):
+        payload = stamped(payload)
     print(json.dumps(payload, indent=2, sort_keys=True, default=jsonable), file=out)
     return 0
 
@@ -204,7 +241,19 @@ def _print_pairs(pairs, limit: int, out) -> None:
 
 
 def _session_error(command: str, error: Exception) -> int:
-    print(f"repro {command}: error: {error}", file=sys.stderr)
+    from repro.exceptions import ReproError
+
+    if isinstance(error, ReproError):
+        # The structured {code, message, retryable} rendering shared with
+        # the service's error envelopes (repro.service.wire.error_envelope).
+        payload = error.payload()
+        print(
+            f"repro {command}: error [{payload['code']}]: {payload['message']} "
+            f"(retryable={str(payload['retryable']).lower()})",
+            file=sys.stderr,
+        )
+    else:
+        print(f"repro {command}: error: {error}", file=sys.stderr)
     return 2
 
 
@@ -365,6 +414,111 @@ def _command_experiment(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _default_probes(graph):
+    """Build the load-burst probe mix from the graph's own attributes.
+
+    Picks the two most common string-valued ``attr = 'value'`` conditions so
+    the probes select real node sets on any fixture (for the youtube dataset
+    this lands on ``cat = ...`` categories), and spans all three query kinds.
+    """
+    from collections import Counter
+
+    from repro.matching.general_rq import GeneralReachabilityQuery
+    from repro.query.pq import PatternQuery
+
+    counts: Counter = Counter()
+    for node in graph.nodes():
+        for key, value in graph.attributes(node).items():
+            if isinstance(value, str) and "'" not in value:
+                counts[(key, value)] += 1
+    common = [f"{key} = '{value}'" for (key, value), _ in counts.most_common(2)]
+    while len(common) < 2:
+        common.append("")
+    colors = sorted(graph.colors) or ["fc"]
+    first, second = colors[0], colors[-1]
+
+    pattern = PatternQuery(name="serve-probe")
+    pattern.add_node("A", common[0] or None)
+    pattern.add_node("B", common[1] or None)
+    pattern.add_edge("A", "B", f"{first}.{second}^+")
+    return [
+        ("rq", ReachabilityQuery(common[0], common[1], f"{first}.{second}^+")),
+        ("rq", ReachabilityQuery(common[1], common[0], f"{second}^+")),
+        ("general_rq", GeneralReachabilityQuery(common[0], common[1], f"({first}|{second})*.{second}")),
+        ("pq", pattern),
+    ]
+
+
+def _command_serve(args: argparse.Namespace, out) -> int:
+    from repro.exceptions import ReproError
+    from repro.service import GraphService, ServiceConfig
+    from repro.session import GraphSession
+
+    graph = load_json(args.graph)
+    config = ServiceConfig(host=args.host, port=args.port, max_inflight=args.max_inflight)
+    service = GraphService(GraphSession(graph), config)
+
+    if args.load_burst:
+        from repro.service import build_update_plan, run_load
+
+        initial = graph.copy()
+        plan = build_update_plan(initial, batches=args.update_batches, seed=args.seed)
+        handle = service.run_in_thread()
+        try:
+            host, port = handle.address
+            report = run_load(
+                host,
+                port,
+                initial,
+                _default_probes(initial),
+                readers=args.readers,
+                duration=args.duration,
+                update_plan=plan,
+                seed=args.seed,
+            )
+        finally:
+            handle.shutdown()
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as sink:
+                json.dump(report, sink, indent=2, sort_keys=True)
+        if args.json:
+            _emit_json({"command": "serve", "report": report}, out)
+        else:
+            print(
+                f"load burst: {report['requests']} requests from {report['readers']} readers "
+                f"in {report['duration_seconds']}s ({report['qps']} qps)",
+                file=out,
+            )
+            print(
+                f"latency p50={report['latency_p50_ms']}ms p99={report['latency_p99_ms']}ms; "
+                f"{report['observations']} answers across "
+                f"{report['distinct_versions_observed']} graph versions "
+                f"({report['updates_applied']} update batches applied)",
+                file=out,
+            )
+            verdict = "verified" if report["ok"] else "FAILED"
+            print(f"snapshot isolation: {verdict}", file=out)
+            for failure in report["failures"]:
+                print(f"  {failure}", file=out)
+        return 0 if report["ok"] else 1
+
+    import asyncio
+
+    async def _run() -> None:
+        host, port = await service.start()
+        print(f"serving {graph.name} on http://{host}:{port}/v1 (ctrl-c stops)",
+              file=out, flush=True)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    except ReproError as error:
+        return _session_error("serve", error)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -376,6 +530,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "plan": _command_plan,
         "generate": _command_generate,
         "experiment": _command_experiment,
+        "serve": _command_serve,
     }
     return handlers[args.command](args, out)
 

@@ -3,30 +3,95 @@
 All exceptions raised by the library derive from :class:`ReproError`, so a
 caller can catch everything library-specific with a single ``except`` clause
 while still being able to distinguish parse errors from evaluation errors.
+
+Every class carries two stable attributes consumed by the CLI's error exits
+and the service layer's error responses:
+
+* ``code`` — a dotted machine-readable identifier.  Codes are part of the
+  wire contract (clients dispatch on them), so they never change once
+  released; a new failure mode gets a new code, not a reworded old one.
+* ``retryable`` — whether the same request can succeed if simply re-sent
+  (transient admission-control rejections are; malformed queries are not).
+
+:meth:`ReproError.payload` renders the ``{code, message, retryable}``
+envelope both surfaces share.
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
+    code: str = "repro.error"
+    retryable: bool = False
+
+    def payload(self) -> Dict[str, Any]:
+        """The ``{code, message, retryable}`` envelope of this error."""
+        return {"code": self.code, "message": str(self), "retryable": self.retryable}
+
 
 class RegexSyntaxError(ReproError, ValueError):
     """Raised when a string cannot be parsed as an F-class regular expression."""
+
+    code = "repro.regex.syntax"
 
 
 class PredicateError(ReproError, ValueError):
     """Raised for malformed node predicates (unknown operator, bad literal)."""
 
+    code = "repro.predicate.invalid"
+
 
 class GraphError(ReproError, ValueError):
     """Raised for structural problems in a data graph (missing nodes, bad edges)."""
+
+    code = "repro.graph.invalid"
 
 
 class QueryError(ReproError, ValueError):
     """Raised for malformed reachability or pattern queries."""
 
+    code = "repro.query.invalid"
+
 
 class EvaluationError(ReproError, RuntimeError):
     """Raised when a query cannot be evaluated against a data graph."""
+
+    code = "repro.evaluation.failed"
+
+
+class SnapshotError(ReproError, RuntimeError):
+    """Raised when a storage snapshot cannot be pinned or used.
+
+    Typical causes: asking a backend without MVCC support (the plain dict
+    store) to pin, or requesting a historical version the store no longer
+    holds — only the *current* version can be pinned; history is not kept.
+    """
+
+    code = "repro.storage.snapshot"
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for failures raised by the serving layer."""
+
+    code = "repro.service.error"
+
+
+class ProtocolError(ServiceError, ValueError):
+    """Raised for malformed wire requests (bad JSON, unknown fields/versions)."""
+
+    code = "repro.service.protocol"
+
+
+class OverloadedError(ServiceError):
+    """Raised when admission control rejects a request (queue full).
+
+    The one *retryable* error in the hierarchy: the same request can succeed
+    once in-flight work drains, so clients should back off and re-send.
+    """
+
+    code = "repro.service.overloaded"
+    retryable = True

@@ -266,6 +266,17 @@ class DataGraph:
     def get_attribute(self, node: NodeId, name: str, default: Any = None) -> Any:
         return self.attributes(node).get(name, default)
 
+    def attribute_views(self) -> Mapping[NodeId, Mapping[str, Any]]:
+        """The whole attribute table as ``{node: read-only view}``.
+
+        The bulk-capture path used by storage snapshots
+        (:mod:`repro.storage.snapshot`): one pass over the live table
+        without per-node :meth:`attributes` lookups.  The returned mapping
+        is a read-only proxy of the live table — snapshot builders copy the
+        rows they capture.
+        """
+        return MappingProxyType(self._attr_views)
+
     def edges(self) -> Iterator[Edge]:
         """Iterate over all edges."""
         for source, table in self._store.adjacency():

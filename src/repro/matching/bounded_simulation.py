@@ -50,7 +50,9 @@ def bounded_simulation_match(
     checks run over the compiled snapshot's wildcard layer.
     """
     started = time.perf_counter()
-    matcher = resolve_pq_matcher(graph, distance_matrix, matcher, cache_capacity, engine)
+    matcher = resolve_pq_matcher(
+        graph, distance_matrix, matcher, cache_capacity, engine, caller="bounded_simulation_match"
+    )
     algorithm = "MatchM" if matcher.uses_matrix else "MatchC"
 
     candidates = initial_candidates(pattern, graph, matcher=matcher)

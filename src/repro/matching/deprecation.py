@@ -1,0 +1,44 @@
+"""One-shot deprecation warnings for the free-function evaluation shims.
+
+The module-level entry points (``evaluate_rq``, ``join_match`` and friends,
+called bare with default caching) predate :class:`~repro.session.session
+.GraphSession`; they now delegate to the graph's default session, and new
+code should hold a session (or talk to a :class:`~repro.service.GraphService`)
+directly — that is where planning, prepared queries, snapshots and
+watchers live.  Each shim warns **once per process** so a hot loop over a
+free function does not drown the log; :func:`reset_warnings` re-arms them
+(used by tests).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_free_function", "reset_warnings"]
+
+_warned: Set[str] = set()
+
+
+def warn_free_function(name: str, replacement: str = "GraphSession.execute") -> None:
+    """Emit the one-shot :class:`DeprecationWarning` for shim ``name``.
+
+    ``stacklevel=4`` points the warning at the *caller of the shim* (this
+    helper → shim → caller would be 3; the shims call through one more
+    internal frame).
+    """
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(
+        f"calling {name}() as a free function is deprecated; create a "
+        f"GraphSession and use {replacement} (or serve the graph with "
+        f"repro.service.GraphService)",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def reset_warnings() -> None:
+    """Re-arm every one-shot warning (test hook)."""
+    _warned.clear()

@@ -92,14 +92,21 @@ class GeneralReachabilityResult:
 
     def to_dict(self) -> Dict[str, object]:
         """A plain-container view that :meth:`from_dict` round-trips."""
-        return {
-            "pairs": sorted((list(pair) for pair in self.pairs), key=repr),
-            "elapsed_seconds": self.elapsed_seconds,
-        }
+        from repro.session.result import stamped
+
+        return stamped(
+            {
+                "pairs": sorted((list(pair) for pair in self.pairs), key=repr),
+                "elapsed_seconds": self.elapsed_seconds,
+            }
+        )
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "GeneralReachabilityResult":
         """Rebuild a result from :meth:`to_dict` output."""
+        from repro.session.result import check_schema_version
+
+        check_schema_version(data, "GeneralReachabilityResult")
         return cls(
             pairs={(pair[0], pair[1]) for pair in data.get("pairs", [])},
             elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),

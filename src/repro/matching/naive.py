@@ -104,7 +104,7 @@ def naive_match(
     if engine is None:
         engine = "auto" if matcher is not None else "dict"
     matcher = resolve_pq_matcher(
-        graph, distance_matrix, matcher, DEFAULT_CACHE_CAPACITY, engine
+        graph, distance_matrix, matcher, DEFAULT_CACHE_CAPACITY, engine, caller="naive_match"
     )
     candidates = initial_candidates(pattern, graph, matcher=matcher)
     if any(not nodes for nodes in candidates.values()):

@@ -97,6 +97,7 @@ def resolve_pq_matcher(
     matcher: Optional["PathMatcher"],
     cache_capacity: Optional[int],
     engine: str,
+    caller: str = "join_match",
 ) -> "PathMatcher":
     """The matcher driving one PQ evaluation call (shared by all algorithms).
 
@@ -120,8 +121,10 @@ def resolve_pq_matcher(
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     if distance_matrix is None and cache_capacity == DEFAULT_CACHE_CAPACITY:
+        from repro.matching.deprecation import warn_free_function
         from repro.session.session import default_session
 
+        warn_free_function(caller)
         resolved = "csr" if engine in ("auto", "csr") else "dict"
         return default_session(graph).matcher(resolved)
     return PathMatcher(

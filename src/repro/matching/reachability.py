@@ -103,18 +103,26 @@ class ReachabilityResult:
         """A plain-container view that :meth:`from_dict` round-trips.
 
         Pairs become ``repr``-sorted two-element lists for deterministic,
-        JSON-able output.
+        JSON-able output; the payload carries the wire
+        :data:`~repro.session.result.SCHEMA_VERSION` stamp.
         """
-        return {
-            "pairs": sorted((list(pair) for pair in self.pairs), key=repr),
-            "method": self.method,
-            "elapsed_seconds": self.elapsed_seconds,
-            "engine": self.engine,
-        }
+        from repro.session.result import stamped
+
+        return stamped(
+            {
+                "pairs": sorted((list(pair) for pair in self.pairs), key=repr),
+                "method": self.method,
+                "elapsed_seconds": self.elapsed_seconds,
+                "engine": self.engine,
+            }
+        )
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ReachabilityResult":
         """Rebuild a result from :meth:`to_dict` output."""
+        from repro.session.result import check_schema_version
+
+        check_schema_version(data, "ReachabilityResult")
         return cls(
             pairs={(pair[0], pair[1]) for pair in data.get("pairs", [])},
             method=str(data.get("method", "")),
@@ -224,8 +232,10 @@ def evaluate_rq(
             # for the resolved engine instead of rebuilding caches per call.
             # Answers are identical (the memos invalidate themselves on
             # mutation; the CSR matcher reads through the overlay store).
+            from repro.matching.deprecation import warn_free_function
             from repro.session.session import default_session
 
+            warn_free_function("evaluate_rq")
             resolved = "csr" if engine in ("auto", "csr") else "dict"
             matcher = default_session(graph).matcher(resolved)
         else:

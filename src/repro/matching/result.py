@@ -118,22 +118,30 @@ class PatternMatchResult:
         keys do not survive JSON); pair lists are sorted by ``repr`` for
         deterministic output.
         """
-        return {
-            "edge_matches": [
-                [source, target, sorted((list(pair) for pair in pairs), key=repr)]
-                for (source, target), pairs in self.edge_matches.items()
-            ],
-            "node_matches": {
-                node: sorted(nodes, key=repr) for node, nodes in self.node_matches.items()
-            },
-            "algorithm": self.algorithm,
-            "elapsed_seconds": self.elapsed_seconds,
-            "engine": self.engine,
-        }
+        from repro.session.result import stamped
+
+        return stamped(
+            {
+                "edge_matches": [
+                    [source, target, sorted((list(pair) for pair in pairs), key=repr)]
+                    for (source, target), pairs in self.edge_matches.items()
+                ],
+                "node_matches": {
+                    node: sorted(nodes, key=repr)
+                    for node, nodes in self.node_matches.items()
+                },
+                "algorithm": self.algorithm,
+                "elapsed_seconds": self.elapsed_seconds,
+                "engine": self.engine,
+            }
+        )
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "PatternMatchResult":
         """Rebuild a result from :meth:`to_dict` output."""
+        from repro.session.result import check_schema_version
+
+        check_schema_version(data, "PatternMatchResult")
         return cls(
             edge_matches={
                 (source, target): {(pair[0], pair[1]) for pair in pairs}

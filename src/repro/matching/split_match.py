@@ -106,7 +106,9 @@ def split_match(
     reachability checks.
     """
     started = time.perf_counter()
-    matcher = resolve_pq_matcher(graph, distance_matrix, matcher, cache_capacity, engine)
+    matcher = resolve_pq_matcher(
+        graph, distance_matrix, matcher, cache_capacity, engine, caller="split_match"
+    )
     if normalize is None:
         normalize = matcher.uses_matrix
     algorithm = "SplitMatchM" if matcher.uses_matrix else "SplitMatchC"

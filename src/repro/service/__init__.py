@@ -1,0 +1,39 @@
+"""The snapshot-isolated serving layer (service, wire format, client, loadgen).
+
+:class:`GraphService` owns one :class:`~repro.session.session.GraphSession`
+and serves it over asyncio HTTP/JSON: reads pin immutable store snapshots
+(many concurrent readers), updates apply through the single writer path, and
+``watch`` subscriptions stream change events over long-poll or SSE.  See
+:mod:`repro.service.wire` for the versioned payload shapes,
+:class:`ServiceClient` for the blocking client, and :func:`run_load` for the
+load generator that doubles as a snapshot-isolation verifier.
+"""
+
+from repro.service.client import ServiceCallError, ServiceClient
+from repro.service.loadgen import build_update_plan, run_load, verify_observations
+from repro.service.service import GraphService, ServiceConfig, ServiceHandle
+from repro.service.wire import (
+    SCHEMA_VERSION,
+    decode_query,
+    decode_result,
+    encode_query,
+    error_envelope,
+    ok_envelope,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "GraphService",
+    "ServiceConfig",
+    "ServiceHandle",
+    "ServiceClient",
+    "ServiceCallError",
+    "build_update_plan",
+    "run_load",
+    "verify_observations",
+    "decode_query",
+    "decode_result",
+    "encode_query",
+    "error_envelope",
+    "ok_envelope",
+]

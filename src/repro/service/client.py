@@ -1,0 +1,181 @@
+"""A blocking client for :class:`~repro.service.service.GraphService`.
+
+Built on :mod:`http.client` (the container ships no HTTP libraries beyond
+the standard library), one connection per client, keep-alive across calls.
+Thread safety is per-instance: give each thread its own client — exactly
+what the load generator does.
+
+Error envelopes come back as :class:`ServiceCallError`, which carries the
+structured ``{code, message, retryable}`` payload so callers can branch on
+``error.code`` / retry on ``error.retryable`` without parsing messages.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import ProtocolError, ServiceError
+from repro.service.wire import check_schema_version, decode_result, encode_query
+
+__all__ = ["ServiceClient", "ServiceCallError"]
+
+
+class ServiceCallError(ServiceError):
+    """A structured error envelope returned by the service."""
+
+    def __init__(self, status: int, error: Dict[str, Any]):
+        message = str(error.get("message", "service call failed"))
+        super().__init__(f"[{error.get('code', 'repro.service.error')}] {message}")
+        self.status = status
+        self.code = str(error.get("code", "repro.service.error"))
+        self.retryable = bool(error.get("retryable", False))
+
+
+class ServiceClient:
+    """Call one running service over HTTP (blocking, keep-alive)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # A dropped keep-alive connection: reconnect once.
+                self.close()
+                if attempt:
+                    raise
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                f"service returned non-JSON body (status {response.status})"
+            ) from exc
+        if not isinstance(envelope, dict):
+            raise ProtocolError("service response is not a JSON object")
+        check_schema_version(envelope, "response")
+        if not envelope.get("ok", False):
+            raise ServiceCallError(response.status, dict(envelope.get("error", {})))
+        return envelope
+
+    def close(self) -> None:
+        """Drop the underlying connection (reopened lazily on next call)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def query(self, query: Any, decode: bool = True) -> Tuple[int, Any]:
+        """Evaluate one query; returns ``(pinned version, answer)``.
+
+        ``query`` may be a query object or an already wire-shaped dict; with
+        ``decode=True`` the answer comes back as the kind-shaped result
+        object, otherwise as the raw response payload.
+        """
+        wire = encode_query(query)
+        envelope = self._request("POST", "/v1/query", {"query": wire})
+        version = int(envelope["version"])
+        if not decode:
+            return version, envelope["result"]
+        return version, decode_result(envelope["kind"], envelope["result"])
+
+    def batch(self, queries: List[Any], decode: bool = True) -> Tuple[int, List[Any]]:
+        """Evaluate many queries from one pinned snapshot."""
+        wires = [encode_query(query) for query in queries]
+        envelope = self._request("POST", "/v1/batch", {"queries": wires})
+        version = int(envelope["version"])
+        results = envelope.get("results", [])
+        if not decode:
+            return version, results
+        return version, [
+            decode_result(entry["kind"], entry["result"]) for entry in results
+        ]
+
+    def update(self, updates: List[Tuple[str, Any, Any, str]]) -> Tuple[int, int]:
+        """Apply one update batch; returns ``(new version, net changes)``."""
+        payload = {"updates": [list(update) for update in updates]}
+        envelope = self._request("POST", "/v1/update", payload)
+        return int(envelope["version"]), int(envelope.get("net_changes", 0))
+
+    # -- watch -------------------------------------------------------------------
+
+    def watch(self) -> int:
+        """Open a subscription; returns its id."""
+        return int(self._request("POST", "/v1/watch")["watch_id"])
+
+    def watch_next(self, watch_id: int, timeout: float = 5.0) -> Optional[Dict[str, Any]]:
+        """Long-poll one event (``None`` on timeout)."""
+        envelope = self._request("GET", f"/v1/watch/{watch_id}/next?timeout={timeout}")
+        return envelope.get("event")
+
+    def watch_close(self, watch_id: int) -> None:
+        self._request("DELETE", f"/v1/watch/{watch_id}")
+
+    def watch_stream(self, watch_id: int, max_events: int = 0) -> Iterator[Dict[str, Any]]:
+        """Iterate SSE events on a dedicated connection.
+
+        Stops after ``max_events`` events when positive, on shutdown frames,
+        or when the server closes the stream.  The initial ``hello`` frame is
+        yielded too.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/watch/{watch_id}/stream")
+            response = conn.getresponse()
+            seen = 0
+            buffer = b""
+            while True:
+                chunk = response.read1(65536)
+                if not chunk:
+                    return
+                buffer += chunk
+                while b"\n\n" in buffer:
+                    frame, buffer = buffer.split(b"\n\n", 1)
+                    for line in frame.decode("utf-8").splitlines():
+                        if not line.startswith("data: "):
+                            continue
+                        event = json.loads(line[len("data: "):])
+                        yield event
+                        seen += 1
+                        if event.get("type") == "shutdown":
+                            return
+                        if max_events and seen >= max_events:
+                            return
+        finally:
+            conn.close()

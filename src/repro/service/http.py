@@ -1,0 +1,137 @@
+"""A minimal asyncio HTTP/1.1 layer for the serving endpoint.
+
+The container ships no third-party HTTP framework, so the service speaks
+HTTP directly over :func:`asyncio.start_server`: request-line + headers +
+``Content-Length`` bodies in, JSON responses (and ``text/event-stream`` for
+subscriptions) out, with keep-alive.  Deliberately small — just enough
+protocol for JSON request/response and server-sent events, not a general
+web server — and free of any knowledge of graphs or sessions (that lives in
+:mod:`repro.service.service`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.exceptions import ProtocolError
+
+#: Largest accepted request body; protects the loop from hostile payloads.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, target: str, headers: Dict[str, str], body: bytes):
+        self.method = method
+        parts = urlsplit(target)
+        self.path = parts.path
+        self.query: Dict[str, str] = {
+            key: values[-1] for key, values in parse_qs(parts.query).items()
+        }
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        """The body parsed as JSON (``None`` for an empty body)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Read one request; ``None`` on a cleanly closed connection."""
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("request headers too large") from exc
+    if len(header_blob) > _MAX_HEADER_BYTES:
+        raise ProtocolError("request headers too large")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ProtocolError(f"malformed request line {lines[0]!r}") from None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ProtocolError(f"request body of {length} bytes exceeds the limit")
+    body = await reader.readexactly(length) if length else b""
+    return Request(method.upper(), target, headers, body)
+
+
+def _head(status: int, content_type: str, length: Optional[int], keep_alive: bool) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}", f"Content-Type: {content_type}"]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    lines.append("Connection: keep-alive" if keep_alive else "Connection: close")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def write_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Any,
+    keep_alive: bool = True,
+) -> None:
+    """Queue one JSON response on the connection."""
+    from repro.jsonutil import jsonable
+
+    body = json.dumps(payload, sort_keys=True, default=jsonable).encode("utf-8")
+    writer.write(_head(status, "application/json", len(body), keep_alive) + body)
+
+
+def start_event_stream(writer: asyncio.StreamWriter) -> None:
+    """Open a server-sent-events response (the connection stays dedicated)."""
+    writer.write(_head(200, "text/event-stream", None, keep_alive=False))
+
+
+def write_event(writer: asyncio.StreamWriter, payload: Any) -> None:
+    """Queue one SSE ``data:`` frame."""
+    from repro.jsonutil import jsonable
+
+    body = json.dumps(payload, sort_keys=True, default=jsonable)
+    writer.write(f"data: {body}\n\n".encode("utf-8"))
+
+
+def parse_timeout(request: Request, default: float, ceiling: float) -> float:
+    """The ``timeout`` query parameter, clamped to ``(0, ceiling]``."""
+    raw = request.query.get("timeout")
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ProtocolError(f"timeout {raw!r} is not a number") from None
+    return max(0.0, min(value, ceiling))
+
+
+Address = Tuple[str, int]

@@ -1,0 +1,191 @@
+"""The versioned wire format of the serving layer.
+
+Requests and responses are JSON objects stamped with the library-wide
+:data:`~repro.session.result.SCHEMA_VERSION` (shared with the result
+``to_dict`` family and the CLI ``--json`` paths).  Queries travel as their
+textual forms — predicates render through ``str(Predicate)`` and parse back
+through :meth:`Predicate.parse`; F-class and general regexes round-trip the
+same way — so the wire carries no pickled objects, and any JSON-speaking
+client can build requests.
+
+Request shapes (the ``query`` member of ``POST /v1/query`` and each element
+of ``POST /v1/batch``)::
+
+    {"kind": "rq",         "source": "...", "target": "...", "regex": "fa^2.fn"}
+    {"kind": "general_rq", "source": "...", "target": "...", "regex": "(fa|fn)*"}
+    {"kind": "pq", "nodes": [["P", "job = 'professor'"], ...],
+                   "edges": [["P", "S", "advises"], ...], "name": "..."}
+
+Malformed payloads raise :class:`~repro.exceptions.ProtocolError`
+(``repro.service.protocol``, non-retryable); every error response renders
+the structured ``{code, message, retryable}`` payload of
+:meth:`~repro.exceptions.ReproError.payload`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import ProtocolError, ReproError
+from repro.session.result import SCHEMA_VERSION, check_schema_version, stamped
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "decode_query",
+    "encode_query",
+    "decode_result",
+    "ok_envelope",
+    "error_envelope",
+]
+
+_QUERY_KINDS = ("rq", "general_rq", "pq")
+
+
+def _require(payload: Dict[str, Any], key: str, kind: str) -> Any:
+    try:
+        return payload[key]
+    except KeyError:
+        raise ProtocolError(f"{kind} query is missing the {key!r} field") from None
+
+
+def decode_query(payload: Any) -> Tuple[str, Any]:
+    """Decode one wire query into ``(kind, query object)``.
+
+    Raises :class:`ProtocolError` for anything malformed — including query
+    texts the parsers reject (the parse errors keep their own codes when
+    they derive from :class:`ReproError`; the service maps both to a 400).
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"query must be a JSON object, got {type(payload).__name__}")
+    check_schema_version(payload, "query")
+    kind = payload.get("kind", "rq")
+    if kind not in _QUERY_KINDS:
+        raise ProtocolError(
+            f"unknown query kind {kind!r}; expected one of {_QUERY_KINDS}"
+        )
+    if kind == "rq":
+        from repro.query.rq import ReachabilityQuery
+
+        return kind, ReachabilityQuery(
+            payload.get("source", ""),
+            payload.get("target", ""),
+            _require(payload, "regex", kind),
+        )
+    if kind == "general_rq":
+        from repro.matching.general_rq import GeneralReachabilityQuery
+
+        return kind, GeneralReachabilityQuery(
+            payload.get("source", ""),
+            payload.get("target", ""),
+            _require(payload, "regex", kind),
+        )
+    from repro.query.pq import PatternQuery
+
+    pattern = PatternQuery(name=str(payload.get("name", "wire-pq")))
+    for entry in _require(payload, "nodes", kind):
+        node, predicate = entry
+        pattern.add_node(node, predicate or None)
+    for entry in _require(payload, "edges", kind):
+        source, target, regex = entry
+        pattern.add_edge(source, target, regex)
+    return kind, pattern
+
+
+def encode_query(query: Any) -> Dict[str, Any]:
+    """Encode one query object into its wire form (inverse of decode)."""
+    from repro.matching.general_rq import GeneralReachabilityQuery
+    from repro.query.pq import PatternQuery
+    from repro.query.rq import ReachabilityQuery
+
+    if isinstance(query, ReachabilityQuery):
+        return stamped(
+            {
+                "kind": "rq",
+                "source": _predicate_text(query.source_predicate),
+                "target": _predicate_text(query.target_predicate),
+                "regex": str(query.regex),
+            }
+        )
+    if isinstance(query, GeneralReachabilityQuery):
+        return stamped(
+            {
+                "kind": "general_rq",
+                "source": _predicate_text(query.source_predicate),
+                "target": _predicate_text(query.target_predicate),
+                "regex": str(query.regex),
+            }
+        )
+    if isinstance(query, PatternQuery):
+        return stamped(
+            {
+                "kind": "pq",
+                "name": query.name,
+                "nodes": [
+                    [node, _predicate_text(query.predicate(node))]
+                    for node in query.nodes()
+                ],
+                "edges": [
+                    [edge.source, edge.target, str(edge.regex)]
+                    for edge in query.edges()
+                ],
+            }
+        )
+    if isinstance(query, dict):
+        # Already wire-shaped (client callers may hand dicts straight in).
+        # An explicit stamp is preserved so version mismatches still surface
+        # server-side; only unstamped dicts get the current stamp.
+        return dict(query) if "schema_version" in query else stamped(query)
+    raise ProtocolError(f"cannot encode {type(query).__name__} as a wire query")
+
+
+def _predicate_text(predicate: Optional[Any]) -> str:
+    # The always-true predicate renders as "TRUE", which Predicate.parse
+    # does not speak; the empty string coerces back to it.
+    if predicate is None or getattr(predicate, "is_true", lambda: False)():
+        return ""
+    return str(predicate)
+
+
+def decode_result(kind: str, payload: Dict[str, Any]) -> Any:
+    """Rebuild the kind-shaped answer object from one response ``result``.
+
+    The inverse of the ``answer`` member emitted by
+    :meth:`~repro.session.result.QueryResult.to_dict` — used by the
+    blocking client so callers get real result objects back.
+    """
+    answer = payload.get("answer", payload)
+    if kind == "rq":
+        from repro.matching.reachability import ReachabilityResult
+
+        return ReachabilityResult.from_dict(answer)
+    if kind == "general_rq":
+        from repro.matching.general_rq import GeneralReachabilityResult
+
+        return GeneralReachabilityResult.from_dict(answer)
+    if kind == "pq":
+        from repro.matching.result import PatternMatchResult
+
+        return PatternMatchResult.from_dict(answer)
+    raise ProtocolError(f"unknown result kind {kind!r}")
+
+
+def ok_envelope(**members: Any) -> Dict[str, Any]:
+    """A successful response envelope: ``{schema_version, ok: true, ...}``."""
+    return stamped({"ok": True, **members})
+
+
+def error_envelope(error: Exception) -> Dict[str, Any]:
+    """The error response envelope carrying ``{code, message, retryable}``.
+
+    Library errors keep their stable codes; anything else maps to the
+    generic ``repro.service.error`` (non-retryable).
+    """
+    if isinstance(error, ReproError):
+        payload = error.payload()
+    else:
+        payload = {
+            "code": "repro.service.error",
+            "message": str(error) or type(error).__name__,
+            "retryable": False,
+        }
+    return stamped({"ok": False, "error": payload})

@@ -8,6 +8,12 @@ Public names:
   memos, behind ``prepare`` / ``execute`` / ``watch`` / ``apply_updates``;
 * :class:`~repro.session.session.PreparedQuery` and
   :class:`~repro.session.result.QueryResult`;
+* :class:`~repro.session.session.SessionSnapshot` — a pinned, read-only
+  view of the session at one version (see :meth:`GraphSession.pin`);
+* :data:`~repro.session.result.SCHEMA_VERSION` with
+  :func:`~repro.session.result.stamped` /
+  :func:`~repro.session.result.check_schema_version` — the wire schema
+  stamp shared by results, service envelopes and CLI ``--json`` output;
 * :func:`~repro.session.planner.plan_query` and
   :class:`~repro.session.planner.QueryPlan` — the cost-based planner;
 * :func:`~repro.session.session.default_session` — the module-level
@@ -27,11 +33,15 @@ from repro.session import defaults  # noqa: F401  (leaf module, safe to expose e
 _LAZY = {
     "GraphSession": ("repro.session.session", "GraphSession"),
     "PreparedQuery": ("repro.session.session", "PreparedQuery"),
+    "SessionSnapshot": ("repro.session.session", "SessionSnapshot"),
     "SessionWatch": ("repro.session.session", "SessionWatch"),
     "default_session": ("repro.session.session", "default_session"),
     "QueryResult": ("repro.session.result", "QueryResult"),
     "QueryPlan": ("repro.session.planner", "QueryPlan"),
     "plan_query": ("repro.session.planner", "plan_query"),
+    "SCHEMA_VERSION": ("repro.session.result", "SCHEMA_VERSION"),
+    "stamped": ("repro.session.result", "stamped"),
+    "check_schema_version": ("repro.session.result", "check_schema_version"),
 }
 
 __all__ = ["defaults", *_LAZY]

@@ -25,11 +25,12 @@ counters), so a session never serves stale answers after mutations.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, SnapshotError
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix, build_distance_matrix
 from repro.graph.stats import GraphStats, compute_stats
@@ -57,6 +58,7 @@ from repro.session.defaults import (
 )
 from repro.session.planner import QueryPlan, plan_query
 from repro.session.result import QueryResult
+from repro.storage.snapshot import SnapshotGraph, StoreSnapshot
 
 
 class PreparedQuery:
@@ -103,34 +105,35 @@ class PreparedQuery:
         is cheap); an unchanged graph serves the memoised answer.
         """
         session = self.session
-        self.executions += 1
-        session.executed_queries += 1
-        started = time.perf_counter()
-        key = session._version_key()
-        if self._memo_key == key and self._memo_answer is not None:
-            self.result_cache_hits += 1
-            session.result_cache_hits += 1
+        with session._lock:
+            self.executions += 1
+            session.executed_queries += 1
+            started = time.perf_counter()
+            key = session._version_key()
+            if self._memo_key == key and self._memo_answer is not None:
+                self.result_cache_hits += 1
+                session.result_cache_hits += 1
+                return QueryResult(
+                    answer=self._memo_answer.copy(),
+                    plan=self.plan,
+                    engine=self.plan.engine,
+                    elapsed_seconds=time.perf_counter() - started,
+                    from_result_cache=True,
+                )
+            if self._plan_key != key:
+                self.replan()
+            answer, cache_stats = session._run_plan(self.query, self.plan)
+            # Memoise a private copy so callers mutating the returned answer
+            # can never poison later hits.
+            self._memo_key = session._version_key()
+            self._memo_answer = answer.copy()
             return QueryResult(
-                answer=self._memo_answer.copy(),
+                answer=answer,
                 plan=self.plan,
-                engine=self.plan.engine,
+                engine=getattr(answer, "engine", self.plan.engine),
                 elapsed_seconds=time.perf_counter() - started,
-                from_result_cache=True,
+                cache_stats=cache_stats,
             )
-        if self._plan_key != key:
-            self.replan()
-        answer, cache_stats = session._run_plan(self.query, self.plan)
-        # Memoise a private copy so callers mutating the returned answer can
-        # never poison later hits.
-        self._memo_key = session._version_key()
-        self._memo_answer = answer.copy()
-        return QueryResult(
-            answer=answer,
-            plan=self.plan,
-            engine=getattr(answer, "engine", self.plan.engine),
-            elapsed_seconds=time.perf_counter() - started,
-            cache_stats=cache_stats,
-        )
 
     def execute_many(self, batch: Iterable[Iterable[Tuple]]) -> List[QueryResult]:
         """Execute across a batch of update streams.
@@ -219,6 +222,143 @@ class SessionWatch:
         )
 
 
+#: Pattern-query algorithm registry shared by live and snapshot execution.
+_PQ_ALGORITHMS = {
+    "join": join_match,
+    "split": split_match,
+    "bounded-simulation": bounded_simulation_match,
+    "naive": naive_match,
+}
+
+
+def _empty_answer_for(plan: QueryPlan):
+    """The kind-shaped empty answer of one pruned (unsatisfiable) plan."""
+    if plan.kind == "rq":
+        return ReachabilityResult(pairs=set(), method="pruned", engine=plan.engine)
+    if plan.kind == "general_rq":
+        return GeneralReachabilityResult()
+    return PatternMatchResult.empty("pruned", engine=plan.engine)
+
+
+class SessionSnapshot:
+    """Read-only query execution pinned at one graph version.
+
+    Created by :meth:`GraphSession.pin`.  Holds a refcounted
+    :class:`~repro.storage.snapshot.StoreSnapshot` wrapped in a
+    :class:`~repro.storage.snapshot.SnapshotGraph` facade plus a private
+    dict-engine matcher over it, so :meth:`execute` answers **exactly as the
+    graph stood at** :attr:`version` — later writer mutations (and overlay
+    compactions) can never reach it.  Execution takes no session lock: many
+    snapshots evaluate concurrently while the writer appends, which is the
+    MVCC contract the serving layer is built on.
+
+    A snapshot is single-threaded *itself* (its matcher caches are plain
+    LRUs); share the underlying store snapshot, not this wrapper, across
+    threads.  Use as a context manager, or call :meth:`release` when done —
+    executing after release raises :class:`~repro.exceptions.SnapshotError`.
+    """
+
+    def __init__(self, session: "GraphSession", store_snapshot: StoreSnapshot):
+        self.session = session
+        self.store = store_snapshot
+        self.graph = SnapshotGraph(store_snapshot)
+        self._matcher = PathMatcher(
+            self.graph, cache_capacity=session.cache_capacity, engine="dict"
+        )
+        self._stats: Optional[GraphStats] = None
+        self.executed_queries = 0
+        self._released = False
+
+    @property
+    def version(self) -> int:
+        """The pinned graph version every answer reflects."""
+        return self.store.version
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    @property
+    def stats(self) -> GraphStats:
+        """Statistics of the *pinned* graph (computed once per snapshot)."""
+        if self._stats is None:
+            self._stats = compute_stats(self.graph)
+        return self._stats
+
+    def _plan(self, query: Any, overrides: Dict[str, Any]) -> QueryPlan:
+        if overrides.get("method") == "matrix":
+            raise QueryError(
+                "matrix evaluation is unavailable on a pinned snapshot; "
+                "use a search method"
+            )
+        if overrides.get("engine") not in (None, "auto", "dict"):
+            raise QueryError(
+                "pinned snapshots evaluate on the dict engine over the "
+                "snapshot facade; drop the engine override"
+            )
+        # Planned against the *pinned* statistics (never the live graph's):
+        # unsatisfiable pruning must reflect the colours of this version.
+        return plan_query(
+            query,
+            self.stats,
+            has_matrix=False,
+            engine="dict",
+            method=overrides.get("method"),
+            algorithm=overrides.get("algorithm"),
+            strategy=overrides.get("strategy"),
+        )
+
+    def execute(self, query: Any, **overrides: Any) -> QueryResult:
+        """Evaluate ``query`` against the pinned version (lock-free)."""
+        if self._released:
+            raise SnapshotError(
+                f"snapshot at version {self.version} has been released"
+            )
+        started = time.perf_counter()
+        plan = self._plan(query, overrides)
+        self.executed_queries += 1
+        if plan.unsatisfiable:
+            answer = _empty_answer_for(plan)
+        elif plan.kind == "rq":
+            method = plan.method if plan.method in ("bidirectional", "bfs") else "bidirectional"
+            answer = evaluate_rq(query, self.graph, method=method, matcher=self._matcher)
+        elif plan.kind == "general_rq":
+            answer = evaluate_general_rq(query, self.graph, engine="dict")
+        else:
+            answer = _PQ_ALGORITHMS[plan.algorithm](query, self.graph, matcher=self._matcher)
+        return QueryResult(
+            answer=answer,
+            plan=plan,
+            engine="dict",
+            elapsed_seconds=time.perf_counter() - started,
+            cache_stats=dict(self._matcher.cache_stats),
+        )
+
+    def execute_many(self, queries: Iterable[Any], **overrides: Any) -> List[QueryResult]:
+        """Evaluate a batch of queries on this snapshot's warm matcher."""
+        return [self.execute(query, **overrides) for query in queries]
+
+    def release(self) -> None:
+        """Drop the pin (idempotent); the store may then forget the version."""
+        if not self._released:
+            self._released = True
+            session = self.session
+            with session._lock:
+                session.graph.overlay_store().release_snapshot(self.store)
+
+    def __enter__(self) -> "SessionSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionSnapshot(version={self.version}, "
+            f"executed={self.executed_queries}, released={self._released})"
+        )
+
+
 class GraphSession:
     """One data graph plus every piece of warm query state, one lifecycle.
 
@@ -270,6 +410,10 @@ class GraphSession:
         self.engine = engine
         self.cache_capacity = cache_capacity
         self.name = name if name is not None else graph.name
+        # Serialises planning, execution and mutation: one session can be
+        # shared by several threads (the serving layer's writer path), with
+        # lock-free concurrent reads going through pin() instead.
+        self._lock = threading.RLock()
         self._matrix = distance_matrix
         self._matrix_matcher: Optional[PathMatcher] = None
         self._matrix_edges_version = graph.edges_version
@@ -424,10 +568,11 @@ class GraphSession:
             )
             if value is not None
         }
-        plan = self._plan(query, overrides)
-        self.prepared_queries += 1
-        self.plans_chosen[(plan.kind, plan.algorithm)] += 1
-        return PreparedQuery(self, query, plan, overrides)
+        with self._lock:
+            plan = self._plan(query, overrides)
+            self.prepared_queries += 1
+            self.plans_chosen[(plan.kind, plan.algorithm)] += 1
+            return PreparedQuery(self, query, plan, overrides)
 
     def execute(self, query: Any, **overrides: Any) -> QueryResult:
         """Prepare and execute in one call (no prepared-query reuse)."""
@@ -436,6 +581,20 @@ class GraphSession:
     def execute_many(self, queries: Iterable[Any], **overrides: Any) -> List[QueryResult]:
         """Prepare and execute a batch of queries on shared warm state."""
         return [self.execute(query, **overrides) for query in queries]
+
+    def pin(self) -> SessionSnapshot:
+        """Pin the current graph version for lock-free concurrent reads.
+
+        Returns a :class:`SessionSnapshot`: an immutable view of the graph
+        *as it is now*, with its own matcher, whose :meth:`~SessionSnapshot.execute`
+        never takes the session lock — many pinned readers proceed while the
+        writer keeps mutating through :meth:`apply_updates`.  Pins at the
+        same version share one storage snapshot (refcounted); release each
+        snapshot when done.  This is the MVCC entry point the serving layer
+        (:mod:`repro.service`) batches its reads through.
+        """
+        with self._lock:
+            return SessionSnapshot(self, self.graph.overlay_store().pin_snapshot())
 
     def _run_plan(self, query: Any, plan: QueryPlan) -> Tuple[Any, Dict[str, float]]:
         """Dispatch one plan to the underlying evaluation machinery."""
@@ -449,11 +608,7 @@ class GraphSession:
         return self._run_pq(query, plan)
 
     def _empty_answer(self, plan: QueryPlan):
-        if plan.kind == "rq":
-            return ReachabilityResult(pairs=set(), method="pruned", engine=plan.engine)
-        if plan.kind == "general_rq":
-            return GeneralReachabilityResult()
-        return PatternMatchResult.empty("pruned", engine=plan.engine)
+        return _empty_answer_for(plan)
 
     def _run_rq(self, query: ReachabilityQuery, plan: QueryPlan):
         if plan.use_matrix:
@@ -479,13 +634,7 @@ class GraphSession:
             matcher = self._matrix_path_matcher()
         else:
             matcher = self.matcher(plan.engine)
-        algorithms = {
-            "join": join_match,
-            "split": split_match,
-            "bounded-simulation": bounded_simulation_match,
-            "naive": naive_match,
-        }
-        evaluate = algorithms[plan.algorithm]
+        evaluate = _PQ_ALGORITHMS[plan.algorithm]
         answer = evaluate(query, self.graph, matcher=matcher)
         return answer, dict(matcher.cache_stats)
 
@@ -553,13 +702,14 @@ class GraphSession:
         maintenance pass over the already-applied net changes — the
         coalescing work is shared instead of repeated per watcher.
         """
-        delta = coalesce_update_stream(self.graph, updates)
-        self.updates_applied += delta.net_changes
-        for watch in self._watches:
-            watch.maintainer.maintain_applied(
-                delta.inserted, delta.deleted, delta.new_nodes
-            )
-        return delta
+        with self._lock:
+            delta = coalesce_update_stream(self.graph, updates)
+            self.updates_applied += delta.net_changes
+            for watch in self._watches:
+                watch.maintainer.maintain_applied(
+                    delta.inserted, delta.deleted, delta.new_nodes
+                )
+            return delta
 
     def add_edge(self, source: Any, target: Any, color: str) -> UpdateDelta:
         """Insert one edge through the session (propagates to watchers)."""
@@ -576,13 +726,14 @@ class GraphSession:
         existing node's attributes* can shrink candidate sets, which the
         delta passes cannot express, so watchers recompute from scratch.
         """
-        existed = self.graph.has_node(node)
-        self.graph.add_node(node, **attributes)
-        for watch in self._watches:
-            if existed and attributes:
-                watch.maintainer.recompute()
-            elif not existed:
-                watch.maintainer.maintain_applied((), (), (node,))
+        with self._lock:
+            existed = self.graph.has_node(node)
+            self.graph.add_node(node, **attributes)
+            for watch in self._watches:
+                if existed and attributes:
+                    watch.maintainer.recompute()
+                elif not existed:
+                    watch.maintainer.maintain_applied((), (), (node,))
 
     # -- bookkeeping -------------------------------------------------------------
 

@@ -20,7 +20,13 @@ call.  The storage layer unifies the two behind one protocol:
 * :mod:`~repro.storage.adapter` — the *only* place that branches on the
   backend: :class:`~repro.matching.paths.PathMatcher` delegates its whole
   expansion surface to one adapter, so the evaluation fixpoints above are
-  engine-free.
+  engine-free;
+* :mod:`~repro.storage.snapshot` — pinned MVCC snapshots:
+  :class:`~repro.storage.snapshot.StoreSnapshot` (an immutable base +
+  overlay-slice + attribute-table triple that later mutations and
+  compactions can never invalidate) and
+  :class:`~repro.storage.snapshot.SnapshotGraph` (its read-only graph
+  facade), obtained through ``OverlayCsrStore.pin_snapshot``.
 
 See ARCHITECTURE.md for the full layer stack and the overlay compaction
 lifecycle.
@@ -29,10 +35,13 @@ lifecycle.
 from repro.storage.base import GraphStore
 from repro.storage.dict_store import JOURNAL_CAPACITY, DictStore
 from repro.storage.overlay import OverlayCsrStore
+from repro.storage.snapshot import SnapshotGraph, StoreSnapshot
 
 __all__ = [
     "GraphStore",
     "DictStore",
     "OverlayCsrStore",
+    "StoreSnapshot",
+    "SnapshotGraph",
     "JOURNAL_CAPACITY",
 ]

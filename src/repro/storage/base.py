@@ -109,6 +109,35 @@ class GraphStore(ABC):
                     queue.append(nxt)
         return closure
 
+    # -- snapshot pinning --------------------------------------------------------
+
+    def pin_snapshot(self, version: Optional[int] = None):
+        """Pin an immutable snapshot of the store at its current version.
+
+        MVCC backends (the overlay store) return a refcounted
+        :class:`~repro.storage.snapshot.StoreSnapshot` whose reads are safe
+        from any thread and which later mutations — including compactions —
+        can never invalidate.  ``version`` may assert the expected graph
+        version; only the *current* one can be pinned (stores keep no
+        history).  Backends without MVCC support raise
+        :class:`~repro.exceptions.SnapshotError` — this default.
+        """
+        from repro.exceptions import SnapshotError
+
+        raise SnapshotError(
+            f"the {self.kind or type(self).__name__!s} store does not support "
+            f"snapshot pinning; use the graph's overlay store"
+        )
+
+    def release_snapshot(self, snapshot) -> None:
+        """Release one :meth:`pin_snapshot` reference (drop at zero)."""
+        from repro.exceptions import SnapshotError
+
+        raise SnapshotError(
+            f"the {self.kind or type(self).__name__!s} store does not support "
+            f"snapshot pinning; use the graph's overlay store"
+        )
+
     # -- bookkeeping -------------------------------------------------------------
 
     def overlay_stats(self) -> Dict[str, Any]:

@@ -104,10 +104,13 @@ class OverlayCsrStore(GraphStore):
         self._overlay_edges = 0
         # Nodes created since the base was compiled (absent from its index).
         self._new_nodes: Set[NodeId] = set()
+        # Refcounted pinned snapshots, shared per graph version (MVCC reads).
+        self._pins: Dict[int, Any] = {}
         # Lifetime counters, surfaced by overlay_stats().
         self.compactions = 0
         self.syncs = 0
         self.replayed_ops = 0
+        self.snapshots_pinned = 0
 
     # -- properties --------------------------------------------------------------
 
@@ -245,6 +248,54 @@ class OverlayCsrStore(GraphStore):
     def compact(self) -> None:
         """Fold the overlay into a fresh base snapshot now (public hook)."""
         self._compact()
+
+    # -- snapshot pinning --------------------------------------------------------
+
+    def pin_snapshot(self, version: Optional[int] = None):
+        """Pin an immutable :class:`~repro.storage.snapshot.StoreSnapshot`.
+
+        Syncs first, then captures (or re-references) the snapshot of the
+        graph's *current* version: pins at the same version share one
+        refcounted snapshot object.  The snapshot's base is held by
+        reference — a later compaction rebinds this store's base without
+        touching the pinned object — and its overlay slice is a private deep
+        copy, so nothing the store does afterwards can reach a reader.
+
+        ``version`` may assert the expected version (a reader that planned
+        against version *v* can demand exactly *v*); pinning a version other
+        than the current one raises
+        :class:`~repro.exceptions.SnapshotError`, because no history is
+        kept.  Call from the owner (writer) thread only; *reading* the
+        returned snapshot is thread-safe.
+        """
+        from repro.exceptions import SnapshotError
+        from repro.storage.snapshot import StoreSnapshot
+
+        self.sync()
+        current = self._graph.version
+        if version is not None and version != current:
+            raise SnapshotError(
+                f"cannot pin version {version}: the store is at version "
+                f"{current} and keeps no history"
+            )
+        snapshot = self._pins.get(current)
+        if snapshot is None:
+            snapshot = StoreSnapshot(self)
+            self._pins[current] = snapshot
+        else:
+            snapshot.pins += 1
+        self.snapshots_pinned += 1
+        return snapshot
+
+    def release_snapshot(self, snapshot) -> None:
+        """Drop one pin reference; the snapshot is forgotten at refcount zero.
+
+        Releasing is idempotent-safe only down to zero — callers release
+        exactly once per pin (the session snapshot wrapper enforces this).
+        """
+        snapshot.pins -= 1
+        if snapshot.pins <= 0 and self._pins.get(snapshot.version) is snapshot:
+            del self._pins[snapshot.version]
 
     def _compact(self) -> None:
         # Imported lazily to avoid the import cycle
@@ -432,6 +483,8 @@ class OverlayCsrStore(GraphStore):
                 "syncs": self.syncs,
                 "replayed_ops": self.replayed_ops,
                 "compaction_fraction": self.compaction_fraction,
+                "pinned_snapshots": len(self._pins),
+                "snapshots_pinned": self.snapshots_pinned,
             }
         self.sync()
         base_edges = self._base.num_edges
@@ -447,6 +500,8 @@ class OverlayCsrStore(GraphStore):
             "syncs": self.syncs,
             "replayed_ops": self.replayed_ops,
             "compaction_fraction": self.compaction_fraction,
+            "pinned_snapshots": len(self._pins),
+            "snapshots_pinned": self.snapshots_pinned,
         }
 
     def __repr__(self) -> str:

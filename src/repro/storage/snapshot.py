@@ -1,0 +1,320 @@
+"""Pinned storage snapshots: the MVCC read surface of the overlay store.
+
+A :class:`StoreSnapshot` captures one :class:`~repro.storage.overlay.OverlayCsrStore`
+at a single graph version: the CSR **base by reference** (compaction rebinds
+the store's base to a fresh object and never mutates the old one, so a pinned
+base outlives any number of compactions), a **deep copy of the overlay
+slices** (the store mutates them in place on every sync — the copy is bounded
+by the compaction fraction, so it stays O(delta)), and a **copy of the
+attribute table** (predicate scans must see the pinned attributes, not the
+live ones).
+
+The snapshot is itself a :class:`~repro.storage.base.GraphStore` — merged
+reads work exactly like the live overlay store minus the journal replay — and
+it is **immutable**: once built, reads are safe from any thread without
+locks.  That is the property the serving layer leans on: the writer keeps
+appending to the journal (and the store keeps syncing and compacting) while
+any number of readers evaluate against their pinned snapshots.
+
+:class:`SnapshotGraph` wraps a snapshot in a read-only
+:class:`~repro.graph.data_graph.DataGraph` facade (duck-typed: nodes,
+attributes, merged adjacency, frozen version counters), which is what lets an
+unmodified dict-engine :class:`~repro.matching.paths.PathMatcher` — and the
+whole RQ/PQ fixpoint stack above it — evaluate at the pinned version with no
+snapshot-specific branches.
+
+Pins are refcounted and shared per version by the owning store
+(:meth:`OverlayCsrStore.pin_snapshot` / :meth:`release_snapshot`); the
+thread contract is: pin/release/mutate from the owner thread, read from
+anywhere.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.exceptions import GraphError
+from repro.storage.base import GraphStore, NodeId, bfs_block_frontier, scan_nodes
+
+
+def _copy_overlay(overlay) -> List[Dict[NodeId, Dict[str, Set[NodeId]]]]:
+    """Deep-copy one [direction][node][color] -> neighbour-set overlay."""
+    return [
+        {
+            node: {color: set(bucket) for color, bucket in colors.items() if bucket}
+            for node, colors in direction.items()
+        }
+        for direction in overlay
+    ]
+
+
+class StoreSnapshot(GraphStore):
+    """One immutable (base, overlay-slice, attribute-table) triple.
+
+    Built by :meth:`OverlayCsrStore.pin_snapshot` after a sync, so the
+    captured state equals the live graph at :attr:`version`.  All reads are
+    lock-free; the object never changes after construction.
+    """
+
+    kind = "overlay-csr-snapshot"
+
+    def __init__(self, store):
+        graph = store.graph
+        # By reference: compaction rebinds the store's base, never mutates it.
+        self._base = store._base
+        self._added = _copy_overlay(store._added)
+        self._removed = _copy_overlay(store._removed)
+        self._new_nodes = frozenset(store._new_nodes)
+        self._overlay_edges = store._overlay_edges
+        # The attribute table at pin time (values shared, rows copied): the
+        # live table mutates under add_node(**attrs) / remove_node.
+        self._attrs: Dict[NodeId, Dict[str, Any]] = {
+            node: dict(view) for node, view in graph.attribute_views().items()
+        }
+        self._attr_views: Dict[NodeId, Any] = {
+            node: MappingProxyType(attrs) for node, attrs in self._attrs.items()
+        }
+        self.name = f"{graph.name}@v{graph.version}"
+        self.version = graph.version
+        self.attrs_version = graph.attrs_version
+        self.edges_version = graph.edges_version
+        self._color_versions = {c: graph.color_version(c) for c in graph.colors}
+        self.colors = frozenset(graph.colors)
+        self.num_nodes = graph.num_nodes
+        self.num_edges = graph.num_edges
+        #: Refcount managed by the owning store's pin registry.
+        self.pins = 1
+
+    # -- node membership ---------------------------------------------------------
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._attrs
+
+    def nodes(self) -> Iterator[NodeId]:
+        return iter(self._attrs)
+
+    def attributes(self, node: NodeId):
+        try:
+            return self._attr_views[node]
+        except KeyError as exc:
+            raise GraphError(f"node {node!r} does not exist") from exc
+
+    def color_version(self, color: str) -> int:
+        return self._color_versions.get(color, 0)
+
+    # -- merged reads (mirroring OverlayCsrStore, minus sync) --------------------
+
+    def _base_neighbor_ids(self, node: NodeId, color: str, reverse: bool) -> Optional[Set[NodeId]]:
+        base = self._base
+        if not base.has_node(node):
+            return None
+        color_id = base.color_id(color)
+        if color_id is None:
+            return None
+        index = base.node_index(node)
+        ids = base.ids
+        return {ids[j] for j in base.layer(color_id, reverse).neighbors(index)}
+
+    def merged_neighbors(self, node: NodeId, color: str, reverse: bool = False) -> Set[NodeId]:
+        direction = 1 if reverse else 0
+        result = self._base_neighbor_ids(node, color, reverse) or set()
+        removed = self._removed[direction].get(node)
+        if removed:
+            result -= removed.get(color, set())
+        added = self._added[direction].get(node)
+        if added:
+            result |= added.get(color, set())
+        return result
+
+    def _row_colors(self, node: NodeId, reverse: bool) -> Set[str]:
+        colors: Set[str] = set()
+        base = self._base
+        if base.has_node(node):
+            index = base.node_index(node)
+            colors.update(
+                c for k, c in enumerate(base.colors) if base.layer(k, reverse).mask[index]
+            )
+        direction = 1 if reverse else 0
+        added = self._added[direction].get(node)
+        if added:
+            colors.update(c for c, bucket in added.items() if bucket)
+        return colors
+
+    def _merged_any(self, node: NodeId, reverse: bool) -> Set[NodeId]:
+        if self._overlay_edges == 0 and self._base.has_node(node):
+            from repro.graph.csr import ANY_COLOR
+
+            base = self._base
+            index = base.node_index(node)
+            ids = base.ids
+            return {ids[j] for j in base.layer(ANY_COLOR, reverse).neighbors(index)}
+        result: Set[NodeId] = set()
+        for c in self._row_colors(node, reverse):
+            result |= self.merged_neighbors(node, c, reverse)
+        return result
+
+    def _merged(self, node: NodeId, color: Optional[str], reverse: bool) -> Set[NodeId]:
+        if node not in self._attrs:
+            raise GraphError(f"node {node!r} does not exist")
+        if color is not None:
+            return self.merged_neighbors(node, color, reverse)
+        return self._merged_any(node, reverse)
+
+    def successors(self, node: NodeId, color: Optional[str] = None) -> Set[NodeId]:
+        return self._merged(node, color, reverse=False)
+
+    def predecessors(self, node: NodeId, color: Optional[str] = None) -> Set[NodeId]:
+        return self._merged(node, color, reverse=True)
+
+    def frontier(
+        self,
+        starts: Iterable[NodeId],
+        color: Optional[str],
+        bound: Optional[int],
+        reverse: bool = False,
+    ) -> Set[NodeId]:
+        if color is not None:
+            neighbors = lambda node: self.merged_neighbors(node, color, reverse)  # noqa: E731
+        else:
+            neighbors = lambda node: self._merged_any(node, reverse)  # noqa: E731
+        return bfs_block_frontier(neighbors, starts, bound)
+
+    # -- predicate scans ---------------------------------------------------------
+
+    def matching_nodes(self, predicate: Any) -> List[NodeId]:
+        """Node ids whose *pinned* attributes satisfy ``predicate``."""
+        return scan_nodes(predicate, self._attrs, self.attributes)
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def overlay_stats(self) -> Dict[str, Any]:
+        return {
+            "store": self.kind,
+            "version": self.version,
+            "base_nodes": self._base.num_nodes,
+            "base_edges": self._base.num_edges,
+            "overlay_edges": self._overlay_edges,
+            "new_nodes": len(self._new_nodes),
+            "pins": self.pins,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreSnapshot(version={self.version}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, overlay_edges={self._overlay_edges}, "
+            f"pins={self.pins})"
+        )
+
+
+class SnapshotGraph:
+    """A read-only :class:`DataGraph` facade over one :class:`StoreSnapshot`.
+
+    Duck-typed to the surface the dict-engine evaluation stack reads
+    (:class:`~repro.storage.adapter.DictEngineAdapter`, the general-regex
+    NFA-product evaluator and :func:`~repro.graph.stats.compute_stats`):
+    node iteration, attribute views, merged adjacency and the version
+    counters — all frozen at the pinned version, so every matcher memo keyed
+    on them stays valid for the facade's whole lifetime.  There are no
+    mutation methods: the snapshot *is* the graph at that version.
+    """
+
+    def __init__(self, snapshot: StoreSnapshot):
+        self._snapshot = snapshot
+        self.name = snapshot.name
+
+    # -- storage layer -----------------------------------------------------------
+
+    @property
+    def store(self) -> StoreSnapshot:
+        """The pinned snapshot (closures and frontier expansion read here)."""
+        return self._snapshot
+
+    # -- frozen version counters -------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._snapshot.version
+
+    @property
+    def attrs_version(self) -> int:
+        return self._snapshot.attrs_version
+
+    @property
+    def edges_version(self) -> int:
+        return self._snapshot.edges_version
+
+    def color_version(self, color: str) -> int:
+        return self._snapshot.color_version(color)
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._snapshot.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._snapshot.num_edges
+
+    @property
+    def colors(self):
+        return self._snapshot.colors
+
+    def nodes(self) -> Iterator[NodeId]:
+        return self._snapshot.nodes()
+
+    def has_node(self, node: NodeId) -> bool:
+        return self._snapshot.has_node(node)
+
+    def attributes(self, node: NodeId):
+        return self._snapshot.attributes(node)
+
+    def get_attribute(self, node: NodeId, name: str, default: Any = None) -> Any:
+        return self.attributes(node).get(name, default)
+
+    def successors(self, node: NodeId, color: Optional[str] = None) -> Set[NodeId]:
+        return self._snapshot.successors(node, color)
+
+    def predecessors(self, node: NodeId, color: Optional[str] = None) -> Set[NodeId]:
+        return self._snapshot.predecessors(node, color)
+
+    def out_edges(self, node: NodeId):
+        """Iterate edges leaving ``node`` (the general-regex read path)."""
+        from repro.graph.data_graph import Edge
+
+        snapshot = self._snapshot
+        for color in snapshot._row_colors(node, reverse=False):
+            for target in snapshot.merged_neighbors(node, color):
+                yield Edge(node, target, color)
+
+    def edges(self):
+        """Iterate all pinned edges (drives ``compute_stats`` on the facade)."""
+        for node in self.nodes():
+            yield from self.out_edges(node)
+
+    def out_degree(self, node: NodeId) -> int:
+        snapshot = self._snapshot
+        return sum(
+            len(snapshot.merged_neighbors(node, color))
+            for color in snapshot._row_colors(node, reverse=False)
+        )
+
+    def in_degree(self, node: NodeId) -> int:
+        snapshot = self._snapshot
+        return sum(
+            len(snapshot.merged_neighbors(node, color, reverse=True))
+            for color in snapshot._row_colors(node, reverse=True)
+        )
+
+    def __contains__(self, node: NodeId) -> bool:
+        return self._snapshot.has_node(node)
+
+    def __len__(self) -> int:
+        return self._snapshot.num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )

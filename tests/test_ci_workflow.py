@@ -100,3 +100,24 @@ class TestCiWorkflow:
             if "upload-artifact" in step.get("uses", "")
         ]
         assert "bench-overlay.json" in paths and "bench.json" in paths
+
+    def test_benchmark_job_runs_serve_load_burst(self, workflow):
+        # The serving layer is exercised two ways: the pytest-benchmark file
+        # (timings) and the CLI load burst, whose exit code gates the job on
+        # the snapshot-isolation verification.
+        job = workflow["jobs"]["benchmark-smoke"]
+        commands = "\n".join(step.get("run", "") for step in job["steps"])
+        assert "benchmarks/test_bench_serve.py" in commands
+        assert "repro.cli serve" in commands
+        assert "--load-burst" in commands
+        assert "--readers 8" in commands
+        assert "--out bench-serve.json" in commands
+
+    def test_benchmark_job_uploads_serve_artifact(self, workflow):
+        job = workflow["jobs"]["benchmark-smoke"]
+        paths = "\n".join(
+            step["with"]["path"]
+            for step in job["steps"]
+            if "upload-artifact" in step.get("uses", "")
+        )
+        assert "bench-serve.json" in paths

@@ -266,7 +266,10 @@ class TestJsonOutput:
         assert payload["session"] is False
         assert payload["plan"] is None
         result = payload["result"]
-        assert set(result) == {"pairs", "method", "elapsed_seconds", "engine"}
+        assert set(result) == {
+            "pairs", "method", "elapsed_seconds", "engine", "schema_version",
+        }
+        assert result["schema_version"] == 1
         assert ["C1", "B1"] in result["pairs"]
         assert len(result["pairs"]) == 4
 
@@ -329,3 +332,79 @@ class TestJsonOutput:
         text = out.getvalue()
         assert json.loads(text) == json.loads(text)  # stable, valid JSON
         assert text.lstrip().startswith("{")
+
+
+class TestSchemaVersionStamp:
+    def test_every_json_payload_is_stamped(self, essembly_json):
+        import json
+
+        for argv in (
+            ["stats", essembly_json, "--json"],
+            ["rq", essembly_json, "--regex", "fa", "--json"],
+            ["plan", essembly_json, "--regex", "fa", "--json"],
+        ):
+            out = io.StringIO()
+            assert main(argv, out=out) == 0
+            assert json.loads(out.getvalue())["schema_version"] == 1
+
+
+class TestStructuredErrors:
+    def test_error_line_carries_code_and_retryable(self, essembly_json, capsys):
+        # Satellite: CLI errors render the same {code, message, retryable}
+        # triple the service's error envelope carries.
+        code = main(
+            ["rq", essembly_json, "--regex", "fa", "--session",
+             "--method", "matrix", "--engine", "csr"],
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error [repro.query.invalid]:" in err
+        assert "(retryable=false)" in err
+
+
+class TestServeCommand:
+    def test_parser_defaults(self, essembly_json):
+        args = build_parser().parse_args(["serve", essembly_json])
+        assert args.port == 0 and args.host == "127.0.0.1"
+        assert args.readers == 8 and not args.load_burst
+
+    def test_load_burst_verifies_and_writes_report(self, essembly_json, tmp_path):
+        import json
+
+        report_path = tmp_path / "bench-serve.json"
+        out = io.StringIO()
+        code = main(
+            [
+                "serve", essembly_json, "--load-burst",
+                "--readers", "3", "--duration", "0.5",
+                "--update-batches", "6", "--out", str(report_path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "snapshot isolation: verified" in text
+        assert "qps" in text
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is True
+        assert report["schema_version"] == 1
+        assert report["readers"] == 3
+        assert report["requests"] > 0
+        assert report["updates_applied"] > 0
+        for key in ("qps", "latency_p50_ms", "latency_p99_ms"):
+            assert isinstance(report[key], (int, float))
+
+    def test_load_burst_json_envelope(self, essembly_json):
+        import json
+
+        out = io.StringIO()
+        code = main(
+            ["serve", essembly_json, "--load-burst", "--readers", "2",
+             "--duration", "0.3", "--update-batches", "4", "--json"],
+            out=out,
+        )
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert payload["command"] == "serve"
+        assert payload["schema_version"] == 1
+        assert payload["report"]["ok"] is True

@@ -1,0 +1,113 @@
+"""The free-function evaluation shims emit one-shot deprecation warnings."""
+
+import warnings
+
+import pytest
+
+from repro.datasets.essembly import build_essembly_graph
+from repro.matching.bounded_simulation import bounded_simulation_match
+from repro.matching.deprecation import reset_warnings, warn_free_function
+from repro.matching.join_match import join_match
+from repro.matching.naive import naive_match
+from repro.matching.reachability import evaluate_rq
+from repro.matching.split_match import split_match
+from repro.query.pq import PatternQuery
+from repro.query.rq import ReachabilityQuery
+from repro.session.session import GraphSession
+
+
+@pytest.fixture(autouse=True)
+def rearm():
+    reset_warnings()
+    yield
+    reset_warnings()
+
+
+@pytest.fixture()
+def graph():
+    return build_essembly_graph()
+
+
+RQ = ReachabilityQuery("", "", "fa")
+
+
+def _pattern():
+    pattern = PatternQuery()
+    pattern.add_node("A")
+    pattern.add_node("B")
+    pattern.add_edge("A", "B", "fa")
+    return pattern
+
+
+def _deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestOneShotWarning:
+    def test_evaluate_rq_warns_exactly_once(self, graph):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            evaluate_rq(RQ, graph)
+            evaluate_rq(RQ, graph)
+            evaluate_rq(RQ, graph)
+        emitted = _deprecations(caught)
+        assert len(emitted) == 1
+        message = str(emitted[0].message)
+        assert "evaluate_rq" in message
+        assert "GraphSession" in message
+
+    @pytest.mark.parametrize(
+        "algorithm,name",
+        [
+            (join_match, "join_match"),
+            (split_match, "split_match"),
+            (naive_match, "naive_match"),
+            (bounded_simulation_match, "bounded_simulation_match"),
+        ],
+    )
+    def test_pq_free_functions_warn_once_with_their_name(self, graph, algorithm, name):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            algorithm(_pattern(), graph)
+            algorithm(_pattern(), graph)
+        emitted = _deprecations(caught)
+        assert len(emitted) == 1
+        assert name in str(emitted[0].message)
+
+    def test_reset_rearms(self, graph):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            evaluate_rq(RQ, graph)
+            reset_warnings()
+            evaluate_rq(RQ, graph)
+        assert len(_deprecations(caught)) == 2
+
+    def test_helper_is_per_name(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            warn_free_function("alpha")
+            warn_free_function("beta")
+            warn_free_function("alpha")
+        assert len(_deprecations(caught)) == 2
+
+
+class TestSessionPathsStaySilent:
+    def test_session_and_snapshot_execution_do_not_warn(self, graph):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            session = GraphSession(graph)
+            session.execute(RQ)
+            session.execute(_pattern())
+            with session.pin() as snap:
+                snap.execute(RQ)
+                snap.execute(_pattern())
+        assert not _deprecations(caught)
+
+    def test_explicit_matcher_does_not_warn(self, graph):
+        from repro.matching.paths import PathMatcher
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            evaluate_rq(RQ, graph, matcher=PathMatcher(graph))
+            join_match(_pattern(), graph, matcher=PathMatcher(graph))
+        assert not _deprecations(caught)

@@ -1,0 +1,255 @@
+"""In-process tests for the GraphService serving layer.
+
+Each fixture boots a real service on an ephemeral loopback port in a daemon
+thread and talks to it through the blocking :class:`ServiceClient` — the
+same transport production callers use, so the HTTP parsing, envelopes and
+status codes are all under test.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.datasets.youtube import generate_youtube_graph
+from repro.matching.general_rq import GeneralReachabilityQuery, evaluate_general_rq
+from repro.matching.join_match import join_match
+from repro.matching.paths import PathMatcher
+from repro.matching.reachability import evaluate_rq
+from repro.query.pq import PatternQuery
+from repro.query.rq import ReachabilityQuery
+from repro.service import GraphService, ServiceClient, ServiceConfig
+from repro.service.client import ServiceCallError
+from repro.session.session import GraphSession
+
+RQ = ReachabilityQuery("cat = 'Comedy'", "cat = 'Music'", "fc.sr^+")
+GRQ = GeneralReachabilityQuery("cat = 'Comedy'", "cat = 'Music'", "fc.sr")
+
+
+def _pattern():
+    pattern = PatternQuery(name="probe")
+    pattern.add_node("A", "cat = 'Comedy'")
+    pattern.add_node("B", "cat = 'Music'")
+    pattern.add_edge("A", "B", "fc.sr^+")
+    return pattern
+
+
+@pytest.fixture()
+def graph():
+    return generate_youtube_graph(num_nodes=150, num_edges=500, seed=7)
+
+
+@pytest.fixture()
+def service(graph):
+    svc = GraphService(GraphSession(graph), ServiceConfig(port=0))
+    handle = svc.run_in_thread()
+    try:
+        yield svc, handle
+    finally:
+        handle.shutdown()
+
+
+@pytest.fixture()
+def client(service):
+    _, handle = service
+    with ServiceClient(*handle.address) as c:
+        yield c
+
+
+class TestEndpoints:
+    def test_health(self, client, graph):
+        health = client.health()
+        assert health["ok"] is True and health["schema_version"] == 1
+        assert health["nodes"] == graph.num_nodes
+        assert health["version"] == graph.version
+
+    def test_query_matches_direct_evaluation(self, client, graph):
+        version, answer = client.query(RQ)
+        expected = evaluate_rq(RQ, graph, matcher=PathMatcher(graph))
+        assert version == graph.version
+        assert answer.pairs == expected.pairs
+
+    def test_general_rq_and_pq_kinds(self, client, graph):
+        _, answer = client.query(GRQ)
+        assert answer.pairs == evaluate_general_rq(GRQ, graph, engine="dict").pairs
+        _, answer = client.query(_pattern())
+        expected = join_match(_pattern(), graph, matcher=PathMatcher(graph))
+        assert answer.same_matches(expected)
+
+    def test_batch_serves_all_from_one_version(self, client):
+        version, answers = client.batch([RQ, GRQ, _pattern()])
+        assert len(answers) == 3
+        assert answers[0].pairs  # the youtube fixture has fc.sr^+ pairs
+
+    def test_update_bumps_version_and_next_read_sees_it(self, client, graph):
+        nodes = sorted(graph.nodes(), key=repr)
+        before = client.health()["version"]
+        version, net = client.update([("add", nodes[0], nodes[1], "fc")])
+        assert version > before and net == 1
+        assert client.health()["version"] == version
+        read_version, _ = client.query(RQ)
+        assert read_version == version
+
+    def test_stats_counters(self, client):
+        client.query(RQ)
+        client.batch([RQ, GRQ])
+        stats = client.stats()
+        assert stats["service"]["queries"] >= 3
+        assert stats["service"]["requests"] >= 2
+        assert stats["service"]["batches"] >= 2
+        # Snapshot executions deliberately bypass the session counters (they
+        # run lock-free); the store must report no leaked pins at rest.
+        assert stats["store"].get("pinned_snapshots", 0) == 0
+
+
+class TestErrors:
+    def test_unknown_route_404(self, service):
+        _, handle = service
+        conn = http.client.HTTPConnection(*handle.address)
+        conn.request("GET", "/v1/nope")
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        assert response.status == 404 and body["ok"] is False
+        conn.close()
+
+    def test_malformed_query_400_with_code(self, service):
+        _, handle = service
+        conn = http.client.HTTPConnection(*handle.address)
+        conn.request(
+            "POST",
+            "/v1/query",
+            body=json.dumps({"query": {"kind": "bogus"}}),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        assert response.status == 400
+        assert body["error"]["code"] == "repro.service.protocol"
+        assert body["error"]["retryable"] is False
+        conn.close()
+
+    def test_regex_error_keeps_stable_code(self, client):
+        with pytest.raises(ServiceCallError) as info:
+            client.query({"kind": "rq", "regex": "]["})
+        assert info.value.code == "repro.regex.syntax"
+        assert info.value.status == 400
+
+    def test_bad_update_shape_rejected(self, client):
+        with pytest.raises(ServiceCallError) as info:
+            client.update([("add", "a", "b")])  # type: ignore[list-item]
+        assert info.value.code == "repro.service.protocol"
+
+    def test_future_schema_version_rejected_server_side(self, client):
+        with pytest.raises(ServiceCallError) as info:
+            client.query({"kind": "rq", "regex": "fc", "schema_version": 99})
+        assert info.value.code == "repro.service.protocol"
+        assert "schema_version" in str(info.value)
+
+
+class TestAdmissionControl:
+    def test_overload_returns_retryable_503(self, graph):
+        config = ServiceConfig(port=0, max_inflight=1, read_concurrency=1, batch_max=1)
+        service = GraphService(GraphSession(graph), config)
+        handle = service.run_in_thread()
+        heavy = ReachabilityQuery("", "", "fc.sr^+")
+        outcomes = {"ok": 0, "overloaded": 0}
+        lock = threading.Lock()
+
+        def hammer():
+            with ServiceClient(*handle.address) as c:
+                try:
+                    c.query(heavy)
+                    with lock:
+                        outcomes["ok"] += 1
+                except ServiceCallError as exc:
+                    assert exc.status == 503 and exc.retryable
+                    assert exc.code == "repro.service.overloaded"
+                    with lock:
+                        outcomes["overloaded"] += 1
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        handle.shutdown()
+        assert outcomes["ok"] >= 1
+        assert outcomes["overloaded"] >= 1
+
+
+class TestWatch:
+    def test_long_poll_delivers_update_events(self, client, graph):
+        nodes = sorted(graph.nodes(), key=repr)
+        watch_id = client.watch()
+        version, _ = client.update([("add", nodes[0], nodes[1], "fc")])
+        event = client.watch_next(watch_id, timeout=5.0)
+        assert event["type"] == "update" and event["version"] == version
+        assert event["inserted"] == [[nodes[0], nodes[1], "fc"]]
+        assert client.watch_next(watch_id, timeout=0.2) is None
+        client.watch_close(watch_id)
+        with pytest.raises(ServiceCallError):
+            client.watch_next(watch_id, timeout=0.1)
+
+    def test_sse_stream(self, service, graph):
+        _, handle = service
+        nodes = sorted(graph.nodes(), key=repr)
+        with ServiceClient(*handle.address) as control:
+            watch_id = control.watch()
+            events = []
+
+            def consume():
+                with ServiceClient(*handle.address) as streamer:
+                    for event in streamer.watch_stream(watch_id, max_events=3):
+                        events.append(event)
+
+            thread = threading.Thread(target=consume)
+            thread.start()
+            time.sleep(0.3)
+            control.update([("add", nodes[0], nodes[1], "fc")])
+            control.update([("remove", nodes[0], nodes[1], "fc")])
+            thread.join(15)
+            assert [e["type"] for e in events] == ["hello", "update", "update"]
+            control.watch_close(watch_id)
+
+
+class TestConcurrentReaders:
+    def test_many_readers_during_writes_get_consistent_versions(self, service, graph):
+        """Readers racing a writer must each see a single coherent version."""
+        _, handle = service
+        nodes = sorted(graph.nodes(), key=repr)
+        versions = set()
+        errors = []
+        stop = threading.Event()
+
+        def write():
+            with ServiceClient(*handle.address) as c:
+                for i in range(0, 20, 2):
+                    c.update([("add", nodes[i], nodes[i + 1], "fc")])
+                    time.sleep(0.01)
+            stop.set()
+
+        def read():
+            with ServiceClient(*handle.address) as c:
+                while not stop.is_set():
+                    try:
+                        version, _ = c.query(RQ)
+                        versions.add(version)
+                    except ServiceCallError as exc:
+                        if not exc.retryable:
+                            errors.append(exc)
+                            return
+
+        threads = [threading.Thread(target=write)]
+        threads += [threading.Thread(target=read) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert not errors
+        assert len(versions) >= 2  # reads landed on multiple snapshots
+        # No pins may leak once the burst is done.
+        with ServiceClient(*handle.address) as c:
+            store = c.stats()["store"]
+            assert store.get("pinned_snapshots", 0) == 0

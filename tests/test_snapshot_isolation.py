@@ -1,0 +1,313 @@
+"""Snapshot isolation: pinned readers vs. a live writer, across compaction.
+
+The MVCC contract under test (storage + session layers):
+
+* :meth:`OverlayCsrStore.pin_snapshot` freezes the store at its current
+  version — base by reference, overlay by copy — and later mutations or
+  compactions of the live store never change what the snapshot answers;
+* :meth:`GraphSession.pin` wraps that into a :class:`SessionSnapshot` whose
+  ``execute`` equals from-scratch evaluation of the graph as it stood at
+  pin time, for every query kind;
+* pins are refcounted and release cleanly (no leaked registry entries).
+
+The hypothesis suite drives random update streams with pins taken at random
+points (and forced compactions in between); each pinned snapshot must keep
+answering like the deep copy taken at its pin instant.  The threaded test
+replays the loadgen verification in-process: concurrent pinned readers
+against one writer, verified post hoc against update-log reconstruction.
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SnapshotError
+from repro.graph.data_graph import DataGraph
+from repro.matching.general_rq import GeneralReachabilityQuery, evaluate_general_rq
+from repro.matching.incremental import coalesce_update_stream
+from repro.matching.join_match import join_match
+from repro.matching.paths import PathMatcher
+from repro.matching.reachability import evaluate_rq
+from repro.query.pq import PatternQuery
+from repro.query.rq import ReachabilityQuery
+from repro.session.session import GraphSession
+
+COLORS = ("a", "b")
+N_NODES = 8
+
+RQ = ReachabilityQuery("", "group = 'g1'", "a.b^+")
+GRQ = GeneralReachabilityQuery("group = 'g0'", "", "(a|b)*.b")
+
+
+def _pattern():
+    pattern = PatternQuery(name="iso")
+    pattern.add_node("X", "group = 'g0'")
+    pattern.add_node("Y", "group = 'g1'")
+    pattern.add_edge("X", "Y", "a.b^+")
+    return pattern
+
+
+def tiny_graph(edges=()):
+    graph = DataGraph(name="iso")
+    for index in range(N_NODES):
+        graph.add_node(f"n{index}", group=f"g{index % 2}")
+    for source, target, color in edges:
+        graph.add_edge(f"n{source}", f"n{target}", color)
+    return graph
+
+
+def expected_rq_pairs(graph):
+    frozen = graph.copy()
+    return evaluate_rq(RQ, frozen, matcher=PathMatcher(frozen)).pairs
+
+
+edge_st = st.tuples(
+    st.integers(0, N_NODES - 1),
+    st.integers(0, N_NODES - 1),
+    st.sampled_from(COLORS),
+)
+update_st = st.tuples(st.sampled_from(["add", "remove"]), edge_st)
+
+
+class TestStoreSnapshotIsolation:
+    def test_snapshot_survives_mutations(self):
+        graph = tiny_graph([(0, 1, "a"), (1, 2, "b"), (2, 3, "b")])
+        store = graph.overlay_store()
+        snapshot = store.pin_snapshot()
+        before = dict(
+            successors=snapshot.successors("n1", "b"),
+            nodes=set(snapshot.nodes()),
+        )
+        graph.add_edge("n1", "n4", "b")
+        graph.remove_edge("n1", "n2", "b")
+        graph.add_node("n99", group="g0")
+        assert snapshot.successors("n1", "b") == before["successors"]
+        assert set(snapshot.nodes()) == before["nodes"]
+        assert not snapshot.has_node("n99")
+        store.release_snapshot(snapshot)
+
+    def test_snapshot_survives_compaction(self):
+        graph = tiny_graph([(0, 1, "a"), (1, 2, "b")])
+        store = graph.overlay_store()
+        store.sync()
+        snapshot = store.pin_snapshot()
+        frozen_succ = snapshot.successors("n1", "b")
+        graph.add_edge("n1", "n5", "b")
+        compactions_before = store.compactions
+        store.compact()
+        assert store.compactions == compactions_before + 1
+        # The live store folded the overlay into a fresh base; the pinned
+        # snapshot still answers at its version.
+        assert snapshot.successors("n1", "b") == frozen_succ
+        assert store.merged_neighbors("n1", "b") == frozen_succ | {"n5"}
+        store.release_snapshot(snapshot)
+
+    def test_pins_are_refcounted_and_shared(self):
+        graph = tiny_graph([(0, 1, "a")])
+        store = graph.overlay_store()
+        first = store.pin_snapshot()
+        second = store.pin_snapshot()
+        assert first is second and first.pins == 2
+        assert store.overlay_stats()["pinned_snapshots"] == 1
+        store.release_snapshot(first)
+        assert store.overlay_stats()["pinned_snapshots"] == 1
+        store.release_snapshot(second)
+        assert store.overlay_stats()["pinned_snapshots"] == 0
+
+    def test_pinning_a_stale_version_is_refused(self):
+        graph = tiny_graph([(0, 1, "a")])
+        store = graph.overlay_store()
+        stale = graph.version
+        graph.add_edge("n0", "n2", "b")
+        with pytest.raises(SnapshotError) as info:
+            store.pin_snapshot(stale)
+        assert info.value.code == "repro.storage.snapshot"
+
+
+class TestSessionSnapshot:
+    def test_execute_matches_from_scratch_for_all_kinds(self):
+        graph = tiny_graph([(0, 1, "a"), (1, 3, "b"), (3, 5, "b"), (2, 3, "a")])
+        session = GraphSession(graph)
+        frozen = graph.copy()
+        with session.pin() as snap:
+            assert snap.execute(RQ).answer.pairs == evaluate_rq(
+                RQ, frozen, matcher=PathMatcher(frozen)
+            ).pairs
+            assert snap.execute(GRQ).answer.pairs == evaluate_general_rq(
+                GRQ, frozen, engine="dict"
+            ).pairs
+            assert snap.execute(_pattern()).answer.same_matches(
+                join_match(_pattern(), frozen, matcher=PathMatcher(frozen))
+            )
+
+    def test_snapshot_isolated_from_later_session_writes(self):
+        graph = tiny_graph([(0, 1, "a"), (1, 3, "b")])
+        session = GraphSession(graph)
+        snap = session.pin()
+        pinned = snap.execute(RQ).answer.pairs
+        session.apply_updates([("add", "n1", "n5", "b"), ("add", "n5", "n7", "b")])
+        assert snap.execute(RQ).answer.pairs == pinned
+        live = session.execute(RQ).answer.pairs
+        assert live != pinned  # the live session does see the new b-edges
+        snap.release()
+
+    def test_release_is_idempotent_and_guards_execute(self):
+        session = GraphSession(tiny_graph([(0, 1, "a")]))
+        snap = session.pin()
+        snap.release()
+        snap.release()
+        with pytest.raises(SnapshotError) as info:
+            snap.execute(RQ)
+        assert info.value.code == "repro.storage.snapshot"
+
+    def test_execute_many_on_one_snapshot(self):
+        session = GraphSession(tiny_graph([(0, 1, "a"), (1, 2, "b")]))
+        with session.pin() as snap:
+            results = snap.execute_many([RQ, GRQ])
+            assert len(results) == 2
+
+
+class TestHypothesisIsolation:
+    @given(
+        initial=st.lists(edge_st, max_size=12),
+        rounds=st.lists(st.lists(update_st, min_size=1, max_size=4), min_size=1, max_size=5),
+        compact_after=st.sets(st.integers(0, 4)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pinned_answers_frozen_under_update_stream(
+        self, initial, rounds, compact_after
+    ):
+        """Every pin keeps answering like the deep copy taken at pin time."""
+        graph = tiny_graph(initial)
+        session = GraphSession(graph)
+        pinned = []  # (snapshot, expected pairs at pin time)
+        try:
+            for round_index, batch in enumerate(rounds):
+                updates = [
+                    (op, f"n{source}", f"n{target}", color)
+                    for op, (source, target, color) in batch
+                ]
+                session.apply_updates(updates)
+                snap = session.pin()
+                pinned.append((snap, expected_rq_pairs(graph)))
+                if round_index in compact_after:
+                    graph.overlay_store().compact()
+                # Earlier pins must be unaffected by everything that happened
+                # after them — later updates and the compactions alike.
+                for snapshot, expected in pinned:
+                    assert snapshot.execute(RQ).answer.pairs == expected
+        finally:
+            for snapshot, _ in pinned:
+                snapshot.release()
+        assert graph.overlay_store().overlay_stats()["pinned_snapshots"] == 0
+
+    @pytest.mark.slow
+    @given(
+        initial=st.lists(edge_st, max_size=20),
+        rounds=st.lists(st.lists(update_st, min_size=1, max_size=6), min_size=2, max_size=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_query_kinds_frozen_at_pin_version(self, initial, rounds):
+        graph = tiny_graph(initial)
+        session = GraphSession(graph)
+        snapshots = []
+        try:
+            for batch in rounds:
+                updates = [
+                    (op, f"n{source}", f"n{target}", color)
+                    for op, (source, target, color) in batch
+                ]
+                session.apply_updates(updates)
+                frozen = graph.copy()
+                snapshots.append((session.pin(), frozen))
+            graph.overlay_store().compact()
+            for snapshot, frozen in snapshots:
+                assert snapshot.execute(RQ).answer.pairs == evaluate_rq(
+                    RQ, frozen, matcher=PathMatcher(frozen)
+                ).pairs
+                assert snapshot.execute(GRQ).answer.pairs == evaluate_general_rq(
+                    GRQ, frozen, engine="dict"
+                ).pairs
+                assert snapshot.execute(_pattern()).answer.same_matches(
+                    join_match(_pattern(), frozen, matcher=PathMatcher(frozen))
+                )
+        finally:
+            for snapshot, _ in snapshots:
+                snapshot.release()
+
+
+class TestConcurrentPinnedReaders:
+    @pytest.mark.slow
+    def test_eight_readers_one_writer_verified_against_replay(self):
+        """The in-process analogue of the serve load burst (no HTTP)."""
+        graph = tiny_graph([(i, (i + 1) % N_NODES, COLORS[i % 2]) for i in range(N_NODES)])
+        initial = graph.copy()
+        initial_version = graph.version
+        session = GraphSession(graph)
+
+        update_log = []  # (post version, batch), in application order
+        observations = []  # (version, pairs)
+        lock = threading.Lock()
+        done = threading.Event()
+
+        def writer():
+            for step in range(40):
+                batch = [
+                    (
+                        "add" if step % 3 else "remove",
+                        f"n{step % N_NODES}",
+                        f"n{(step * 3 + 1) % N_NODES}",
+                        COLORS[step % 2],
+                    )
+                ]
+                with lock:
+                    # Version assignment and log append must be atomic with
+                    # respect to each other (pinning is internally locked).
+                    session.apply_updates(batch)
+                    update_log.append((graph.version, batch))
+                time.sleep(0.002)  # let readers overlap the write stream
+            done.set()
+
+        def reader():
+            iterations = 0
+            while iterations < 3 or not done.is_set():
+                iterations += 1
+                snap = session.pin()
+                try:
+                    pairs = snap.execute(RQ).answer.pairs
+                    with lock:
+                        observations.append((snap.version, set(pairs)))
+                finally:
+                    snap.release()
+
+        threads = [threading.Thread(target=writer)]
+        threads += [threading.Thread(target=reader) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+
+        assert observations
+        # Replay the update log: reconstruct the graph at every version a
+        # reader observed and compare from-scratch evaluation.
+        boundaries = {initial_version} | {version for version, _ in update_log}
+        replay = initial
+        replay_version = initial_version
+        log_index = 0
+        expected = {}
+        for version, pairs in sorted(observations, key=lambda item: item[0]):
+            assert version in boundaries, "a pin observed a half-applied batch"
+            while replay_version < version:
+                post_version, batch = update_log[log_index]
+                coalesce_update_stream(replay, batch)
+                replay_version = post_version
+                log_index += 1
+            if version not in expected:
+                expected[version] = evaluate_rq(
+                    RQ, replay, matcher=PathMatcher(replay)
+                ).pairs
+            assert pairs == expected[version]
+        assert graph.overlay_store().overlay_stats()["pinned_snapshots"] == 0

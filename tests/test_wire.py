@@ -1,0 +1,138 @@
+"""Round-trip tests for the versioned wire format (repro.service.wire)."""
+
+import pytest
+
+from repro.exceptions import ProtocolError, RegexSyntaxError
+from repro.matching.general_rq import GeneralReachabilityQuery, GeneralReachabilityResult
+from repro.matching.reachability import ReachabilityResult
+from repro.matching.result import PatternMatchResult
+from repro.query.pq import PatternQuery
+from repro.query.rq import ReachabilityQuery
+from repro.service.wire import (
+    SCHEMA_VERSION,
+    decode_query,
+    decode_result,
+    encode_query,
+    error_envelope,
+    ok_envelope,
+)
+
+
+class TestQueryRoundTrip:
+    def test_rq(self):
+        query = ReachabilityQuery("cat = 'Comedy'", "cat = 'Music'", "fc.sr^+")
+        wire = encode_query(query)
+        assert wire["schema_version"] == SCHEMA_VERSION
+        kind, decoded = decode_query(wire)
+        assert kind == "rq"
+        assert str(decoded.regex) == str(query.regex)
+        assert str(decoded.source_predicate) == str(query.source_predicate)
+        assert str(decoded.target_predicate) == str(query.target_predicate)
+
+    def test_rq_empty_predicates(self):
+        kind, decoded = decode_query(encode_query(ReachabilityQuery("", "", "fc")))
+        assert decoded.source_predicate.is_true()
+        assert decoded.target_predicate.is_true()
+
+    def test_general_rq(self):
+        query = GeneralReachabilityQuery("cat = 'Comedy'", "", "(fc|sr)*.fc")
+        kind, decoded = decode_query(encode_query(query))
+        assert kind == "general_rq"
+        assert str(decoded.regex) == str(query.regex)
+        assert decoded.target_predicate.is_true()
+
+    def test_pq(self):
+        pattern = PatternQuery(name="probe")
+        pattern.add_node("A", "cat = 'Comedy'")
+        pattern.add_node("B")
+        pattern.add_edge("A", "B", "fc.sr^2")
+        kind, decoded = decode_query(encode_query(pattern))
+        assert kind == "pq"
+        assert decoded.name == "probe"
+        assert [str(decoded.predicate(n)) for n in decoded.nodes()] == [
+            str(pattern.predicate(n)) for n in pattern.nodes()
+        ]
+        assert [(e.source, e.target, str(e.regex)) for e in decoded.edges()] == [
+            (e.source, e.target, str(e.regex)) for e in pattern.edges()
+        ]
+
+    def test_dict_passes_through(self):
+        kind, decoded = decode_query({"kind": "rq", "regex": "fc"})
+        assert kind == "rq" and str(decoded.regex) == "fc"
+
+
+class TestDecodeErrors:
+    def test_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_query(["rq"])
+
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="unknown query kind"):
+            decode_query({"kind": "bogus"})
+
+    def test_missing_regex(self):
+        with pytest.raises(ProtocolError, match="missing the 'regex'"):
+            decode_query({"kind": "rq"})
+
+    def test_future_schema_version_rejected(self):
+        with pytest.raises(ProtocolError, match="schema_version"):
+            decode_query({"kind": "rq", "regex": "fc", "schema_version": 99})
+
+    def test_parse_errors_keep_their_codes(self):
+        with pytest.raises(RegexSyntaxError) as info:
+            decode_query({"kind": "rq", "regex": "not a regex ]["})
+        assert info.value.code == "repro.regex.syntax"
+
+
+class TestResultRoundTrip:
+    def test_rq_result(self):
+        original = ReachabilityResult(pairs={("a", "b"), ("c", "d")})
+        rebuilt = decode_result("rq", original.to_dict())
+        assert rebuilt.pairs == original.pairs
+
+    def test_general_rq_result(self):
+        original = GeneralReachabilityResult(pairs={("a", "b")})
+        rebuilt = decode_result("general_rq", original.to_dict())
+        assert rebuilt.pairs == original.pairs
+
+    def test_pq_result(self):
+        original = PatternMatchResult(
+            edge_matches={("A", "B"): {("a", "b")}},
+            node_matches={"A": {"a"}, "B": {"b"}},
+            algorithm="join",
+        )
+        rebuilt = decode_result("pq", original.to_dict())
+        assert rebuilt.same_matches(original)
+        assert rebuilt.node_matches == original.node_matches
+
+    def test_result_from_future_schema_rejected(self):
+        payload = ReachabilityResult(pairs=set()).to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ProtocolError):
+            decode_result("rq", payload)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError):
+            decode_result("bogus", {})
+
+
+class TestEnvelopes:
+    def test_ok_envelope_stamped(self):
+        envelope = ok_envelope(version=3)
+        assert envelope == {"ok": True, "version": 3, "schema_version": SCHEMA_VERSION}
+
+    def test_error_envelope_carries_structured_payload(self):
+        from repro.exceptions import OverloadedError
+
+        envelope = error_envelope(OverloadedError("busy"))
+        assert envelope["ok"] is False
+        assert envelope["error"] == {
+            "code": "repro.service.overloaded",
+            "message": "busy",
+            "retryable": True,
+        }
+
+    def test_error_envelope_wraps_foreign_exceptions(self):
+        envelope = error_envelope(ValueError("boom"))
+        assert envelope["error"]["code"] == "repro.service.error"
+        assert envelope["error"]["retryable"] is False

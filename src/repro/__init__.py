@@ -10,16 +10,17 @@ The library provides:
 * reachability queries (:class:`ReachabilityQuery`, :func:`evaluate_rq`) and
   graph pattern queries (:class:`PatternQuery`) with simulation-based
   semantics;
-* static analyses — containment, equivalence and minimization
-  (:func:`pq_contained_in`, :func:`pq_equivalent`,
-  :func:`minimize_pattern_query`);
+* static analyses — containment, equivalence, minimization and canonical
+  forms (:func:`pq_contained_in`, :func:`pq_equivalent`,
+  :func:`minimize_pattern_query`, :func:`canonicalize_query`);
 * the two PQ evaluation algorithms of the paper (:func:`join_match`,
   :func:`split_match`) plus reference and baseline matchers;
 * dataset generators, an experiment harness and benchmarks reproducing every
   figure of the paper's evaluation;
 * a session facade (:class:`GraphSession`) with a cost-based planner,
-  prepared queries, incremental watchers and pinned snapshots
-  (:meth:`GraphSession.pin`);
+  prepared queries, incremental watchers, pinned snapshots
+  (:meth:`GraphSession.pin`) and a containment-powered semantic result
+  cache (:class:`SemanticCache`);
 * a snapshot-isolated serving layer (:class:`GraphService`,
   :class:`ServiceClient`, ``repro serve``) speaking a versioned JSON wire
   format (:data:`SCHEMA_VERSION`).
@@ -47,12 +48,19 @@ from repro.query.predicates import AtomicCondition, Predicate
 from repro.query.rq import ReachabilityQuery
 from repro.query.pq import PatternEdge, PatternQuery
 from repro.query.containment import (
+    pq_containment_mapping,
     pq_contained_in,
     pq_equivalent,
     rq_contained_in,
     rq_equivalent,
 )
 from repro.query.minimization import minimize_pattern_query
+from repro.query.canonical import (
+    CanonicalQuery,
+    canonical_pattern_query,
+    canonical_regex,
+    canonicalize_query,
+)
 from repro.query.generator import QueryGenerator
 from repro.matching.reachability import ReachabilityResult, evaluate_rq
 from repro.matching.result import PatternMatchResult
@@ -76,6 +84,7 @@ from repro.storage.overlay import OverlayCsrStore
 from repro.storage.snapshot import SnapshotGraph, StoreSnapshot
 from repro.session.planner import QueryPlan, plan_query
 from repro.session.result import SCHEMA_VERSION, QueryResult
+from repro.session.semantic_cache import SemanticCache
 from repro.session.session import (
     GraphSession,
     PreparedQuery,
@@ -89,7 +98,7 @@ from repro.service import (
     ServiceConfig,
 )
 
-__version__ = "2.5.0"
+__version__ = "2.6.0"
 
 __all__ = [
     # exceptions
@@ -128,9 +137,14 @@ __all__ = [
     # static analyses
     "rq_contained_in",
     "rq_equivalent",
+    "pq_containment_mapping",
     "pq_contained_in",
     "pq_equivalent",
     "minimize_pattern_query",
+    "CanonicalQuery",
+    "canonical_pattern_query",
+    "canonical_regex",
+    "canonicalize_query",
     # evaluation
     "evaluate_rq",
     "ReachabilityResult",
@@ -161,6 +175,7 @@ __all__ = [
     "QueryResult",
     "QueryPlan",
     "plan_query",
+    "SemanticCache",
     "default_session",
     # serving layer
     "SCHEMA_VERSION",

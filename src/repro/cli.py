@@ -77,6 +77,7 @@ _EXPERIMENTS = {
     "exp4": "repro.experiments.exp4_pq:run_all_sweeps",
     "exp5f": "repro.experiments.exp5_synthetic:run_subiso_comparison",
     "exp6": "repro.experiments.exp6_incremental:run_update_streams",
+    "exp7": "repro.experiments.exp7_semcache:run_semantic_cache",
 }
 
 #: Experiments whose runner accepts an ``engines=`` keyword (dict-vs-CSR columns).
@@ -420,6 +421,13 @@ def _default_probes(graph):
     Picks the two most common string-valued ``attr = 'value'`` conditions so
     the probes select real node sets on any fixture (for the youtube dataset
     this lands on ``cat = ...`` categories), and spans all three query kinds.
+
+    The mix deliberately exercises the semantic result cache: two RQs are
+    syntactically different but canonically equal (they share one cache
+    entry), one RQ is a strict sub-language of another (answerable by
+    filtering the larger cached answer), and the pattern query appears twice
+    under different names.  Every served answer — cache hit or not — is still
+    replayed against from-scratch evaluation by the verifier.
     """
     from collections import Counter
 
@@ -441,11 +449,25 @@ def _default_probes(graph):
     pattern.add_node("A", common[0] or None)
     pattern.add_node("B", common[1] or None)
     pattern.add_edge("A", "B", f"{first}.{second}^+")
+    # Same pattern under a different name: canonically equal, so the second
+    # spelling is a cache-exact hit on the first one's entry.
+    renamed = PatternQuery(name="serve-probe-alt")
+    renamed.add_node("A", common[0] or None)
+    renamed.add_node("B", common[1] or None)
+    renamed.add_edge("A", "B", f"{first}.{second}^+")
     return [
         ("rq", ReachabilityQuery(common[0], common[1], f"{first}.{second}^+")),
         ("rq", ReachabilityQuery(common[1], common[0], f"{second}^+")),
+        # Equivalent respellings: canonical form rewrites both to the same
+        # key, so whichever lands second hits the first one's entry.
+        ("rq", ReachabilityQuery(common[1], common[0], f"{first}.{first}^2")),
+        ("rq", ReachabilityQuery(common[1], common[0], f"{first}^2.{first}")),
+        # Sub-language of probe 0 (``c`` vs ``c^+`` tail): served by
+        # filtering + per-pair verification of probe 0's cached answer.
+        ("rq", ReachabilityQuery(common[0], common[1], f"{first}.{second}")),
         ("general_rq", GeneralReachabilityQuery(common[0], common[1], f"({first}|{second})*.{second}")),
         ("pq", pattern),
+        ("pq", renamed),
     ]
 
 
@@ -496,6 +518,15 @@ def _command_serve(args: argparse.Namespace, out) -> int:
                 f"({report['updates_applied']} update batches applied)",
                 file=out,
             )
+            cache = report.get("semantic_cache", {})
+            if cache:
+                print(
+                    f"semantic cache: {cache.get('exact_hits', 0)} exact + "
+                    f"{cache.get('containment_hits', 0)} containment hits, "
+                    f"{cache.get('misses', 0)} misses "
+                    f"({cache.get('entries', 0)} entries live)",
+                    file=out,
+                )
             verdict = "verified" if report["ok"] else "FAILED"
             print(f"snapshot isolation: {verdict}", file=out)
             for failure in report["failures"]:

@@ -13,7 +13,10 @@ One module per experiment:
 * :mod:`~repro.experiments.exp5_synthetic` — Fig. 12(a)–(f): scalability on
   synthetic graphs and the SubIso comparison;
 * :mod:`~repro.experiments.exp6_incremental` — (extension, Section 7's future
-  work): incremental maintenance vs recompute on update streams.
+  work): incremental maintenance vs recompute on update streams;
+* :mod:`~repro.experiments.exp7_semcache` — (extension, built on Section 3's
+  containment analyses): semantic result-cache hit rates on near-duplicate
+  query workloads.
 
 Every experiment function returns a list of row dictionaries (one per plotted
 point) so that results can be printed, asserted in tests and re-used by the

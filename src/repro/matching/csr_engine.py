@@ -39,6 +39,7 @@ from repro.matching.cache import (
     LruCache,
 )
 from repro.matching.frontiers import forward_sweep, meet_in_the_middle
+from repro.query.canonical import canonical_regex
 from repro.regex.fclass import FRegex, RegexAtom
 from repro.regex.nfa import LazyDfa, Nfa
 
@@ -346,8 +347,11 @@ class CsrEngine:
         memoised per ``(target set, regex)`` — the refinement fixpoint and
         the incremental maintainer keep asking for the same stabilised
         candidate sets, which then cost one frozenset hash instead of a BFS
-        cascade.
+        cascade.  Memo keys use the *canonical* expression
+        (:func:`~repro.query.canonical.canonical_regex`), so language-equal
+        spellings share entries.
         """
+        regex = canonical_regex(regex)
         target_set = frozenset(targets)
         key = ("bwd", regex, target_set)
         cached = self._set_cache.get(key)
@@ -376,7 +380,9 @@ class CsrEngine:
         of the per-atom memo — repeated sweeps over stable candidate sets
         (the result-assembly loop of JoinMatch/SplitMatch, re-run per update
         by the incremental maintainer) collapse to one cache lookup.
+        Language-equal spellings share entries via the canonical form.
         """
+        regex = canonical_regex(regex)
         key = ("expr", regex, index, False)
         cached = self._cache.get(key)
         if cached is not None:
@@ -400,6 +406,7 @@ class CsrEngine:
 
     def sources_to(self, index: int, regex: FRegex) -> FrozenSet[int]:
         """All indices ``j`` such that ``(j, index)`` matches ``regex``."""
+        regex = canonical_regex(regex)
         key = ("expr", regex, index, True)
         cached = self._cache.get(key)
         if cached is not None:
@@ -430,6 +437,7 @@ class CsrEngine:
         """Pairs ``(s, t)`` with ``s``/``t`` in the candidate sets and a path
         from ``s`` to ``t`` matching ``regex`` — the per-edge result-assembly
         step of the PQ algorithms, memoised per (regex, candidate sets)."""
+        regex = canonical_regex(regex)
         key = ("pairs", regex, source_indices, target_indices)
         cached = self._set_cache.get(key)
         if cached is not None:
@@ -459,7 +467,9 @@ class CsrEngine:
         streams re-ask after every irrelevant mutation) collapse to one
         frozenset hash, and still-valid entries are promoted across snapshot
         recompiles when no colour the expression can traverse changed.
+        Language-equal spellings share entries via the canonical form.
         """
+        regex = canonical_regex(regex)
         key = ("qpairs", regex, source_indices, target_indices, method)
         cached = self._set_cache.get(key)
         if cached is not None:

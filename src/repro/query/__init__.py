@@ -6,6 +6,8 @@
 * :mod:`~repro.query.pq` — graph pattern queries (PQs);
 * :mod:`~repro.query.containment` — containment / equivalence (Section 3.1);
 * :mod:`~repro.query.minimization` — the ``minPQs`` algorithm (Section 3.2);
+* :mod:`~repro.query.canonical` — canonical query forms and semantic cache
+  keys built on minimization and regex normalization;
 * :mod:`~repro.query.generator` — the paper's parameterised query generator.
 """
 
@@ -13,12 +15,19 @@ from repro.query.predicates import AtomicCondition, Predicate
 from repro.query.rq import ReachabilityQuery
 from repro.query.pq import PatternEdge, PatternQuery
 from repro.query.containment import (
+    pq_containment_mapping,
     pq_contained_in,
     pq_equivalent,
     rq_contained_in,
     rq_equivalent,
 )
 from repro.query.minimization import minimize_pattern_query
+from repro.query.canonical import (
+    CanonicalQuery,
+    canonical_pattern_query,
+    canonical_regex,
+    canonicalize_query,
+)
 from repro.query.generator import QueryGenerator
 
 __all__ = [
@@ -29,8 +38,13 @@ __all__ = [
     "PatternQuery",
     "rq_contained_in",
     "rq_equivalent",
+    "pq_containment_mapping",
     "pq_contained_in",
     "pq_equivalent",
     "minimize_pattern_query",
+    "CanonicalQuery",
+    "canonical_pattern_query",
+    "canonical_regex",
+    "canonicalize_query",
     "QueryGenerator",
 ]

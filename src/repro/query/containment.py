@@ -14,9 +14,9 @@ building block of the ``minPQs`` minimization algorithm.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
-from repro.query.pq import PatternQuery
+from repro.query.pq import PatternEdge, PatternQuery
 from repro.query.rq import ReachabilityQuery
 from repro.regex.containment import language_contains
 
@@ -106,6 +106,43 @@ def revised_similarity(
     return relation
 
 
+def pq_containment_mapping(
+    first: PatternQuery, second: PatternQuery
+) -> Optional[Dict[NodePair, PatternEdge]]:
+    """The edge-mapping witness of ``first ⊑ second`` (Theorem 3.2), or None.
+
+    When ``first`` is contained in ``second``, returns one covering edge of
+    ``second`` per edge of ``first`` — a map ``λ`` from
+    ``(source, target)`` pairs of ``first`` to :class:`PatternEdge` objects
+    of ``second`` such that ``(λ(e).source, e.source)`` and
+    ``(λ(e).target, e.target)`` are in the revised similarity and
+    ``L(f_e) ⊆ L(f_λ(e))``.  By Theorem 3.2 the answers then nest edge-wise
+    on *every* data graph: ``M(first)(e) ⊆ M(second)(λ(e))`` — the witness
+    the semantic result cache uses to restrict evaluation of ``first`` to a
+    cached answer of ``second``.  Returns ``None`` when containment fails.
+    """
+    relation = revised_similarity(second, first)
+    if not relation and second.num_nodes:
+        return None
+
+    mapping: Dict[NodePair, PatternEdge] = {}
+    for first_edge in first.edges():
+        covering = next(
+            (
+                second_edge
+                for second_edge in second.edges()
+                if (second_edge.source, first_edge.source) in relation
+                and (second_edge.target, first_edge.target) in relation
+                and language_contains(first_edge.regex, second_edge.regex)
+            ),
+            None,
+        )
+        if covering is None:
+            return None
+        mapping[first_edge.pair] = covering
+    return mapping
+
+
 def pq_contained_in(first: PatternQuery, second: PatternQuery) -> bool:
     """Containment ``first ⊑ second`` for pattern queries (Theorem 3.2).
 
@@ -113,20 +150,7 @@ def pq_contained_in(first: PatternQuery, second: PatternQuery) -> bool:
     there is a revised similarity from ``second`` to ``first`` (condition (1))
     whose pairs also cover every edge of ``first`` (condition (2)).
     """
-    relation = revised_similarity(second, first)
-    if not relation and second.num_nodes:
-        return False
-
-    for first_edge in first.edges():
-        covered = any(
-            (second_edge.source, first_edge.source) in relation
-            and (second_edge.target, first_edge.target) in relation
-            and language_contains(first_edge.regex, second_edge.regex)
-            for second_edge in second.edges()
-        )
-        if not covered:
-            return False
-    return True
+    return pq_containment_mapping(first, second) is not None
 
 
 def pq_equivalent(first: PatternQuery, second: PatternQuery) -> bool:

@@ -205,6 +205,10 @@ def _remove_isolated_nodes(pattern: PatternQuery, keep_if_empty: bool = False) -
         if not pattern.successors(node) and not pattern.predecessors(node)
     ]
     if keep_if_empty and len(isolated) == pattern.num_nodes and isolated:
-        isolated = isolated[1:]
+        # All nodes are isolated: keep exactly one, chosen by its predicate
+        # rather than its name — minimizing two patterns that are identical
+        # up to node renaming must produce the same (canonical) survivor.
+        keep = min(isolated, key=lambda node: str(pattern.predicate(node)))
+        isolated = [node for node in isolated if node != keep]
     for node in isolated:
         pattern.remove_node(node)

@@ -14,16 +14,49 @@ two expressions.  We provide:
   (:func:`repro.regex.nfa.nfa_language_contains`).  For query-sized
   expressions both paths are effectively instantaneous.
 * :func:`language_equal` — mutual containment.
+
+Decisions are memoised behind a bounded LRU: the containment tables of
+``pq_contained_in``, ``minPQs`` and the semantic result cache re-decide the
+same expression pairs over and over, and the answer for a pair never changes.
+(The memo is a module-local ordered dict rather than
+:class:`repro.matching.cache.LruCache` — importing the matching package from
+here would cycle, since matching imports the regex layer at import time.)
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.regex.fclass import FRegex
 from repro.regex.nfa import nfa_language_contains
+from repro.session.defaults import LANGUAGE_CONTAINMENT_CACHE_CAPACITY
 
 _INF = float("inf")
+
+_containment_memo: "OrderedDict[Tuple, bool]" = OrderedDict()
+_containment_lock = threading.Lock()
+_containment_counters = {"hits": 0, "misses": 0}
+
+
+def language_containment_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the bounded ``language_contains`` memo."""
+    with _containment_lock:
+        return {
+            "hits": _containment_counters["hits"],
+            "misses": _containment_counters["misses"],
+            "size": len(_containment_memo),
+            "capacity": LANGUAGE_CONTAINMENT_CACHE_CAPACITY,
+        }
+
+
+def clear_language_containment_cache() -> None:
+    """Drop every memoised containment decision (counters reset too)."""
+    with _containment_lock:
+        _containment_memo.clear()
+        _containment_counters["hits"] = 0
+        _containment_counters["misses"] = 0
 
 
 def _bound(value: Optional[int]) -> float:
@@ -78,15 +111,37 @@ def syntactic_contains(smaller: FRegex, larger: FRegex) -> bool:
 def language_contains(
     smaller: FRegex, larger: FRegex, alphabet: Optional[Iterable[str]] = None
 ) -> bool:
-    """Decide ``L(smaller) ⊆ L(larger)`` exactly.
+    """Decide ``L(smaller) ⊆ L(larger)`` exactly (memoised).
 
     The fast syntactic scan is attempted first; a negative answer from the
     scan is re-checked with the exact automaton product, so the final answer
-    is always exact.
+    is always exact.  Decisions are cached in a bounded LRU keyed on the two
+    expressions (plus the alphabet, when one is supplied — wildcard
+    containment can depend on it).
     """
+    key = (
+        smaller,
+        larger,
+        None if alphabet is None else frozenset(alphabet),
+    )
+    with _containment_lock:
+        cached = _containment_memo.get(key)
+        if cached is not None:
+            _containment_memo.move_to_end(key)
+            _containment_counters["hits"] += 1
+            return cached
+        _containment_counters["misses"] += 1
     if syntactic_contains(smaller, larger):
-        return True
-    return nfa_language_contains(smaller, larger, alphabet)
+        answer = True
+    else:
+        answer = nfa_language_contains(
+            smaller, larger, None if key[2] is None else key[2]
+        )
+    with _containment_lock:
+        _containment_memo[key] = answer
+        if len(_containment_memo) > LANGUAGE_CONTAINMENT_CACHE_CAPACITY:
+            _containment_memo.popitem(last=False)
+    return answer
 
 
 def language_equal(

@@ -16,8 +16,16 @@ thread streams edge updates, then **verifies every answer post hoc**:
   version that is not a batch boundary, which would mean a pin observed a
   half-applied batch — is a snapshot-isolation violation.
 
-The report (latency percentiles, qps, verification verdict) is what the CI
-benchmark-smoke job uploads as ``bench-serve.json``.
+Because the comparison is against a cache-free from-scratch evaluation and
+:func:`_normalise` strips all metadata, answers the service served out of
+its semantic result cache (``cache-exact`` or ``cache-containment``) are
+checked byte-for-byte exactly like freshly evaluated ones — a wrong
+containment-derived answer fails verification the same way a stale
+snapshot would.
+
+The report (latency percentiles, qps, semantic-cache counters,
+verification verdict) is what the CI benchmark-smoke job uploads as
+``bench-serve.json``.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.exceptions import ServiceError
+from repro.exceptions import ProtocolError, ServiceError
 from repro.graph.data_graph import DataGraph
 from repro.matching.incremental import coalesce_update_stream
 from repro.service.client import ServiceCallError, ServiceClient
@@ -277,6 +285,16 @@ def run_load(
     stop.set()
     wall = time.perf_counter() - started
 
+    semantic_cache: Dict[str, Any] = {}
+    try:
+        with ServiceClient(host, port) as control:
+            payload = control.stats()
+            semantic_cache = dict(
+                payload.get("session", {}).get("semantic_cache", {})
+            )
+    except (ServiceCallError, ProtocolError, OSError) as exc:
+        errors.append(f"stats: {exc}")
+
     failures = errors + verify_observations(
         initial, initial_version, update_log, probes, observations
     )
@@ -294,6 +312,7 @@ def run_load(
             "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
             "latency_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
             "latency_max_ms": round(max(latencies) * 1e3, 3) if latencies else 0.0,
+            "semantic_cache": semantic_cache,
             "failures": failures[:20],
         }
     )

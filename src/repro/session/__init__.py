@@ -16,6 +16,9 @@ Public names:
   stamp shared by results, service envelopes and CLI ``--json`` output;
 * :func:`~repro.session.planner.plan_query` and
   :class:`~repro.session.planner.QueryPlan` — the cost-based planner;
+* :class:`~repro.session.semantic_cache.SemanticCache` — the
+  containment-powered semantic result cache shared by sessions, snapshots
+  and the serving layer;
 * :func:`~repro.session.session.default_session` — the module-level
   per-graph session the free functions delegate their warm state to;
 * :mod:`~repro.session.defaults` — the shared default constants.
@@ -37,6 +40,7 @@ _LAZY = {
     "SessionWatch": ("repro.session.session", "SessionWatch"),
     "default_session": ("repro.session.session", "default_session"),
     "QueryResult": ("repro.session.result", "QueryResult"),
+    "SemanticCache": ("repro.session.semantic_cache", "SemanticCache"),
     "QueryPlan": ("repro.session.planner", "QueryPlan"),
     "plan_query": ("repro.session.planner", "plan_query"),
     "SCHEMA_VERSION": ("repro.session.result", "SCHEMA_VERSION"),

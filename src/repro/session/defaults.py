@@ -91,3 +91,40 @@ OVERLAY_MIN_COMPACTION_EDGES = 16
 #: constraints, which the partition-relation representation shares, while
 #: JoinMatch's SCC-ordered worklist wins on sparse, DAG-like patterns.
 DENSE_PATTERN_EDGE_RATIO = 1.0
+
+# -- canonical forms and the semantic result cache ------------------------------
+#
+# Knobs of the query identity layer (repro.query.canonical) and the
+# containment-powered semantic cache (repro.session.semantic_cache).
+
+#: Bounded memo of regex canonicalisation (FRegex -> canonical FRegex).
+#: Expressions are tiny; this only exists to bound a pathological stream of
+#: distinct regexes.
+CANONICAL_REGEX_CACHE_CAPACITY = 2048
+
+#: Maximum number of node orderings the PQ canonical-labeling step may try
+#: inside Weisfeiler-Lehman refinement ties before falling back to a
+#: deterministic name-based tiebreak (sound, merely incomplete for
+#: pathologically symmetric patterns).
+CANONICAL_LABELING_LIMIT = 720
+
+#: Bounded memo of ``language_contains`` decisions (pairs of F-class
+#: expressions).  Containment tables in ``pq_contained_in`` and ``minPQs``
+#: re-decide the same pairs repeatedly; the memo makes each pair a dict hit.
+LANGUAGE_CONTAINMENT_CACHE_CAPACITY = 4096
+
+#: Default entry capacity of a session's semantic result cache.  Entries are
+#: whole answers, so the bound is deliberately modest; 0 disables the cache.
+DEFAULT_SEMANTIC_CACHE_CAPACITY = 256
+
+#: How many recent same-version entries a containment probe scans (newest
+#: first) before giving up.  Containment checks are per-entry static
+#: analyses (cheap, query-sized), but unbounded scans would make every miss
+#: O(cache size).
+SEMANTIC_CACHE_SCAN_LIMIT = 32
+
+#: Largest cached RQ answer (in pairs) a containment hit will re-verify
+#: pair-by-pair when the contained query's regex is strictly smaller; above
+#: it, serving falls back to evaluation (predicate-only filtering, which
+#: needs no per-pair path checks, has no such cap).
+SEMANTIC_CACHE_VERIFY_LIMIT = 4096

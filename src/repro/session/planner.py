@@ -36,7 +36,7 @@ recorded as such in the plan's reasons.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from repro.exceptions import QueryError
@@ -86,6 +86,12 @@ class QueryPlan:
     unsatisfiable:
         True when the constraint names a colour absent from the graph, so
         the answer is provably empty without evaluation.
+    cache:
+        The semantic-cache decision attached to this plan:
+        ``"evaluate"`` (default — no reusable entry), ``"cache-exact"``
+        (a cached answer with the same canonical key) or
+        ``"cache-containment"`` (served by filtering/seeding from a cached
+        answer of a containing query).  Set via :func:`with_cache_decision`.
     features:
         The raw feature values the decision was computed from.
     reasons:
@@ -100,6 +106,7 @@ class QueryPlan:
     use_matrix: bool = False
     maintenance: str = "delta"
     unsatisfiable: bool = False
+    cache: str = "evaluate"
     features: Dict[str, object] = field(default_factory=dict)
     reasons: Tuple[str, ...] = ()
 
@@ -111,7 +118,7 @@ class QueryPlan:
         )
         if self.method:
             header += f" method={self.method}"
-        header += f" maintenance={self.maintenance}"
+        header += f" maintenance={self.maintenance} cache={self.cache}"
         if self.unsatisfiable:
             header += " (answer provably empty)"
         lines = [header]
@@ -129,6 +136,7 @@ class QueryPlan:
             "use_matrix": self.use_matrix,
             "maintenance": self.maintenance,
             "unsatisfiable": self.unsatisfiable,
+            "cache": self.cache,
         }
 
     def to_dict(self) -> Dict[str, object]:
@@ -143,6 +151,22 @@ class QueryPlan:
         row["features"] = jsonable_mapping(self.features)
         row["reasons"] = list(self.reasons)
         return row
+
+
+def with_cache_decision(
+    plan: QueryPlan, decision: str, reason: Optional[str] = None
+) -> QueryPlan:
+    """A copy of ``plan`` carrying one semantic-cache decision.
+
+    Any previous cache reason is replaced (decisions are re-probed at
+    execute time, so a prepared plan's decision can change between runs).
+    """
+    reasons = tuple(
+        line for line in plan.reasons if not line.startswith("semantic-cache")
+    )
+    if reason:
+        reasons = reasons + (reason,)
+    return replace(plan, cache=decision, reasons=reasons)
 
 
 def _query_kind(query) -> str:

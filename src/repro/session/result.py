@@ -78,6 +78,10 @@ class QueryResult:
     from_result_cache:
         True when the answer was served from the prepared query's
         version-keyed result memo instead of being re-evaluated.
+    cache_decision:
+        The semantic-cache outcome of this execution: ``"evaluate"`` (ran
+        the plan), ``"cache-exact"`` or ``"cache-containment"`` (served
+        from the session's :class:`~repro.session.semantic_cache.SemanticCache`).
     cache_stats:
         Snapshot of the executing matcher's cache counters (empty for
         result-cache hits and pruned plans).
@@ -88,6 +92,7 @@ class QueryResult:
     engine: str = "dict"
     elapsed_seconds: float = 0.0
     from_result_cache: bool = False
+    cache_decision: str = "evaluate"
     cache_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -117,6 +122,7 @@ class QueryResult:
                 "engine": self.engine,
                 "elapsed_seconds": self.elapsed_seconds,
                 "from_result_cache": self.from_result_cache,
+                "cache_decision": self.cache_decision,
             }
         )
 

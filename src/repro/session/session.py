@@ -48,16 +48,19 @@ from repro.matching.paths import PathMatcher
 from repro.matching.reachability import ReachabilityResult, evaluate_rq
 from repro.matching.result import PatternMatchResult
 from repro.matching.split_match import split_match
+from repro.query.canonical import CanonicalQuery, canonicalize_query
 from repro.query.pq import PatternQuery
 from repro.query.rq import ReachabilityQuery
 from repro.session.defaults import (
     DEFAULT_CACHE_CAPACITY,
     DEFAULT_ENGINE,
+    DEFAULT_SEMANTIC_CACHE_CAPACITY,
     DEFAULT_SESSION_REGISTRY_CAPACITY,
     ENGINES,
 )
-from repro.session.planner import QueryPlan, plan_query
+from repro.session.planner import QueryPlan, plan_query, with_cache_decision
 from repro.session.result import QueryResult
+from repro.session.semantic_cache import SemanticCache
 from repro.storage.snapshot import SnapshotGraph, StoreSnapshot
 
 
@@ -74,10 +77,18 @@ class PreparedQuery:
     Caller overrides passed to ``prepare`` survive every replan.
     """
 
-    def __init__(self, session: "GraphSession", query: Any, plan: QueryPlan, overrides: Dict[str, Any]):
+    def __init__(
+        self,
+        session: "GraphSession",
+        query: Any,
+        plan: QueryPlan,
+        overrides: Dict[str, Any],
+        canonical: Optional[CanonicalQuery] = None,
+    ):
         self.session = session
         self.query = query
         self.plan = plan
+        self.canonical = canonical
         self._overrides = dict(overrides)
         self._plan_key: Tuple[int, int] = session._version_key()
         self._memo_key: Optional[Tuple[int, int]] = None
@@ -91,7 +102,7 @@ class PreparedQuery:
 
     def replan(self) -> QueryPlan:
         """Re-run the cost model against the graph's *current* statistics."""
-        self.plan = self.session._plan(self.query, self._overrides)
+        self.plan = self.session._plan_for(self.query, self.canonical, self._overrides)
         self._plan_key = self.session._version_key()
         self._memo_key = None
         self._memo_answer = None
@@ -119,10 +130,47 @@ class PreparedQuery:
                     engine=self.plan.engine,
                     elapsed_seconds=time.perf_counter() - started,
                     from_result_cache=True,
+                    cache_decision=self.plan.cache,
                 )
             if self._plan_key != key:
                 self.replan()
+            cache = session.semantic_cache
+            probing = (
+                self.canonical is not None
+                and cache.enabled
+                and not self.plan.unsatisfiable
+            )
+            if probing:
+                probe = cache.probe(key, self.canonical, self.query)
+                if probe.decision != "evaluate":
+                    matcher = session.matcher(self.plan.engine)
+                    served = cache.serve(probe, self.query, session.graph, matcher)
+                    if served is not None:
+                        if probe.decision == "cache-containment":
+                            # Promote the derived answer to its own entry:
+                            # the next equivalent query hits exactly.
+                            cache.insert(key, self.canonical, self.query, served)
+                        self.plan = with_cache_decision(
+                            self.plan, probe.decision, probe.reason
+                        )
+                        self._memo_key = key
+                        self._memo_answer = served.copy()
+                        return QueryResult(
+                            answer=served,
+                            plan=self.plan,
+                            engine=getattr(served, "engine", self.plan.engine),
+                            elapsed_seconds=time.perf_counter() - started,
+                            cache_decision=probe.decision,
+                            cache_stats=dict(matcher.cache_stats),
+                        )
+                cache.record_miss()
+            if self.plan.cache != "evaluate":
+                # The decision did not hold this time (entry evicted, graph
+                # moved on, or serving declined) — the plan says so again.
+                self.plan = with_cache_decision(self.plan, "evaluate")
             answer, cache_stats = session._run_plan(self.query, self.plan)
+            if probing:
+                cache.insert(key, self.canonical, self.query, answer)
             # Memoise a private copy so callers mutating the returned answer
             # can never poison later hits.
             self._memo_key = session._version_key()
@@ -266,6 +314,12 @@ class SessionSnapshot:
             self.graph, cache_capacity=session.cache_capacity, engine="dict"
         )
         self._stats: Optional[GraphStats] = None
+        # The session's semantic cache, keyed at *this* pin's version pair:
+        # captured under the session lock (pin() holds it), so later writer
+        # mutations make new keys and can never reach this snapshot's
+        # entries — while concurrent pins of the same version share warmth.
+        self._semantic_cache = session.semantic_cache
+        self._semantic_key = session._version_key()
         self.executed_queries = 0
         self._released = False
 
@@ -317,6 +371,29 @@ class SessionSnapshot:
         started = time.perf_counter()
         plan = self._plan(query, overrides)
         self.executed_queries += 1
+        cache = self._semantic_cache
+        canonical: Optional[CanonicalQuery] = None
+        if cache.enabled and not plan.unsatisfiable:
+            try:
+                canonical = canonicalize_query(query)
+            except QueryError:
+                canonical = None
+        if canonical is not None:
+            probe = cache.probe(self._semantic_key, canonical, query)
+            if probe.decision != "evaluate":
+                served = cache.serve(probe, query, self.graph, self._matcher)
+                if served is not None:
+                    if probe.decision == "cache-containment":
+                        cache.insert(self._semantic_key, canonical, query, served)
+                    return QueryResult(
+                        answer=served,
+                        plan=with_cache_decision(plan, probe.decision, probe.reason),
+                        engine="dict",
+                        elapsed_seconds=time.perf_counter() - started,
+                        cache_decision=probe.decision,
+                        cache_stats=dict(self._matcher.cache_stats),
+                    )
+            cache.record_miss()
         if plan.unsatisfiable:
             answer = _empty_answer_for(plan)
         elif plan.kind == "rq":
@@ -326,6 +403,8 @@ class SessionSnapshot:
             answer = evaluate_general_rq(query, self.graph, engine="dict")
         else:
             answer = _PQ_ALGORITHMS[plan.algorithm](query, self.graph, matcher=self._matcher)
+        if canonical is not None:
+            cache.insert(self._semantic_key, canonical, query, answer)
         return QueryResult(
             answer=answer,
             plan=plan,
@@ -384,6 +463,11 @@ class GraphSession:
         into a fresh CSR base.  ``None`` keeps the store's policy
         (:data:`~repro.session.defaults.OVERLAY_COMPACTION_FRACTION` for a
         fresh store); an explicit value configures the store eagerly.
+    semantic_cache_capacity:
+        Entry capacity of the session's
+        :class:`~repro.session.semantic_cache.SemanticCache` (``0``
+        disables semantic caching; ``None`` keeps
+        :data:`~repro.session.defaults.DEFAULT_SEMANTIC_CACHE_CAPACITY`).
     name:
         Display name (defaults to the graph's).
     """
@@ -395,6 +479,7 @@ class GraphSession:
         cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
         distance_matrix: Optional[DistanceMatrix] = None,
         compaction_fraction: Optional[float] = None,
+        semantic_cache_capacity: Optional[int] = None,
         name: Optional[str] = None,
     ):
         if engine not in ENGINES:
@@ -421,11 +506,23 @@ class GraphSession:
         self._stats: Optional[GraphStats] = None
         self._stats_key: Optional[Tuple[int, int]] = None
         self._watches: List[SessionWatch] = []
+        # The semantic result cache (shared with pinned snapshots and, via
+        # the service layer, across clients) and the canonical-keyed plan
+        # memo — two equivalent queries plan once and share warm answers.
+        self.semantic_cache = SemanticCache(
+            capacity=(
+                DEFAULT_SEMANTIC_CACHE_CAPACITY
+                if semantic_cache_capacity is None
+                else semantic_cache_capacity
+            )
+        )
+        self._plan_memo = LruCache(256)
         # Counters (surfaced by .counters()).
         self.prepared_queries = 0
         self.executed_queries = 0
         self.result_cache_hits = 0
         self.updates_applied = 0
+        self.plan_memo_hits = 0
         self.plans_chosen: Counter = Counter()
 
     # -- warm state --------------------------------------------------------------
@@ -542,6 +639,49 @@ class GraphSession:
             ),
         )
 
+    @staticmethod
+    def _plan_reusable_for(plan: QueryPlan, query: Any) -> bool:
+        """Whether a canonical-key memoised plan is safe for ``query``.
+
+        Equivalent queries share every planner decision except one:
+        bounded simulation is only exact when *this* query's edges are all
+        single wildcard atoms — an equivalent spelling may carry a redundant
+        multi-atom edge the minimised form dropped.
+        """
+        if plan.kind != "pq" or plan.algorithm != "bounded-simulation":
+            return True
+        edges = list(query.edges())
+        return bool(edges) and all(
+            edge.regex.num_atoms == 1 and edge.regex.atoms[0].is_wildcard
+            for edge in edges
+        )
+
+    def _plan_for(
+        self, query: Any, canonical: Optional[CanonicalQuery], overrides: Dict[str, Any]
+    ) -> QueryPlan:
+        """Plan through the canonical-keyed memo (falls back to planning).
+
+        Keyed on the graph version, matrix freshness, the query's canonical
+        cache key and the caller overrides — so two equivalent queries (the
+        near-duplicate streams the serving layer sees) run the cost model
+        once per graph version.
+        """
+        if canonical is None:
+            return self._plan(query, overrides)
+        memo_key = (
+            self._version_key(),
+            self._matrix_is_fresh(),
+            canonical.key,
+            tuple(sorted(overrides.items())),
+        )
+        plan = self._plan_memo.get(memo_key)
+        if plan is not None and self._plan_reusable_for(plan, query):
+            self.plan_memo_hits += 1
+            return plan
+        plan = self._plan(query, overrides)
+        self._plan_memo.put(memo_key, plan)
+        return plan
+
     def prepare(
         self,
         query: Any,
@@ -569,10 +709,25 @@ class GraphSession:
             if value is not None
         }
         with self._lock:
-            plan = self._plan(query, overrides)
+            try:
+                canonical = canonicalize_query(query)
+            except QueryError:
+                # Unplannable objects fall through to the planner, which
+                # raises its own (kind-enumerating) error below.
+                canonical = None
+            plan = self._plan_for(query, canonical, overrides)
+            if canonical is not None and not plan.unsatisfiable:
+                # Annotate the plan with the cache decision as it stands
+                # now, so explain() tells the whole story; execution
+                # re-probes (the decision is as volatile as the cache).
+                probe = self.semantic_cache.probe(
+                    self._version_key(), canonical, query
+                )
+                if probe.decision != "evaluate":
+                    plan = with_cache_decision(plan, probe.decision, probe.reason)
             self.prepared_queries += 1
             self.plans_chosen[(plan.kind, plan.algorithm)] += 1
-            return PreparedQuery(self, query, plan, overrides)
+            return PreparedQuery(self, query, plan, overrides, canonical)
 
     def execute(self, query: Any, **overrides: Any) -> QueryResult:
         """Prepare and execute in one call (no prepared-query reuse)."""
@@ -746,6 +901,8 @@ class GraphSession:
             "updates_applied": self.updates_applied,
             "watches": len(self._watches),
             "plans_chosen": dict(self.plans_chosen),
+            "plan_memo_hits": self.plan_memo_hits,
+            "semantic_cache": self.semantic_cache.stats(),
         }
 
     def __repr__(self) -> str:

@@ -121,3 +121,19 @@ class TestCiWorkflow:
             if "upload-artifact" in step.get("uses", "")
         )
         assert "bench-serve.json" in paths
+
+    def test_benchmark_job_emits_semcache_artifact(self, workflow):
+        # The semantic-cache benchmark (warm containment hit >= 5x cold
+        # evaluation) runs on its own and uploads bench-semcache.json; the
+        # main benchmark sweep must not double-run it into bench.json.
+        job = workflow["jobs"]["benchmark-smoke"]
+        commands = "\n".join(step.get("run", "") for step in job["steps"])
+        assert "benchmarks/test_bench_semcache.py" in commands
+        assert "--ignore=benchmarks/test_bench_semcache.py" in commands
+        assert "--benchmark-json=bench-semcache.json" in commands
+        paths = "\n".join(
+            step["with"]["path"]
+            for step in job["steps"]
+            if "upload-artifact" in step.get("uses", "")
+        )
+        assert "bench-semcache.json" in paths

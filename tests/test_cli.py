@@ -284,6 +284,9 @@ class TestJsonOutput:
         assert plan["store"] in ("dict", "overlay-csr")
         assert isinstance(plan["reasons"], list) and plan["reasons"]
         assert isinstance(plan["features"], dict)
+        # One fresh session, one execution: the semantic cache had nothing
+        # to serve, and the plan row records that decision.
+        assert plan["cache"] == "evaluate"
         assert payload["result"]["pairs"]
 
     def test_plan_json_schema(self, essembly_json):
@@ -292,10 +295,11 @@ class TestJsonOutput:
         assert payload["result"] is None
         plan = payload["plan"]
         for key in (
-            "kind", "algorithm", "engine", "store", "method",
-            "use_matrix", "maintenance", "unsatisfiable", "features", "reasons",
+            "kind", "algorithm", "engine", "store", "method", "use_matrix",
+            "maintenance", "unsatisfiable", "cache", "features", "reasons",
         ):
             assert key in plan, key
+        assert plan["cache"] in ("evaluate", "cache-exact", "cache-containment")
         assert payload["store_stats"]["store"] in ("dict", "overlay-csr")
 
     def test_plan_json_execute_reports_result_and_overlay(self, essembly_json):

@@ -219,8 +219,9 @@ class TestExplainRendering:
         assert row["kind"] == "rq"
         assert set(row) == {
             "kind", "algorithm", "engine", "store", "method", "use_matrix",
-            "maintenance", "unsatisfiable",
+            "maintenance", "unsatisfiable", "cache",
         }
+        assert row["cache"] == "evaluate"
 
 
 class TestStoreResolution:

@@ -14,25 +14,26 @@ import repro
 #: module -> exact sorted ``__all__``.  Keep sorted; the test diffs both ways.
 FROZEN_API = {
     "repro": [
-        "AtomicCondition", "CompiledGraph", "CsrEngine", "DataGraph",
-        "DictStore", "DistanceMatrix", "Edge", "EvaluationError", "FRegex",
-        "GeneralReachabilityQuery", "GeneralRegex", "GraphError",
+        "AtomicCondition", "CanonicalQuery", "CompiledGraph", "CsrEngine",
+        "DataGraph", "DictStore", "DistanceMatrix", "Edge", "EvaluationError",
+        "FRegex", "GeneralReachabilityQuery", "GeneralRegex", "GraphError",
         "GraphService", "GraphSession", "GraphStore",
         "IncrementalPatternMatcher", "OverlayCsrStore", "OverloadedError",
         "PathMatcher", "PatternEdge", "PatternMatchResult", "PatternQuery",
         "Predicate", "PredicateError", "PreparedQuery", "ProtocolError",
         "QueryError", "QueryGenerator", "QueryPlan", "QueryResult",
         "ReachabilityQuery", "ReachabilityResult", "RegexAtom",
-        "RegexSyntaxError", "ReproError", "SCHEMA_VERSION", "ServiceClient",
-        "ServiceConfig", "ServiceError", "SessionSnapshot", "SessionWatch",
-        "SnapshotError", "SnapshotGraph", "StoreSnapshot", "WILDCARD",
-        "bounded_simulation_match", "build_distance_matrix", "compile_graph",
-        "compiled_snapshot", "compute_f_measure", "default_session",
-        "evaluate_general_rq", "evaluate_rq", "join_match",
+        "RegexSyntaxError", "ReproError", "SCHEMA_VERSION", "SemanticCache",
+        "ServiceClient", "ServiceConfig", "ServiceError", "SessionSnapshot",
+        "SessionWatch", "SnapshotError", "SnapshotGraph", "StoreSnapshot",
+        "WILDCARD", "bounded_simulation_match", "build_distance_matrix",
+        "canonical_pattern_query", "canonical_regex", "canonicalize_query",
+        "compile_graph", "compiled_snapshot", "compute_f_measure",
+        "default_session", "evaluate_general_rq", "evaluate_rq", "join_match",
         "language_contains", "language_equal", "minimize_pattern_query",
-        "naive_match", "parse_fregex", "plan_query", "pq_contained_in",
-        "pq_equivalent", "rq_contained_in", "rq_equivalent", "split_match",
-        "subgraph_isomorphism_match",
+        "naive_match", "parse_fregex", "plan_query", "pq_containment_mapping",
+        "pq_contained_in", "pq_equivalent", "rq_contained_in",
+        "rq_equivalent", "split_match", "subgraph_isomorphism_match",
     ],
     "repro.graph": [
         "CompiledGraph", "DataGraph", "DistanceMatrix", "Edge",
@@ -46,9 +47,11 @@ FROZEN_API = {
         "syntactic_contains",
     ],
     "repro.query": [
-        "AtomicCondition", "PatternEdge", "PatternQuery", "Predicate",
-        "QueryGenerator", "ReachabilityQuery", "minimize_pattern_query",
-        "pq_contained_in", "pq_equivalent", "rq_contained_in", "rq_equivalent",
+        "AtomicCondition", "CanonicalQuery", "PatternEdge", "PatternQuery",
+        "Predicate", "QueryGenerator", "ReachabilityQuery",
+        "canonical_pattern_query", "canonical_regex", "canonicalize_query",
+        "minimize_pattern_query", "pq_containment_mapping", "pq_contained_in",
+        "pq_equivalent", "rq_contained_in", "rq_equivalent",
     ],
     "repro.matching": [
         "CsrEngine", "LruCache", "PathMatcher", "PatternMatchResult",
@@ -65,7 +68,7 @@ FROZEN_API = {
     "repro.experiments": ["ExperimentReport", "format_table", "time_call"],
     "repro.session": [
         "GraphSession", "PreparedQuery", "QueryPlan", "QueryResult",
-        "SCHEMA_VERSION", "SessionSnapshot", "SessionWatch",
+        "SCHEMA_VERSION", "SemanticCache", "SessionSnapshot", "SessionWatch",
         "check_schema_version", "default_session", "defaults", "plan_query",
         "stamped",
     ],

@@ -1,0 +1,393 @@
+"""The containment-powered semantic result cache, end to end.
+
+Three layers of checks:
+
+* **unit** — :class:`~repro.session.semantic_cache.SemanticCache` decisions
+  and counters directly: two syntactically different but equivalent queries
+  resolve to the same entry (the PR's acceptance criterion), containment
+  serves filter cached answers, versions invalidate, capacity bounds evict,
+  ``0`` disables;
+* **properties** — hypothesis drives random update streams (with compaction
+  forced on every mutation) through a cached session while every answer —
+  exact-served, containment-served or freshly evaluated — is compared
+  against from-scratch evaluation of a deep graph copy;
+* **service** — the HTTP layer under a concurrent writer: readers issue
+  near-duplicate and contained probes through :class:`ServiceClient` while
+  updates stream in, observations are replay-verified, and ``/v1/stats``
+  must show the shared cache actually served hits.
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.data_graph import DataGraph
+from repro.matching.general_rq import GeneralReachabilityQuery, evaluate_general_rq
+from repro.matching.join_match import join_match
+from repro.matching.paths import PathMatcher
+from repro.matching.reachability import ReachabilityResult, evaluate_rq
+from repro.query.canonical import canonicalize_query
+from repro.query.pq import PatternQuery
+from repro.query.rq import ReachabilityQuery
+from repro.session.semantic_cache import SemanticCache
+from repro.session.session import GraphSession
+
+COLORS = ("a", "b")
+N_NODES = 8
+
+# a.b^2.b and a.b.b^2 both canonicalize to a "b-run" of minimum 2 / budget 3,
+# so they share a cache key without being textually equal.
+BASE_RQ = ReachabilityQuery("", "group = 'g1'", "a.b^2.b")
+EQUIV_RQ = ReachabilityQuery("", "group = 'g1'", "a.b.b^2")
+TIGHT_PRED_RQ = ReachabilityQuery("group = 'g0'", "group = 'g1'", "a.b^2.b")
+SUB_REGEX_RQ = ReachabilityQuery("", "group = 'g1'", "a.b.b")
+
+BASE_GRQ = GeneralReachabilityQuery("group = 'g0'", "", "(a|b)*.b")
+TIGHT_GRQ = GeneralReachabilityQuery("group = 'g0'", "group = 'g1'", "(a|b)*.b")
+
+
+def _pq(name, source_predicate=None):
+    pattern = PatternQuery(name=name)
+    pattern.add_node("X", source_predicate)
+    pattern.add_node("Y", "group = 'g1'")
+    pattern.add_edge("X", "Y", "a.b^+")
+    return pattern
+
+
+def _renamed_pq(name):
+    """The same pattern as ``_pq`` spelt with different node names."""
+    pattern = PatternQuery(name=name)
+    pattern.add_node("P", None)
+    pattern.add_node("Q", "group = 'g1'")
+    pattern.add_edge("P", "Q", "a.b^+")
+    return pattern
+
+
+def tiny_graph(edges=()):
+    graph = DataGraph(name="semcache")
+    for index in range(N_NODES):
+        graph.add_node(f"n{index}", group=f"g{index % 2}")
+    for source, target, color in edges:
+        graph.add_edge(f"n{source}", f"n{target}", color)
+    return graph
+
+
+def _ring_edges():
+    return [(i, (i + 1) % N_NODES, COLORS[i % 2]) for i in range(N_NODES)] + [
+        (i, (i + 3) % N_NODES, "b") for i in range(N_NODES)
+    ]
+
+
+def _fresh_answer(kind, query, graph):
+    """From-scratch evaluation on a deep copy (never sees the cache)."""
+    frozen = graph.copy()
+    matcher = PathMatcher(frozen)
+    if kind == "rq":
+        return evaluate_rq(query, frozen, matcher=matcher)
+    if kind == "general_rq":
+        return evaluate_general_rq(query, frozen, engine="dict")
+    return join_match(query, frozen, matcher=matcher)
+
+
+def _check(kind, result, query, graph):
+    fresh = _fresh_answer(kind, query, graph)
+    if kind == "pq":
+        assert result.answer.same_matches(fresh), (
+            f"{result.cache_decision} PQ answer diverged from direct evaluation"
+        )
+    else:
+        assert set(result.answer.pairs) == set(fresh.pairs), (
+            f"{result.cache_decision} answer diverged from direct evaluation"
+        )
+
+
+edge_st = st.tuples(
+    st.integers(0, N_NODES - 1),
+    st.integers(0, N_NODES - 1),
+    st.sampled_from(COLORS),
+)
+update_st = st.tuples(st.sampled_from(["add", "remove"]), edge_st)
+
+
+class TestSemanticCacheUnit:
+    def test_equivalent_spellings_share_one_entry(self):
+        """The acceptance criterion: two different spellings, one entry."""
+        session = GraphSession(tiny_graph(_ring_edges()))
+        first = session.execute(BASE_RQ)
+        assert first.cache_decision == "evaluate"
+        second = session.execute(EQUIV_RQ)
+        assert second.cache_decision == "cache-exact"
+        assert set(second.answer.pairs) == set(first.answer.pairs)
+        stats = session.semantic_cache.stats()
+        assert stats["exact_hits"] == 1
+        assert stats["insertions"] == 1
+        assert stats["entries"] == 1
+
+    def test_containment_serving_matches_direct_evaluation(self):
+        graph = tiny_graph(_ring_edges())
+        session = GraphSession(graph)
+        session.execute(BASE_RQ)
+        for query in (TIGHT_PRED_RQ, SUB_REGEX_RQ):
+            result = session.execute(query)
+            assert result.cache_decision == "cache-containment"
+            _check("rq", result, query, graph)
+
+    def test_containment_promotes_to_exact(self):
+        session = GraphSession(tiny_graph(_ring_edges()))
+        session.execute(BASE_RQ)
+        assert session.execute(TIGHT_PRED_RQ).cache_decision == "cache-containment"
+        # The derived answer was inserted under its own canonical key.
+        assert session.execute(TIGHT_PRED_RQ).cache_decision == "cache-exact"
+
+    def test_general_rq_predicate_tightening(self):
+        graph = tiny_graph(_ring_edges())
+        session = GraphSession(graph)
+        assert session.execute(BASE_GRQ).cache_decision == "evaluate"
+        result = session.execute(TIGHT_GRQ)
+        assert result.cache_decision == "cache-containment"
+        _check("general_rq", result, TIGHT_GRQ, graph)
+
+    def test_renamed_pattern_is_served_exactly(self):
+        graph = tiny_graph(_ring_edges())
+        session = GraphSession(graph)
+        base = session.execute(_pq("pq-base"))
+        assert base.cache_decision == "evaluate"
+        renamed = session.execute(_renamed_pq("pq-respelt"))
+        assert renamed.cache_decision == "cache-exact"
+        # The served answer is shaped for *this* spelling's edge names.
+        assert set(renamed.answer.as_frozen().keys()) == {("P", "Q")}
+        _check("pq", renamed, _renamed_pq("pq-respelt"), graph)
+
+    def test_tighter_pattern_is_served_by_containment(self):
+        graph = tiny_graph(_ring_edges())
+        session = GraphSession(graph)
+        session.execute(_pq("pq-base"))
+        tight = _pq("pq-tight", source_predicate="group = 'g0'")
+        result = session.execute(tight)
+        assert result.cache_decision == "cache-containment"
+        _check("pq", result, tight, graph)
+
+    def test_updates_invalidate_but_pinned_readers_keep_hitting(self):
+        session = GraphSession(tiny_graph(_ring_edges()))
+        before = session.execute(BASE_RQ)
+        snap = session.pin()
+        try:
+            session.apply_updates([("add", "n0", "n5", "b")])
+            # Live session: the version moved, the old entry is unreachable.
+            live = session.execute(EQUIV_RQ)
+            assert live.cache_decision == "evaluate"
+            # Pinned reader: still at the insert version, still exact.
+            pinned = snap.execute(EQUIV_RQ)
+            assert pinned.cache_decision == "cache-exact"
+            assert set(pinned.answer.pairs) == set(before.answer.pairs)
+        finally:
+            snap.release()
+
+    def test_capacity_zero_disables(self):
+        session = GraphSession(tiny_graph(_ring_edges()), semantic_cache_capacity=0)
+        assert session.execute(BASE_RQ).cache_decision == "evaluate"
+        assert session.execute(EQUIV_RQ).cache_decision == "evaluate"
+        stats = session.semantic_cache.stats()
+        assert stats["entries"] == 0
+        assert stats["exact_hits"] == 0
+        assert stats["insertions"] == 0
+
+    def test_lru_eviction_is_bounded_and_counted(self):
+        cache = SemanticCache(capacity=2)
+        version = (0, 0)
+        queries = [
+            ReachabilityQuery("", "", "a"),
+            ReachabilityQuery("", "", "b"),
+            ReachabilityQuery("", "", "a.b"),
+        ]
+        for query in queries:
+            cache.insert(
+                version,
+                canonicalize_query(query),
+                query,
+                ReachabilityResult(pairs={("x", "y")}, method="test", engine="dict"),
+            )
+        assert len(cache) == 2
+        stats = cache.stats()
+        assert stats["insertions"] == 3
+        assert stats["evictions"] == 1
+        # The oldest entry was evicted; the newest two still probe exact.
+        oldest = cache.probe(version, canonicalize_query(queries[0]), queries[0])
+        assert oldest.decision == "evaluate"
+        newest = cache.probe(version, canonicalize_query(queries[2]), queries[2])
+        assert newest.decision == "cache-exact"
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticCache(capacity=-1)
+
+
+WORKLOAD = [
+    ("rq", BASE_RQ),
+    ("rq", EQUIV_RQ),
+    ("rq", TIGHT_PRED_RQ),
+    ("rq", SUB_REGEX_RQ),
+    ("general_rq", BASE_GRQ),
+    ("general_rq", TIGHT_GRQ),
+    ("pq", _pq("prop-base")),
+    ("pq", _renamed_pq("prop-respelt")),
+    ("pq", _pq("prop-tight", source_predicate="group = 'g0'")),
+]
+
+
+class TestSemanticCacheProperties:
+    @pytest.mark.slow
+    @given(
+        initial=st.lists(edge_st, max_size=12),
+        rounds=st.lists(st.lists(update_st, max_size=4), min_size=1, max_size=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_cache_served_equals_direct_under_updates(
+        self, initial, rounds
+    ):
+        """Every answer equals from-scratch evaluation, across versions.
+
+        ``compaction_fraction=0.0`` forces a storage compaction on every
+        mutation, so cache keys must survive base/overlay reshuffles too.
+        """
+        graph = tiny_graph(initial)
+        session = GraphSession(graph, compaction_fraction=0.0)
+        for batch in [[]] + rounds:
+            if batch:
+                session.apply_updates(
+                    [
+                        (op, f"n{source}", f"n{target}", color)
+                        for op, (source, target, color) in batch
+                    ]
+                )
+            for kind, query in WORKLOAD:
+                result = session.execute(query)
+                assert result.cache_decision in (
+                    "evaluate",
+                    "cache-exact",
+                    "cache-containment",
+                )
+                _check(kind, result, query, graph)
+        stats = session.semantic_cache.stats()
+        assert stats["insertions"] + stats["misses"] > 0
+
+    @pytest.mark.slow
+    @given(
+        initial=st.lists(edge_st, min_size=4, max_size=16),
+        rounds=st.lists(st.lists(update_st, max_size=3), min_size=1, max_size=3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_cached_and_uncached_sessions_agree(self, initial, rounds):
+        """A cached session and a cache-disabled twin never diverge."""
+        cached_graph = tiny_graph(initial)
+        plain_graph = tiny_graph(initial)
+        cached = GraphSession(cached_graph, compaction_fraction=0.0)
+        plain = GraphSession(plain_graph, semantic_cache_capacity=0)
+        for batch in rounds:
+            updates = [
+                (op, f"n{source}", f"n{target}", color)
+                for op, (source, target, color) in batch
+            ]
+            cached.apply_updates(updates)
+            plain.apply_updates(updates)
+            for kind, query in WORKLOAD:
+                served = cached.execute(query)
+                direct = plain.execute(query)
+                if kind == "pq":
+                    assert served.answer.same_matches(direct.answer)
+                else:
+                    assert set(served.answer.pairs) == set(direct.answer.pairs)
+
+
+class TestSemanticCacheOverHttp:
+    @pytest.mark.slow
+    def test_service_serves_cache_hits_under_concurrent_writer(self):
+        """Acceptance: containment/exact answers through HTTP, while a
+        writer mutates, verified against replayed from-scratch evaluation."""
+        from repro.service import GraphService, ServiceClient, ServiceConfig
+
+        graph = tiny_graph(_ring_edges())
+        svc = GraphService(GraphSession(graph), ServiceConfig(port=0))
+        handle = svc.run_in_thread()
+        probes = [
+            ("rq", BASE_RQ),
+            ("rq", EQUIV_RQ),
+            ("rq", TIGHT_PRED_RQ),
+            ("general_rq", BASE_GRQ),
+            ("general_rq", TIGHT_GRQ),
+            ("pq", _pq("http-base")),
+            ("pq", _renamed_pq("http-respelt")),
+        ]
+        observations = []  # (kind, query, version, normalised answer)
+        lock = threading.Lock()
+        done = threading.Event()
+        update_log = []  # (post-update version, batch)
+        initial = graph.copy()
+        initial_version = graph.version
+
+        def writer():
+            with ServiceClient(*handle.address) as client:
+                for step in range(12):
+                    batch = [
+                        [
+                            "add" if step % 3 else "remove",
+                            f"n{step % N_NODES}",
+                            f"n{(step * 3 + 1) % N_NODES}",
+                            COLORS[step % 2],
+                        ]
+                    ]
+                    with lock:
+                        version, _ = client.update(batch)
+                        update_log.append((version, batch))
+                    time.sleep(0.01)
+            done.set()
+
+        def reader(offset):
+            with ServiceClient(*handle.address) as client:
+                iterations = 0
+                while iterations < 6 or not done.is_set():
+                    kind, query = probes[(iterations + offset) % len(probes)]
+                    version, answer = client.query(query)
+                    with lock:
+                        observations.append((kind, query, version, answer))
+                    iterations += 1
+
+        threads = [threading.Thread(target=writer)]
+        threads += [threading.Thread(target=reader, args=(i,)) for i in range(4)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120)
+            with ServiceClient(*handle.address) as client:
+                cache_stats = client.stats()["session"]["semantic_cache"]
+        finally:
+            handle.shutdown()
+
+        assert observations
+        # Replay: reconstruct the graph at each observed version and compare.
+        states = {initial_version: initial.copy()}
+        replay = initial
+        for version, batch in sorted(update_log):
+            for op, source, target, color in batch:
+                try:
+                    if op == "add":
+                        replay.add_edge(source, target, color)
+                    else:
+                        replay.remove_edge(source, target, color)
+                except Exception:
+                    pass  # removes of absent edges coalesce to no-ops
+            states[version] = replay.copy()
+        for kind, query, version, answer in observations:
+            assert version in states, f"observed unknown version {version}"
+            fresh = _fresh_answer(kind, query, states[version])
+            if kind == "pq":
+                assert answer.same_matches(fresh)
+            else:
+                assert set(answer.pairs) == set(fresh.pairs)
+        # The shared cache demonstrably served these readers.
+        assert cache_stats["exact_hits"] + cache_stats["containment_hits"] > 0
+        assert cache_stats["insertions"] > 0

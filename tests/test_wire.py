@@ -116,6 +116,35 @@ class TestResultRoundTrip:
             decode_result("bogus", {})
 
 
+class TestResultEnvelopeCacheFields:
+    def test_query_result_envelope_carries_cache_decision(self):
+        """The semantic-cache decision rides the stamped result envelope."""
+        from repro.graph.data_graph import DataGraph
+        from repro.session.session import GraphSession
+
+        graph = DataGraph(name="wire-cache")
+        for index in range(4):
+            graph.add_node(f"n{index}", group=f"g{index % 2}")
+        graph.add_edge("n0", "n1", "a")
+        graph.add_edge("n1", "n2", "a")
+        session = GraphSession(graph)
+
+        evaluated = session.execute(ReachabilityQuery("", "", "a.a^2")).to_dict()
+        assert evaluated["schema_version"] == SCHEMA_VERSION
+        assert evaluated["cache_decision"] == "evaluate"
+        assert evaluated["plan"]["cache"] == "evaluate"
+
+        # A syntactically different but equivalent spelling is served from
+        # the same entry, and the envelope says so.
+        served = session.execute(ReachabilityQuery("", "", "a^2.a")).to_dict()
+        assert served["schema_version"] == SCHEMA_VERSION
+        assert served["cache_decision"] == "cache-exact"
+        assert served["plan"]["cache"] == "cache-exact"
+        # Cache-served answers stay decodable exactly like evaluated ones.
+        rebuilt = decode_result("rq", served)
+        assert rebuilt.pairs == decode_result("rq", evaluated).pairs
+
+
 class TestEnvelopes:
     def test_ok_envelope_stamped(self):
         envelope = ok_envelope(version=3)

@@ -41,13 +41,16 @@ ANY_COLOR = -1
 class CsrLayer:
     """One adjacency layer: CSR offsets, flat neighbour array, membership bitmap."""
 
-    __slots__ = ("offsets", "targets", "mask", "_view")
+    __slots__ = ("offsets", "targets", "mask", "_view", "_np")
 
     def __init__(self, offsets: array, targets: array, mask: bytearray):
         self.offsets = offsets
         self.targets = targets
         self.mask = mask
         self._view = memoryview(targets)
+        # Lazily populated by repro.kernels.numpy_kernel: index-typed copies
+        # of (offsets, targets), cached because layers are immutable.
+        self._np = None
 
     def neighbors(self, index: int) -> memoryview:
         """Neighbour indices of ``index`` as a zero-copy slice."""
@@ -55,6 +58,22 @@ class CsrLayer:
 
     def degree(self, index: int) -> int:
         return self.offsets[index + 1] - self.offsets[index]
+
+    def np_views(self):
+        """``(offsets, targets, mask)`` as zero-copy numpy views.
+
+        The arrays share memory with the layer's ``array('i')`` buffers and
+        membership ``bytearray`` — no copies, valid for the layer's lifetime.
+        Requires numpy (the vector kernels guard the import; callers that
+        reach this without numpy get the ImportError they asked for).
+        """
+        import numpy as np
+
+        return (
+            np.frombuffer(self.offsets, dtype=np.intc),
+            np.frombuffer(self.targets, dtype=np.intc),
+            np.frombuffer(self.mask, dtype=np.uint8),
+        )
 
     @property
     def num_edges(self) -> int:
@@ -306,6 +325,10 @@ class CompiledGraph:
         """Neighbour indices via one colour layer, as a zero-copy slice."""
         return self.layer(color_id, reverse).neighbors(index)
 
+    def np_views(self, color_id: int = ANY_COLOR, reverse: bool = False):
+        """One layer's ``(offsets, targets, mask)`` as zero-copy numpy views."""
+        return self.layer(color_id, reverse).np_views()
+
     # -- id-level views mirroring DataGraph (round-trip / tests) ----------------
 
     def node_ids(self) -> Iterator[NodeId]:
@@ -376,7 +399,14 @@ class CompiledGraph:
             and source.version == self.source_version
         ):
             self.refresh_attribute_scans(source.attrs_version)
-        cacheable = hasattr(predicate, "compile")
+        # Deferred import: repro.query pulls in the whole query package.
+        from repro.query.predicates import Predicate
+
+        # Only genuine Predicate objects are compiled *and* memoised — a
+        # plain callable that happens to carry a ``compile`` attribute must
+        # be called as-is, and duck-typed objects are keyed out of the memo
+        # because their equality semantics are unknown.
+        cacheable = isinstance(predicate, Predicate)
         if cacheable:
             cached = self._scan_cache.get(predicate)
             if cached is not None:
@@ -386,7 +416,7 @@ class CompiledGraph:
         else:
             if cacheable:
                 check = predicate.compile()
-            elif hasattr(predicate, "matches"):
+            elif hasattr(predicate, "matches") and callable(predicate.matches):
                 check = predicate.matches
             else:
                 check = predicate

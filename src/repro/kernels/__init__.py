@@ -1,0 +1,131 @@
+"""Vectorised BFS/bitset kernels for the CSR hot paths.
+
+Every query kind in the reproduction — RQ frontier expansion, the
+bounded-simulation refinement fixpoint, the incremental maintainer's
+affected-area closures — bottoms out in multi-source bounded BFS over the
+per-colour CSR layers of a :class:`~repro.graph.csr.CompiledGraph`.  This
+package is the single home of that inner loop:
+
+* :mod:`repro.kernels.numpy_kernel` — frontier-as-boolean-vector BFS with
+  per-level neighbour gathers via ``offsets``/``targets`` fancy indexing.
+  Each BFS *level* chooses between the vectorised gather and a plain python
+  sweep based on the live frontier width, so one-off lookups on small
+  frontiers never pay numpy's fixed per-call overhead;
+* :mod:`repro.kernels.python_kernel` — the dependency-free fallback over
+  ``array`` + ``memoryview``, byte-identical in results.
+
+Both backends implement the same two entry points and the same *block*
+semantics (the paper's non-empty-path requirement):
+
+``expand_frontier(layer, num_nodes, starts, bound)``
+    every index at positive distance ``1 … bound`` from any start via one
+    CSR layer; a start is included exactly when it is re-reached through a
+    non-empty path.
+
+``closure_frontier(layers, num_nodes, starts)``
+    the unbounded variant over the union of several layers (the affected-
+    area closure of the incremental maintainer).
+
+Backend selection (:func:`select_backend`) is automatic — numpy when
+importable, the pure-python loops otherwise — and overridable through the
+``REPRO_KERNELS`` environment variable (``numpy`` / ``python``), which the
+differential suite in ``tests/test_kernels.py`` and the no-numpy CI leg use
+to pin one side.  The dict engine remains the semantics oracle.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Hashable, Iterable, List, Optional, Set
+
+from repro.kernels import python_kernel
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    from repro.kernels import numpy_kernel
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    numpy_kernel = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+NodeId = Hashable
+
+#: Environment variable forcing one backend (``numpy`` / ``python``).
+KERNEL_ENV_VAR = "REPRO_KERNELS"
+
+__all__ = [
+    "HAVE_NUMPY",
+    "KERNEL_ENV_VAR",
+    "active_kernel_name",
+    "bfs_block_frontier",
+    "expand_frontier",
+    "closure_frontier",
+    "select_backend",
+]
+
+
+def requested_kernel() -> str:
+    """The ``REPRO_KERNELS`` request: ``"numpy"``, ``"python"`` or ``"auto"``.
+
+    Unknown values fall back to ``auto`` rather than raising — a typo in an
+    environment variable must never take the query engine down.
+    """
+    value = os.environ.get(KERNEL_ENV_VAR, "auto").strip().lower()
+    return value if value in ("numpy", "python") else "auto"
+
+
+def select_backend():
+    """The kernel module serving BFS calls right now.
+
+    ``REPRO_KERNELS=python`` always forces the fallback; ``numpy`` is served
+    when numpy is importable (a forced ``numpy`` silently degrades to the
+    fallback when it is not — same never-fail contract as above).
+    """
+    mode = requested_kernel()
+    if mode == "python" or not HAVE_NUMPY:
+        return python_kernel
+    return numpy_kernel
+
+
+def active_kernel_name() -> str:
+    """``"numpy"`` or ``"python"`` — surfaced by ``explain()``/``store_stats()``."""
+    return "numpy" if select_backend() is numpy_kernel else "python"
+
+
+def expand_frontier(layer, num_nodes: int, starts: Iterable[int], bound: Optional[int]) -> List[int]:
+    """Block-semantics bounded multi-source BFS over one CSR layer."""
+    return select_backend().expand_frontier(layer, num_nodes, starts, bound)
+
+
+def closure_frontier(layers, num_nodes: int, starts: Iterable[int]) -> List[int]:
+    """Unbounded multi-source BFS over the union of several CSR layers."""
+    return select_backend().closure_frontier(layers, num_nodes, starts)
+
+
+def bfs_block_frontier(neighbors, starts: Iterable[NodeId], bound: Optional[int]) -> Set[NodeId]:
+    """Multi-source bounded BFS with the one-atom *block* semantics.
+
+    ``neighbors(node)`` yields the next hop.  Returns every node at positive
+    distance ``1 … bound`` from any start; a start is included exactly when
+    it is re-reached through a non-empty path.  This is THE definition every
+    storage backend and kernel shares — the generic (hashable node-id,
+    callable-adjacency) spelling used by the dict store, snapshots and the
+    overlay store's dirty-colour reads, where there is no CSR layer to
+    vectorise over.
+    """
+    visited = set(starts)
+    frontier = list(visited)
+    reached: Set[NodeId] = set()
+    depth = 0
+    while frontier and (bound is None or depth < bound):
+        depth += 1
+        advanced: List[NodeId] = []
+        for node in frontier:
+            for nxt in neighbors(node):
+                if nxt not in reached:
+                    reached.add(nxt)
+                if nxt not in visited:
+                    visited.add(nxt)
+                    advanced.append(nxt)
+        frontier = advanced
+    return reached

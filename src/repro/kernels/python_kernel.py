@@ -1,0 +1,84 @@
+"""Pure-python BFS kernels over ``array`` + ``memoryview`` CSR layers.
+
+The dependency-free fallback backend of :mod:`repro.kernels`: plain int
+lists for frontiers, ``bytearray`` bitmaps for visited/reached state, and
+zero-copy ``memoryview`` slices into the layer's flat ``targets`` array.
+Selected automatically when numpy is absent, or forced with
+``REPRO_KERNELS=python``.
+
+Both entry points implement the block semantics shared with
+:mod:`repro.kernels.numpy_kernel` (asserted equal by the differential suite
+in ``tests/test_kernels.py``): results are the indices at positive distance
+``1 … bound`` from any start, and a start index is included exactly when it
+is re-reached through a non-empty path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+
+def expand_frontier(layer, num_nodes: int, starts: Iterable[int], bound: Optional[int]) -> List[int]:
+    """Indices at positive distance ``1 … bound`` from any start via one layer."""
+    offsets = layer.offsets
+    neighbors = layer._view
+    mask = layer.mask
+    visited = bytearray(num_nodes)
+    reached_flags = bytearray(num_nodes)
+    frontier: List[int] = []
+    for start in starts:
+        if not visited[start]:
+            visited[start] = 1
+            if mask[start]:
+                frontier.append(start)
+    reached: List[int] = []
+    depth = 0
+    while frontier and (bound is None or depth < bound):
+        depth += 1
+        advanced: List[int] = []
+        push = advanced.append
+        record = reached.append
+        for node in frontier:
+            for nxt in neighbors[offsets[node]:offsets[node + 1]]:
+                if not reached_flags[nxt]:
+                    reached_flags[nxt] = 1
+                    record(nxt)
+                if not visited[nxt]:
+                    visited[nxt] = 1
+                    push(nxt)
+        frontier = advanced
+    return reached
+
+
+def closure_frontier(layers, num_nodes: int, starts: Iterable[int]) -> List[int]:
+    """Indices with a non-empty path from any start via the union of layers."""
+    layers = list(layers)
+    if len(layers) == 1:
+        return expand_frontier(layers[0], num_nodes, starts, None)
+    visited = bytearray(num_nodes)
+    reached_flags = bytearray(num_nodes)
+    frontier: List[int] = []
+    for start in starts:
+        if not visited[start]:
+            visited[start] = 1
+            if any(layer.mask[start] for layer in layers):
+                frontier.append(start)
+    reached: List[int] = []
+    record = reached.append
+    while frontier:
+        advanced: List[int] = []
+        push = advanced.append
+        for node in frontier:
+            for layer in layers:
+                if not layer.mask[node]:
+                    continue
+                offsets = layer.offsets
+                for nxt in layer._view[offsets[node]:offsets[node + 1]]:
+                    if not reached_flags[nxt]:
+                        reached_flags[nxt] = 1
+                        record(nxt)
+                    if not visited[nxt]:
+                        visited[nxt] = 1
+                        push(nxt)
+        frontier = advanced
+    return reached

@@ -33,6 +33,7 @@ from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence
 
 from repro.exceptions import EvaluationError
 from repro.graph.csr import ANY_COLOR, CompiledGraph
+from repro.kernels import closure_frontier, expand_frontier
 from repro.matching.cache import (
     DEFAULT_SEARCH_CACHE_CAPACITY,
     SET_FRONTIER_CACHE_CAPACITY,
@@ -170,7 +171,9 @@ class CsrEngine:
 
         ``start`` itself is included exactly when it lies on a non-empty cycle
         of admissible length (paths are required to be non-empty).  Results
-        are memoised per ``(start, colour, bound, direction)``.
+        are memoised per ``(start, colour, bound, direction)``; the BFS
+        itself is one :func:`repro.kernels.expand_frontier` call, so the
+        block semantics live in the kernel layer, not here.
         """
         key = (start, color_id, bound, reverse)
         cached = self._cache.get(key)
@@ -186,33 +189,7 @@ class CsrEngine:
         if not layer.mask[start]:
             self._cache.put(key, ())
             return ()
-
-        visited = bytearray(self.compiled.num_nodes)
-        visited[start] = 1
-        frontier = [start]
-        reached: List[int] = []
-        saw_start = False
-        offsets = layer.offsets
-        neighbors = layer._view
-        depth = 0
-        while frontier and (bound is None or depth < bound):
-            depth += 1
-            advanced: List[int] = []
-            push = advanced.append
-            record = reached.append
-            for node in frontier:
-                for nxt in neighbors[offsets[node]:offsets[node + 1]]:
-                    if visited[nxt]:
-                        if nxt == start:
-                            saw_start = True
-                        continue
-                    visited[nxt] = 1
-                    push(nxt)
-                    record(nxt)
-            frontier = advanced
-        if saw_start:
-            reached.append(start)
-        result = tuple(reached)
+        result = tuple(expand_frontier(layer, self.compiled.num_nodes, (start,), bound))
         self._cache.put(key, result)
         return result
 
@@ -248,34 +225,7 @@ class CsrEngine:
         calls this with ever-shrinking candidate sets that rarely repeat.
         """
         layer = self.compiled.layer(color_id, reverse)
-        offsets = layer.offsets
-        neighbors = layer._view
-        mask = layer.mask
-        visited = bytearray(self.compiled.num_nodes)
-        reached_flags = bytearray(self.compiled.num_nodes)
-        frontier: List[int] = []
-        for start in starts:
-            if not visited[start]:
-                visited[start] = 1
-                if mask[start]:
-                    frontier.append(start)
-        reached: List[int] = []
-        depth = 0
-        while frontier and (bound is None or depth < bound):
-            depth += 1
-            advanced: List[int] = []
-            push = advanced.append
-            record = reached.append
-            for node in frontier:
-                for nxt in neighbors[offsets[node]:offsets[node + 1]]:
-                    if not reached_flags[nxt]:
-                        reached_flags[nxt] = 1
-                        record(nxt)
-                    if not visited[nxt]:
-                        visited[nxt] = 1
-                        push(nxt)
-            frontier = advanced
-        return reached
+        return expand_frontier(layer, self.compiled.num_nodes, starts, bound)
 
     def set_targets_indices(self, starts: Iterable[int], item: RegexAtom) -> List[int]:
         """Indices reachable from *any* start by one non-empty atom block."""
@@ -306,36 +256,20 @@ class CsrEngine:
         are included only when they lie on a cycle (callers union the start
         set back in); not memoised, as each update asks with a different
         seed set.
+
+        ``color_ids`` is de-duplicated before the walk: overlapping colour
+        restrictions (a maintainer batch touching the same colour twice)
+        used to rescan the identical reverse layer once per duplicate on
+        every frontier node.  Seeding matches :meth:`expand_set` — unmasked
+        seeds contribute nothing, so both entry points now share one kernel.
         """
         if color_ids is None:
             return self.expand_set(starts, ANY_COLOR, None, reverse=True)
-        layers = [self.compiled.layer(color_id, reverse=True) for color_id in color_ids]
-        visited = bytearray(self.compiled.num_nodes)
-        frontier: List[int] = []
-        for start in starts:
-            if not visited[start]:
-                visited[start] = 1
-                frontier.append(start)
-        reached_flags = bytearray(self.compiled.num_nodes)
-        reached: List[int] = []
-        record = reached.append
-        while frontier:
-            advanced: List[int] = []
-            push = advanced.append
-            for node in frontier:
-                for layer in layers:
-                    if not layer.mask[node]:
-                        continue
-                    offsets = layer.offsets
-                    for nxt in layer._view[offsets[node]:offsets[node + 1]]:
-                        if not reached_flags[nxt]:
-                            reached_flags[nxt] = 1
-                            record(nxt)
-                        if not visited[nxt]:
-                            visited[nxt] = 1
-                            push(nxt)
-            frontier = advanced
-        return reached
+        layers = [
+            self.compiled.layer(color_id, reverse=True)
+            for color_id in dict.fromkeys(color_ids)
+        ]
+        return closure_frontier(layers, self.compiled.num_nodes, starts)
 
     def backward_reachable_indices(
         self, targets: Iterable[int], regex: FRegex

@@ -53,6 +53,7 @@ from dataclasses import dataclass
 from math import factorial
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.query.containment import pq_equivalent
 from repro.query.minimization import minimize_pattern_query
 from repro.query.pq import PatternQuery
 from repro.query.predicates import _MISSING, Predicate, _comparable, _Interval
@@ -262,9 +263,54 @@ def predicate_cache_key(predicate: Predicate) -> Tuple:
 # Pattern queries
 # ---------------------------------------------------------------------------
 
+#: Node-count ceiling for the absorbable-node search: each candidate costs a
+#: full ``pq_equivalent`` check (worst-case cubic), so the sweep is bounded
+#: the same way the labelling permutation search is.
+_ABSORB_NODE_LIMIT = 12
+
+
+def _without_node(pattern: PatternQuery, node: Any) -> PatternQuery:
+    result = PatternQuery(name=pattern.name)
+    for other in pattern.nodes():
+        if other != node:
+            result.add_node(other, pattern.predicate(other))
+    for edge in pattern.edges():
+        if edge.source != node and edge.target != node:
+            result.add_edge(edge.source, edge.target, edge.regex)
+    return result
+
+
+def _drop_absorbable_nodes(pattern: PatternQuery) -> PatternQuery:
+    """Remove nodes whose deletion is provably answer-preserving.
+
+    ``minPQs`` collapses bisimilar duplicates, but a node whose predicate is
+    strictly *tighter* than a twin's can still be redundant: its match set
+    (and its edges') is derivable from the rest of the pattern through the
+    Theorem-3.2 edge mapping, so the spellings with and without it are
+    ``pq_equivalent`` and must share one canonical key.  Every removal is
+    verified directly with ``pq_equivalent`` before it is accepted, so the
+    step is sound by construction; mutually-absorbable nodes compose (the
+    witness mapping of a removed node re-targets through its own witness),
+    so the surviving core does not depend on the sweep order.
+    """
+    if not 1 < pattern.num_nodes <= _ABSORB_NODE_LIMIT:
+        return pattern
+    current = pattern
+    changed = True
+    while changed and current.num_nodes > 1:
+        changed = False
+        for node in sorted(current.nodes(), key=repr):
+            candidate = _without_node(current, node)
+            if pq_equivalent(candidate, current):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
 def canonical_pattern_query(pattern: PatternQuery) -> PatternQuery:
     """Minimise via ``minPQs`` and canonicalise every edge constraint."""
-    minimized = minimize_pattern_query(pattern, verify=True)
+    minimized = _drop_absorbable_nodes(minimize_pattern_query(pattern, verify=True))
     result = PatternQuery(name=f"{pattern.name}-canonical")
     for node in minimized.nodes():
         result.add_node(node, minimized.predicate(node))

@@ -41,6 +41,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.exceptions import QueryError
 from repro.graph.stats import GraphStats
+from repro.kernels import active_kernel_name
 from repro.session.defaults import (
     DENSE_PATTERN_EDGE_RATIO,
     ENGINES,
@@ -260,6 +261,16 @@ def _resolve_store(engine: str, overlay_stats, reasons, features) -> str:
         "store=overlay-csr: mutations land in per-colour edge overlays "
         f"(O(delta) per update), folded into a fresh CSR base at {fraction:.0%} "
         "overlay occupancy"
+    )
+    kernel = active_kernel_name()
+    features["kernel"] = kernel
+    reasons.append(
+        f"kernel={kernel}: CSR frontier expansion runs on the "
+        + (
+            "numpy gather kernels (per-level vectorised BFS)"
+            if kernel == "numpy"
+            else "pure-python array loops (numpy absent or REPRO_KERNELS=python)"
+        )
     )
     if overlay_stats:
         for key in (

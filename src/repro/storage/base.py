@@ -24,7 +24,19 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Set
 
+# Re-exported for the storage backends (dict store, snapshots, overlay
+# dirty-colour reads): the generic block-BFS definition now lives with the
+# vectorised kernels so every frontier expansion shares one semantics.
+from repro.kernels import bfs_block_frontier
+
 NodeId = Hashable
+
+__all__ = [
+    "GraphStore",
+    "bfs_block_frontier",
+    "predicate_check",
+    "scan_nodes",
+]
 
 
 class GraphStore(ABC):
@@ -145,44 +157,24 @@ class GraphStore(ABC):
         return {}
 
 
-def bfs_block_frontier(neighbors, starts: Iterable[NodeId], bound: Optional[int]) -> Set[NodeId]:
-    """Multi-source bounded BFS with the one-atom *block* semantics.
-
-    ``neighbors(node)`` yields the next hop.  Returns every node at positive
-    distance ``1 … bound`` from any start; a start is included exactly when
-    it is re-reached through a non-empty path.  This is THE definition both
-    storage backends share — keeping it in one place is what the
-    dict-vs-overlay parity suite leans on.
-    """
-    visited = set(starts)
-    frontier = list(visited)
-    reached: Set[NodeId] = set()
-    depth = 0
-    while frontier and (bound is None or depth < bound):
-        depth += 1
-        advanced: List[NodeId] = []
-        for node in frontier:
-            for nxt in neighbors(node):
-                if nxt not in reached:
-                    reached.add(nxt)
-                if nxt not in visited:
-                    visited.add(nxt)
-                    advanced.append(nxt)
-        frontier = advanced
-    return reached
-
-
 def predicate_check(predicate: Any):
     """The fastest membership test a predicate-like object offers.
 
     Accepts :class:`~repro.query.predicates.Predicate` objects (compiled to
-    a closure), anything with ``matches``, or a plain callable over
-    attribute mappings.
+    a closure), anything with a callable ``matches``, or a plain callable
+    over attribute mappings — checked in that order.  The order matters: a
+    plain callable that happens to carry a ``compile`` attribute (functions
+    take arbitrary attributes) must be called as-is, not have its
+    unrelated ``compile`` invoked.
     """
-    if hasattr(predicate, "compile"):
+    # Deferred import: repro.query pulls in the whole query package.
+    from repro.query.predicates import Predicate
+
+    if isinstance(predicate, Predicate):
         return predicate.compile()
-    if hasattr(predicate, "matches"):
-        return predicate.matches
+    matches = getattr(predicate, "matches", None)
+    if matches is not None and callable(matches):
+        return matches
     return predicate
 
 

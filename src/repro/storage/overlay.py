@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Set
 
 from repro.exceptions import GraphError
+from repro.kernels import active_kernel_name
 from repro.storage.base import GraphStore, NodeId, bfs_block_frontier, predicate_check
 
 #: Overlay fraction of the base edge count above which the store compacts.
@@ -473,6 +474,7 @@ class OverlayCsrStore(GraphStore):
         if self._base is None:
             return {
                 "store": self.kind,
+                "kernel": active_kernel_name(),
                 "base_nodes": 0,
                 "base_edges": 0,
                 "overlay_edges": 0,
@@ -490,6 +492,7 @@ class OverlayCsrStore(GraphStore):
         base_edges = self._base.num_edges
         return {
             "store": self.kind,
+            "kernel": active_kernel_name(),
             "base_nodes": self._base.num_nodes,
             "base_edges": base_edges,
             "overlay_edges": self._overlay_edges,

@@ -122,6 +122,55 @@ class TestCiWorkflow:
         )
         assert "bench-serve.json" in paths
 
+    def test_matrix_matches_pyproject_classifiers(self, workflow):
+        # Every interpreter the matrix tests must be advertised as a trove
+        # classifier, and vice versa — the two lists drift silently otherwise
+        # (3.13 was in the matrix but missing from pyproject for two releases).
+        import re
+
+        pyproject = WORKFLOW.parent.parent.parent / "pyproject.toml"
+        text = pyproject.read_text(encoding="utf-8")
+        classifiers = set(
+            re.findall(r'"Programming Language :: Python :: (3\.\d+)"', text)
+        )
+        matrix = set(workflow["jobs"]["test"]["strategy"]["matrix"]["python-version"])
+        assert classifiers == matrix
+
+    def test_no_numpy_leg_exercises_kernel_fallback(self, workflow):
+        # Exactly one matrix leg must run without numpy so the pure-python
+        # kernel fallback gets full tier-1 coverage; the other legs install
+        # the `fast` extra and run the vectorised kernels.
+        job = workflow["jobs"]["test"]
+        fast_installs = [
+            step for step in job["steps"] if ".[fast]" in step.get("run", "")
+        ]
+        assert fast_installs, "vector-kernel legs must install the fast extra"
+        assert all("!=" in step.get("if", "") for step in fast_installs)
+        fallback_checks = [
+            step
+            for step in job["steps"]
+            if "active_kernel_name" in step.get("run", "")
+        ]
+        assert fallback_checks, "the no-numpy leg must assert the python backend"
+        excluded = fast_installs[0]["if"].split("!=")[1].strip().strip("'\"")
+        assert f"== '{excluded}'" in fallback_checks[0]["if"]
+
+    def test_benchmark_job_emits_kernels_artifact(self, workflow):
+        # The BFS-kernel benchmark (numpy >= 5x python on the dense YouTube
+        # micro-workload) runs on its own and uploads bench-kernels.json; the
+        # main benchmark sweep must not double-run it into bench.json.
+        job = workflow["jobs"]["benchmark-smoke"]
+        commands = "\n".join(step.get("run", "") for step in job["steps"])
+        assert "benchmarks/test_bench_kernels.py" in commands
+        assert "--ignore=benchmarks/test_bench_kernels.py" in commands
+        assert "--benchmark-json=bench-kernels.json" in commands
+        paths = "\n".join(
+            step["with"]["path"]
+            for step in job["steps"]
+            if "upload-artifact" in step.get("uses", "")
+        )
+        assert "bench-kernels.json" in paths
+
     def test_benchmark_job_emits_semcache_artifact(self, workflow):
         # The semantic-cache benchmark (warm containment hit >= 5x cold
         # evaluation) runs on its own and uploads bench-semcache.json; the

@@ -122,6 +122,30 @@ class TestPredicateScan:
         second = compiled.matching_indices(Predicate.parse("kind = 'x'"))
         assert first is second  # structurally equal predicates share the memo
 
+    def test_plain_callable_with_compile_attribute_called_as_is(self, small_graph):
+        # Regression: dispatch used to probe for a `compile` attribute first,
+        # so a plain callable carrying an unrelated `compile` (functions take
+        # arbitrary attributes) had that attribute invoked instead of being
+        # called on the attrs mapping.  Predicate instances compile; plain
+        # callables are used verbatim.
+        compiled = compile_graph(small_graph)
+
+        def check(attrs):
+            return attrs.get("kind") == "y"
+
+        check.compile = lambda: pytest.fail("unrelated compile attribute was invoked")
+        assert compiled.matching_ids(check) == ["b"]
+
+    def test_duck_typed_matches_object_supported(self, small_graph):
+        compiled = compile_graph(small_graph)
+
+        class Ducky:
+            def matches(self, attrs):
+                return attrs.get("kind") == "x"
+
+        ids = compiled.matching_ids(Ducky())
+        assert ids == [n for n in small_graph.nodes() if small_graph.attributes(n).get("kind") == "x"]
+
     def test_compiled_predicate_closure_parity(self):
         predicate = Predicate.parse("age > 10 & name != 'x'")
         check = predicate.compile()

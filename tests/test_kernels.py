@@ -1,0 +1,374 @@
+"""Differential suite for :mod:`repro.kernels`.
+
+The kernels package is the single home of the block-semantics BFS every
+query kind bottoms out in, with two interchangeable backends (numpy gather
+kernels and the pure-python array loops).  This suite pins them to each
+other and to an independent oracle:
+
+* the **oracle** is :func:`repro.kernels.bfs_block_frontier` run over plain
+  adjacency dicts built straight from the edge list — no CSR layers, no
+  numpy, just the paper's definition;
+* both backends are driven through all four entry points the engine uses
+  (``expand_frontier``, ``closure_frontier``, ``CsrEngine._expand`` /
+  ``expand_set`` / ``backward_closure_indices``, and the generic
+  ``bfs_block_frontier``) on hypothesis-generated graphs with cycles
+  through starts, duplicate colours, empty layers and bounded depths
+  including ``bound=0``;
+* the numpy backend additionally runs with ``VECTOR_MIN_FRONTIER`` forced
+  to 1 (every level vectorised) and ``SCAN_DIVISOR`` pinned to each
+  extreme, so both frontier-extraction strategies (sort-free scratch scan
+  and ``np.unique``) are exercised even on the tiny hypothesis graphs.
+"""
+
+import contextlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import ANY_COLOR, compile_graph
+from repro.graph.data_graph import DataGraph
+from repro.kernels import (
+    HAVE_NUMPY,
+    KERNEL_ENV_VAR,
+    active_kernel_name,
+    bfs_block_frontier,
+    python_kernel,
+    select_backend,
+)
+from repro.matching.csr_engine import CsrEngine
+
+if HAVE_NUMPY:
+    from repro.kernels import numpy_kernel
+
+_COLORS = ("r", "g", "b")
+_BOUNDS = (None, 0, 1, 2, 5)
+
+
+# -- oracle ---------------------------------------------------------------------
+
+
+def _index_adjacency(graph, compiled, reverse):
+    """Index-space adjacency lists built from the raw edge list (no CSR)."""
+    adjacency = {}
+    for edge in graph.edges():
+        source = compiled.node_index(edge.source)
+        target = compiled.node_index(edge.target)
+        if reverse:
+            source, target = target, source
+        adjacency.setdefault(edge.color, {}).setdefault(source, []).append(target)
+    return adjacency
+
+
+def _oracle_expand(graph, compiled, starts, color, bound, reverse):
+    adjacency = _index_adjacency(graph, compiled, reverse)
+    if color is None:  # wildcard: union over every colour
+        merged = {}
+        for table in adjacency.values():
+            for node, targets in table.items():
+                merged.setdefault(node, []).extend(targets)
+        table = merged
+    else:
+        table = adjacency.get(color, {})
+    return bfs_block_frontier(lambda node: table.get(node, ()), starts, bound)
+
+
+def _oracle_closure(graph, compiled, starts, colors):
+    adjacency = _index_adjacency(graph, compiled, reverse=True)
+    tables = [adjacency.get(color, {}) for color in colors]
+
+    def neighbors(node):
+        for table in tables:
+            yield from table.get(node, ())
+
+    return bfs_block_frontier(neighbors, starts, None)
+
+
+# -- backend matrix -------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def _patched(module, **attrs):
+    saved = {name: getattr(module, name) for name in attrs}
+    for name, value in attrs.items():
+        setattr(module, name, value)
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            setattr(module, name, value)
+
+
+def _backend_runs():
+    """(label, kernel-module, patch-dict) for every configuration under test."""
+    runs = [("python", python_kernel, {})]
+    if HAVE_NUMPY:
+        runs.append(("numpy-default", numpy_kernel, {}))
+        # Force every level through the vector path; pin the extraction
+        # strategy to each extreme so both are differentially tested even
+        # on graphs far below the production thresholds.
+        runs.append(
+            ("numpy-scan", numpy_kernel, {"VECTOR_MIN_FRONTIER": 1, "SCAN_DIVISOR": 10**6})
+        )
+        runs.append(
+            ("numpy-unique", numpy_kernel, {"VECTOR_MIN_FRONTIER": 1, "SCAN_DIVISOR": 1})
+        )
+    return runs
+
+
+def _assert_all_backends_match(expected, call):
+    for label, kernel, patch in _backend_runs():
+        with _patched(kernel, **patch):
+            got = call(kernel)
+        assert sorted(got) == sorted(set(got)), f"{label}: duplicate results"
+        assert set(got) == expected, label
+
+
+# -- hypothesis strategies ------------------------------------------------------
+
+
+@st.composite
+def indexed_graph(draw):
+    num_nodes = draw(st.integers(min_value=1, max_value=12))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+                st.sampled_from(_COLORS),
+            ),
+            max_size=36,
+        )
+    )
+    graph = DataGraph(name="kernel-hypothesis")
+    for node in range(num_nodes):
+        graph.add_node(node)
+    for source, target, color in edges:
+        graph.add_edge(source, target, color)
+    starts = draw(
+        st.lists(st.integers(0, num_nodes - 1), min_size=1, max_size=num_nodes, unique=True)
+    )
+    return graph, starts
+
+
+@pytest.mark.slow
+@settings(max_examples=60, deadline=None)
+@given(indexed_graph(), st.sampled_from(_BOUNDS), st.sampled_from(_COLORS + (None,)), st.booleans())
+def test_property_expand_frontier_matches_oracle(case, bound, color, reverse):
+    graph, starts = case
+    compiled = compile_graph(graph)
+    starts = [compiled.node_index(start) for start in starts]
+    expected = _oracle_expand(graph, compiled, starts, color, bound, reverse)
+    color_id = compiled.color_id(color)
+    if color_id is None:  # colour absent from this graph: oracle must agree
+        assert expected == set()
+        return
+    layer = compiled.layer(color_id, reverse=reverse)
+    _assert_all_backends_match(
+        expected,
+        lambda kernel: kernel.expand_frontier(layer, compiled.num_nodes, starts, bound),
+    )
+
+
+@pytest.mark.slow
+@settings(max_examples=60, deadline=None)
+@given(
+    indexed_graph(),
+    st.lists(st.sampled_from(_COLORS), min_size=1, max_size=6),
+)
+def test_property_closure_frontier_matches_oracle(case, colors):
+    # Duplicate and overlapping colour restrictions are drawn on purpose:
+    # the closure over [r, r, g] must equal the closure over [r, g].
+    graph, starts = case
+    compiled = compile_graph(graph)
+    starts = [compiled.node_index(start) for start in starts]
+    expected = _oracle_closure(graph, compiled, starts, colors)
+    color_ids = [
+        compiled.color_id(color)
+        for color in dict.fromkeys(colors)
+        if compiled.color_id(color) is not None
+    ]
+    layers = [compiled.layer(color_id, reverse=True) for color_id in color_ids]
+    if not layers:
+        assert expected == set()
+        return
+    _assert_all_backends_match(
+        expected,
+        lambda kernel: kernel.closure_frontier(layers, compiled.num_nodes, starts),
+    )
+
+
+@pytest.mark.slow
+@settings(max_examples=40, deadline=None)
+@given(
+    indexed_graph(),
+    st.lists(st.sampled_from(_COLORS), min_size=0, max_size=6),
+    st.sampled_from(_BOUNDS),
+)
+def test_property_engine_entry_points_match_oracle(case, colors, bound):
+    # The engine-facing wrappers (memoised single-source `_expand`, the
+    # multi-source `expand_set`, and `backward_closure_indices` with its
+    # colour-dedupe) must agree with the oracle through the dispatch layer.
+    graph, starts = case
+    compiled = compile_graph(graph)
+    starts = [compiled.node_index(start) for start in starts]
+    engine = CsrEngine(compiled)
+
+    single = set(engine._expand(starts[0], ANY_COLOR, bound, False))
+    assert single == _oracle_expand(graph, compiled, starts[:1], None, bound, False)
+
+    multi = engine.expand_set(starts, ANY_COLOR, bound, reverse=True)
+    assert sorted(multi) == sorted(set(multi))
+    assert set(multi) == _oracle_expand(graph, compiled, starts, None, bound, True)
+
+    known = [color for color in colors if compiled.color_id(color) is not None]
+    color_ids = None if not colors else [compiled.color_id(color) for color in known]
+    closure = engine.backward_closure_indices(starts, color_ids)
+    if color_ids is None:
+        expected = _oracle_closure(graph, compiled, starts, list(_COLORS))
+    else:
+        expected = _oracle_closure(graph, compiled, starts, known)
+    assert sorted(closure) == sorted(set(closure))
+    assert set(closure) == expected
+
+
+# -- deterministic regressions --------------------------------------------------
+
+
+@pytest.fixture()
+def two_color_graph():
+    graph = DataGraph(name="kernel-regression")
+    for node in range(6):
+        graph.add_node(node)
+    graph.add_edge(0, 1, "r")
+    graph.add_edge(1, 2, "r")
+    graph.add_edge(2, 0, "g")  # cycle through the start, mixed colours
+    graph.add_edge(3, 4, "g")
+    graph.add_edge(4, 3, "g")  # two-cycle entirely inside one colour
+    return graph
+
+
+class TestBackwardClosureColorDedup:
+    def test_duplicate_color_ids_do_not_duplicate_results(self, two_color_graph):
+        # Regression: duplicate/overlapping colour restrictions used to seed
+        # the same reverse layer several times; results must be identical to
+        # the deduplicated list, with no repeated indices.
+        compiled = compile_graph(two_color_graph)
+        engine = CsrEngine(compiled)
+        r, g = compiled.color_id("r"), compiled.color_id("g")
+        starts = [compiled.node_index(0), compiled.node_index(3)]
+        deduped = engine.backward_closure_indices(starts, [r, g])
+        noisy = engine.backward_closure_indices(starts, [r, r, g, r, g])
+        assert sorted(noisy) == sorted(set(noisy))
+        assert set(noisy) == set(deduped)
+        assert set(noisy) == _oracle_closure(two_color_graph, compiled, starts, ["r", "g"])
+
+    def test_single_duplicated_color_equals_single_color(self, two_color_graph):
+        compiled = compile_graph(two_color_graph)
+        engine = CsrEngine(compiled)
+        g = compiled.color_id("g")
+        starts = [compiled.node_index(3)]
+        assert set(engine.backward_closure_indices(starts, [g, g, g])) == set(
+            engine.backward_closure_indices(starts, [g])
+        ) == {compiled.node_index(3), compiled.node_index(4)}
+
+    def test_empty_color_list_is_empty_closure(self, two_color_graph):
+        compiled = compile_graph(two_color_graph)
+        engine = CsrEngine(compiled)
+        assert engine.backward_closure_indices([0], []) == []
+
+
+class TestBlockSemanticsEdgeCases:
+    def test_bound_zero_is_empty(self, two_color_graph):
+        compiled = compile_graph(two_color_graph)
+        layer = compiled.layer(ANY_COLOR)
+        _assert_all_backends_match(
+            set(),
+            lambda kernel: kernel.expand_frontier(layer, compiled.num_nodes, [0, 3], 0),
+        )
+
+    def test_start_reached_only_via_nonempty_cycle(self, two_color_graph):
+        compiled = compile_graph(two_color_graph)
+        layer = compiled.layer(ANY_COLOR)
+        start = compiled.node_index(0)
+        expected = _oracle_expand(two_color_graph, compiled, [start], None, None, False)
+        assert start in expected  # 0 -r-> 1 -r-> 2 -g-> 0 re-reaches the start
+        _assert_all_backends_match(
+            expected,
+            lambda kernel: kernel.expand_frontier(layer, compiled.num_nodes, [start], None),
+        )
+
+    def test_unmasked_and_empty_layer_seeds(self, two_color_graph):
+        # Node 5 is isolated; node 0 has no outgoing "g" edge.  Neither seed
+        # may contribute, and an all-empty frontier returns [] in both modes.
+        compiled = compile_graph(two_color_graph)
+        g_layer = compiled.layer(compiled.color_id("g"))
+        _assert_all_backends_match(
+            set(),
+            lambda kernel: kernel.expand_frontier(
+                g_layer, compiled.num_nodes, [compiled.node_index(5), compiled.node_index(0)], None
+            ),
+        )
+
+    def test_generic_bfs_block_frontier_start_inclusion(self):
+        neighbors = {0: [1], 1: [0], 2: []}
+        assert bfs_block_frontier(lambda n: neighbors[n], [0], None) == {0, 1}
+        assert bfs_block_frontier(lambda n: neighbors[n], [0], 1) == {1}
+        assert bfs_block_frontier(lambda n: neighbors[n], [2], None) == set()
+        assert bfs_block_frontier(lambda n: neighbors[n], [0, 2], 0) == set()
+
+
+class TestKernelDispatch:
+    def test_python_forced_by_environment(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "python")
+        assert select_backend() is python_kernel
+        assert active_kernel_name() == "python"
+
+    def test_unknown_value_falls_back_to_auto(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "fortran")
+        expected = "numpy" if HAVE_NUMPY else "python"
+        assert active_kernel_name() == expected
+
+    def test_auto_prefers_numpy_when_available(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        assert active_kernel_name() == ("numpy" if HAVE_NUMPY else "python")
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+    def test_numpy_request_honoured(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "NumPy ")  # case/space-insensitive
+        assert select_backend() is numpy_kernel
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+    def test_forced_python_changes_engine_backend_not_results(self, monkeypatch, two_color_graph):
+        compiled = compile_graph(two_color_graph)
+        layer = compiled.layer(ANY_COLOR)
+        default = set(select_backend().expand_frontier(layer, compiled.num_nodes, [0], None))
+        monkeypatch.setenv(KERNEL_ENV_VAR, "python")
+        forced = set(select_backend().expand_frontier(layer, compiled.num_nodes, [0], None))
+        assert forced == default
+
+
+class TestKernelSurfacing:
+    def test_planner_explain_names_the_kernel(self):
+        from repro.datasets.synthetic import generate_synthetic_graph
+        from repro.query.rq import ReachabilityQuery
+        from repro.session import GraphSession
+
+        graph = generate_synthetic_graph(60, 200, seed=4)
+        session = GraphSession(graph, engine="csr")
+        prepared = session.prepare(ReachabilityQuery(None, None, sorted(graph.colors)[0]))
+        explanation = prepared.explain()
+        assert f"kernel={active_kernel_name()}" in explanation
+        assert prepared.plan.features["kernel"] == active_kernel_name()
+
+    def test_store_stats_names_the_kernel(self):
+        from repro.datasets.synthetic import generate_synthetic_graph
+        from repro.query.rq import ReachabilityQuery
+        from repro.session import GraphSession
+
+        graph = generate_synthetic_graph(60, 200, seed=4)
+        session = GraphSession(graph, engine="csr")
+        session.execute(ReachabilityQuery(None, None, sorted(graph.colors)[0]))
+        stats = session.store_stats()
+        assert stats["store"] == "overlay-csr"
+        assert stats["kernel"] == active_kernel_name()

@@ -53,6 +53,11 @@ FROZEN_API = {
         "minimize_pattern_query", "pq_containment_mapping", "pq_contained_in",
         "pq_equivalent", "rq_contained_in", "rq_equivalent",
     ],
+    "repro.kernels": [
+        "HAVE_NUMPY", "KERNEL_ENV_VAR", "active_kernel_name",
+        "bfs_block_frontier", "closure_frontier", "expand_frontier",
+        "select_backend",
+    ],
     "repro.matching": [
         "CsrEngine", "LruCache", "PathMatcher", "PatternMatchResult",
         "bounded_simulation_match", "evaluate_rq", "graph_simulation",
@@ -96,6 +101,7 @@ class TestPublicApi:
     def test_subpackages_importable(self):
         for module in [
             "repro.graph",
+            "repro.kernels",
             "repro.regex",
             "repro.query",
             "repro.matching",

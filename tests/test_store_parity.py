@@ -553,3 +553,51 @@ class TestReviewHardening:
         graph.add_edge(0, 3, "r")
         for node in graph.nodes():
             assert overlay.successors(node) == graph.store.successors(node), node
+
+
+class TestPredicateCheckDispatch:
+    # Regression suite for storage.base.predicate_check: Predicate instances
+    # first (compiled), duck-typed `matches` objects second, bare callables
+    # last.  A plain function carrying an unrelated `compile` attribute used
+    # to be mis-dispatched through it.
+
+    def test_predicate_instance_is_compiled(self):
+        from repro.query.predicates import Predicate
+        from repro.storage.base import predicate_check
+
+        predicate = Predicate.parse("age > 10")
+        check = predicate_check(predicate)
+        assert check({"age": 11}) and not check({"age": 9})
+
+    def test_plain_callable_with_compile_attribute_used_verbatim(self):
+        from repro.storage.base import predicate_check, scan_nodes
+
+        def check(attrs):
+            return attrs.get("age", 0) > 10
+
+        check.compile = lambda: pytest.fail("unrelated compile attribute was invoked")
+        assert predicate_check(check) is check
+        attrs = {0: {"age": 5}, 1: {"age": 15}}
+        assert scan_nodes(check, [0, 1], attrs.__getitem__) == [1]
+
+    def test_duck_typed_matches_wins_over_bare_call(self):
+        from repro.storage.base import predicate_check
+
+        class Ducky:
+            def matches(self, attrs):
+                return attrs.get("kind") == "x"
+
+            def __call__(self, attrs):  # pragma: no cover - must not be used
+                raise AssertionError("matches() must take precedence over __call__")
+
+        check = predicate_check(Ducky())
+        assert check({"kind": "x"}) and not check({"kind": "y"})
+
+    def test_non_callable_matches_attribute_falls_through(self):
+        from repro.storage.base import predicate_check
+
+        def check(attrs):
+            return True
+
+        check.matches = "not-callable"
+        assert predicate_check(check) is check

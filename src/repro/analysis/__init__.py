@@ -1,0 +1,42 @@
+"""reprolint — AST-based checks for the repo's correctness contracts.
+
+Eight PRs of growth left this codebase with invariants that live in
+reviewers' heads: version counters must be bumped with the mutation they
+describe, snapshot pins must be released, fixpoints must stay engine-free,
+defaults must come from ``session/defaults.py``.  Each was the root cause
+of (or the fix discipline from) a real bug; none was machine-checked.
+
+This package walks the source with :mod:`ast` and enforces them as rules
+R001–R008 (see :mod:`repro.analysis.rules`).  Findings carry stable codes
+and ``file:line`` positions, can be suppressed inline with
+``# reprolint: ignore[R00x]``, and diff against a checked-in baseline so
+the gate can land before the last legacy finding is fixed.
+
+Run it via ``repro lint`` (exit 1 on non-baseline findings, ``--json`` for
+the stamped wire envelope) or programmatically via :func:`run_lint`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import LintReport, ModuleInfo, ProjectInfo, Rule, run_lint
+from repro.analysis.findings import (
+    Finding,
+    load_baseline,
+    partition_baseline,
+    save_baseline,
+)
+from repro.analysis.rules import RULE_CODES, all_rules
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "ProjectInfo",
+    "RULE_CODES",
+    "Rule",
+    "all_rules",
+    "load_baseline",
+    "partition_baseline",
+    "run_lint",
+    "save_baseline",
+]

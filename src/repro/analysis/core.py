@@ -1,0 +1,295 @@
+"""The reprolint engine: module model, rule protocol, suppression, runner.
+
+``reprolint`` is an AST-walking invariant checker for *this repository's*
+correctness contracts — the cross-cutting rules (version-counter bumps,
+snapshot pin/release pairing, async-safety, memo invalidation, kwarg drift,
+engine-free fixpoints, frozen exports, exception discipline) that review
+kept re-finding by hand.  It is deliberately small:
+
+* a :class:`ModuleInfo` per parsed file (source, AST, parent links, and the
+  ``# reprolint: ignore[CODE]`` suppression table);
+* a :class:`Rule` protocol — per-file :meth:`Rule.check` plus an optional
+  project-wide :meth:`Rule.finalize` for cross-module contracts;
+* :func:`run_lint`, which walks the requested paths, runs every registered
+  rule, drops suppressed findings and returns a :class:`LintReport`.
+
+Rules register themselves in :mod:`repro.analysis.rules`; stable codes
+(``R001`` …) are part of the tool's contract the same way the library's
+error codes are — a rule is never renumbered, only retired.
+
+Suppressions
+------------
+A finding on line *L* is suppressed when line *L* — or a comment-only line
+*L-1* — carries ``# reprolint: ignore[CODE]`` (several codes may be listed,
+comma-separated).  Suppressions are per-code on purpose: a blanket opt-out
+would just recreate the unwritten-contract problem the tool exists to fix.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.exceptions import AnalysisError
+
+_SUPPRESSION = re.compile(r"#\s*reprolint:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> suppressed rule codes for one module's source.
+
+    A comment-only suppression line also covers the *next* line, so long
+    statements can carry their waiver above instead of trailing off-screen.
+    """
+    table: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        comments = [
+            token for token in tokens if token.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenizeError:  # pragma: no cover - ast.parse catches first
+        return table
+    for token in comments:
+        match = _SUPPRESSION.search(token.string)
+        if match is None:
+            continue
+        codes = {code.strip().upper() for code in match.group(1).split(",") if code.strip()}
+        line, col = token.start
+        table.setdefault(line, set()).update(codes)
+        standalone = not token.line[:col].strip()
+        if standalone:
+            table.setdefault(line + 1, set()).update(codes)
+    return table
+
+
+class ModuleInfo:
+    """One parsed source file plus the lookup structure rules share."""
+
+    def __init__(self, root: Path, path: Path):
+        self.path = path
+        self.relpath = path.relative_to(root).as_posix()
+        try:
+            self.text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {path}: {exc}") from exc
+        try:
+            self.tree = ast.parse(self.text, filename=str(path))
+        except SyntaxError as exc:
+            raise AnalysisError(f"{path} is not parseable python: {exc}") from exc
+        self.suppressions = _parse_suppressions(self.text)
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+    # -- helpers shared by rules -------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def enclosing_function(self, node: ast.AST):
+        """The nearest enclosing (async) function definition, or ``None``."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def in_part(self, *parts: str) -> bool:
+        """Whether any path segment (sans ``.py``) matches one of ``parts``."""
+        segments = self.relpath.split("/")
+        names = set(segments) | {segments[-1][:-3] if segments[-1].endswith(".py") else segments[-1]}
+        return any(part in names for part in parts)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        codes = self.suppressions.get(finding.line, set())
+        return finding.rule in codes
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+@dataclass
+class ProjectInfo:
+    """Everything a cross-module rule may need after the per-file pass."""
+
+    modules: List[ModuleInfo]
+
+    def by_suffix(self, suffix: str) -> Optional[ModuleInfo]:
+        for module in self.modules:
+            if module.relpath.endswith(suffix):
+                return module
+        return None
+
+
+class Rule:
+    """Base class for one lint rule (stable ``code``, e.g. ``"R001"``)."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Per-file findings (the common case)."""
+        return ()
+
+    def finalize(self, project: ProjectInfo) -> Iterable[Finding]:
+        """Project-wide findings for contracts spanning several files."""
+        return ()
+
+
+@dataclass
+class LintReport:
+    """The outcome of one :func:`run_lint` pass."""
+
+    findings: List[Finding]
+    files_scanned: int
+    rules: List[str]
+    suppressed: int = 0
+    paths: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "files_scanned": self.files_scanned,
+            "rules": list(self.rules),
+            "suppressed": self.suppressed,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def _collect_modules(paths: Sequence[Any]) -> List[ModuleInfo]:
+    modules: List[ModuleInfo] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw).resolve()
+        if not path.exists():
+            raise AnalysisError(f"lint path {raw} does not exist")
+        if path.is_dir():
+            root, files = path.parent, sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            root, files = path.parent, [path]
+        else:
+            raise AnalysisError(f"lint path {raw} is neither a directory nor a .py file")
+        for file in files:
+            if file not in seen:
+                seen.add(file)
+                modules.append(ModuleInfo(root, file))
+    return modules
+
+
+def run_lint(
+    paths: Sequence[Any],
+    select: Optional[Iterable[str]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Run the registered rules over ``paths`` (files and/or directories).
+
+    ``select`` restricts the pass to the listed rule codes; unknown codes
+    raise :class:`~repro.exceptions.AnalysisError` so a typo in CI cannot
+    silently disable a gate.  Suppressed findings are counted but omitted.
+    """
+    from repro.analysis.rules import all_rules
+
+    modules = _collect_modules(paths)
+    active: List[Rule] = list(rules) if rules is not None else all_rules()
+    if select is not None:
+        wanted = {code.strip().upper() for code in select if code.strip()}
+        known = {rule.code for rule in active}
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise AnalysisError(
+                f"unknown rule code(s) {', '.join(unknown)}; known: {', '.join(sorted(known))}"
+            )
+        active = [rule for rule in active if rule.code in wanted]
+
+    project = ProjectInfo(modules)
+    by_relpath = {module.relpath: module for module in modules}
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in active:
+        produced: List[Finding] = []
+        for module in modules:
+            produced.extend(rule.check(module))
+        produced.extend(rule.finalize(project))
+        for finding in produced:
+            owner = by_relpath.get(finding.path)
+            if owner is not None and owner.is_suppressed(finding):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    findings.sort()
+    return LintReport(
+        findings=findings,
+        files_scanned=len(modules),
+        rules=[rule.code for rule in active],
+        suppressed=suppressed,
+        paths=[str(p) for p in paths],
+    )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, ``None`` for anything else."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def self_attribute_root(node: ast.AST) -> Optional[str]:
+    """The ``X`` of a ``self.X[...](…)…`` access chain, else ``None``.
+
+    Walks through subscripts, attribute lookups and call results down to the
+    rooted ``self.X`` attribute, so ``self._out[u].setdefault(c, set())``
+    reports ``_out``.
+    """
+    current = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            if isinstance(current.value, ast.Name) and current.value.id == "self":
+                return current.attr
+            current = current.value
+        elif isinstance(current, (ast.Subscript, ast.Starred)):
+            current = current.value
+        elif isinstance(current, ast.Call):
+            current = current.func
+        else:
+            return None
+
+
+def walk_function_body(func) -> Iterator[ast.AST]:
+    """Every node of a function body, *excluding* nested function bodies."""
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def mentions_version(func) -> bool:
+    """Whether a function's body touches any version-ish identifier."""
+    for node in walk_function_body(func):
+        if isinstance(node, ast.Attribute) and "version" in node.attr.lower():
+            return True
+        if isinstance(node, ast.Name) and "version" in node.id.lower():
+            return True
+    return False

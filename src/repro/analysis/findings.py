@@ -1,0 +1,112 @@
+"""Structured findings and the checked-in baseline file.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+identity for baselining purposes is ``(rule, path, message)`` — line numbers
+are *displayed* but deliberately excluded from the identity, so a finding
+that merely moves with unrelated edits stays matched against the baseline
+while a new violation of the same rule in the same file (different message)
+does not.
+
+The baseline file is a small JSON document listing grandfathered findings.
+A healthy repository keeps it empty: the baseline exists so the checker can
+be introduced over a codebase with pre-existing violations without blocking
+every PR, then shrunk to nothing (see ``.reprolint-baseline.json`` at the
+repository root, which ships empty).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Set, Tuple
+
+from repro.exceptions import AnalysisError
+
+#: Version of the baseline file layout (bumped only on incompatible change).
+BASELINE_SCHEMA = 1
+
+#: The identity triple a baseline entry stores.
+FindingKey = Tuple[str, str, str]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: stable code, location and human message."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    col: int = field(default=0, compare=False)
+
+    def key(self) -> FindingKey:
+        """The baseline identity: line numbers drift, messages should not."""
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def load_baseline(path) -> Set[FindingKey]:
+    """Load the grandfathered finding keys from a baseline JSON file."""
+    baseline_path = Path(path)
+    try:
+        document = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {baseline_path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline {baseline_path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("schema") != BASELINE_SCHEMA:
+        raise AnalysisError(
+            f"baseline {baseline_path} must be an object with schema={BASELINE_SCHEMA}"
+        )
+    entries = document.get("findings")
+    if not isinstance(entries, list):
+        raise AnalysisError(f"baseline {baseline_path} is missing the findings array")
+    keys: Set[FindingKey] = set()
+    for entry in entries:
+        if (
+            not isinstance(entry, dict)
+            or not all(isinstance(entry.get(k), str) for k in ("rule", "path", "message"))
+        ):
+            raise AnalysisError(
+                f"baseline {baseline_path}: each finding needs string "
+                f"rule/path/message fields, got {entry!r}"
+            )
+        keys.add((entry["rule"], entry["path"], entry["message"]))
+    return keys
+
+
+def save_baseline(path, findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable layout)."""
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {"rule": rule, "path": rel, "message": message}
+            for rule, rel, message in sorted({f.key() for f in findings})
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def partition_baseline(
+    findings: Iterable[Finding], baseline: Set[FindingKey]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(fresh, grandfathered)`` against a baseline."""
+    fresh: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        (grandfathered if finding.key() in baseline else fresh).append(finding)
+    return fresh, grandfathered

@@ -1,0 +1,84 @@
+"""R003 — no blocking calls inside ``async def`` bodies in the service layer.
+
+The serving layer runs reads on a worker pool precisely so the event loop
+thread only ever parses requests, pins snapshots and applies updates.  One
+synchronous ``time.sleep`` / socket read / file read inside a coroutine
+stalls *every* connection and the update path at once — the kind of
+regression a review can miss because the code still works under light load.
+
+The rule walks ``async def`` bodies in ``service/`` modules and flags calls
+that are blocking by construction:
+
+* ``time.sleep(...)``;
+* anything on the ``socket`` / ``subprocess`` modules, ``os.system``;
+* ``urllib.request.urlopen`` (and any dotted path ending in ``urlopen``);
+* builtin ``open``/``input``;
+* constructing or calling the blocking :class:`ServiceClient` (it is the
+  *test/CLI* client; coroutines must use the asyncio streams directly).
+
+Nested synchronous ``def`` bodies are skipped — they only block if called,
+and the call site is what the rule will see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import ModuleInfo, Rule, dotted_name, walk_function_body
+from repro.analysis.findings import Finding
+
+#: Exact dotted call paths that block.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "os.system",
+    "urllib.request.urlopen",
+})
+
+#: Module prefixes where *every* call is treated as blocking.
+BLOCKING_PREFIXES = ("socket.", "subprocess.")
+
+#: Bare names that block when called.
+BLOCKING_NAMES = frozenset({"open", "input", "ServiceClient"})
+
+
+def _blocking_reason(call: ast.Call) -> str:
+    name = dotted_name(call.func)
+    if name is None:
+        return ""
+    if name in BLOCKING_CALLS or name.endswith(".urlopen"):
+        return name
+    if any(name.startswith(prefix) for prefix in BLOCKING_PREFIXES):
+        return name
+    if name in BLOCKING_NAMES:
+        return name
+    return ""
+
+
+class AsyncBlockingCallRule(Rule):
+    code = "R003"
+    name = "async-blocking-call"
+    summary = "async def bodies under service/ must not make blocking calls"
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.in_part("service"):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for sub in walk_function_body(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                reason = _blocking_reason(sub)
+                if reason:
+                    findings.append(
+                        module.finding(
+                            sub,
+                            self.code,
+                            f"blocking call {reason}() inside async def "
+                            f"{node.name}() stalls the event loop; run it on "
+                            f"the executor or use the asyncio equivalent",
+                        )
+                    )
+        return findings

@@ -1,0 +1,170 @@
+"""R005 — no literal defaults that shadow a ``session/defaults.py`` constant.
+
+PR 2 fixed the founding example: ``join_match`` and ``split_match`` had
+re-hardcoded ``cache_capacity=50000`` and the two copies drifted from the
+central default.  ``session/defaults.py`` has been the single source of
+truth since PR 4 — but nothing *enforced* it, and new call surfaces (the
+CLI's argparse defaults, the serving layer's config) quietly grew fresh
+copies of the same numbers.
+
+The rule matches three kinds of declaration sites against the constants
+exported by the scanned ``session/defaults.py``:
+
+* function parameter defaults (``def f(engine="auto")``);
+* class-body attribute defaults (``max_inflight: int = 64`` in a config
+  dataclass);
+* argparse ``add_argument("--engine", default="auto")`` calls.
+
+A site is flagged when its name's words are a subset of some constant's
+words **and** the literal equals that constant's value — ``engine="auto"``
+matches ``DEFAULT_ENGINE = "auto"``, while an unrelated ``batch_fraction=
+0.25`` does not match ``OVERLAY_COMPACTION_FRACTION`` (the word ``batch``
+appears in no constant).  The fix is always the same: import the constant.
+
+Module-level constants in *other* files are deliberately not checked — a
+module defining its own named constant is layering, not drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.core import ModuleInfo, ProjectInfo, Rule
+from repro.analysis.findings import Finding
+
+#: Where the constants live, as a relpath suffix inside the scanned tree.
+DEFAULTS_SUFFIX = "session/defaults.py"
+
+ConstantTable = Dict[str, Tuple[frozenset, object]]
+
+
+def _tokens(name: str) -> frozenset:
+    return frozenset(word for word in name.lower().replace("-", "_").split("_") if word)
+
+
+def _literal_value(node: ast.AST) -> Optional[object]:
+    """A comparable scalar for int/float/str constants; ``None`` otherwise."""
+    if not isinstance(node, ast.Constant):
+        return None
+    value = node.value
+    if isinstance(value, bool) or value is None:
+        return None
+    if isinstance(value, (int, float)) or (isinstance(value, str) and value):
+        return value
+    return None
+
+
+def _harvest_constants(defaults: ModuleInfo) -> ConstantTable:
+    table: ConstantTable = {}
+    for node in defaults.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+        else:
+            continue
+        if not isinstance(target, ast.Name) or not target.id.isupper():
+            continue
+        value = _literal_value(node.value) if node.value is not None else None
+        if value is not None:
+            table[target.id] = (_tokens(target.id), value)
+    return table
+
+
+def _match_constant(name: str, value: object, constants: ConstantTable) -> Optional[str]:
+    words = _tokens(name)
+    if not words:
+        return None
+    for constant, (constant_words, constant_value) in constants.items():
+        if words <= constant_words and type(value) is type(constant_value) and value == constant_value:
+            return constant
+    return None
+
+
+def _declaration_sites(module: ModuleInfo):
+    """Yield ``(node, declared name, literal value)`` for the checked sites."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            spec = node.args
+            positional = spec.posonlyargs + spec.args
+            for arg, default in zip(positional[len(positional) - len(spec.defaults):], spec.defaults):
+                value = _literal_value(default)
+                if value is not None:
+                    yield default, arg.arg, value
+            for arg, default in zip(spec.kwonlyargs, spec.kw_defaults):
+                if default is None:
+                    continue
+                value = _literal_value(default)
+                if value is not None:
+                    yield default, arg.arg, value
+        elif isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                    target, default = stmt.target, stmt.value
+                elif (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                ):
+                    target, default = stmt.targets[0], stmt.value
+                else:
+                    continue
+                if default is None:
+                    continue
+                value = _literal_value(default)
+                if value is not None:
+                    yield default, target.id, value
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+        ):
+            option = next(
+                (
+                    arg.value
+                    for arg in node.args
+                    if isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("--")
+                ),
+                None,
+            )
+            if option is None:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg == "default":
+                    value = _literal_value(keyword.value)
+                    if value is not None:
+                        yield keyword.value, option.lstrip("-"), value
+
+
+class DefaultDriftRule(Rule):
+    code = "R005"
+    name = "kwarg-drift"
+    summary = "literal defaults must not duplicate session/defaults.py constants"
+
+    def finalize(self, project: ProjectInfo) -> Iterable[Finding]:
+        defaults = project.by_suffix(DEFAULTS_SUFFIX)
+        if defaults is None:
+            return ()
+        constants = _harvest_constants(defaults)
+        if not constants:
+            return ()
+        findings: List[Finding] = []
+        for module in project.modules:
+            if module is defaults:
+                continue
+            for node, name, value in _declaration_sites(module):
+                constant = _match_constant(name, value, constants)
+                if constant is not None:
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.code,
+                            f"literal {value!r} for {name!r} duplicates "
+                            f"session/defaults.{constant} — import the "
+                            f"constant so the defaults cannot drift",
+                        )
+                    )
+        return findings

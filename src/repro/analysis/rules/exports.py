@@ -1,0 +1,124 @@
+"""R007 — ``__all__`` conformance for frozen modules.
+
+PR 6 froze the public API: every package (and several leaf modules)
+declares an explicit ``__all__`` and ``tests/test_public_api.py`` diffs it
+against the reviewed surface.  Two failure modes slip through that test:
+
+* a name listed in ``__all__`` that the module never binds — importers
+  doing ``from repro.x import *`` crash, and ``getattr`` probes return
+  ``None`` only in the *frozen* modules the test knows about;
+* a public ``def``/``class`` added to a frozen module but not listed —
+  the surface silently grows an unreviewed export.
+
+The rule checks both directions for every module that declares ``__all__``
+(declaring the surface opts the module in): each listed name must be bound
+at module level (def/class/assign/import), and each top-level ``def`` /
+``class`` without a leading underscore must be listed.  Modules with a
+``import *`` are only checked in the second direction, since their binding
+set is not statically known.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.core import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+
+
+def _exported_names(module: ModuleInfo) -> Optional[Tuple[ast.AST, List[str]]]:
+    for node in module.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "__all__"
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            names = [
+                element.value
+                for element in node.value.elts
+                if isinstance(element, ast.Constant) and isinstance(element.value, str)
+            ]
+            return node, names
+    return None
+
+
+def _module_bindings(module: ModuleInfo) -> Tuple[Set[str], bool]:
+    """Top-level bound names and whether a star import blinds the analysis."""
+    bound: Set[str] = set()
+    star = False
+
+    def visit(statements) -> None:
+        nonlocal star
+        for node in statements:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for name in ast.walk(target):
+                        if isinstance(name, ast.Name):
+                            bound.add(name.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        star = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.If, ast.Try)):
+                visit(node.body)
+                visit(getattr(node, "orelse", []))
+                for handler in getattr(node, "handlers", []):
+                    visit(handler.body)
+                visit(getattr(node, "finalbody", []))
+
+    visit(module.tree.body)
+    return bound, star
+
+
+class ExportConformanceRule(Rule):
+    code = "R007"
+    name = "all-conformance"
+    summary = "__all__ must list exactly the module's public defs/classes"
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        exported = _exported_names(module)
+        if exported is None:
+            return ()
+        all_node, names = exported
+        bound, star = _module_bindings(module)
+        findings: List[Finding] = []
+        if not star:
+            for name in names:
+                if name not in bound:
+                    findings.append(
+                        module.finding(
+                            all_node,
+                            self.code,
+                            f"__all__ lists {name!r} but the module never "
+                            f"binds it (star-import and getattr probes break)",
+                        )
+                    )
+        listed = set(names)
+        for node in module.tree.body:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                and not node.name.startswith("_")
+                and node.name not in listed
+            ):
+                findings.append(
+                    module.finding(
+                        node,
+                        self.code,
+                        f"public {'class' if isinstance(node, ast.ClassDef) else 'def'} "
+                        f"{node.name!r} is not in __all__ — list it or make it "
+                        f"private (the API surface is frozen)",
+                    )
+                )
+        return findings

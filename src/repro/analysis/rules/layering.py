@@ -1,0 +1,123 @@
+"""R006 — matching-module fixpoints stay engine-free.
+
+PR 5 collapsed all dict-vs-CSR dispatch into ``storage/adapter.py``; the
+evaluation fixpoints (`refine_fixpoint`, join/split match, the simulation
+loops, the incremental maintainer) operate through the adapter protocol and
+must never branch on which engine is underneath — an ``engine == "csr"``
+branch in a fixpoint body is a layering regression that differential tests
+only catch when the branch also changes answers.
+
+This supersedes the PR 5 grep gate (``"engine =="`` substring search) with
+a real AST check over the same module allowlist.  Beyond the literal
+comparison it also catches the indirections a substring grep misses:
+
+* reversed comparisons (``"csr" == engine``) and membership tests;
+* ``getattr(matcher, "csr_engine")`` / ``hasattr(...)`` string dispatch;
+* direct ``.csr_engine`` attribute reaches from a fixpoint body.
+
+``paths.py`` is the adapter-facing seam: its ``PathMatcher`` legitimately
+*owns* a ``_csr_engine`` accessor, so attribute checks skip names defined
+by the module itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+
+#: The PQ/RQ fixpoint modules (ported from the PR 5 grep test): evaluation
+#: bodies that must be engine-free — dict-vs-CSR dispatch belongs to
+#: repro/storage/adapter.py alone.
+FIXPOINT_MODULES = (
+    "paths.py",
+    "naive.py",
+    "join_match.py",
+    "split_match.py",
+    "simulation.py",
+    "bounded_simulation.py",
+    "incremental.py",
+    "refinement.py",
+    "frontiers.py",
+    "subgraph_iso.py",
+)
+
+
+def _identifier(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _is_engine_identifier(name: str) -> bool:
+    return "engine" in name.lower()
+
+
+def _locally_defined_names(module: ModuleInfo) -> frozenset:
+    names = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Store):
+            names.add(node.attr)
+    return frozenset(names)
+
+
+class EngineFreeFixpointRule(Rule):
+    code = "R006"
+    name = "engine-free-fixpoint"
+    summary = "fixpoint modules must not branch on the evaluation engine"
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        filename = module.relpath.rsplit("/", 1)[-1]
+        if filename not in FIXPOINT_MODULES or not module.in_part("matching"):
+            return ()
+        findings: List[Finding] = []
+        local_names = _locally_defined_names(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                sides = [node.left, *node.comparators]
+                engine_side = any(_is_engine_identifier(_identifier(side)) for side in sides)
+                string_side = any(
+                    isinstance(side, ast.Constant) and isinstance(side.value, str)
+                    for side in sides
+                )
+                if engine_side and string_side:
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.code,
+                            "engine-string comparison in a fixpoint body; "
+                            "dict-vs-CSR dispatch belongs to storage/adapter.py",
+                        )
+                    )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in ("getattr", "hasattr") and any(
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and _is_engine_identifier(arg.value)
+                    for arg in node.args
+                ):
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.code,
+                            f"{node.func.id}() engine-name indirection in a "
+                            f"fixpoint body; dispatch through the adapter instead",
+                        )
+                    )
+            elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                if "csr_engine" in node.attr and node.attr not in local_names:
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.code,
+                            f"direct .{node.attr} reach from a fixpoint body; "
+                            f"only storage/adapter.py may touch the CSR engine",
+                        )
+                    )
+        return findings

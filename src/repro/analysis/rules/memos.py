@@ -1,0 +1,114 @@
+"""R004 — memo/cache attributes must be validated against version counters.
+
+PR 2's stale-cache bug is the archetype: ``PathMatcher`` kept BFS memos
+across graph mutations with nothing comparing them to the graph's version
+counters, so a reused matcher served pre-mutation frontiers.  The repair
+convention ever since is that every memo is either *tagged* (entries carry
+the version they were computed at, compared on lookup — see
+``storage/adapter.py``) or *keyed* (the version pair is part of the cache
+key — see the semantic cache and the session's plan memo).
+
+The rule approximates that contract structurally: for every attribute
+``self.X`` with a memo-ish name (``*_memo`` / ``*_cache`` / ``*_memos`` /
+``*_caches``) assigned in a class under ``matching/`` or ``session/``,
+*some* function in the scanned project must reference ``X`` while also
+touching a version-ish identifier in the same body.  The validating
+function is usually in another module (the adapter validates the matcher's
+caches), which is why this is a project-wide pass rather than per-file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.core import (
+    ModuleInfo,
+    ProjectInfo,
+    Rule,
+    mentions_version,
+    walk_function_body,
+)
+from repro.analysis.findings import Finding
+
+MEMO_SUFFIXES = ("_memo", "_memos", "_cache", "_caches")
+
+
+def _is_memo_name(attr: str) -> bool:
+    return attr.endswith(MEMO_SUFFIXES)
+
+
+def _declared_memos(module: ModuleInfo) -> List[Tuple[str, str, ast.AST]]:
+    """``(class name, attribute, node)`` for every memo-ish self-assignment."""
+    declared: List[Tuple[str, str, ast.AST]] = []
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        for func in cls.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in walk_function_body(func):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and _is_memo_name(target.attr)
+                    ):
+                        declared.append((cls.name, target.attr, node))
+    return declared
+
+
+def _validated_attributes(project: ProjectInfo) -> Set[str]:
+    """Memo attribute names referenced in some version-aware function."""
+    validated: Set[str] = set()
+    for module in project.modules:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            touched = {
+                node.attr
+                for node in walk_function_body(func)
+                if isinstance(node, ast.Attribute) and _is_memo_name(node.attr)
+            }
+            if touched and mentions_version(func):
+                validated.update(touched)
+    return validated
+
+
+class MemoInvalidationRule(Rule):
+    code = "R004"
+    name = "memo-invalidation"
+    summary = (
+        "memo/cache attributes in matching/session classes need a "
+        "version-comparing validation or invalidation path"
+    )
+
+    def finalize(self, project: ProjectInfo) -> Iterable[Finding]:
+        validated = _validated_attributes(project)
+        findings: List[Finding] = []
+        seen: Set[Tuple[str, str, str]] = set()
+        for module in project.modules:
+            if not module.in_part("matching", "session"):
+                continue
+            for cls_name, attr, node in _declared_memos(module):
+                key = (module.relpath, cls_name, attr)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if attr not in validated:
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.code,
+                            f"{cls_name}.{attr} is a memo with no "
+                            f"version-counter validation anywhere in the "
+                            f"scanned code (stale-answer hazard; tag entries "
+                            f"with color_version/edges_version or key them "
+                            f"on the version pair)",
+                        )
+                    )
+        return findings

@@ -1,0 +1,100 @@
+"""R002 — every pinned snapshot must have an exception-safe release.
+
+``OverlayCsrStore.pin_snapshot()`` / ``GraphSession.pin()`` hand out
+refcounted MVCC snapshots; a pin whose release is skipped on an exception
+path leaks the refcount, and the store then retains a whole
+``(CSR base, overlay slice, attrs copy)`` per leaked pin for the lifetime
+of the process — under serving-layer load that is an unbounded memory leak
+(the service's dispatch loop is the canonical consumer and pairs its pin
+with ``try/finally: snapshot.release()``).
+
+The rule: a call to ``pin_snapshot()`` / ``.pin()`` must be either
+
+* **owned locally** — the result is assigned to a name inside a function
+  that also carries a ``try/finally`` whose finalbody calls a
+  ``release*`` method/function, or the call appears in a ``with`` item; or
+* **ownership-transferred** — the pin is immediately returned, or passed
+  as an argument into a constructor/call (the receiving object now owns
+  the release, e.g. ``SessionSnapshot(self, store.pin_snapshot())``).
+
+A pinned snapshot whose result is discarded outright is always a leak.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.core import ModuleInfo, Rule, walk_function_body
+from repro.analysis.findings import Finding
+
+PIN_METHODS = frozenset({"pin_snapshot", "pin"})
+
+
+def _is_pin_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in PIN_METHODS
+    )
+
+
+def _has_finally_release(func) -> bool:
+    """A ``try/finally`` in ``func`` whose finalbody calls ``release*``."""
+    for node in walk_function_body(func):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for final in node.finalbody:
+            for sub in ast.walk(final):
+                if isinstance(sub, ast.Call):
+                    callee = sub.func
+                    name = (
+                        callee.attr if isinstance(callee, ast.Attribute)
+                        else callee.id if isinstance(callee, ast.Name)
+                        else ""
+                    )
+                    if name.startswith("release"):
+                        return True
+    return False
+
+
+class SnapshotReleaseRule(Rule):
+    code = "R002"
+    name = "snapshot-release"
+    summary = "pin_snapshot()/pin() needs a try/finally release or ownership transfer"
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not _is_pin_call(node):
+                continue
+            parent = module.parent(node)
+            # Ownership transfer: returned, yielded, or fed to another call.
+            if isinstance(parent, (ast.Return, ast.Yield, ast.Call, ast.withitem)):
+                continue
+            context: Optional[str] = None
+            if isinstance(parent, ast.Assign) and all(
+                isinstance(t, ast.Name) for t in parent.targets
+            ):
+                func = module.enclosing_function(node)
+                if func is not None and _has_finally_release(func):
+                    continue
+                context = "is assigned but never released in a try/finally"
+            elif isinstance(parent, ast.Assign):
+                # Stored on an object (self._snapshot = ...): that object now
+                # owns the release; its own release path is checked wherever
+                # it lives.
+                continue
+            elif isinstance(parent, ast.Expr):
+                context = "discards the pinned snapshot (refcount leaks immediately)"
+            else:
+                context = "escapes without a reachable release"
+            findings.append(
+                module.finding(
+                    node,
+                    self.code,
+                    f"{node.func.attr}() {context}; pair every pin with a "  # type: ignore[union-attr]
+                    f"release via try/finally or hand it to an owner",
+                )
+            )
+        return findings

@@ -1,0 +1,117 @@
+"""R008 — no silent broad-exception swallowing in ``service/`` / ``storage/``.
+
+The serving and storage layers are exactly where a swallowed exception
+turns into a *wrong answer* instead of a crash: a suppressed error in the
+dispatch loop leaves a request future unresolved forever, and one in the
+overlay store can leave a half-applied batch behind a snapshot pin.  The
+error contract since PR 6 is typed: failures surface as ``ReproError``
+subclasses with stable codes, or they are *counted* (the service stats
+counters) so load tests can assert on them.
+
+A broad handler (``except:``, ``except Exception:``, ``except
+BaseException:``, or either inside a tuple) is compliant when its body
+
+* re-raises (``raise`` / ``raise X``), or
+* actually uses the bound exception (``except Exception as exc:`` followed
+  by a reference to ``exc`` — setting a future's exception, wrapping in a
+  typed error, recording it), or
+* records the event in the stats counters, or
+* calls something with ``log`` in its name.
+
+``contextlib.suppress(Exception)`` and ``suppress(BaseException)`` are
+flagged unconditionally — they are the by-construction silent form.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.core import ModuleInfo, Rule, dotted_name
+from repro.analysis.findings import Finding
+
+BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+#: Identifiers whose presence in a handler body counts as "recorded".
+COUNTER_NAMES = frozenset({"counters", "stats"})
+
+
+def _type_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _broad_type(handler: ast.ExceptHandler) -> Optional[str]:
+    """The broad exception name this handler catches, if any."""
+    if handler.type is None:
+        return "bare except"
+    candidates = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for candidate in candidates:
+        name = _type_name(candidate)
+        if name in BROAD_TYPES:
+            return name
+    return None
+
+
+def _handler_is_compliant(handler: ast.ExceptHandler) -> bool:
+    bound = handler.name
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if bound and isinstance(node, ast.Name) and node.id == bound:
+            return True
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            ident = node.id if isinstance(node, ast.Name) else node.attr
+            if ident in COUNTER_NAMES:
+                return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func) or ""
+            if "log" in name.lower():
+                return True
+    return False
+
+
+def _suppress_is_broad(call: ast.Call) -> bool:
+    name = dotted_name(call.func) or ""
+    if name != "suppress" and not name.endswith(".suppress"):
+        return False
+    return any(_type_name(arg) in BROAD_TYPES for arg in call.args)
+
+
+class ExceptionSwallowRule(Rule):
+    code = "R008"
+    name = "swallowed-exception"
+    summary = (
+        "service/storage code must not swallow broad exceptions silently"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.in_part("service", "storage"):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                broad = _broad_type(node)
+                if broad is not None and not _handler_is_compliant(node):
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.code,
+                            f"{broad} handler swallows the error silently; "
+                            f"re-raise, wrap in a typed ReproError, or count "
+                            f"it in the stats counters",
+                        )
+                    )
+            elif isinstance(node, ast.Call) and _suppress_is_broad(node):
+                findings.append(
+                    module.finding(
+                        node,
+                        self.code,
+                        "contextlib.suppress of a broad exception hides real "
+                        "failures; catch narrowly or count the error",
+                    )
+                )
+        return findings

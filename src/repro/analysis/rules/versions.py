@@ -1,0 +1,110 @@
+"""R001 — topology/attribute mutations must bump a version counter.
+
+Every warm structure in the repository (BFS memos, compiled CSR snapshots,
+predicate-scan memos, semantic-cache entries, prepared-query plans) is
+invalidated by comparing version counters, never by callbacks.  That makes
+the counters load-bearing: a mutation of the adjacency dicts or the node
+attribute table that forgets its bump silently serves stale answers — the
+exact bug class of PR 5's ``remove_node`` (an isolated-node removal left
+``edges_version`` untouched and wildcard memos survived).
+
+The rule: inside ``storage/`` and ``graph/`` modules, any function that
+mutates a watched topology attribute (``self._out`` / ``self._in`` /
+``self._attrs`` / ``self._adjacency`` / ``self._colors``) must, in the same
+function body, also write a version counter (``self.*version*`` assignment
+or augmented assignment, including ``self._color_versions[...]``).
+``__init__`` is exempt — building the empty structures *is* version zero.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import ModuleInfo, Rule, self_attribute_root, walk_function_body
+from repro.analysis.findings import Finding
+
+#: Attributes that hold graph topology / node-attribute state.
+WATCHED_ATTRIBUTES = frozenset({"_out", "_in", "_attrs", "_adjacency", "_colors"})
+
+#: Method names that mutate dicts/sets/lists in place.
+MUTATING_METHODS = frozenset({
+    "add", "append", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "update",
+})
+
+
+def _mutated_attributes(func) -> List[ast.AST]:
+    """Nodes in ``func`` that mutate a watched ``self.X`` structure."""
+    sites: List[ast.AST] = []
+    for node in walk_function_body(func):
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and self_attribute_root(target) in WATCHED_ATTRIBUTES
+                ):
+                    sites.append(node)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, (ast.Subscript, ast.Attribute))
+                    and self_attribute_root(target) in WATCHED_ATTRIBUTES
+                ):
+                    # Rebinding self._out itself also counts (it clears).
+                    if isinstance(target, ast.Attribute) and isinstance(node, ast.Assign):
+                        if func.name == "__init__":
+                            continue
+                    sites.append(node)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if (
+                node.func.attr in MUTATING_METHODS
+                and self_attribute_root(node.func.value) in WATCHED_ATTRIBUTES
+            ):
+                sites.append(node)
+    return sites
+
+
+def _bumps_version(func) -> bool:
+    """Whether the function writes any ``self.*version*`` counter."""
+    for node in walk_function_body(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                root = self_attribute_root(target)
+                if root is not None and "version" in root.lower():
+                    return True
+    return False
+
+
+class VersionBumpRule(Rule):
+    code = "R001"
+    name = "version-bump"
+    summary = (
+        "functions mutating adjacency/attribute topology must bump a "
+        "version counter in the same body"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.in_part("storage", "graph", "data_graph"):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name == "__init__":
+                continue
+            sites = _mutated_attributes(node)
+            if sites and not _bumps_version(node):
+                first = min(sites, key=lambda s: getattr(s, "lineno", 0))
+                findings.append(
+                    module.finding(
+                        first,
+                        self.code,
+                        f"{node.name}() mutates topology state without bumping a "
+                        f"version counter (stale-memo hazard; see PR 5's "
+                        f"remove_node audit)",
+                    )
+                )
+        return findings

@@ -13,6 +13,10 @@ A small CLI for working with data graphs and queries without writing Python:
 * ``repro experiment exp3`` — run one of the paper's experiments and print its
   table (``exp4`` runs all four PQ sweeps of Fig. 11; ``exp6`` runs the
   incremental-maintenance update-stream comparison);
+* ``repro lint [PATHS...]`` — run :mod:`repro.analysis` (reprolint), the
+  AST-based checker for this repository's own correctness contracts
+  (rules R001–R008); exits 1 when any non-baseline finding remains and 2
+  on internal errors, same contract as every other subcommand;
 * ``repro serve GRAPH.json`` — serve the graph over HTTP with
   snapshot-isolated reads (see :mod:`repro.service`); ``--load-burst`` runs
   the built-in load generator against an in-process service instead, writes
@@ -68,6 +72,16 @@ from repro.graph.io import load_json, save_json
 from repro.graph.stats import compute_stats
 from repro.matching.reachability import evaluate_rq
 from repro.query.rq import ReachabilityQuery
+from repro.session.defaults import (
+    DEFAULT_ENGINE,
+    DEFAULT_LOAD_DURATION,
+    DEFAULT_LOAD_READERS,
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_METHOD,
+    DEFAULT_UPDATE_BATCHES,
+    ENGINES,
+    RQ_METHODS,
+)
 
 #: Experiment name -> callable returning one or more reports.
 _EXPERIMENTS = {
@@ -109,11 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
     rq.add_argument("--source", default="", help="source predicate, e.g. \"job = 'biologist'\"")
     rq.add_argument("--target", default="", help="target predicate")
     rq.add_argument("--regex", required=True, help="edge constraint, e.g. fa^2.fn")
-    rq.add_argument("--method", default="auto", choices=["auto", "matrix", "bidirectional", "bfs"])
+    rq.add_argument("--method", default=DEFAULT_METHOD, choices=list(RQ_METHODS))
     rq.add_argument(
         "--engine",
-        default="auto",
-        choices=["auto", "dict", "csr"],
+        default=DEFAULT_ENGINE,
+        choices=list(ENGINES),
         help="evaluation engine: adjacency dicts, compiled CSR arrays, or auto",
     )
     rq.add_argument("--limit", type=int, default=20, help="print at most this many pairs")
@@ -183,7 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0, help="0 binds an ephemeral port")
     serve.add_argument(
-        "--max-inflight", type=int, default=64,
+        "--max-inflight", type=int, default=DEFAULT_MAX_INFLIGHT,
         help="queued-read ceiling before requests get a retryable 503",
     )
     serve.add_argument(
@@ -192,12 +206,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="boot an in-process service, drive it with concurrent readers "
         "and an update stream, verify snapshot isolation, then exit",
     )
-    serve.add_argument("--readers", type=int, default=8, help="load-burst reader threads")
-    serve.add_argument("--duration", type=float, default=3.0, help="load-burst seconds")
-    serve.add_argument("--update-batches", type=int, default=24)
+    serve.add_argument("--readers", type=int, default=DEFAULT_LOAD_READERS,
+                       help="load-burst reader threads")
+    serve.add_argument("--duration", type=float, default=DEFAULT_LOAD_DURATION,
+                       help="load-burst seconds")
+    serve.add_argument("--update-batches", type=int, default=DEFAULT_UPDATE_BATCHES)
     serve.add_argument("--seed", type=int, default=7)
     serve.add_argument("--out", default=None, help="write the load report JSON to this path")
     serve.add_argument("--json", action="store_true", help=json_help)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run reprolint, the AST checker for this repo's correctness contracts",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to scan (default: ./src if present, else "
+        "the installed repro package)",
+    )
+    lint.add_argument(
+        "--select", default=None,
+        help="comma-separated rule codes to run (e.g. R005,R008); default all",
+    )
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON of grandfathered findings "
+        "(default: ./.reprolint-baseline.json when present)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings and exit 0",
+    )
+    lint.add_argument("--json", action="store_true", help=json_help)
 
     return parser
 
@@ -550,6 +590,69 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+#: Baseline filename picked up automatically when it exists in the cwd.
+DEFAULT_BASELINE = ".reprolint-baseline.json"
+
+
+def _command_lint(args: argparse.Namespace, out) -> int:
+    from pathlib import Path
+
+    from repro.analysis import load_baseline, partition_baseline, run_lint, save_baseline
+    from repro.exceptions import ReproError
+
+    try:
+        paths = list(args.paths)
+        if not paths:
+            source_tree = Path("src")
+            if source_tree.is_dir():
+                paths = [str(source_tree)]
+            else:
+                import repro
+
+                paths = [str(Path(repro.__file__).parent)]
+        select = args.select.split(",") if args.select else None
+        report = run_lint(paths, select=select)
+
+        baseline_path = args.baseline
+        if baseline_path is None and Path(DEFAULT_BASELINE).is_file():
+            baseline_path = DEFAULT_BASELINE
+        if args.write_baseline:
+            target = args.baseline or DEFAULT_BASELINE
+            save_baseline(target, report.findings)
+            print(
+                f"wrote {len(report.findings)} finding(s) to {target}",
+                file=out,
+            )
+            return 0
+        baseline = load_baseline(baseline_path) if baseline_path else set()
+        fresh, grandfathered = partition_baseline(report.findings, baseline)
+    except ReproError as error:
+        return _session_error("lint", error)
+
+    if args.json:
+        _emit_json(
+            {
+                "command": "lint",
+                "files_scanned": report.files_scanned,
+                "rules": list(report.rules),
+                "suppressed": report.suppressed,
+                "baselined": len(grandfathered),
+                "findings": [finding.to_dict() for finding in fresh],
+                "paths": list(report.paths),
+            },
+            out,
+        )
+    else:
+        for finding in fresh:
+            print(finding.render(), file=out)
+        print(
+            f"{len(fresh)} finding(s) ({len(grandfathered)} baselined, "
+            f"{report.suppressed} suppressed) across {report.files_scanned} file(s)",
+            file=out,
+        )
+    return 1 if fresh else 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -562,6 +665,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "generate": _command_generate,
         "experiment": _command_experiment,
         "serve": _command_serve,
+        "lint": _command_lint,
     }
     return handlers[args.command](args, out)
 

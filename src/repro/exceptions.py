@@ -74,6 +74,13 @@ class SnapshotError(ReproError, RuntimeError):
     code = "repro.storage.snapshot"
 
 
+class AnalysisError(ReproError, RuntimeError):
+    """Raised when the static-analysis pass cannot run (bad path, unparsable
+    source, malformed baseline file, unknown rule selection)."""
+
+    code = "repro.analysis.failed"
+
+
 class ServiceError(ReproError, RuntimeError):
     """Base class for failures raised by the serving layer."""
 

@@ -64,7 +64,7 @@ __all__ = [
 ]
 
 
-def requested_kernel() -> str:
+def _requested_kernel() -> str:
     """The ``REPRO_KERNELS`` request: ``"numpy"``, ``"python"`` or ``"auto"``.
 
     Unknown values fall back to ``auto`` rather than raising — a typo in an
@@ -81,7 +81,7 @@ def select_backend():
     when numpy is importable (a forced ``numpy`` silently degrades to the
     fallback when it is not — same never-fail contract as above).
     """
-    mode = requested_kernel()
+    mode = _requested_kernel()
     if mode == "python" or not HAVE_NUMPY:
         return python_kernel
     return numpy_kernel

@@ -19,7 +19,7 @@ from typing import Dict, Hashable, Optional
 
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
-from repro.session.defaults import DEFAULT_CACHE_CAPACITY
+from repro.session.defaults import DEFAULT_CACHE_CAPACITY, DEFAULT_ENGINE
 from repro.matching.naive import initial_candidates
 from repro.matching.paths import PathMatcher, resolve_pq_matcher
 from repro.matching.refinement import refine_fixpoint
@@ -41,7 +41,7 @@ def bounded_simulation_match(
     distance_matrix: Optional[DistanceMatrix] = None,
     matcher: Optional[PathMatcher] = None,
     cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
-    engine: str = "auto",
+    engine: str = DEFAULT_ENGINE,
 ) -> PatternMatchResult:
     """Evaluate ``pattern`` under bounded-simulation (colour-blind) semantics.
 

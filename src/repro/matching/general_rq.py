@@ -25,7 +25,7 @@ from repro.graph.data_graph import DataGraph
 from repro.query.predicates import Predicate
 from repro.query.rq import PredicateLike, coerce_predicate
 from repro.regex.general import GeneralRegex
-from repro.session.defaults import ENGINES
+from repro.session.defaults import DEFAULT_ENGINE, ENGINES
 
 NodeId = Hashable
 NodePair = Tuple[NodeId, NodeId]
@@ -150,7 +150,7 @@ def regex_reachable_from(
 def evaluate_general_rq(
     query: GeneralReachabilityQuery,
     graph: DataGraph,
-    engine: str = "auto",
+    engine: str = DEFAULT_ENGINE,
 ) -> GeneralReachabilityResult:
     """Evaluate a general-regex reachability query on a data graph.
 

@@ -46,7 +46,12 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.data_graph import DataGraph
-from repro.session.defaults import DEFAULT_CACHE_CAPACITY, DEFAULT_STRATEGY, STRATEGIES
+from repro.session.defaults import (
+    DEFAULT_CACHE_CAPACITY,
+    DEFAULT_ENGINE,
+    DEFAULT_STRATEGY,
+    STRATEGIES,
+)
 from repro.matching.naive import collect_result, initial_candidates
 from repro.matching.paths import (
     PathMatcher,
@@ -289,7 +294,7 @@ class IncrementalPatternMatcher:
         self,
         pattern: PatternQuery,
         graph: DataGraph,
-        engine: str = "auto",
+        engine: str = DEFAULT_ENGINE,
         cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
         strategy: str = DEFAULT_STRATEGY,
     ):

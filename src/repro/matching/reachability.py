@@ -40,6 +40,8 @@ from repro.matching.paths import PathMatcher
 from repro.query.rq import ReachabilityQuery
 from repro.session.defaults import (
     DEFAULT_CACHE_CAPACITY,
+    DEFAULT_ENGINE,
+    DEFAULT_METHOD,
     ENGINES,
     RQ_METHODS as METHODS,
 )
@@ -152,10 +154,10 @@ def evaluate_rq(
     query: ReachabilityQuery,
     graph: DataGraph,
     distance_matrix: Optional[DistanceMatrix] = None,
-    method: str = "auto",
+    method: str = DEFAULT_METHOD,
     matcher: Optional[PathMatcher] = None,
     cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
-    engine: str = "auto",
+    engine: str = DEFAULT_ENGINE,
 ) -> ReachabilityResult:
     """Evaluate a reachability query on a data graph.
 

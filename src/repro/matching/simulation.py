@@ -20,7 +20,7 @@ from repro.graph.data_graph import DataGraph
 from repro.matching.refinement import refine_fixpoint
 from repro.query.pq import PatternQuery
 from repro.regex.fclass import FRegex
-from repro.session.defaults import ENGINES
+from repro.session.defaults import DEFAULT_ENGINE, ENGINES
 
 NodeId = Hashable
 
@@ -36,7 +36,7 @@ def _edge_color_admitted(regex: FRegex, color: str) -> bool:
 
 
 def graph_simulation(
-    pattern: PatternQuery, graph: DataGraph, engine: str = "auto"
+    pattern: PatternQuery, graph: DataGraph, engine: str = DEFAULT_ENGINE
 ) -> Dict[str, Set[NodeId]]:
     """Maximum colour-aware graph simulation of ``pattern`` in ``graph``.
 

@@ -22,7 +22,7 @@ from typing import Dict, Hashable, Optional, Set, Tuple
 
 from repro.graph.data_graph import DataGraph
 from repro.graph.distance import DistanceMatrix
-from repro.session.defaults import DEFAULT_CACHE_CAPACITY
+from repro.session.defaults import DEFAULT_CACHE_CAPACITY, DEFAULT_ENGINE
 from repro.matching.naive import collect_result, initial_candidates
 from repro.matching.paths import PathMatcher, resolve_pq_matcher
 from repro.matching.result import PatternMatchResult
@@ -97,7 +97,7 @@ def split_match(
     matcher: Optional[PathMatcher] = None,
     normalize: Optional[bool] = None,
     cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
-    engine: str = "auto",
+    engine: str = DEFAULT_ENGINE,
 ) -> PatternMatchResult:
     """Evaluate ``pattern`` on ``graph`` with the SplitMatch algorithm.
 

@@ -39,6 +39,11 @@ from repro.exceptions import ProtocolError, ServiceError
 from repro.graph.data_graph import DataGraph
 from repro.matching.incremental import coalesce_update_stream
 from repro.service.client import ServiceCallError, ServiceClient
+from repro.session.defaults import (
+    DEFAULT_LOAD_DURATION,
+    DEFAULT_LOAD_READERS,
+    DEFAULT_UPDATE_BATCHES,
+)
 from repro.session.result import stamped
 
 __all__ = ["build_update_plan", "run_load", "verify_observations"]
@@ -48,7 +53,7 @@ Update = Tuple[str, Any, Any, str]
 
 def build_update_plan(
     graph: DataGraph,
-    batches: int = 24,
+    batches: int = DEFAULT_UPDATE_BATCHES,
     batch_size: int = 4,
     seed: int = 7,
 ) -> List[List[Update]]:
@@ -186,8 +191,8 @@ def run_load(
     port: int,
     initial: DataGraph,
     probes: Sequence[Tuple[str, Any]],
-    readers: int = 8,
-    duration: float = 3.0,
+    readers: int = DEFAULT_LOAD_READERS,
+    duration: float = DEFAULT_LOAD_DURATION,
     update_plan: Optional[List[List[Update]]] = None,
     update_interval: float = 0.02,
     batch_fraction: float = 0.25,

@@ -51,6 +51,7 @@ from repro.exceptions import (
 )
 from repro.service import http as shttp
 from repro.service.wire import decode_query, error_envelope, ok_envelope
+from repro.session.defaults import DEFAULT_MAX_INFLIGHT
 from repro.session.session import GraphSession
 
 __all__ = ["ServiceConfig", "GraphService", "ServiceHandle"]
@@ -68,7 +69,7 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 0
     #: Queued-read ceiling before requests are rejected with a 503.
-    max_inflight: int = 64
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
     #: Largest number of reads served from one pinned snapshot.
     batch_max: int = 8
     #: Dispatcher tasks (and worker threads) executing read batches.
@@ -161,8 +162,14 @@ class GraphService:
         for task in pending:
             task.cancel()
         for task in pending:
-            with contextlib.suppress(asyncio.CancelledError, Exception):
+            try:
                 await task
+            except asyncio.CancelledError:
+                pass
+            except Exception:
+                # Teardown races (a connection dying mid-cancel) must not
+                # abort shutdown, but they are still errors worth counting.
+                self.counters["errors"] += 1
         self._dispatchers = []
         self._connections.clear()
         for watch in list(self._watches.values()):
@@ -254,9 +261,15 @@ class GraphService:
             if task is not None:
                 getattr(task, "uncancel", lambda: None)()
         finally:
-            with contextlib.suppress(Exception):
+            try:
                 writer.close()
                 await writer.wait_closed()
+            except ConnectionError:
+                pass  # the peer vanishing mid-close is routine
+            except Exception:
+                # Anything else failing to close the transport is a real
+                # error; count it rather than suppressing it silently.
+                self.counters["errors"] += 1
 
     async def _route(self, request: Request, writer: asyncio.StreamWriter) -> bool:
         """Serve one request; returns False when the connection must close."""

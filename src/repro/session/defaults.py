@@ -128,3 +128,26 @@ SEMANTIC_CACHE_SCAN_LIMIT = 32
 #: it, serving falls back to evaluation (predicate-only filtering, which
 #: needs no per-pair path checks, has no such cap).
 SEMANTIC_CACHE_VERIFY_LIMIT = 4096
+
+#: Bounded memo of (canonical query, version pair) -> plan decisions kept by
+#: a session.  Plans are tiny; the bound only guards a pathological stream of
+#: distinct queries.
+PLAN_MEMO_CAPACITY = 256
+
+# -- serving-layer defaults -----------------------------------------------------
+#
+# The service and its load generator re-declared these as literals until
+# reprolint's R005 (kwarg drift) flagged them; they live here now so the CLI,
+# ServiceConfig and loadgen cannot drift apart.
+
+#: Admission-control bound on concurrently admitted requests per service.
+DEFAULT_MAX_INFLIGHT = 64
+
+#: Reader-coroutine count for the load generator.
+DEFAULT_LOAD_READERS = 8
+
+#: Wall-clock duration (seconds) of one load-generator run.
+DEFAULT_LOAD_DURATION = 3.0
+
+#: Update batches prepared by :func:`repro.service.loadgen.build_update_plan`.
+DEFAULT_UPDATE_BATCHES = 24

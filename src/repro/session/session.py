@@ -57,6 +57,7 @@ from repro.session.defaults import (
     DEFAULT_SEMANTIC_CACHE_CAPACITY,
     DEFAULT_SESSION_REGISTRY_CAPACITY,
     ENGINES,
+    PLAN_MEMO_CAPACITY,
 )
 from repro.session.planner import QueryPlan, plan_query, with_cache_decision
 from repro.session.result import QueryResult
@@ -516,7 +517,7 @@ class GraphSession:
                 else semantic_cache_capacity
             )
         )
-        self._plan_memo = LruCache(256)
+        self._plan_memo = LruCache(PLAN_MEMO_CAPACITY)
         # Counters (surfaced by .counters()).
         self.prepared_queries = 0
         self.executed_queries = 0

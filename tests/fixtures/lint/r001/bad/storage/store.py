@@ -1,0 +1,14 @@
+"""R001 fixture: mutates watched topology without bumping a version counter."""
+
+
+class BrokenStore:
+    def __init__(self):
+        self._adjacency = {}
+        self._attrs = {}
+        self._version = 0
+
+    def add_edge(self, source, target):
+        self._adjacency.setdefault(source, set()).add(target)
+
+    def set_attr(self, node, key, value):
+        self._attrs[node][key] = value

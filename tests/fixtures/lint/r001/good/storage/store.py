@@ -1,0 +1,20 @@
+"""R001 fixture: every topology mutation bumps a version counter."""
+
+
+class HealthyStore:
+    def __init__(self):
+        self._adjacency = {}
+        self._attrs = {}
+        self._version = 0
+        self._edges_version = 0
+
+    def add_edge(self, source, target):
+        self._adjacency.setdefault(source, set()).add(target)
+        self._edges_version += 1
+
+    def set_attr(self, node, key, value):
+        self._attrs[node][key] = value
+        self._version += 1
+
+    def snapshot_version(self):
+        return (self._version, self._edges_version)

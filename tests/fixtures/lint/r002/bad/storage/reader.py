@@ -1,0 +1,13 @@
+"""R002 fixture: pinned snapshots that are never released."""
+
+
+def read_without_finally(store, query):
+    snapshot = store.pin_snapshot()
+    result = query.run(snapshot)
+    snapshot.release_snapshot()  # skipped whenever query.run raises
+    return result
+
+
+def pin_and_discard(store):
+    store.pin_snapshot()
+    return store.version()

@@ -1,0 +1,17 @@
+"""R002 fixture: every pin has a reachable release (or transfers ownership)."""
+
+
+def read_with_finally(store, query):
+    snapshot = store.pin_snapshot()
+    try:
+        return query.run(snapshot)
+    finally:
+        snapshot.release_snapshot()
+
+
+def pin_for_caller(store):
+    return store.pin_snapshot()
+
+
+def pin_into_wrapper(store, wrapper_class):
+    return wrapper_class(store.pin_snapshot())

@@ -1,0 +1,13 @@
+"""R003 fixture: blocking calls inside service coroutines."""
+
+import time
+
+
+async def slow_handler(request):
+    time.sleep(0.5)
+    return request
+
+
+async def file_reading_handler(path):
+    with open(path) as source:
+        return source.read()

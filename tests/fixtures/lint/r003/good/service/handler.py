@@ -1,0 +1,18 @@
+"""R003 fixture: coroutines defer blocking work to the loop's executor."""
+
+import asyncio
+
+
+async def patient_handler(request):
+    await asyncio.sleep(0.5)
+    return request
+
+
+async def executor_handler(loop, worker, path):
+    return await loop.run_in_executor(worker, _read_file, path)
+
+
+def _read_file(path):
+    # Synchronous helper: blocking here is fine, it runs on the pool.
+    with open(path) as source:
+        return source.read()

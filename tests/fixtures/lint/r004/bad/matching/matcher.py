@@ -1,0 +1,12 @@
+"""R004 fixture: a memo that nothing ever validates against a version."""
+
+
+class ForgetfulMatcher:
+    def __init__(self, graph):
+        self.graph = graph
+        self._frontier_cache = {}
+
+    def frontier(self, node):
+        if node not in self._frontier_cache:
+            self._frontier_cache[node] = self.graph.successors(node)
+        return self._frontier_cache[node]

@@ -1,0 +1,20 @@
+"""R004 fixture: the memo is invalidated by comparing version counters."""
+
+
+class CarefulMatcher:
+    def __init__(self, graph):
+        self.graph = graph
+        self._frontier_cache = {}
+        self._cached_version = graph.version()
+
+    def _validate(self):
+        current_version = self.graph.version()
+        if current_version != self._cached_version:
+            self._frontier_cache.clear()
+            self._cached_version = current_version
+
+    def frontier(self, node):
+        self._validate()
+        if node not in self._frontier_cache:
+            self._frontier_cache[node] = self.graph.successors(node)
+        return self._frontier_cache[node]

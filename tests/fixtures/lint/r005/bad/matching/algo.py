@@ -1,0 +1,5 @@
+"""R005 fixture: a re-hardcoded copy of a central default (it will drift)."""
+
+
+def match(pattern, graph, engine="auto", cache_capacity=50000):
+    return pattern, graph, engine, cache_capacity

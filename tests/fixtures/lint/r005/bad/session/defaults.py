@@ -1,0 +1,4 @@
+"""R005 fixture: the central defaults module."""
+
+DEFAULT_ENGINE = "auto"
+DEFAULT_CACHE_CAPACITY = 50000

@@ -1,0 +1,7 @@
+"""R005 fixture: defaults are imported from the central module."""
+
+from session.defaults import DEFAULT_CACHE_CAPACITY, DEFAULT_ENGINE
+
+
+def match(pattern, graph, engine=DEFAULT_ENGINE, cache_capacity=DEFAULT_CACHE_CAPACITY):
+    return pattern, graph, engine, cache_capacity

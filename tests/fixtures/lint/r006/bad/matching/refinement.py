@@ -1,0 +1,11 @@
+"""R006 fixture: a fixpoint body that branches on the evaluation engine."""
+
+
+def refine_fixpoint(pattern, graph, matcher, engine):
+    candidates = {node: graph.nodes() for node in pattern.nodes()}
+    if engine == "csr":
+        candidates = {node: matcher.compiled_ids(nodes) for node, nodes in candidates.items()}
+    backend = getattr(matcher, "csr_engine", None)
+    if backend is not None:
+        candidates = backend.refine(candidates)
+    return candidates

@@ -1,0 +1,14 @@
+"""R006 fixture: the fixpoint goes through the adapter, engine-free."""
+
+
+def refine_fixpoint(pattern, graph, adapter):
+    candidates = {node: graph.nodes() for node in pattern.nodes()}
+    changed = True
+    while changed:
+        changed = False
+        for node in pattern.nodes():
+            narrowed = adapter.narrow(node, candidates)
+            if narrowed != candidates[node]:
+                candidates[node] = narrowed
+                changed = True
+    return candidates

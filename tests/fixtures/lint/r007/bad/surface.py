@@ -1,0 +1,11 @@
+"""R007 fixture: __all__ lists a ghost and misses a public def."""
+
+__all__ = ["evaluate", "vanished_helper"]
+
+
+def evaluate(query):
+    return query
+
+
+def unlisted_public(query):
+    return query

@@ -1,0 +1,13 @@
+"""R007 fixture: __all__ matches the public surface exactly."""
+
+__all__ = ["EVALUATOR_NAME", "evaluate"]
+
+EVALUATOR_NAME = "fixture"
+
+
+def evaluate(query):
+    return query
+
+
+def _private_helper(query):
+    return query

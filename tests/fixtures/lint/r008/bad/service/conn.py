@@ -1,0 +1,15 @@
+"""R008 fixture: broad exception handlers that swallow silently."""
+
+import contextlib
+
+
+def close_connection(writer):
+    try:
+        writer.close()
+    except Exception:
+        pass
+
+
+def drain_quietly(reader):
+    with contextlib.suppress(Exception):
+        reader.drain()

@@ -1,0 +1,15 @@
+"""R008 fixture: broad handlers that re-raise, count, or use the error."""
+
+
+def close_connection(writer, counters):
+    try:
+        writer.close()
+    except Exception:
+        counters["errors"] += 1
+
+
+def wrap_failure(reader, error_class):
+    try:
+        return reader.drain()
+    except Exception as exc:
+        raise error_class(str(exc)) from exc

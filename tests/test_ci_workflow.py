@@ -186,3 +186,40 @@ class TestCiWorkflow:
             if "upload-artifact" in step.get("uses", "")
         )
         assert "bench-semcache.json" in paths
+
+    def test_primary_leg_runs_reprolint_and_uploads_report(self, workflow):
+        # reprolint gates the primary leg: `repro lint` exits 1 on any
+        # non-baseline finding, and the JSON report must upload even when
+        # the step fails so the findings are inspectable as an artifact.
+        job = workflow["jobs"]["test"]
+        lint_steps = [
+            step for step in job["steps"] if "repro.cli lint" in step.get("run", "")
+        ]
+        assert lint_steps, "the primary leg must run reprolint over src"
+        step = lint_steps[0]
+        assert "--json" in step["run"]
+        assert "lint-report.json" in step["run"]
+        assert "3.12" in step.get("if", "")
+        uploads = [
+            step
+            for step in job["steps"]
+            if "upload-artifact" in step.get("uses", "")
+            and "lint-report.json" in str(step.get("with", {}).get("path", ""))
+        ]
+        assert uploads, "lint-report.json must upload as an artifact"
+        assert "always()" in uploads[0]["if"]
+        assert "3.12" in uploads[0]["if"]
+
+    def test_reprolint_rule_registry_matches_pyproject(self, workflow):
+        # pyproject's [tool.reprolint] rule list is the reviewed registry;
+        # the package's RULE_CODES must match it exactly.
+        import re
+
+        from repro.analysis import RULE_CODES
+
+        pyproject = WORKFLOW.parent.parent.parent / "pyproject.toml"
+        text = pyproject.read_text(encoding="utf-8")
+        section = re.search(r"\[tool\.reprolint\].*?(?=\n\[|\Z)", text, re.DOTALL)
+        assert section, "pyproject.toml must carry a [tool.reprolint] section"
+        declared = re.findall(r'"(R\d{3})"', section.group(0))
+        assert tuple(declared) == RULE_CODES

@@ -412,3 +412,97 @@ class TestServeCommand:
         assert payload["command"] == "serve"
         assert payload["schema_version"] == 1
         assert payload["report"]["ok"] is True
+
+
+class TestLintCommand:
+    """``repro lint`` follows the CLI exit-code contract: 0 clean, 1 on
+    non-baseline findings, 2 + ``error [code]`` line on internal errors."""
+
+    FIXTURES = __import__("pathlib").Path(__file__).resolve().parent / "fixtures" / "lint"
+
+    def test_clean_tree_exits_zero(self):
+        out = io.StringIO()
+        code = main(["lint", str(self.FIXTURES / "r008" / "good")], out=out)
+        assert code == 0
+        assert "0 finding(s)" in out.getvalue()
+
+    def test_findings_exit_one_and_render_locations(self):
+        out = io.StringIO()
+        code = main(["lint", str(self.FIXTURES / "r008" / "bad")], out=out)
+        assert code == 1
+        text = out.getvalue()
+        assert "R008" in text
+        assert "bad/service/conn.py:" in text
+
+    def test_internal_error_exits_two_with_code_line(self, capsys):
+        code = main(["lint", "this-path-does-not-exist"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "repro lint: error [repro.analysis.failed]:" in err
+        assert "(retryable=false)" in err
+
+    def test_unknown_rule_code_exits_two(self, capsys):
+        code = main(["lint", str(self.FIXTURES / "r008" / "good"), "--select", "R999"])
+        assert code == 2
+        assert "error [repro.analysis.failed]" in capsys.readouterr().err
+
+    def test_json_envelope_is_stamped(self):
+        import json
+
+        out = io.StringIO()
+        code = main(["lint", str(self.FIXTURES / "r005" / "bad"), "--json"], out=out)
+        assert code == 1
+        payload = json.loads(out.getvalue())
+        assert payload["command"] == "lint"
+        assert payload["schema_version"] == 1
+        assert payload["rules"] == list(
+            __import__("repro.analysis", fromlist=["RULE_CODES"]).RULE_CODES
+        )
+        assert payload["baselined"] == 0
+        assert payload["findings"], "expected R005 findings in the bad fixture"
+        for finding in payload["findings"]:
+            assert set(finding) == {"rule", "path", "line", "col", "message"}
+
+    def test_select_restricts_rules(self):
+        import json
+
+        out = io.StringIO()
+        code = main(
+            ["lint", str(self.FIXTURES / "r003" / "bad"), "--select", "R001", "--json"],
+            out=out,
+        )
+        assert code == 0  # R003's violation is invisible to an R001-only pass
+        payload = json.loads(out.getvalue())
+        assert payload["rules"] == ["R001"]
+        assert payload["findings"] == []
+
+    def test_baseline_grandfathers_findings(self, tmp_path):
+        import json
+
+        baseline_path = tmp_path / "baseline.json"
+        out = io.StringIO()
+        code = main(
+            ["lint", str(self.FIXTURES / "r008" / "bad"),
+             "--baseline", str(baseline_path), "--write-baseline"],
+            out=out,
+        )
+        assert code == 0
+        assert json.loads(baseline_path.read_text())["findings"]
+
+        out = io.StringIO()
+        code = main(
+            ["lint", str(self.FIXTURES / "r008" / "bad"),
+             "--baseline", str(baseline_path), "--json"],
+            out=out,
+        )
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert payload["findings"] == []
+        assert payload["baselined"] > 0
+
+    def test_repo_source_tree_is_clean(self):
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        out = io.StringIO()
+        assert main(["lint", str(src)], out=out) == 0, out.getvalue()

@@ -81,6 +81,11 @@ FROZEN_API = {
         "DictStore", "GraphStore", "JOURNAL_CAPACITY", "OverlayCsrStore",
         "SnapshotGraph", "StoreSnapshot",
     ],
+    "repro.analysis": [
+        "Finding", "LintReport", "ModuleInfo", "ProjectInfo", "RULE_CODES",
+        "Rule", "all_rules", "load_baseline", "partition_baseline",
+        "run_lint", "save_baseline",
+    ],
     "repro.service": [
         "GraphService", "SCHEMA_VERSION", "ServiceCallError", "ServiceClient",
         "ServiceConfig", "ServiceHandle", "build_update_plan", "decode_query",
@@ -110,6 +115,7 @@ class TestPublicApi:
             "repro.experiments",
             "repro.session",
             "repro.storage",
+            "repro.analysis",
         ]:
             importlib.import_module(module)
 

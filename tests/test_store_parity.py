@@ -382,33 +382,25 @@ TestStoreDifferential = pytest.mark.slow(StoreDifferentialMachine.TestCase)
 
 # -- layering gate ----------------------------------------------------------------
 
-#: The PQ/RQ fixpoint modules: evaluation bodies that must be engine-free —
-#: dict-vs-CSR dispatch belongs to repro/storage/adapter.py alone.
-_FIXPOINT_MODULES = (
-    "paths.py",
-    "naive.py",
-    "join_match.py",
-    "split_match.py",
-    "simulation.py",
-    "bounded_simulation.py",
-    "incremental.py",
-    "refinement.py",
-    "frontiers.py",
-    "subgraph_iso.py",
-)
-
 
 def test_no_engine_branches_in_fixpoint_bodies():
+    """The fixpoint modules stay engine-free, checked by reprolint's R006.
+
+    This supersedes the PR 5 substring grep (``"engine =="``): the AST rule
+    also catches reversed comparisons and ``getattr(x, "csr_engine")``
+    indirections, and its allowlist (``FIXPOINT_MODULES``) now lives with
+    the rule in :mod:`repro.analysis.rules.layering`.
+    """
+    from repro.analysis import run_lint
+    from repro.analysis.rules.layering import FIXPOINT_MODULES
+
     matching = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro" / "matching"
-    offenders = []
-    for name in _FIXPOINT_MODULES:
-        text = (matching / name).read_text(encoding="utf-8")
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            if "engine ==" in line:
-                offenders.append(f"{name}:{lineno}: {line.strip()}")
-    assert not offenders, (
-        "engine == branches must live in repro/storage/adapter.py, found:\n"
-        + "\n".join(offenders)
+    for name in FIXPOINT_MODULES:
+        assert (matching / name).exists(), f"allowlisted module {name} vanished"
+    report = run_lint([matching], select=["R006"])
+    assert report.findings == [], (
+        "engine branches must live in repro/storage/adapter.py, found:\n"
+        + "\n".join(finding.render() for finding in report.findings)
     )
 
 

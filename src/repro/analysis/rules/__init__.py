@@ -14,6 +14,7 @@ from repro.analysis.core import Rule
 from repro.analysis.rules.async_safety import AsyncBlockingCallRule
 from repro.analysis.rules.drift import DefaultDriftRule
 from repro.analysis.rules.exports import ExportConformanceRule
+from repro.analysis.rules.isolation import ShardIsolationRule
 from repro.analysis.rules.layering import FIXPOINT_MODULES, EngineFreeFixpointRule
 from repro.analysis.rules.memos import MemoInvalidationRule
 from repro.analysis.rules.snapshots import SnapshotReleaseRule
@@ -31,6 +32,7 @@ _RULE_CLASSES = (
     EngineFreeFixpointRule,
     ExportConformanceRule,
     ExceptionSwallowRule,
+    ShardIsolationRule,
 )
 
 #: Stable rule codes, in registry order.

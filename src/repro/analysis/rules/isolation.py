@@ -1,0 +1,81 @@
+"""R009 — partition code talks to shards through their public surface.
+
+The partitioned store's correctness argument (PR 10) rests on one
+locality invariant: a shard's private state — its local id maps, CSR
+blocks, lazily built numpy views — is only ever read or written by the
+shard that owns it.  Cross-shard traffic goes through the
+boundary-exchange surface (``Shard.expand`` / ``Shard.sweep`` /
+``Shard.to_local`` and the store's ``_route``/``_map_shards``
+orchestration), which is what keeps per-shard compilation, the serial
+fallback and any parallel dispatch byte-identical.  A stray
+``shard._local_index[...]`` somewhere in the orchestrator works today and
+silently breaks the moment shard internals change representation.
+
+The check: inside ``storage/partition*`` modules, a ``_``-prefixed
+attribute may only be reached through bare ``self``.  Any other private
+reach whose target expression mentions a shard (an identifier containing
+``shard``, any case) is flagged — that is precisely "another shard's
+private arrays".  Dunder attributes stay exempt (``__class__`` and
+friends are python surface, not shard state).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+
+
+def _mentions_shard(node: ast.AST) -> bool:
+    """Whether any identifier under ``node`` names a shard."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            ident = child.id
+        elif isinstance(child, ast.Attribute):
+            ident = child.attr
+        elif isinstance(child, ast.arg):
+            ident = child.arg
+        else:
+            continue
+        if "shard" in ident.lower():
+            return True
+    return False
+
+
+class ShardIsolationRule(Rule):
+    code = "R009"
+    name = "shard-isolation"
+    summary = (
+        "partition code must not reach into a shard's private state; "
+        "use the boundary-exchange surface"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.in_part("storage"):
+            return ()
+        filename = module.relpath.rsplit("/", 1)[-1]
+        if not filename.startswith("partition"):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = node.attr
+            if not attr.startswith("_") or attr.startswith("__"):
+                continue
+            value = node.value
+            if isinstance(value, ast.Name) and value.id == "self":
+                continue
+            if _mentions_shard(value):
+                findings.append(
+                    module.finding(
+                        node,
+                        self.code,
+                        f"reaches into a shard's private {attr!r}; go through "
+                        f"the shard's public expand/sweep/to_local surface "
+                        f"instead",
+                    )
+                )
+        return findings

@@ -7,12 +7,16 @@ A small CLI for working with data graphs and queries without writing Python:
   — evaluate a reachability query;
 * ``repro generate youtube OUT.json --nodes 1000 --edges 4000`` — write one of
   the synthetic datasets to disk;
+* ``repro ingest EDGES.txt --shards 4 --json`` — stream an edge-list / CSV
+  file into a vertex-partitioned store (chunked, memory-bounded; see
+  :mod:`repro.datasets.ingest`) and report the shard layout;
 * ``repro plan GRAPH.json --regex "fa^2.fn"`` — show the session planner's
   decision (algorithm / engine / method / maintenance and the reasons) for a
   query *without* running it (``--execute`` also runs it);
 * ``repro experiment exp3`` — run one of the paper's experiments and print its
   table (``exp4`` runs all four PQ sweeps of Fig. 11; ``exp6`` runs the
-  incremental-maintenance update-stream comparison);
+  incremental-maintenance update-stream comparison; ``exp8`` the partition
+  shard-count scaling curve);
 * ``repro lint [PATHS...]`` — run :mod:`repro.analysis` (reprolint), the
   AST-based checker for this repository's own correctness contracts
   (rules R001–R008); exits 1 when any non-baseline finding remains and 2
@@ -44,6 +48,9 @@ Queries run on one of two evaluation engines, selected with ``--engine``
   arrays (:mod:`repro.graph.csr`) and frontiers expand over those arrays
   (:mod:`repro.matching.csr_engine`), typically an order of magnitude faster
   for search-based methods;
+* ``partitioned`` — the sharded store of :mod:`repro.storage.partition`:
+  per-shard CSR compiles with boundary-frontier exchange (strictly opt-in;
+  ``auto`` never resolves to it);
 * ``auto`` (default) — ``csr`` for the search methods, ``dict`` otherwise
   (the ``matrix`` method always runs on the dict engine).
 
@@ -78,8 +85,10 @@ from repro.session.defaults import (
     DEFAULT_LOAD_READERS,
     DEFAULT_MAX_INFLIGHT,
     DEFAULT_METHOD,
+    DEFAULT_PARTITION_SHARDS,
     DEFAULT_UPDATE_BATCHES,
     ENGINES,
+    INGEST_CHUNK_EDGES,
     RQ_METHODS,
 )
 
@@ -92,6 +101,7 @@ _EXPERIMENTS = {
     "exp5f": "repro.experiments.exp5_synthetic:run_subiso_comparison",
     "exp6": "repro.experiments.exp6_incremental:run_update_streams",
     "exp7": "repro.experiments.exp7_semcache:run_semantic_cache",
+    "exp8": "repro.experiments.exp8_partition:run_partition_scaling",
 }
 
 #: Experiments whose runner accepts an ``engines=`` keyword (dict-vs-CSR columns).
@@ -152,7 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat --regex as a general regular expression (NFA-product evaluation)",
     )
     plan.add_argument(
-        "--engine", default=None, choices=["dict", "csr"], help="force the engine"
+        "--engine",
+        default=None,
+        choices=["dict", "csr", "partitioned"],
+        help="force the engine",
     )
     plan.add_argument(
         "--method",
@@ -178,6 +191,29 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--nodes", type=int, default=500)
     generate.add_argument("--edges", type=int, default=1500)
     generate.add_argument("--seed", type=int, default=7)
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="stream an edge-list/CSV file into a partitioned store and report stats",
+    )
+    ingest.add_argument(
+        "path",
+        help="edge file: one 'source target colour' triple per line "
+        "(.csv uses commas; '#' comments and blank lines are skipped)",
+    )
+    ingest.add_argument(
+        "--shards",
+        type=int,
+        default=DEFAULT_PARTITION_SHARDS,
+        help="number of vertex-range shards to partition the stream into",
+    )
+    ingest.add_argument(
+        "--chunk-edges",
+        type=int,
+        default=INGEST_CHUNK_EDGES,
+        help="triples held as Python objects at once while streaming",
+    )
+    ingest.add_argument("--json", action="store_true", help=json_help)
 
     experiment = commands.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -415,6 +451,38 @@ def _command_rq(args: argparse.Namespace, out) -> int:
           f"{result.elapsed_seconds:.4f}s)", file=out)
     _print_pairs(result.pairs, args.limit, out)
     return 0
+
+
+def _command_ingest(args: argparse.Namespace, out) -> int:
+    from repro.datasets.ingest import ingest_edge_list
+    from repro.exceptions import ReproError
+
+    try:
+        store, stats = ingest_edge_list(
+            args.path, shards=args.shards, chunk_edges=args.chunk_edges
+        )
+    except ReproError as error:
+        return _session_error("ingest", error)
+    except OSError as error:
+        print(f"repro ingest: error: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.json:
+            return _emit_json({"command": "ingest", "stats": stats.to_dict()}, out)
+        print(
+            f"ingested {stats.edges} edges / {stats.nodes} nodes from {stats.path} "
+            f"into {stats.shards} shard(s)",
+            file=out,
+        )
+        print(
+            f"streamed {stats.chunks} chunk(s), peak {stats.peak_chunk} triples in "
+            f"memory; {stats.boundary_nodes} boundary nodes "
+            f"({stats.boundary_fraction:.1%} of the graph)",
+            file=out,
+        )
+        return 0
+    finally:
+        store.close()
 
 
 def _command_generate(args: argparse.Namespace, out) -> int:
@@ -663,6 +731,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "rq": _command_rq,
         "plan": _command_plan,
         "generate": _command_generate,
+        "ingest": _command_ingest,
         "experiment": _command_experiment,
         "serve": _command_serve,
         "lint": _command_lint,

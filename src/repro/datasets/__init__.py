@@ -8,7 +8,10 @@
 * :mod:`~repro.datasets.terrorism` — a synthetic stand-in for the Global
   Terrorism Database collaboration network;
 * :mod:`~repro.datasets.synthetic` — the paper's 4-parameter synthetic graph
-  generator.
+  generator, plus :func:`~repro.datasets.synthetic.scale_free_stream` for
+  streaming 10^6–10^7-edge graphs into the partitioned store;
+* :mod:`~repro.datasets.ingest` — chunked streaming ingest of edge-list /
+  CSV files into a :class:`~repro.storage.partition.PartitionedStore`.
 
 The two real-life datasets of the paper are not redistributable offline, so
 the stand-ins reproduce their schema, edge-colour alphabet, size and skewed
@@ -18,7 +21,7 @@ degree distribution (see DESIGN.md, "Substitution note").
 from repro.datasets.essembly import build_essembly_graph, essembly_query_q1, essembly_query_q2
 from repro.datasets.youtube import generate_youtube_graph
 from repro.datasets.terrorism import generate_terrorism_graph
-from repro.datasets.synthetic import generate_synthetic_graph
+from repro.datasets.synthetic import generate_synthetic_graph, scale_free_stream
 
 __all__ = [
     "build_essembly_graph",
@@ -27,4 +30,5 @@ __all__ = [
     "generate_youtube_graph",
     "generate_terrorism_graph",
     "generate_synthetic_graph",
+    "scale_free_stream",
 ]

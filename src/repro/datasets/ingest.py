@@ -1,0 +1,104 @@
+"""Chunked streaming ingest of edge files into the partitioned store.
+
+:func:`ingest_edge_list` glues two streaming halves together:
+:func:`repro.graph.io.iter_edge_chunks` reads an edge-list / CSV file one
+bounded chunk of interned triples at a time, and
+:meth:`repro.storage.partition.PartitionedStore.from_edges` interns the
+stream into compact integer buffers as it arrives — the full edge list is
+never materialised as Python objects.  The returned :class:`IngestStats`
+is what the ``repro ingest`` CLI subcommand reports (``--json`` emits its
+:meth:`~IngestStats.to_dict` envelope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.graph.io import EdgeTriple, PathLike, iter_edge_chunks
+from repro.session.defaults import (
+    DEFAULT_PARTITION_PARALLELISM,
+    DEFAULT_PARTITION_SHARDS,
+    INGEST_CHUNK_EDGES,
+)
+from repro.storage.partition import PartitionedStore, PartitionSpec
+
+__all__ = ["IngestStats", "ingest_edge_list"]
+
+
+@dataclass
+class IngestStats:
+    """What one streaming ingest run did, in numbers."""
+
+    path: str
+    nodes: int
+    edges: int
+    shards: int
+    parallelism: int
+    chunks: int
+    peak_chunk: int
+    boundary_nodes: int
+    boundary_fraction: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-able view (the ``repro ingest --json`` payload)."""
+        return {
+            "path": self.path,
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "shards": self.shards,
+            "parallelism": self.parallelism,
+            "chunks": self.chunks,
+            "peak_chunk": self.peak_chunk,
+            "boundary_nodes": self.boundary_nodes,
+            "boundary_fraction": self.boundary_fraction,
+        }
+
+
+def ingest_edge_list(
+    path: PathLike,
+    *,
+    shards: int = DEFAULT_PARTITION_SHARDS,
+    parallelism: int = DEFAULT_PARTITION_PARALLELISM,
+    partition: PartitionSpec = None,
+    chunk_edges: int = INGEST_CHUNK_EDGES,
+    name: Optional[str] = None,
+) -> Tuple[PartitionedStore, IngestStats]:
+    """Stream an edge-list (or ``.csv``) file into a partitioned store.
+
+    Reads ``path`` in chunks of at most ``chunk_edges`` triples and feeds
+    them straight into :meth:`PartitionedStore.from_edges`; peak Python-object
+    memory is one chunk plus the store's compact integer buffers.  Returns
+    the built store and the run's :class:`IngestStats`.
+    """
+    path = Path(path)
+    counters = {"chunks": 0, "peak_chunk": 0}
+
+    def triples() -> Iterator[EdgeTriple]:
+        for chunk in iter_edge_chunks(path, chunk_edges):
+            counters["chunks"] += 1
+            if len(chunk) > counters["peak_chunk"]:
+                counters["peak_chunk"] = len(chunk)
+            yield from chunk
+
+    store = PartitionedStore.from_edges(
+        triples(),
+        shards=shards,
+        parallelism=parallelism,
+        partition=partition,
+        name=name if name is not None else path.stem,
+    )
+    layout = store.overlay_stats()
+    stats = IngestStats(
+        path=str(path),
+        nodes=store.num_nodes,
+        edges=store.num_edges,
+        shards=store.shard_count,
+        parallelism=store.parallelism,
+        chunks=counters["chunks"],
+        peak_chunk=counters["peak_chunk"],
+        boundary_nodes=layout["boundary_nodes"],
+        boundary_fraction=layout["boundary_fraction"],
+    )
+    return store, stats

@@ -1,0 +1,160 @@
+"""Exp-8 (extension): shard-count scaling of the partitioned store.
+
+The paper evaluates distributed reachability informally (Section 7 leaves
+partitioned evaluation as future work); PR 10 adds a vertex-partitioned
+store (:mod:`repro.storage.partition`) whose shards compile to private CSR
+blocks and exchange boundary frontiers.  This experiment measures what the
+partitioning buys on the workload it targets: *region-confined* queries —
+multi-source bounded frontier expansions whose seeds are contiguous id
+windows, so under range partitioning most waves touch one shard and skip
+the others' O(n_shard) frontier buffers entirely.
+
+Protocol: one scale-free graph is streamed from
+:func:`~repro.datasets.synthetic.scale_free_stream` (strong id locality)
+into a :class:`~repro.graph.data_graph.DataGraph`, which doubles as the
+dict-store **oracle**.  For each shard count the same graph is partitioned
+by ranges and the whole workload is timed; a subsample of the answers is
+re-derived on the dict store and any mismatch aborts the run (the timing
+numbers are only reported for answers proven correct).  One row per shard
+count: wall-clock, speedup over the first row, boundary-exchange rounds
+consumed, and the partition's boundary size.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.datasets.synthetic import scale_free_stream
+from repro.exceptions import EvaluationError
+from repro.experiments.harness import ExperimentReport, time_call
+from repro.graph.data_graph import DataGraph
+from repro.session.defaults import DEFAULT_PARTITION_PARALLELISM
+from repro.storage.partition import PartitionedStore
+
+#: A workload item: (seed window, hop bound).
+Workload = List[Tuple[Tuple[int, ...], int]]
+
+
+def build_region_workload(
+    num_nodes: int, queries: int, width: int, bound: int, seed: int
+) -> Workload:
+    """``queries`` contiguous-id seed windows of ``width`` nodes each.
+
+    Contiguity is the point: range partitioning keeps an id window inside
+    one shard (away from borders), which is the locality the partitioned
+    store prunes on.
+    """
+    rng = random.Random(seed)
+    span = max(num_nodes - width, 1)
+    return [
+        (tuple(range(base, base + width)), bound)
+        for base in (rng.randrange(span) for _ in range(queries))
+    ]
+
+
+def run_partition_scaling(
+    num_nodes: int = 262144,
+    num_edges: int = 131072,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    queries: int = 8,
+    width: int = 256,
+    bound: int = 3,
+    window: int = 0,
+    parallelism: int = DEFAULT_PARTITION_PARALLELISM,
+    seed: int = 17,
+    parity_every: int = 3,
+    passes: int = 3,
+) -> ExperimentReport:
+    """Run Exp-8 and return one row per shard count.
+
+    The default graph is deliberately *sparse* (node space much larger than
+    the edge count): a query's frontier then stays small, and the per-wave
+    cost is dominated by the kernel's Θ(n_shard) frontier bitmaps — exactly
+    the term partition pruning divides by the shard count.  ``window`` is
+    the generator's id-locality radius (``0`` picks ``num_nodes // 64``);
+    ``parity_every`` verifies every n-th query against the dict oracle
+    (``1`` = all of them); each shard count is timed as the best of
+    ``passes`` workload runs after one untimed warmup pass.
+    """
+    if not shard_counts:
+        raise EvaluationError("at least one shard count is required")
+    if parity_every < 1:
+        raise EvaluationError("parity_every must be positive")
+    if passes < 1:
+        raise EvaluationError("passes must be positive")
+    if window < 1:
+        window = max(16, num_nodes // 64)
+
+    graph = DataGraph(name=f"exp8-{num_nodes}-{num_edges}")
+    for source, target, color in scale_free_stream(
+        num_nodes, num_edges, seed=seed, window=window
+    ):
+        graph.add_edge(source, target, color)
+    oracle = graph.store
+    # Windows are drawn over the generator's id space; ids no edge touched
+    # are unknown to both stores and are skipped identically by both.
+    workload = build_region_workload(num_nodes, queries, width, bound, seed + 1)
+
+    report = ExperimentReport(
+        name="exp8-partition",
+        description=(
+            f"shard-count scaling on a {graph.num_edges}-edge scale-free graph "
+            f"({queries} region-confined frontier queries, bound={bound}; every "
+            f"{parity_every}. answer verified against the dict store)"
+        ),
+    )
+    baseline_seconds = 0.0
+    for shards in shard_counts:
+        store = PartitionedStore.from_graph(
+            graph, shards=shards, parallelism=parallelism
+        )
+        try:
+            store.sync()  # build outside the timed region, like the oracle
+
+            def run_workload(store=store):
+                return [
+                    store.frontier(starts, None, hop_bound)
+                    for starts, hop_bound in workload
+                ]
+
+            run_workload()  # warmup: builds the shards' lazy numpy views
+            rounds_before = store.exchange_rounds
+            answers, elapsed = time_call(run_workload)
+            rounds = store.exchange_rounds - rounds_before
+            for _ in range(passes - 1):
+                _, again = time_call(run_workload)
+                elapsed = min(elapsed, again)
+            verified = 0
+            for index in range(0, len(workload), parity_every):
+                starts, hop_bound = workload[index]
+                if answers[index] != oracle.frontier(starts, None, hop_bound):
+                    raise AssertionError(
+                        f"partitioned answer diverges from the dict oracle at "
+                        f"shards={shards}, query #{index}; this indicates a "
+                        f"bug in the library"
+                    )
+                verified += 1
+            if not baseline_seconds:
+                baseline_seconds = elapsed
+            layout = store.overlay_stats()
+            report.add_row(
+                shards=shards,
+                t_frontier=elapsed,
+                speedup=(baseline_seconds / elapsed) if elapsed else 0.0,
+                exchange_rounds=rounds,
+                boundary_nodes=layout["boundary_nodes"],
+                boundary_fraction=layout["boundary_fraction"],
+                verified=verified,
+            )
+        finally:
+            store.close()
+    return report
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_partition_scaling().to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -72,6 +72,7 @@ class DataGraph:
         "_attr_views",
         "_store",
         "_overlay",
+        "_partitioned",
         "_attrs_version",
         "__weakref__",
     )
@@ -86,6 +87,8 @@ class DataGraph:
         self._store = DictStore()
         # The derived array-backed store, created lazily by overlay_store().
         self._overlay = None
+        # The sharded store, created lazily by partitioned_store().
+        self._partitioned = None
         # Bumped on attribute updates to existing nodes; cheaper to react to
         # than a topology change (snapshots only flush their scan memos).
         self._attrs_version = 0
@@ -177,6 +180,46 @@ class DataGraph:
         to pay for a CSR base.
         """
         return self._overlay
+
+    def partitioned_store(self, shards=None, parallelism=None, partition=None):
+        """The graph's sharded :class:`~repro.storage.partition.PartitionedStore`.
+
+        Created on first use with the package defaults and kept for the
+        graph's lifetime, like :meth:`overlay_store`.  Passing a ``shards``
+        or ``parallelism`` differing from the live store's — or any
+        explicit ``partition`` spec — replaces the store with a freshly
+        partitioned one (re-partitioning is a rebuild by design).
+        """
+        # Imported lazily: partition -> graph.csr -> this module.
+        from repro.storage.partition import PartitionedStore
+
+        store = self._partitioned
+        stale = (
+            store is None
+            or (shards is not None and shards != store.shard_count)
+            or (parallelism is not None and parallelism != store.parallelism)
+            or partition is not None
+        )
+        if stale:
+            kwargs = {}
+            if shards is not None:
+                kwargs["shards"] = shards
+            if parallelism is not None:
+                kwargs["parallelism"] = parallelism
+            if partition is not None:
+                kwargs["partition"] = partition
+            store = PartitionedStore.from_graph(self, **kwargs)
+            self._partitioned = store
+        return store
+
+    @property
+    def active_partitioned_store(self):
+        """The partitioned store if one has been created, else ``None``.
+
+        Never creates one — planners use it to surface shard statistics
+        without forcing unsharded graphs to pay for a partition pass.
+        """
+        return self._partitioned
 
     def journal_since(self, version: int) -> Optional[List[JournalEntry]]:
         """Topology changes after ``version`` (``None`` if journal truncated)."""

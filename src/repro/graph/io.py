@@ -5,19 +5,30 @@ Two formats are supported:
 * **JSON** — a single document with ``nodes`` (id + attributes) and ``edges``
   (source, target, colour); lossless for JSON-representable attribute values.
 * **Edge list** — a plain-text format with one ``source target colour`` triple
-  per line; node attributes are not stored.
+  per line; node attributes are not stored.  ``.csv`` files use commas, any
+  other extension tabs / whitespace.
+
+:func:`load_edge_list` materialises a full :class:`DataGraph`;
+:func:`iter_edge_chunks` is the streaming alternative for files too large
+for that — it yields bounded lists of interned string triples, never holding
+more than one chunk of Python objects at a time, and is what the partition
+ingest path (:mod:`repro.datasets.ingest`) is built on.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
-from typing import Union
+from typing import Iterator, List, Tuple, Union
 
 from repro.exceptions import GraphError
 from repro.graph.data_graph import DataGraph
+from repro.session.defaults import INGEST_CHUNK_EDGES
 
 PathLike = Union[str, Path]
+
+EdgeTriple = Tuple[str, str, str]
 
 
 def to_json_dict(graph: DataGraph) -> dict:
@@ -65,6 +76,45 @@ def save_edge_list(graph: DataGraph, path: PathLike) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         for edge in graph.edges():
             handle.write(f"{edge.source}\t{edge.target}\t{edge.color}\n")
+
+
+def iter_edge_chunks(
+    path: PathLike, chunk_edges: int = INGEST_CHUNK_EDGES
+) -> Iterator[List[EdgeTriple]]:
+    """Stream an edge-list (or ``.csv``) file as bounded triple chunks.
+
+    Yields lists of at most ``chunk_edges`` ``(source, target, colour)``
+    string triples.  All three fields are interned — node ids and colours
+    repeat across millions of lines, so each distinct string is held once
+    no matter how often it appears.  Blank lines and ``#`` comments are
+    skipped; a malformed line raises :class:`GraphError` with its line
+    number.  The final chunk may be short; an empty file yields nothing.
+    """
+    if chunk_edges < 1:
+        raise GraphError("chunk_edges must be positive")
+    path = Path(path)
+    comma = path.suffix.lower() == ".csv"
+    chunk: List[EdgeTriple] = []
+    intern = sys.intern
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if comma:
+                parts = [part.strip() for part in line.split(",")]
+            else:
+                parts = line.split("\t") if "\t" in line else line.split()
+            if len(parts) != 3 or not all(parts):
+                raise GraphError(
+                    f"line {line_number}: expected 'source target colour', got {line!r}"
+                )
+            chunk.append((intern(parts[0]), intern(parts[1]), intern(parts[2])))
+            if len(chunk) >= chunk_edges:
+                yield chunk
+                chunk = []
+    if chunk:
+        yield chunk
 
 
 def load_edge_list(path: PathLike, name: str = "graph") -> DataGraph:

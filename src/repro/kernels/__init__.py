@@ -14,7 +14,7 @@ package is the single home of that inner loop:
 * :mod:`repro.kernels.python_kernel` — the dependency-free fallback over
   ``array`` + ``memoryview``, byte-identical in results.
 
-Both backends implement the same two entry points and the same *block*
+Both backends implement the same entry points and the same *block*
 semantics (the paper's non-empty-path requirement):
 
 ``expand_frontier(layer, num_nodes, starts, bound)``
@@ -25,6 +25,11 @@ semantics (the paper's non-empty-path requirement):
 ``closure_frontier(layers, num_nodes, starts)``
     the unbounded variant over the union of several layers (the affected-
     area closure of the incremental maintainer).
+
+``neighbors_of(layer, num_nodes, starts)``
+    the plain one-hop neighbour set, sorted and de-duplicated — the
+    point-lookup read of the partitioned store, with no per-call
+    ``num_nodes``-sized state.
 
 Backend selection (:func:`select_backend`) is automatic — numpy when
 importable, the pure-python loops otherwise — and overridable through the
@@ -60,6 +65,7 @@ __all__ = [
     "bfs_block_frontier",
     "expand_frontier",
     "closure_frontier",
+    "neighbors_of",
     "select_backend",
 ]
 
@@ -100,6 +106,11 @@ def expand_frontier(layer, num_nodes: int, starts: Iterable[int], bound: Optiona
 def closure_frontier(layers, num_nodes: int, starts: Iterable[int]) -> List[int]:
     """Unbounded multi-source BFS over the union of several CSR layers."""
     return select_backend().closure_frontier(layers, num_nodes, starts)
+
+
+def neighbors_of(layer, num_nodes: int, starts: Iterable[int]) -> List[int]:
+    """Sorted de-duplicated one-hop neighbour indices of ``starts``."""
+    return select_backend().neighbors_of(layer, num_nodes, starts)
 
 
 def bfs_block_frontier(neighbors, starts: Iterable[NodeId], bound: Optional[int]) -> Set[NodeId]:

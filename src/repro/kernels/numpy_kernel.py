@@ -149,6 +149,28 @@ def expand_frontier(layer, num_nodes: int, starts: Iterable[int], bound: Optiona
     return reached
 
 
+def neighbors_of(layer, num_nodes: int, starts: Iterable[int]) -> List[int]:
+    """Sorted de-duplicated one-hop neighbour indices of ``starts``.
+
+    The point-lookup primitive of the partitioned store (successor /
+    predecessor reads routed to one shard); one gather plus ``np.unique``,
+    with the same narrow-input python fast path as the BFS levels.
+    """
+    front = starts if isinstance(starts, list) else list(starts)
+    if len(front) < VECTOR_MIN_FRONTIER:
+        offsets = layer.offsets
+        neighbors = layer._view
+        mask = layer.mask
+        out = set()
+        for start in front:
+            if mask[start]:
+                out.update(neighbors[offsets[start]:offsets[start + 1]])
+        return sorted(out)
+    off_np, tgt_np = _layer_arrays(layer)
+    nbr = _gather_level(off_np, tgt_np, np.asarray(front, dtype=np.intp))
+    return np.unique(nbr).tolist()
+
+
 def closure_frontier(layers, num_nodes: int, starts: Iterable[int]) -> List[int]:
     """Indices with a non-empty path from any start via the union of layers."""
     layers = list(layers)

@@ -50,6 +50,23 @@ def expand_frontier(layer, num_nodes: int, starts: Iterable[int], bound: Optiona
     return reached
 
 
+def neighbors_of(layer, num_nodes: int, starts: Iterable[int]) -> List[int]:
+    """Sorted de-duplicated one-hop neighbour indices of ``starts``.
+
+    The point-lookup primitive of the partitioned store (successor /
+    predecessor reads routed to one shard); unlike :func:`expand_frontier`
+    it allocates no per-call ``num_nodes``-sized state.
+    """
+    offsets = layer.offsets
+    neighbors = layer._view
+    mask = layer.mask
+    out = set()
+    for start in starts:
+        if mask[start]:
+            out.update(neighbors[offsets[start]:offsets[start + 1]])
+    return sorted(out)
+
+
 def closure_frontier(layers, num_nodes: int, starts: Iterable[int]) -> List[int]:
     """Indices with a non-empty path from any start via the union of layers."""
     layers = list(layers)

@@ -147,6 +147,47 @@ def regex_reachable_from(
     return reachable
 
 
+def _partitioned_regex_reachable(store, source: NodeId, nfa) -> Set[NodeId]:
+    """Product reach of one source over a partitioned store, shard-at-a-time.
+
+    The same (node, NFA state set) search as :func:`regex_reachable_from`,
+    but each round groups the live product states by owner shard and
+    expands them over the shard's local subgraph — a shard owns the full
+    out-edge set of its nodes, so per-round expansion is locally exact and
+    only the advanced product states cross shard boundaries.  Every round
+    counts as one boundary exchange on the store.
+    """
+    initial = (source, frozenset({nfa.start}))
+    seen: Set[Tuple[NodeId, frozenset]] = {initial}
+    frontier: List[Tuple[NodeId, frozenset]] = [initial]
+    reachable: Set[NodeId] = set()
+    while frontier:
+        routed: Dict[int, Tuple[object, List[Tuple[NodeId, frozenset]]]] = {}
+        for item in frontier:
+            shard = store.owner_shard(item[0])
+            if shard is not None:
+                routed.setdefault(shard.index, (shard, []))[1].append(item)
+        next_frontier: List[Tuple[NodeId, frozenset]] = []
+        for shard_index in sorted(routed):
+            shard, items = routed[shard_index]
+            subgraph = shard.graph
+            for node, states in items:
+                for edge in subgraph.out_edges(node):
+                    advanced = frozenset(nfa.step(states, edge.color))
+                    if not advanced:
+                        continue
+                    key = (edge.target, advanced)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    next_frontier.append(key)
+                    if advanced & nfa.accepting:
+                        reachable.add(edge.target)
+        store.exchange_rounds += 1
+        frontier = next_frontier
+    return reachable
+
+
 def evaluate_general_rq(
     query: GeneralReachabilityQuery,
     graph: DataGraph,
@@ -155,15 +196,36 @@ def evaluate_general_rq(
     """Evaluate a general-regex reachability query on a data graph.
 
     ``engine`` selects between the original per-edge product search over the
-    adjacency dicts (``"dict"``) and the compiled NFA-product path of
+    adjacency dicts (``"dict"``), the compiled NFA-product path of
     :meth:`repro.matching.csr_engine.CsrEngine.nfa_product_pairs` (``"csr"``,
-    the default resolution of ``"auto"``), which shares one lazily
-    determinised automaton across all candidate sources and walks CSR arrays.
-    Both return identical pair sets.
+    the default resolution of ``"auto"``), and the shard-at-a-time product
+    worklist over the graph's partitioned store (``"partitioned"``, opt-in).
+    All return identical pair sets.
     """
     if engine not in ENGINES:
         raise EvaluationError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     started = time.perf_counter()
+
+    if engine == "partitioned":
+        store = graph.partitioned_store()
+        store.sync()
+        sources = [
+            node for node in graph.nodes()
+            if query.source_predicate.matches(graph.attributes(node))
+        ]
+        targets = {
+            node for node in graph.nodes()
+            if query.target_predicate.matches(graph.attributes(node))
+        }
+        pairs: Set[NodePair] = set()
+        if sources and targets:
+            nfa = query.regex.to_nfa()
+            for source in sources:
+                for target in _partitioned_regex_reachable(store, source, nfa) & targets:
+                    pairs.add((source, target))
+        return GeneralReachabilityResult(
+            pairs=pairs, elapsed_seconds=time.perf_counter() - started
+        )
 
     if engine in ("auto", "csr"):
         snapshot = compiled_snapshot(graph)

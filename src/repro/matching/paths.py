@@ -125,7 +125,7 @@ def resolve_pq_matcher(
         from repro.session.session import default_session
 
         warn_free_function(caller)
-        resolved = "csr" if engine in ("auto", "csr") else "dict"
+        resolved = "csr" if engine in ("auto", "csr") else engine
         return default_session(graph).matcher(resolved)
     return PathMatcher(
         graph,
@@ -152,10 +152,13 @@ class PathMatcher:
         ``"dict"`` (default) expands frontiers over the graph's
         authoritative adjacency store; ``"csr"`` expands them through the
         graph's overlay-CSR store (:mod:`repro.storage.overlay`), which is
-        considerably faster; ``"auto"`` picks CSR whenever no distance
-        matrix is supplied.  Matrix mode always walks the distance matrix,
-        so combining an explicit ``"csr"`` with a matrix raises
-        :class:`ValueError`.  Answers are identical on every engine.
+        considerably faster; ``"partitioned"`` expands them through the
+        graph's sharded store (:mod:`repro.storage.partition`) — opt-in,
+        for graphs past the single-CSR scale; ``"auto"`` picks CSR
+        whenever no distance matrix is supplied.  Matrix mode always walks
+        the distance matrix, so combining an explicit ``"csr"`` (or
+        ``"partitioned"``) with a matrix raises :class:`ValueError`.
+        Answers are identical on every engine.
     """
 
     def __init__(
@@ -169,13 +172,20 @@ class PathMatcher:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         if distance_matrix is not None and engine not in ("auto", "dict"):
             # Mirror evaluate_rq: the matrix is a dict-engine index.
-            raise ValueError("engine='csr' cannot be combined with a distance matrix")
+            raise ValueError(
+                f"engine={engine!r} cannot be combined with a distance matrix"
+            )
         self.graph = graph
         self.matrix = distance_matrix
         self._cache_capacity = cache_capacity
         self._forward_cache = LruCache(cache_capacity)
         self._backward_cache = LruCache(cache_capacity)
-        self.engine = "csr" if engine in ("auto", "csr") and distance_matrix is None else "dict"
+        if engine in ("partitioned",):
+            self.engine = engine
+        elif engine in ("auto", "csr") and distance_matrix is None:
+            self.engine = "csr"
+        else:
+            self.engine = "dict"
         #: Cache entries discarded because the graph mutated under them.
         self.stale_invalidations = 0
         # The storage adapter owns every engine-specific expansion decision.

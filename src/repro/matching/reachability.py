@@ -207,18 +207,20 @@ def evaluate_rq(
     if method == "matrix" and distance_matrix is None:
         raise EvaluationError("the matrix method requires a distance matrix")
     if method == "auto":
-        # An explicit CSR request resolves to a search method even when a
-        # matrix is at hand — the matrix is a dict-engine index.
-        if engine == "csr":
+        # An explicit CSR (or partitioned) request resolves to a search
+        # method even when a matrix is at hand — the matrix is a
+        # dict-engine index.
+        if engine in ("csr", "partitioned"):
             method = "bidirectional"
         else:
             method = "matrix" if distance_matrix is not None else "bidirectional"
-    if engine == "csr" and method == "matrix":
+    if engine in ("csr", "partitioned") and method == "matrix":
         raise EvaluationError("the matrix method runs on the dict engine only")
-    if engine == "csr" and matcher is not None:
+    if engine in ("csr", "partitioned") and matcher is not None:
         raise EvaluationError(
-            "engine='csr' cannot reuse a PathMatcher; drop the matcher "
-            "(the snapshot engine keeps its own caches) or use engine='dict'"
+            f"engine={engine!r} cannot reuse a PathMatcher; drop the matcher "
+            f"(the store-backed engines keep their own caches) or use "
+            f"engine='dict'"
         )
     default_cache = cache_capacity == DEFAULT_CACHE_CAPACITY
 
@@ -238,7 +240,7 @@ def evaluate_rq(
             from repro.session.session import default_session
 
             warn_free_function("evaluate_rq")
-            resolved = "csr" if engine in ("auto", "csr") else "dict"
+            resolved = "csr" if engine in ("auto", "csr") else engine
             matcher = default_session(graph).matcher(resolved)
         else:
             matcher = PathMatcher(graph, cache_capacity=cache_capacity, engine=engine)

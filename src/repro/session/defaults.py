@@ -21,7 +21,9 @@ engine-independent yardstick.
 from __future__ import annotations
 
 #: Recognised evaluation engines everywhere an ``engine=`` kwarg exists.
-ENGINES = ("auto", "dict", "csr")
+#: ``"partitioned"`` is opt-in only — ``"auto"`` never resolves to it, because
+#: sharding pays off on graphs far beyond what auto-selection can see cheaply.
+ENGINES = ("auto", "dict", "csr", "partitioned")
 
 #: Default engine selection: ``"auto"`` resolves to the compiled CSR engine
 #: for search-based evaluation and to the dict engine otherwise.
@@ -133,6 +135,23 @@ SEMANTIC_CACHE_VERIFY_LIMIT = 4096
 #: a session.  Plans are tiny; the bound only guards a pathological stream of
 #: distinct queries.
 PLAN_MEMO_CAPACITY = 256
+
+# -- partitioned-store defaults -------------------------------------------------
+#
+# Knobs of the vertex-partitioned store (repro.storage.partition) and the
+# chunked streaming ingester (repro.datasets.ingest).
+
+#: Default shard count of a :class:`~repro.storage.partition.PartitionedStore`.
+DEFAULT_PARTITION_SHARDS = 4
+
+#: Default worker count mapping per-shard kernel calls over a thread pool.
+#: ``1`` keeps evaluation serial (byte-identical results either way — the
+#: exchange loop merges shard results in shard order, not completion order).
+DEFAULT_PARTITION_PARALLELISM = 1
+
+#: Edge-triple chunk size of the streaming ingester: the largest number of
+#: parsed (source, target, colour) rows alive as python objects at once.
+INGEST_CHUNK_EDGES = 65536
 
 # -- serving-layer defaults -----------------------------------------------------
 #

@@ -70,13 +70,17 @@ class QueryPlan:
     algorithm:
         The evaluation algorithm (see the ``*_ALGORITHMS`` tuples).
     engine:
-        Resolved evaluation engine, ``"dict"`` or ``"csr"`` (never
-        ``"auto"`` — the planner's job is to resolve it).
+        Resolved evaluation engine, ``"dict"``, ``"csr"`` or
+        ``"partitioned"`` (never ``"auto"`` — the planner's job is to
+        resolve it; ``"partitioned"`` is only ever a caller's explicit
+        choice).
     store:
         The storage backend the engine reads through: ``"dict"`` (the
-        authoritative adjacency store) or ``"overlay-csr"`` (immutable CSR
+        authoritative adjacency store), ``"overlay-csr"`` (immutable CSR
         base plus per-colour edge overlays; see
-        :mod:`repro.storage.overlay`).
+        :mod:`repro.storage.overlay`) or ``"partitioned"`` (sharded CSR
+        compiles with boundary-frontier exchange; see
+        :mod:`repro.storage.partition`).
     method:
         RQ evaluation method (``""`` for PQ / general-RQ plans).
     use_matrix:
@@ -224,7 +228,7 @@ def _missing_colors(regexes, stats: GraphStats):
 def _resolve_engine(
     engine: Optional[str], stats: GraphStats, reasons, forced_dict_reason: Optional[str] = None
 ) -> str:
-    if engine in ("dict", "csr"):
+    if engine in ("dict", "csr", "partitioned"):
         reasons.append(f"engine={engine} forced by caller")
         return engine
     if forced_dict_reason is not None:
@@ -251,6 +255,33 @@ def _resolve_store(engine: str, overlay_stats, reasons, features) -> str:
     has one active (an update stream is in flight), its live occupancy is
     recorded in the plan features and rendered by ``explain()``.
     """
+    if engine == "partitioned":
+        kernel = active_kernel_name()
+        features["kernel"] = kernel
+        reasons.append(
+            "store=partitioned: per-shard CSR compiles over local id spaces, "
+            "frontiers run shard-at-a-time with boundary exchange "
+            f"(kernel={kernel})"
+        )
+        if overlay_stats and overlay_stats.get("store") == "partitioned":
+            for key in (
+                "shards",
+                "parallelism",
+                "boundary_nodes",
+                "boundary_fraction",
+                "exchange_rounds",
+            ):
+                if key in overlay_stats:
+                    features[f"partition_{key}"] = overlay_stats[key]
+            reasons.append(
+                "partition layout: {shards} shard(s), boundary fraction "
+                "{fraction:.1%}, parallelism {parallelism}".format(
+                    shards=overlay_stats.get("shards", 0),
+                    fraction=float(overlay_stats.get("boundary_fraction", 0.0)),
+                    parallelism=overlay_stats.get("parallelism", 1),
+                )
+            )
+        return "partitioned"
     if engine != "csr":
         return "dict"
     if overlay_stats:
@@ -391,11 +422,15 @@ def _plan_rq(query, stats, has_matrix, engine, method, strategy, overlay_stats=N
             raise QueryError(
                 "method='matrix' forced but the session has no distance matrix attached"
             )
-        if method == "matrix" and engine == "csr":
+        if method == "matrix" and engine in ("csr", "partitioned"):
             raise QueryError("the matrix method runs on the dict engine only")
         reasons.append(f"method={method} forced by caller")
         chosen_method = method
-    elif has_matrix and stats.num_nodes <= MATRIX_MAX_NODES and engine != "csr":
+    elif (
+        has_matrix
+        and stats.num_nodes <= MATRIX_MAX_NODES
+        and engine not in ("csr", "partitioned")
+    ):
         reasons.append(
             f"distance matrix attached and graph fits a quadratic index "
             f"({stats.num_nodes} <= {MATRIX_MAX_NODES} nodes): matrix lookups win"
@@ -407,9 +442,10 @@ def _plan_rq(query, stats, has_matrix, engine, method, strategy, overlay_stats=N
                 f"distance matrix attached but graph too large for a quadratic "
                 f"index ({stats.num_nodes} > {MATRIX_MAX_NODES} nodes): searching instead"
             )
-        elif has_matrix and engine == "csr":
+        elif has_matrix and engine in ("csr", "partitioned"):
             reasons.append(
-                "engine=csr forced: the matrix is a dict-engine index, searching instead"
+                f"engine={engine} forced: the matrix is a dict-engine index, "
+                "searching instead"
             )
         else:
             reasons.append("no distance matrix attached: bidirectional search")
@@ -529,7 +565,7 @@ def _plan_pq(query, stats, has_matrix, engine, algorithm, strategy, overlay_stat
     use_matrix = (
         has_matrix
         and stats.num_nodes <= MATRIX_MAX_NODES
-        and engine != "csr"
+        and engine not in ("csr", "partitioned")
         and chosen in ("join", "split", "bounded-simulation")
     )
     if use_matrix:

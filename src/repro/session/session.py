@@ -450,10 +450,21 @@ class GraphSession:
     engine:
         Session-wide engine preference: ``"auto"`` (default) lets the
         planner resolve dict vs CSR per query from graph statistics; an
-        explicit ``"dict"`` / ``"csr"`` forces it for every prepared query
-        (still overridable per :meth:`prepare` call).
+        explicit ``"dict"`` / ``"csr"`` / ``"partitioned"`` forces it for
+        every prepared query (still overridable per :meth:`prepare` call).
+        ``"partitioned"`` is never chosen by ``"auto"`` — sharded
+        evaluation is strictly opt-in.
     cache_capacity:
         LRU capacity of the session's matcher caches.
+    shards:
+        Shard count for the graph's partitioned store
+        (:class:`~repro.storage.partition.PartitionedStore`).  Supplying a
+        value (or choosing ``engine="partitioned"``) builds the store
+        eagerly; ``None`` keeps the store's own default when the
+        partitioned engine is used.
+    parallelism:
+        Worker-thread count for per-shard kernel dispatch in the
+        partitioned store (``1`` = serial, byte-identical answers).
     distance_matrix:
         Optional pre-computed distance matrix; when attached (also via
         :meth:`build_matrix`), the planner may choose matrix-based
@@ -481,10 +492,21 @@ class GraphSession:
         distance_matrix: Optional[DistanceMatrix] = None,
         compaction_fraction: Optional[float] = None,
         semantic_cache_capacity: Optional[int] = None,
+        shards: Optional[int] = None,
+        parallelism: Optional[int] = None,
         name: Optional[str] = None,
     ):
         if engine not in ENGINES:
             raise QueryError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self._partition_shards = shards
+        self._partition_parallelism = parallelism
+        if engine == "partitioned" or shards is not None or parallelism is not None:
+            from repro.exceptions import GraphError
+
+            try:
+                graph.partitioned_store(shards=shards, parallelism=parallelism)
+            except GraphError as error:
+                raise QueryError(str(error)) from error
         if compaction_fraction is not None:
             try:
                 graph.overlay_store().configure_compaction(compaction_fraction)
@@ -580,8 +602,10 @@ class GraphSession:
         untouched colours warm.  This is the warm state the free-function
         shims borrow.
         """
-        if engine not in ("dict", "csr"):
-            raise QueryError(f"unknown engine {engine!r}; expected 'dict' or 'csr'")
+        if engine not in ("dict", "csr", "partitioned"):
+            raise QueryError(
+                f"unknown engine {engine!r}; expected 'dict', 'csr' or 'partitioned'"
+            )
         matcher = self._matchers.get(engine)
         if matcher is None:
             matcher = PathMatcher(
@@ -609,14 +633,21 @@ class GraphSession:
     # -- planning and execution --------------------------------------------------
 
     def store_stats(self) -> Dict[str, Any]:
-        """Occupancy statistics of the graph's overlay store (if active).
+        """Occupancy statistics of the graph's active store.
 
+        A session preferring the partitioned engine reports the partitioned
+        store's shard layout; otherwise the overlay store's occupancy, or
         ``{"store": "dict"}`` while no overlay base has been compiled — the
         session never forces a CSR base onto a graph the planner keeps on
         the dict engine (a store that merely exists, e.g. because
         ``compaction_fraction`` was configured, does not count until a CSR
         read compiles its base).
         """
+        if self.engine == "partitioned":
+            pstore = self.graph.active_partitioned_store
+            if pstore is not None:
+                pstore.sync()
+                return pstore.overlay_stats()
         store = self.graph.active_overlay_store
         if store is None or not store.has_base:
             return {"store": "dict"}
@@ -626,7 +657,20 @@ class GraphSession:
         merged = dict(overrides)
         if "engine" not in merged and self.engine != "auto":
             merged["engine"] = self.engine
-        store = self.graph.active_overlay_store
+        if merged.get("engine") == "partitioned":
+            # Surface the shard layout (count, boundary fraction,
+            # parallelism) so explain() narrates the partition decision.
+            pstore = self.graph.partitioned_store(
+                shards=self._partition_shards,
+                parallelism=self._partition_parallelism,
+            )
+            pstore.sync()
+            overlay_stats = pstore.overlay_stats()
+        else:
+            store = self.graph.active_overlay_store
+            overlay_stats = (
+                store.overlay_stats() if store is not None and store.has_base else None
+            )
         return plan_query(
             query,
             self.stats,
@@ -635,9 +679,7 @@ class GraphSession:
             method=merged.get("method"),
             algorithm=merged.get("algorithm"),
             strategy=merged.get("strategy"),
-            overlay_stats=(
-                store.overlay_stats() if store is not None and store.has_base else None
-            ),
+            overlay_stats=overlay_stats,
         )
 
     @staticmethod

@@ -17,6 +17,10 @@ call.  The storage layer unifies the two behind one protocol:
   snapshot plus per-colour added/removed edge overlays with read-through
   merged frontiers, compacted back into a fresh base (donor-layer recompile)
   once the overlay fraction crosses a planner-tunable threshold;
+* :class:`~repro.storage.partition.PartitionedStore` — a vertex-partitioned
+  backend for graphs far beyond the in-memory fixtures: per-shard CSR
+  compiles over local id spaces, boundary-frontier exchange between shards,
+  and optional thread-pool dispatch of the per-shard vector kernels;
 * :mod:`~repro.storage.adapter` — the *only* place that branches on the
   backend: :class:`~repro.matching.paths.PathMatcher` delegates its whole
   expansion surface to one adapter, so the evaluation fixpoints above are
@@ -35,12 +39,14 @@ lifecycle.
 from repro.storage.base import GraphStore
 from repro.storage.dict_store import JOURNAL_CAPACITY, DictStore
 from repro.storage.overlay import OverlayCsrStore
+from repro.storage.partition import PartitionedStore
 from repro.storage.snapshot import SnapshotGraph, StoreSnapshot
 
 __all__ = [
     "GraphStore",
     "DictStore",
     "OverlayCsrStore",
+    "PartitionedStore",
     "StoreSnapshot",
     "SnapshotGraph",
     "JOURNAL_CAPACITY",

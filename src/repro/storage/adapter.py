@@ -3,7 +3,7 @@
 :class:`~repro.matching.paths.PathMatcher` exposes the expansion surface the
 RQ/PQ fixpoints drive (``atom_targets`` … ``edge_pairs``).  Every method used
 to branch on ``engine == "csr"`` inline; those branches now live here, behind
-two adapters sharing one interface:
+three adapters sharing one interface:
 
 * :class:`DictEngineAdapter` — expansion over the authoritative
   :class:`~repro.storage.dict_store.DictStore` (or the caller's distance
@@ -13,7 +13,11 @@ two adapters sharing one interface:
   the base snapshot run on the memoised flat-array
   :class:`~repro.matching.csr_engine.CsrEngine` (rebuilt, with donor cache
   promotion, only when the store compacts), dirty colours run as merged
-  read-through frontiers with per-colour version-tagged memos.
+  read-through frontiers with per-colour version-tagged memos;
+* :class:`PartitionedAdapter` — expansion through the graph's sharded
+  :class:`~repro.storage.partition.PartitionedStore`: every frontier is a
+  cross-shard exchange over per-shard CSR kernels, memoised under the same
+  per-colour version tags as the dict engine.
 
 The adapters are deliberately the *only* modules that know both worlds; the
 fixpoint bodies above them are engine-free (asserted by
@@ -34,6 +38,8 @@ def make_adapter(matcher):
     """The storage adapter for one resolved :class:`PathMatcher`."""
     if matcher.engine == "csr":
         return OverlayCsrAdapter(matcher)
+    if matcher.engine == "partitioned":
+        return PartitionedAdapter(matcher)
     return DictEngineAdapter(matcher)
 
 
@@ -570,3 +576,133 @@ class OverlayCsrAdapter:
 
     def matching_nodes(self, predicate):
         return self.store.matching_nodes(predicate)
+
+
+class PartitionedAdapter:
+    """Expansion through the graph's sharded :class:`PartitionedStore`.
+
+    Every frontier call becomes a boundary exchange over per-shard CSR
+    kernels (see :mod:`repro.storage.partition`); answers are memoised in
+    the matcher's LRU caches under the exact per-colour version tags the
+    dict engine uses, so the engine-free fixpoints above see identical
+    staleness behaviour.  Predicate scans walk the live attribute table —
+    shard compiles deliberately carry no attribute copies.
+    """
+
+    engine = "partitioned"
+    #: Like the dict engine: no snapshot to memoise scans on.
+    memoises_scans = False
+    csr_entries_carried = 0
+
+    def __init__(self, matcher):
+        self.matcher = matcher
+        self.store = matcher.graph.partitioned_store()
+
+    def _atom_version(self, color: Optional[str]) -> int:
+        graph = self.matcher.graph
+        return graph.edges_version if color is None else graph.color_version(color)
+
+    # -- one-atom frontiers ------------------------------------------------------
+
+    def _atom_frontier(self, node: NodeId, item, reverse: bool) -> Set[NodeId]:
+        store = self.store
+        store.sync()
+        matcher = self.matcher
+        if not matcher.graph.has_node(node):
+            raise GraphError(f"node {node!r} does not exist")
+        color = None if item.is_wildcard else item.color
+        cache = matcher._backward_cache if reverse else matcher._forward_cache
+        key = (node, color, item.max_count)
+        version = self._atom_version(color)
+        cached = cache.get(key)
+        if cached is not None:
+            cached_version, frontier = cached
+            if cached_version == version:
+                return set(frontier)
+            matcher.stale_invalidations += 1
+        frontier = frozenset(store.frontier((node,), color, item.max_count, reverse))
+        cache.put(key, (version, frontier))
+        return set(frontier)
+
+    def atom_targets(self, source: NodeId, item) -> Set[NodeId]:
+        return self._atom_frontier(source, item, reverse=False)
+
+    def atom_sources(self, target: NodeId, item) -> Set[NodeId]:
+        return self._atom_frontier(target, item, reverse=True)
+
+    # -- set-level frontiers -----------------------------------------------------
+
+    def _set_frontier(self, nodes: Set[NodeId], item, reverse: bool) -> Set[NodeId]:
+        if len(nodes) == 1:
+            (node,) = nodes
+            return self._atom_frontier(node, item, reverse)
+        store = self.store
+        color = None if item.is_wildcard else item.color
+        return store.frontier(nodes, color, item.max_count, reverse)
+
+    def set_targets(self, sources: Set[NodeId], item) -> Set[NodeId]:
+        if not sources:
+            return set()
+        return self._set_frontier(sources, item, reverse=False)
+
+    def set_sources(self, targets: Set[NodeId], item) -> Set[NodeId]:
+        if not targets:
+            return set()
+        return self._set_frontier(targets, item, reverse=True)
+
+    # -- closures and whole expressions ------------------------------------------
+
+    def backward_closure(
+        self, starts: Iterable[NodeId], colors: Optional[Iterable[str]] = None
+    ) -> Set[NodeId]:
+        graph = self.matcher.graph
+        start_set = {node for node in starts if graph.has_node(node)}
+        if not start_set:
+            return set()
+        return self.store.closure(start_set, colors, reverse=True)
+
+    def backward_reachable(self, targets: Set[NodeId], regex) -> Set[NodeId]:
+        frontier = set(targets)
+        for item in reversed(regex.atoms):
+            frontier = self.set_sources(frontier, item)
+            if not frontier:
+                break
+        return frontier
+
+    def targets_from(self, source: NodeId, regex) -> Set[NodeId]:
+        frontier: Set[NodeId] = {source}
+        for item in regex.atoms:
+            frontier = self.set_targets(frontier, item)
+            if not frontier:
+                break
+        return frontier
+
+    def sources_to(self, target: NodeId, regex) -> Set[NodeId]:
+        frontier: Set[NodeId] = {target}
+        for item in reversed(regex.atoms):
+            frontier = self.set_sources(frontier, item)
+            if not frontier:
+                break
+        return frontier
+
+    def edge_pairs(
+        self, sources: Set[NodeId], targets: Set[NodeId], regex
+    ) -> Set[Tuple[NodeId, NodeId]]:
+        from repro.matching.frontiers import forward_sweep
+
+        return forward_sweep(self.matcher, regex, list(sources), targets)
+
+    def query_pairs(
+        self, regex, sources, targets, method: str
+    ) -> Set[Tuple[NodeId, NodeId]]:
+        from repro.matching.frontiers import forward_sweep, meet_in_the_middle
+
+        if method == "bidirectional":
+            return meet_in_the_middle(self.matcher, regex, sources, targets)
+        return forward_sweep(self.matcher, regex, sources, targets)
+
+    # -- predicate scans ---------------------------------------------------------
+
+    def matching_nodes(self, predicate):
+        graph = self.matcher.graph
+        return scan_nodes(predicate, graph.nodes(), graph.attributes)

@@ -1,0 +1,14 @@
+"""R009 fixture: orchestration reaching into shards' private arrays."""
+
+
+def count_frontier_bits(store):
+    total = 0
+    for shard in store.shards:
+        total += len(shard._frontier_bits)
+    return total
+
+
+def patch_neighbour(store, node):
+    other_shard = store.shards[0]
+    other_shard._local_index[node] = 0
+    return other_shard

@@ -1,0 +1,20 @@
+"""R009 fixture: the same traffic through the boundary-exchange surface."""
+
+
+class Exchange:
+    def __init__(self, shards):
+        self._shards = list(shards)
+
+    def route(self, frontier, color):
+        waves = []
+        for shard in self._shards:
+            locals_ = shard.to_local(frontier)
+            waves.append(shard.expand(locals_, color, 1, False))
+        return waves
+
+
+def count_frontier(store, frontier):
+    total = 0
+    for shard in store.shards:
+        total += len(shard.expand(shard.to_local(frontier), None, 1, False))
+    return total

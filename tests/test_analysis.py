@@ -68,6 +68,30 @@ class TestRuleFixtures:
         messages = [f.message for f in lint_fixture("R006", "bad").findings]
         assert any("getattr" in message for message in messages)
 
+    def test_r009_names_the_private_attribute(self):
+        messages = [f.message for f in lint_fixture("R009", "bad").findings]
+        assert any("_frontier_bits" in message for message in messages)
+        assert any("_local_index" in message for message in messages)
+
+    def test_r009_allows_self_and_ignores_other_modules(self, tmp_path):
+        # `self._shards` inside the orchestrator is the store's own state;
+        # the same reach outside storage/partition* is out of scope.
+        source = (
+            "class Store:\n"
+            "    def __init__(self, shards):\n"
+            "        self._shards = list(shards)\n"
+            "    def fan_out(self):\n"
+            "        return len(self._shards)\n"
+        )
+        inside = tmp_path / "storage" / "partition_util.py"
+        inside.parent.mkdir(parents=True)
+        inside.write_text(source + "def peek(shard):\n    return shard._bits\n")
+        outside = tmp_path / "storage" / "overlay_probe.py"
+        outside.write_text("def peek(shard):\n    return shard._bits\n")
+        report = run_lint([tmp_path / "storage"], select=["R009"])
+        assert [f.path for f in report.findings] == ["storage/partition_util.py"]
+        assert "_bits" in report.findings[0].message
+
     def test_r006_allowlist_matches_store_parity_gate(self):
         # The allowlist the PR 5 grep test used, now owned by the rule.
         assert "refinement.py" in FIXPOINT_MODULES
@@ -186,6 +210,7 @@ class TestFramework:
         assert RULE_CODES == (
             "R001", "R002", "R003", "R004",
             "R005", "R006", "R007", "R008",
+            "R009",
         )
 
     def test_all_rules_are_fresh_instances(self):

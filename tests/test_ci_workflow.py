@@ -171,6 +171,29 @@ class TestCiWorkflow:
         )
         assert "bench-kernels.json" in paths
 
+    def test_benchmark_job_emits_partition_artifact(self, workflow):
+        # The partition benchmark (4 shards >= 2x one shard on the 2^20-edge
+        # scale-free stream) runs on its own with the full scale armed via
+        # REPRO_BENCH_PARTITION=full and uploads bench-partition.json; the
+        # main benchmark sweep must not double-run it into bench.json.
+        job = workflow["jobs"]["benchmark-smoke"]
+        commands = "\n".join(step.get("run", "") for step in job["steps"])
+        assert "benchmarks/test_bench_partition.py" in commands
+        assert "--ignore=benchmarks/test_bench_partition.py" in commands
+        assert "--benchmark-json=bench-partition.json" in commands
+        partition_steps = [
+            step
+            for step in job["steps"]
+            if "pytest benchmarks/test_bench_partition.py" in step.get("run", "")
+        ]
+        assert partition_steps[0]["env"]["REPRO_BENCH_PARTITION"] == "full"
+        paths = "\n".join(
+            step["with"]["path"]
+            for step in job["steps"]
+            if "upload-artifact" in step.get("uses", "")
+        )
+        assert "bench-partition.json" in paths
+
     def test_benchmark_job_emits_semcache_artifact(self, workflow):
         # The semantic-cache benchmark (warm containment hit >= 5x cold
         # evaluation) runs on its own and uploads bench-semcache.json; the

@@ -338,6 +338,50 @@ class TestJsonOutput:
         assert text.lstrip().startswith("{")
 
 
+class TestIngestCommand:
+    @pytest.fixture
+    def edge_file(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text(
+            "# stream fixture\n"
+            + "".join(f"n{i} n{(i + 1) % 30} c{i % 2}\n" for i in range(30))
+        )
+        return str(path)
+
+    def test_human_output_reports_layout(self, edge_file):
+        out = io.StringIO()
+        assert main(["ingest", edge_file, "--shards", "3", "--chunk-edges", "8"], out=out) == 0
+        text = out.getvalue()
+        assert "ingested 30 edges / 30 nodes" in text
+        assert "into 3 shard(s)" in text
+        assert "streamed 4 chunk(s), peak 8 triples" in text
+
+    def test_json_envelope(self, edge_file):
+        import json
+
+        out = io.StringIO()
+        assert main(["ingest", edge_file, "--shards", "2", "--json"], out=out) == 0
+        payload = json.loads(out.getvalue())
+        assert payload["command"] == "ingest"
+        assert payload["schema_version"] == 1
+        stats = payload["stats"]
+        assert stats["nodes"] == 30 and stats["edges"] == 30
+        assert stats["shards"] == 2
+        assert stats["chunks"] >= 1 and stats["peak_chunk"] <= 30
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["ingest", str(tmp_path / "nope.txt")], out=io.StringIO()) == 2
+        assert "ingest" in capsys.readouterr().err
+
+    def test_malformed_line_is_a_structured_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b red\nbroken-line\n")
+        assert main(["ingest", str(path)], out=io.StringIO()) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err
+        assert "repro ingest: error" in err
+
+
 class TestSchemaVersionStamp:
     def test_every_json_payload_is_stamped(self, essembly_json):
         import json

@@ -10,7 +10,7 @@ from repro.datasets.essembly import (
     essembly_query_q1,
     essembly_query_q2,
 )
-from repro.datasets.synthetic import generate_synthetic_graph
+from repro.datasets.synthetic import generate_synthetic_graph, scale_free_stream
 from repro.datasets.terrorism import NAMED_ORGANISATIONS, TERRORISM_COLORS, generate_terrorism_graph
 from repro.datasets.youtube import YOUTUBE_COLORS, generate_youtube_graph
 from repro.exceptions import GraphError
@@ -116,3 +116,63 @@ class TestSynthetic:
     def test_empty_graph(self):
         graph = generate_synthetic_graph(0, 0)
         assert graph.num_nodes == 0
+
+    def test_colors_are_interned_once(self):
+        # Satellite (PR 10): the generator interns its palette once per run,
+        # so every edge colour is the *same* string object — sampled by id().
+        graph = generate_synthetic_graph(50, 200, colors=("rock" + "et", "pa" + "per"), seed=3)
+        identities = {}
+        for edge in graph.edges():
+            identities.setdefault(edge.color, set()).add(id(edge.color))
+        assert identities
+        for color, ids in identities.items():
+            assert len(ids) == 1, color
+
+
+class TestScaleFreeStream:
+    def test_sizes_and_id_bounds(self):
+        triples = list(scale_free_stream(1000, 500, seed=9))
+        assert len(triples) == 500
+        for source, target, color in triples:
+            assert 0 <= source < 1000
+            assert 0 <= target < 1000
+            assert source != target
+
+    def test_determinism(self):
+        first = list(scale_free_stream(500, 300, seed=4))
+        second = list(scale_free_stream(500, 300, seed=4))
+        assert first == second
+        assert first != list(scale_free_stream(500, 300, seed=5))
+
+    def test_id_locality_within_window(self):
+        # The generator's cursor sweeps the id space and targets come from a
+        # recent-endpoint deque, so endpoint gaps stay near the window scale
+        # (hub re-appends let a tail stretch further, so the property is
+        # aggregate, not per-edge) — that locality is what keeps range
+        # partitions boundary-light.
+        window = 64
+        num_nodes, num_edges = 10_000, 2_000
+        gaps = sorted(
+            abs(source - target)
+            for source, target, _ in scale_free_stream(num_nodes, num_edges, seed=7, window=window)
+        )
+        assert gaps[len(gaps) // 2] <= 2 * window  # median: window-scale
+        assert gaps[-1] < num_nodes // 4  # even the hub tail stays regional
+
+    def test_colors_are_interned_once(self):
+        identities = {}
+        for _, _, color in scale_free_stream(400, 2000, colors=("a" * 9, "b" * 9), seed=1):
+            identities.setdefault(color, set()).add(id(color))
+        assert set(identities) == {"a" * 9, "b" * 9}
+        for ids in identities.values():
+            assert len(ids) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            next(scale_free_stream(1, 10))
+        with pytest.raises(GraphError):
+            next(scale_free_stream(10, -1))
+        with pytest.raises(GraphError):
+            next(scale_free_stream(10, 10, window=0))
+        with pytest.raises(GraphError):
+            next(scale_free_stream(10, 10, colors=()))

@@ -171,6 +171,39 @@ class TestExp5:
         with pytest.raises(ValueError):
             run_vary_query_parameter("bad", values=(1,))
 
+    def test_exp8_shape_and_verified_rows(self):
+        from repro.experiments.exp8_partition import run_partition_scaling
+
+        report = run_partition_scaling(
+            num_nodes=2048,
+            num_edges=1024,
+            shard_counts=(1, 2, 4),
+            queries=4,
+            width=32,
+            bound=2,
+            parity_every=1,
+            passes=1,
+        )
+        assert report.column("shards") == [1, 2, 4]
+        for row in report:
+            assert row["verified"] == 4  # every answer checked vs the oracle
+            assert row["t_frontier"] > 0
+            assert row["exchange_rounds"] >= 1
+            assert 0.0 <= row["boundary_fraction"] <= 1.0
+        assert report.rows[0]["speedup"] == 1.0
+        assert report.rows[0]["boundary_nodes"] == 0  # one shard: no halo
+
+    def test_exp8_parameter_validation(self):
+        from repro.exceptions import EvaluationError
+        from repro.experiments.exp8_partition import run_partition_scaling
+
+        with pytest.raises(EvaluationError):
+            run_partition_scaling(shard_counts=())
+        with pytest.raises(EvaluationError):
+            run_partition_scaling(parity_every=0)
+        with pytest.raises(EvaluationError):
+            run_partition_scaling(passes=0)
+
     def test_subiso_comparison_shape(self):
         report = run_subiso_comparison(
             graph_sizes=((30, 60), (50, 100)), queries_per_point=1, query_nodes=4, query_edges=5

@@ -70,6 +70,87 @@ class TestEdgeList:
             load_edge_list(path)
 
 
+class TestEdgeChunks:
+    def test_bounded_chunks_cover_the_file(self, tmp_path):
+        from repro.graph.io import iter_edge_chunks
+
+        path = tmp_path / "stream.txt"
+        path.write_text(
+            "# header comment\n"
+            + "".join(f"n{i} n{i + 1} c{i % 3}\n" for i in range(10))
+        )
+        chunks = list(iter_edge_chunks(path, chunk_edges=4))
+        assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+        flat = [triple for chunk in chunks for triple in chunk]
+        assert flat[0] == ("n0", "n1", "c0")
+        assert flat[-1] == ("n9", "n10", "c0")
+
+    def test_csv_dialect_and_interning(self, tmp_path):
+        from repro.graph.io import iter_edge_chunks
+
+        path = tmp_path / "stream.csv"
+        path.write_text("a, b, red\nb, c, red\n")
+        (chunk,) = iter_edge_chunks(path, chunk_edges=10)
+        assert chunk == [("a", "b", "red"), ("b", "c", "red")]
+        # Colour strings are interned: one object across the whole stream.
+        assert chunk[0][2] is chunk[1][2]
+
+    def test_malformed_line_names_the_line_number(self, tmp_path):
+        from repro.graph.io import iter_edge_chunks
+
+        path = tmp_path / "bad.txt"
+        path.write_text("a b red\na b\n")
+        with pytest.raises(GraphError, match="line 2"):
+            list(iter_edge_chunks(path))
+
+    def test_chunk_size_must_be_positive(self, tmp_path):
+        from repro.graph.io import iter_edge_chunks
+
+        path = tmp_path / "ok.txt"
+        path.write_text("a b red\n")
+        with pytest.raises(GraphError):
+            list(iter_edge_chunks(path, chunk_edges=0))
+
+
+class TestIngest:
+    def test_streamed_store_matches_loaded_graph(self, tmp_path):
+        from repro.datasets.ingest import ingest_edge_list
+
+        path = tmp_path / "stream.txt"
+        path.write_text("".join(f"n{i} n{(i + 3) % 20} c{i % 2}\n" for i in range(20)))
+        store, stats = ingest_edge_list(path, shards=3, chunk_edges=6)
+        try:
+            graph = load_edge_list(path)
+            assert stats.nodes == graph.num_nodes
+            assert stats.edges == graph.num_edges == 20
+            assert stats.chunks == 4 and stats.peak_chunk == 6
+            assert stats.shards == 3
+            for starts in (["n0"], ["n1", "n5"]):
+                for color in (None, "c0", "c1"):
+                    assert store.frontier(starts, color, 3) == graph.store.frontier(
+                        starts, color, 3
+                    )
+        finally:
+            store.close()
+
+    def test_stats_envelope_round_trips_to_json(self, tmp_path):
+        import json
+
+        from repro.datasets.ingest import ingest_edge_list
+
+        path = tmp_path / "tiny.txt"
+        path.write_text("a b red\n")
+        store, stats = ingest_edge_list(path)
+        store.close()
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["path"].endswith("tiny.txt")
+        assert payload["edges"] == 1 and payload["nodes"] == 2
+        assert set(payload) == {
+            "path", "nodes", "edges", "shards", "parallelism",
+            "chunks", "peak_chunk", "boundary_nodes", "boundary_fraction",
+        }
+
+
 class TestStats:
     def test_compute_stats(self, sample_graph):
         from repro.graph.stats import compute_stats

@@ -56,7 +56,7 @@ FROZEN_API = {
     "repro.kernels": [
         "HAVE_NUMPY", "KERNEL_ENV_VAR", "active_kernel_name",
         "bfs_block_frontier", "closure_frontier", "expand_frontier",
-        "select_backend",
+        "neighbors_of", "select_backend",
     ],
     "repro.matching": [
         "CsrEngine", "LruCache", "PathMatcher", "PatternMatchResult",
@@ -67,7 +67,7 @@ FROZEN_API = {
     "repro.datasets": [
         "build_essembly_graph", "essembly_query_q1", "essembly_query_q2",
         "generate_synthetic_graph", "generate_terrorism_graph",
-        "generate_youtube_graph",
+        "generate_youtube_graph", "scale_free_stream",
     ],
     "repro.metrics": ["FMeasure", "compute_f_measure"],
     "repro.experiments": ["ExperimentReport", "format_table", "time_call"],
@@ -79,7 +79,7 @@ FROZEN_API = {
     ],
     "repro.storage": [
         "DictStore", "GraphStore", "JOURNAL_CAPACITY", "OverlayCsrStore",
-        "SnapshotGraph", "StoreSnapshot",
+        "PartitionedStore", "SnapshotGraph", "StoreSnapshot",
     ],
     "repro.analysis": [
         "Finding", "LintReport", "ModuleInfo", "ProjectInfo", "RULE_CODES",
